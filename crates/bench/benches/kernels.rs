@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the simulation kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hgp_circuit::{Circuit, Gate};
+use hgp_device::Backend;
+use hgp_mitigation::M3Mitigator;
+use hgp_noise::ReadoutModel;
+use hgp_pulse::calibration::PulseLibrary;
+use hgp_pulse::propagator::drive_propagator;
+use hgp_pulse::Waveform;
+use hgp_sim::{Counts, DensityMatrix, StateVector};
+use hgp_transpile::{TranspileOptions, Transpiler};
+
+fn qaoa_like(n: usize) -> Circuit {
+    let mut qc = Circuit::new(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    for q in 0..n {
+        qc.rzz(q, (q + 1) % n, 0.4);
+    }
+    for q in 0..n {
+        qc.rx(q, 0.8);
+    }
+    qc
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let qc = qaoa_like(10);
+    c.bench_function("statevector_qaoa_10q", |b| {
+        b.iter(|| StateVector::from_circuit(black_box(&qc)).expect("bound"))
+    });
+}
+
+fn bench_density_gate(c: &mut Criterion) {
+    let cx = Gate::CX.matrix().expect("bound");
+    c.bench_function("density_cx_8q", |b| {
+        let mut rho = DensityMatrix::plus_state(8);
+        b.iter(|| rho.apply_unitary(black_box(&cx), &[0, 1]))
+    });
+}
+
+fn bench_density_kraus(c: &mut Criterion) {
+    let kraus = hgp_noise::channels::thermal_relaxation(100.0, 80.0, 0.1);
+    c.bench_function("density_thermal_relax_8q", |b| {
+        let mut rho = DensityMatrix::plus_state(8);
+        b.iter(|| rho.apply_kraus(black_box(&kraus), &[3]))
+    });
+}
+
+fn bench_pulse_propagator(c: &mut Criterion) {
+    let w = Waveform::gaussian(320);
+    c.bench_function("drive_propagator_320dt", |b| {
+        b.iter(|| drive_propagator(black_box(&w), 0.1, 0.3, 0.001, 0.125))
+    });
+}
+
+fn bench_cx_schedule(c: &mut Criterion) {
+    let backend = Backend::ibmq_toronto();
+    let lib = PulseLibrary::new(&backend);
+    c.bench_function("cx_pulse_schedule_compile", |b| {
+        b.iter(|| {
+            let s = lib.cx_schedule(0, 1);
+            hgp_pulse::propagator::compile_schedule(black_box(&s), &backend)
+        })
+    });
+}
+
+fn bench_sabre(c: &mut Criterion) {
+    let backend = Backend::ibmq_guadalupe();
+    let qc = qaoa_like(8);
+    let transpiler = Transpiler::new(&backend);
+    let options = TranspileOptions::default();
+    c.bench_function("sabre_route_qaoa_8q", |b| {
+        b.iter(|| transpiler.run(black_box(&qc), &options))
+    });
+}
+
+fn bench_m3(c: &mut Criterion) {
+    let model = ReadoutModel::uniform(6, 0.03);
+    let m3 = M3Mitigator::from_readout_model(&model);
+    // A spread-out record: 40 observed bitstrings.
+    let mut counts = Counts::new(6);
+    for b in 0..40usize {
+        counts.record(b, (b as u64 % 7) * 13 + 5);
+    }
+    c.bench_function("m3_solve_40_bitstrings", |b| {
+        b.iter(|| m3.apply(black_box(&counts)))
+    });
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let h = hgp_math::pauli::sigma_x().kron(&hgp_math::pauli::sigma_z());
+    c.bench_function("eigh_4x4", |b| {
+        b.iter(|| hgp_math::eigen::eigh(black_box(&h)))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_statevector,
+    bench_density_gate,
+    bench_density_kraus,
+    bench_pulse_propagator,
+    bench_cx_schedule,
+    bench_sabre,
+    bench_m3,
+    bench_eigh
+);
+criterion_main!(kernels);

@@ -1,0 +1,66 @@
+//! Criterion benchmark of one full machine-in-loop cost evaluation — the
+//! unit of work the training loop repeats 50+ times per experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hgp_bench::region_for;
+use hgp_core::models::{GateModel, GateModelOptions, HybridModel, VqaModel};
+use hgp_core::prelude::*;
+use hgp_device::Backend;
+use hgp_graph::instances;
+
+fn bench_gate_iteration(c: &mut Criterion) {
+    let backend = Backend::ibmq_toronto();
+    let graph = instances::task1_three_regular_6();
+    let region = region_for(&backend, 6);
+    let model =
+        GateModel::new(&backend, &graph, 1, region, GateModelOptions::raw()).expect("region");
+    let exec = Executor::new(&backend, model.layout().to_vec());
+    let eval = CostEvaluator::new(&graph);
+    let params = model.initial_params();
+    c.bench_function("gate_model_cost_eval_6q", |b| {
+        b.iter(|| {
+            let counts = exec.sample(&model.build(black_box(&params)), 1024, 7);
+            eval.approximation_ratio(&model.interpret_counts(&counts))
+        })
+    });
+}
+
+fn bench_hybrid_iteration(c: &mut Criterion) {
+    let backend = Backend::ibmq_toronto();
+    let graph = instances::task1_three_regular_6();
+    let region = region_for(&backend, 6);
+    let model = HybridModel::new(&backend, &graph, 1, region).expect("region");
+    let exec = Executor::new(&backend, model.layout().to_vec());
+    let eval = CostEvaluator::new(&graph);
+    let params = model.initial_params();
+    c.bench_function("hybrid_model_cost_eval_6q", |b| {
+        b.iter(|| {
+            let counts = exec.sample(&model.build(black_box(&params)), 1024, 7);
+            eval.approximation_ratio(&model.interpret_counts(&counts))
+        })
+    });
+}
+
+fn bench_hybrid_iteration_8q(c: &mut Criterion) {
+    let backend = Backend::ibmq_montreal();
+    let graph = instances::task3_three_regular_8();
+    let region = region_for(&backend, 8);
+    let model = HybridModel::new(&backend, &graph, 1, region).expect("region");
+    let exec = Executor::new(&backend, model.layout().to_vec());
+    let eval = CostEvaluator::new(&graph);
+    let params = model.initial_params();
+    c.bench_function("hybrid_model_cost_eval_8q", |b| {
+        b.iter(|| {
+            let counts = exec.sample(&model.build(black_box(&params)), 1024, 7);
+            eval.approximation_ratio(&model.interpret_counts(&counts))
+        })
+    });
+}
+
+criterion_group! {
+    name = qaoa;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gate_iteration, bench_hybrid_iteration, bench_hybrid_iteration_8q
+}
+criterion_main!(qaoa);

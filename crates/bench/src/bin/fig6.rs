@@ -1,0 +1,64 @@
+//! Fig. 6: optimized gate-level vs optimized hybrid gate-pulse model on
+//! `ibmq_toronto` and `ibmq_montreal`, over the three benchmark tasks.
+//!
+//! Both models receive gate-level optimization and M3; the hybrid
+//! additionally receives pulse-level (duration) optimization — the
+//! paper's "optimized" configuration. Paper reference values:
+//!
+//! | backend  | task1 (gate/hyb) | task2 | task3 |
+//! |----------|------------------|-------|-------|
+//! | toronto  | 51.3 / 60.1      | 51.4 / 57.1 | 59.7 / 62.9 |
+//! | montreal | 74.0 / 78.3      | 75.9 / 80.0 | 62.9 / 65.8 |
+
+use hgp_bench::{paper_train_config, pct, region_for};
+use hgp_core::models::{GateModel, GateModelOptions, HybridModel};
+use hgp_core::prelude::*;
+use hgp_device::Backend;
+use hgp_graph::instances;
+
+fn main() {
+    let backends = [Backend::ibmq_toronto(), Backend::ibmq_montreal()];
+    println!("Fig. 6: optimized gate-level vs optimized hybrid gate-pulse\n");
+    println!(
+        "{:<12}{:<28}{:>12}{:>12}{:>14}",
+        "backend", "task", "gate AR", "hybrid AR", "hyb mixer"
+    );
+    for backend in &backends {
+        for (name, graph, _) in instances::all_tasks() {
+            let region = region_for(backend, graph.n_nodes());
+            let mut config = paper_train_config();
+            config.use_m3 = true;
+            // Optimized gate-level model: GO + M3.
+            let gate = GateModel::new(
+                backend,
+                &graph,
+                1,
+                region.clone(),
+                GateModelOptions::optimized(),
+            )
+            .expect("region");
+            let r_gate = train(&gate, &graph, &config);
+            // Optimized hybrid: GO + M3 + PO (duration search).
+            let hybrid = HybridModel::with_options(
+                backend,
+                &graph,
+                1,
+                region,
+                GateModelOptions::optimized(),
+            )
+            .expect("region");
+            let search = search_min_duration(&hybrid, &graph, &config, 32, 320, 0.02);
+            let optimized = hybrid.clone_with_duration(search.best_duration_dt);
+            let r_hyb = train(&optimized, &graph, &config);
+            println!(
+                "{:<12}{:<28}{:>12}{:>12}{:>14}",
+                backend.name().trim_start_matches("ibmq_"),
+                name,
+                pct(r_gate.approximation_ratio),
+                pct(r_hyb.approximation_ratio),
+                format!("{}dt", r_hyb.mixer_duration_dt)
+            );
+        }
+    }
+    println!("\n(the paper's hybrid wins every backend x task pair; see module docs for values)");
+}

@@ -1,0 +1,174 @@
+//! A wire-structured view of a circuit for optimization passes.
+//!
+//! [`CircuitDag`] indexes, for every instruction, its predecessor and
+//! successor on each qubit wire. Passes such as commutative gate
+//! cancellation walk these wires instead of rescanning the instruction
+//! list.
+
+use crate::circuit::Circuit;
+
+/// Node identifier within a [`CircuitDag`] (index into the original
+/// instruction list).
+pub type NodeId = usize;
+
+/// Per-instruction wire links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagNode {
+    /// Index of the instruction in the source circuit.
+    pub id: NodeId,
+    /// Operand qubits, in instruction order.
+    pub qubits: Vec<usize>,
+    /// For each operand qubit, the previous instruction on that wire.
+    pub prev_on_wire: Vec<Option<NodeId>>,
+    /// For each operand qubit, the next instruction on that wire.
+    pub next_on_wire: Vec<Option<NodeId>>,
+}
+
+/// Directed-acyclic-graph view of a circuit.
+///
+/// ```
+/// use hgp_circuit::{Circuit, dag::CircuitDag};
+/// let mut qc = Circuit::new(2);
+/// qc.h(0).cx(0, 1).h(1);
+/// let dag = CircuitDag::new(&qc);
+/// // The cx (instruction 1) is the successor of h(0) on qubit 0.
+/// assert_eq!(dag.next_on_qubit(0, 0), Some(1));
+/// assert_eq!(dag.prev_on_qubit(2, 1), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    nodes: Vec<DagNode>,
+    wire_front: Vec<Option<NodeId>>,
+    wire_back: Vec<Option<NodeId>>,
+}
+
+impl CircuitDag {
+    /// Builds the DAG view of `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.n_qubits();
+        let mut last_on_wire: Vec<Option<NodeId>> = vec![None; n];
+        let mut wire_front: Vec<Option<NodeId>> = vec![None; n];
+        let mut nodes: Vec<DagNode> = Vec::with_capacity(circuit.instructions().len());
+        for (id, inst) in circuit.instructions().iter().enumerate() {
+            let qubits: Vec<usize> = inst.qubits().to_vec();
+            let mut prev = Vec::with_capacity(qubits.len());
+            for &q in &qubits {
+                prev.push(last_on_wire[q]);
+                if wire_front[q].is_none() {
+                    wire_front[q] = Some(id);
+                }
+            }
+            for (slot, &q) in qubits.iter().enumerate() {
+                if let Some(p) = prev[slot] {
+                    let pos = nodes[p]
+                        .qubits
+                        .iter()
+                        .position(|&pq| pq == q)
+                        .expect("wire bookkeeping consistent");
+                    nodes[p].next_on_wire[pos] = Some(id);
+                }
+                last_on_wire[q] = Some(id);
+            }
+            let width = qubits.len();
+            nodes.push(DagNode {
+                id,
+                qubits,
+                prev_on_wire: prev,
+                next_on_wire: vec![None; width],
+            });
+        }
+        CircuitDag {
+            nodes,
+            wire_front,
+            wire_back: last_on_wire,
+        }
+    }
+
+    /// All nodes in original instruction order.
+    pub fn nodes(&self) -> &[DagNode] {
+        &self.nodes
+    }
+
+    /// First instruction on qubit `q`'s wire.
+    pub fn front(&self, q: usize) -> Option<NodeId> {
+        self.wire_front[q]
+    }
+
+    /// Last instruction on qubit `q`'s wire.
+    pub fn back(&self, q: usize) -> Option<NodeId> {
+        self.wire_back[q]
+    }
+
+    /// Successor of instruction `id` along qubit `q`'s wire.
+    ///
+    /// Returns `None` if `id` does not act on `q` or is last on the wire.
+    pub fn next_on_qubit(&self, id: NodeId, q: usize) -> Option<NodeId> {
+        let node = &self.nodes[id];
+        let slot = node.qubits.iter().position(|&iq| iq == q)?;
+        node.next_on_wire[slot]
+    }
+
+    /// Predecessor of instruction `id` along qubit `q`'s wire.
+    ///
+    /// Returns `None` if `id` does not act on `q` or is first on the wire.
+    pub fn prev_on_qubit(&self, id: NodeId, q: usize) -> Option<NodeId> {
+        let node = &self.nodes[id];
+        let slot = node.qubits.iter().position(|&iq| iq == q)?;
+        node.prev_on_wire[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wires_are_linked_in_order() {
+        let mut qc = Circuit::new(2);
+        qc.h(0) // 0
+            .cx(0, 1) // 1
+            .h(1) // 2
+            .cx(1, 0); // 3
+        let dag = CircuitDag::new(&qc);
+        assert_eq!(dag.front(0), Some(0));
+        assert_eq!(dag.front(1), Some(1));
+        assert_eq!(dag.back(0), Some(3));
+        assert_eq!(dag.back(1), Some(3));
+        assert_eq!(dag.next_on_qubit(0, 0), Some(1));
+        assert_eq!(dag.next_on_qubit(1, 0), Some(3));
+        assert_eq!(dag.next_on_qubit(1, 1), Some(2));
+        assert_eq!(dag.prev_on_qubit(3, 1), Some(2));
+        assert_eq!(dag.prev_on_qubit(3, 0), Some(1));
+        assert_eq!(dag.prev_on_qubit(0, 0), None);
+        assert_eq!(dag.next_on_qubit(3, 0), None);
+    }
+
+    #[test]
+    fn queries_on_foreign_qubit_return_none() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).h(1);
+        let dag = CircuitDag::new(&qc);
+        assert_eq!(dag.next_on_qubit(0, 1), None);
+        assert_eq!(dag.prev_on_qubit(1, 0), None);
+    }
+
+    #[test]
+    fn barriers_participate_in_wires() {
+        let mut qc = Circuit::new(1);
+        qc.h(0).barrier().h(0);
+        let dag = CircuitDag::new(&qc);
+        assert_eq!(dag.next_on_qubit(0, 0), Some(1));
+        assert_eq!(dag.next_on_qubit(1, 0), Some(2));
+    }
+
+    #[test]
+    fn empty_circuit_has_empty_wires() {
+        let qc = Circuit::new(3);
+        let dag = CircuitDag::new(&qc);
+        for q in 0..3 {
+            assert_eq!(dag.front(q), None);
+            assert_eq!(dag.back(q), None);
+        }
+        assert!(dag.nodes().is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Gate-level quantum circuit intermediate representation.
+//!
+//! This crate defines the gate-level abstraction layer of the hybrid
+//! gate-pulse workspace:
+//!
+//! - [`Gate`]: the gate set (Cliffords, rotations, `U3`, `CX`, `RZZ`, ...)
+//!   with exact unitary matrices,
+//! - [`Param`]: bound or free parameters, so circuits can be built once and
+//!   bound per optimizer iteration,
+//! - [`Circuit`]: an ordered instruction list with builder-style helpers,
+//!   parameter binding, and (for small circuits) direct unitary
+//!   construction,
+//! - [`dag::CircuitDag`]: a wire-structured view used by optimization
+//!   passes,
+//! - [`qasm`]: OpenQASM 2 export.
+//!
+//! Qubit `0` is the least-significant bit of computational-basis indices
+//! throughout the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_circuit::Circuit;
+//!
+//! let mut qc = Circuit::new(2);
+//! qc.h(0).cx(0, 1);
+//! let u = qc.unitary().expect("all parameters bound");
+//! assert!(u.is_unitary(1e-12));
+//! ```
+
+pub mod circuit;
+pub mod dag;
+pub mod gate;
+pub mod param;
+pub mod qasm;
+
+pub use circuit::{Circuit, Instruction};
+pub use gate::Gate;
+pub use param::{Param, ParamId};

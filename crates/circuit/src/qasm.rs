@@ -1,0 +1,183 @@
+//! OpenQASM 2 export.
+//!
+//! Circuits interchange with the wider quantum toolchain through OpenQASM.
+//! Only export is provided; the workspace never needs to parse QASM.
+
+use std::fmt::Write as _;
+
+use crate::circuit::{Circuit, Instruction};
+use crate::gate::Gate;
+
+/// Error returned when a circuit cannot be exported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportQasmError {
+    /// The circuit still contains free parameters.
+    UnboundParameter {
+        /// Index of the offending instruction.
+        instruction: usize,
+    },
+}
+
+impl std::fmt::Display for ExportQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportQasmError::UnboundParameter { instruction } => {
+                write!(f, "instruction {instruction} has unbound parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportQasmError {}
+
+/// Serializes a bound circuit to OpenQASM 2.
+///
+/// `rzz` and `rzx` are emitted as `gate` definitions in the header since
+/// they are not part of `qelib1.inc`.
+///
+/// # Errors
+///
+/// Returns [`ExportQasmError::UnboundParameter`] if any gate parameter is
+/// free.
+///
+/// ```
+/// use hgp_circuit::{Circuit, qasm::to_qasm};
+/// let mut qc = Circuit::new(2);
+/// qc.h(0).cx(0, 1).measure_all();
+/// let text = to_qasm(&qc)?;
+/// assert!(text.contains("OPENQASM 2.0"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// # Ok::<(), hgp_circuit::qasm::ExportQasmError>(())
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, ExportQasmError> {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let uses_rzz = circuit
+        .instructions()
+        .iter()
+        .any(|i| matches!(i.gate(), Some(Gate::Rzz(_))));
+    let uses_rzx = circuit
+        .instructions()
+        .iter()
+        .any(|i| matches!(i.gate(), Some(Gate::Rzx(_))));
+    if uses_rzz {
+        out.push_str("gate rzz(theta) a,b { cx a,b; rz(theta) b; cx a,b; }\n");
+    }
+    if uses_rzx {
+        out.push_str(
+            "gate rzx(theta) a,b { h b; cx a,b; rz(theta) b; cx a,b; h b; }\n",
+        );
+    }
+    let n = circuit.n_qubits();
+    let _ = writeln!(out, "qreg q[{n}];");
+    let n_cbits = circuit
+        .instructions()
+        .iter()
+        .filter_map(|i| match i {
+            Instruction::Measure { cbit, .. } => Some(cbit + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    if n_cbits > 0 {
+        let _ = writeln!(out, "creg c[{n_cbits}];");
+    }
+    for (idx, inst) in circuit.instructions().iter().enumerate() {
+        match inst {
+            Instruction::Gate { gate, qubits } => {
+                let params = gate.params();
+                if !params.iter().all(|p| p.is_bound()) {
+                    return Err(ExportQasmError::UnboundParameter { instruction: idx });
+                }
+                out.push_str(gate.name());
+                if !params.is_empty() {
+                    out.push('(');
+                    for (i, p) in params.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{}", p.value().expect("checked bound"));
+                    }
+                    out.push(')');
+                }
+                out.push(' ');
+                for (i, q) in qubits.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "q[{q}]");
+                }
+                out.push_str(";\n");
+            }
+            Instruction::Barrier { qubits } => {
+                out.push_str("barrier ");
+                for (i, q) in qubits.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "q[{q}]");
+                }
+                out.push_str(";\n");
+            }
+            Instruction::Measure { qubit, cbit } => {
+                let _ = writeln!(out, "measure q[{qubit}] -> c[{cbit}];");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{Param, ParamId};
+
+    #[test]
+    fn bell_circuit_exports() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).measure_all();
+        let text = to_qasm(&qc).unwrap();
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[2];"));
+        assert!(text.contains("creg c[2];"));
+        assert!(text.contains("h q[0];"));
+        assert!(text.contains("cx q[0],q[1];"));
+        assert!(text.contains("measure q[0] -> c[0];"));
+    }
+
+    #[test]
+    fn rzz_gets_a_definition() {
+        let mut qc = Circuit::new(2);
+        qc.rzz(0, 1, 0.5);
+        let text = to_qasm(&qc).unwrap();
+        assert!(text.contains("gate rzz(theta)"));
+        assert!(text.contains("rzz(0.5) q[0],q[1];"));
+    }
+
+    #[test]
+    fn parametrized_angles_are_inlined() {
+        let mut qc = Circuit::new(1);
+        qc.rx(0, 1.25);
+        let text = to_qasm(&qc).unwrap();
+        assert!(text.contains("rx(1.25) q[0];"));
+    }
+
+    #[test]
+    fn unbound_circuit_is_rejected() {
+        let mut qc = Circuit::new(1);
+        let p = qc.add_param();
+        qc.push(Gate::Rx(Param::free(p).scaled(1.0)), &[0]);
+        let err = to_qasm(&qc).unwrap_err();
+        assert_eq!(err, ExportQasmError::UnboundParameter { instruction: 0 });
+        // The ParamId type is exercised for coverage.
+        assert_eq!(p, ParamId(0));
+    }
+
+    #[test]
+    fn barrier_lists_qubits() {
+        let mut qc = Circuit::new(2);
+        qc.barrier();
+        let text = to_qasm(&qc).unwrap();
+        assert!(text.contains("barrier q[0],q[1];"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Cost evaluation from measurement records.
+//!
+//! Wraps the Max-Cut cost with the paper's Step III options: CVaR
+//! aggregation (`alpha = 0.3` in the evaluation) and M3 measurement
+//! mitigation. The same evaluator is used inside the training loop and
+//! for final reporting, as on hardware.
+
+use hgp_graph::Graph;
+use hgp_mitigation::{cvar, M3Mitigator};
+use hgp_sim::Counts;
+
+use crate::qaoa::cut_cost;
+
+/// Evaluates the QAOA cost (expected or CVaR cut weight) from counts.
+#[derive(Debug, Clone)]
+pub struct CostEvaluator {
+    graph: Graph,
+    c_max: f64,
+    /// CVaR fraction; `None` = plain expectation.
+    pub cvar_alpha: Option<f64>,
+    /// Measurement mitigation; `None` = raw counts.
+    pub m3: Option<M3Mitigator>,
+}
+
+impl CostEvaluator {
+    /// Builds an evaluator, solving the instance exactly for `C_max`.
+    pub fn new(graph: &Graph) -> Self {
+        let c_max = hgp_graph::brute_force(graph).value;
+        Self {
+            graph: graph.clone(),
+            c_max,
+            cvar_alpha: None,
+            m3: None,
+        }
+    }
+
+    /// Enables CVaR aggregation.
+    pub fn with_cvar(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.cvar_alpha = Some(alpha);
+        self
+    }
+
+    /// Enables M3 mitigation.
+    pub fn with_m3(mut self, m3: M3Mitigator) -> Self {
+        self.m3 = Some(m3);
+        self
+    }
+
+    /// The exact optimum `C_max`.
+    pub fn c_max(&self) -> f64 {
+        self.c_max
+    }
+
+    /// The instance.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The (possibly mitigated, possibly CVaR-aggregated) cost of a shot
+    /// record. Higher is better.
+    pub fn cost(&self, counts: &Counts) -> f64 {
+        let cut = |b: usize| cut_cost(&self.graph, b);
+        match (&self.m3, self.cvar_alpha) {
+            (None, None) => counts.expectation_of(cut),
+            (None, Some(alpha)) => cvar(counts, cut, alpha, true),
+            (Some(m3), None) => m3.apply(counts).expectation_of(cut),
+            (Some(m3), Some(alpha)) => {
+                // CVaR over the mitigated quasi-distribution, projected to
+                // a true distribution with fractional weights.
+                let probs = m3.apply(counts).to_probabilities();
+                cvar_weighted(
+                    probs.iter().map(|(&b, &p)| (cut(b), p)),
+                    alpha,
+                )
+            }
+        }
+    }
+
+    /// Approximation ratio `cost / C_max` of a shot record.
+    pub fn approximation_ratio(&self, counts: &Counts) -> f64 {
+        self.cost(counts) / self.c_max
+    }
+}
+
+/// CVaR (maximizing) over weighted outcomes with real weights summing
+/// to ~1.
+fn cvar_weighted(outcomes: impl Iterator<Item = (f64, f64)>, alpha: f64) -> f64 {
+    let mut pairs: Vec<(f64, f64)> = outcomes.collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite costs"));
+    let total: f64 = pairs.iter().map(|p| p.1).sum();
+    let budget = alpha * total;
+    let mut taken = 0.0;
+    let mut acc = 0.0;
+    for (value, weight) in pairs {
+        if taken >= budget {
+            break;
+        }
+        let take = weight.min(budget - taken);
+        acc += value * take;
+        taken += take;
+    }
+    if budget > 0.0 {
+        acc / budget
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::instances;
+    use hgp_noise::ReadoutModel;
+
+    fn record(pairs: &[(usize, u64)], n: usize) -> Counts {
+        let mut c = Counts::new(n);
+        for &(b, k) in pairs {
+            c.record(b, k);
+        }
+        c
+    }
+
+    #[test]
+    fn plain_expectation_path() {
+        let g = instances::task1_three_regular_6();
+        let eval = CostEvaluator::new(&g);
+        assert_eq!(eval.c_max(), 9.0);
+        // All shots on the optimal cut give AR 1.
+        let best = hgp_graph::brute_force(&g).assignment;
+        let counts = record(&[(best, 100)], 6);
+        assert!((eval.approximation_ratio(&counts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cvar_path_dominates_expectation() {
+        let g = instances::task1_three_regular_6();
+        let best = hgp_graph::brute_force(&g).assignment;
+        let counts = record(&[(best, 30), (0, 70)], 6);
+        let plain = CostEvaluator::new(&g).approximation_ratio(&counts);
+        let cvar30 = CostEvaluator::new(&g)
+            .with_cvar(0.3)
+            .approximation_ratio(&counts);
+        assert!(cvar30 > plain);
+        assert!((cvar30 - 1.0).abs() < 1e-12, "best 30% of shots are optimal");
+    }
+
+    #[test]
+    fn m3_path_restores_cost_under_readout_noise() {
+        use rand::SeedableRng;
+        let g = instances::task2_random_6();
+        let best = hgp_graph::brute_force(&g).assignment;
+        let truth = record(&[(best, 30_000)], 6);
+        let model = ReadoutModel::uniform(6, 0.03);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let noisy = model.corrupt_counts(&truth, &mut rng);
+        let raw = CostEvaluator::new(&g).approximation_ratio(&noisy);
+        let mitigated = CostEvaluator::new(&g)
+            .with_m3(M3Mitigator::from_readout_model(&model))
+            .approximation_ratio(&noisy);
+        assert!(raw < 1.0);
+        assert!(mitigated > raw, "M3 should improve AR: {mitigated} vs {raw}");
+        assert!((mitigated - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn combined_m3_cvar_path_runs() {
+        let g = instances::task1_three_regular_6();
+        let counts = record(&[(0b010101, 512), (0b000000, 512)], 6);
+        let eval = CostEvaluator::new(&g)
+            .with_cvar(0.3)
+            .with_m3(M3Mitigator::from_readout_model(&ReadoutModel::uniform(6, 0.02)));
+        let ar = eval.approximation_ratio(&counts);
+        assert!(ar > 0.0 && ar <= 1.001);
+    }
+
+    #[test]
+    fn cvar_weighted_matches_unweighted() {
+        let g = instances::task1_three_regular_6();
+        let counts = record(&[(0b010101, 700), (0b000000, 300)], 6);
+        let by_counts = CostEvaluator::new(&g).with_cvar(0.5).cost(&counts);
+        let by_weight = cvar_weighted(
+            [(cut_cost(&g, 0b010101), 0.7), (cut_cost(&g, 0b000000), 0.3)]
+                .into_iter(),
+            0.5,
+        );
+        assert!((by_counts - by_weight).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Step I: binary search for the mixer pulse duration.
+//!
+//! The paper restricts Gaussian pulse durations to multiples of 32 dt (a
+//! Qiskit-pulse constraint) and binary searches for the shortest mixer
+//! duration whose trained approximation ratio stays within tolerance of
+//! the full-length (320 dt) baseline — reporting 320 dt -> 128 dt with no
+//! significant AR loss.
+
+use hgp_graph::Graph;
+
+use crate::models::HybridModel;
+use crate::training::{train, TrainConfig};
+
+/// Outcome of the duration binary search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationSearchResult {
+    /// Shortest accepted duration, `dt`.
+    pub best_duration_dt: u32,
+    /// AR of the full-duration baseline.
+    pub baseline_ar: f64,
+    /// AR at the accepted duration.
+    pub ar_at_best: f64,
+    /// Every `(duration, AR)` pair evaluated, in evaluation order.
+    pub evaluated: Vec<(u32, f64)>,
+}
+
+/// Binary searches mixer durations in `[min_dt, max_dt]` (multiples of
+/// 32 dt). A duration is *accepted* when its trained AR is at least
+/// `baseline - tolerance`.
+///
+/// # Panics
+///
+/// Panics unless `32 <= min_dt <= max_dt` and both are multiples of 32.
+pub fn search_min_duration(
+    model: &HybridModel<'_>,
+    graph: &Graph,
+    config: &TrainConfig,
+    min_dt: u32,
+    max_dt: u32,
+    tolerance: f64,
+) -> DurationSearchResult {
+    assert!(min_dt >= 32 && min_dt % 32 == 0, "min_dt must be a multiple of 32");
+    assert!(max_dt >= min_dt && max_dt % 32 == 0, "max_dt must be a multiple of 32");
+    let mut evaluated = Vec::new();
+    let baseline_model = model.clone_with_duration(max_dt);
+    let baseline_ar = train(&baseline_model, graph, config).approximation_ratio;
+    evaluated.push((max_dt, baseline_ar));
+    // Binary search over the 32-dt grid: find the smallest accepted
+    // duration, assuming acceptance is monotone in duration (longer
+    // pulses can always reproduce shorter ones' rotations within the
+    // amplitude bound).
+    let mut lo = min_dt / 32; // candidate grid indices
+    let mut hi = max_dt / 32; // hi is always accepted
+    let mut ar_at_best = baseline_ar;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let duration = mid * 32;
+        let candidate = model.clone_with_duration(duration);
+        let ar = train(&candidate, graph, config).approximation_ratio;
+        evaluated.push((duration, ar));
+        if ar >= baseline_ar - tolerance {
+            hi = mid;
+            ar_at_best = ar;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    DurationSearchResult {
+        best_duration_dt: hi * 32,
+        baseline_ar,
+        ar_at_best,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_device::Backend;
+    use hgp_graph::instances;
+
+    #[test]
+    fn search_returns_grid_aligned_duration() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let model = HybridModel::new(&backend, &graph, 1, vec![1, 2, 3, 4, 5, 7]).unwrap();
+        let config = TrainConfig {
+            max_evals: 6,
+            shots: 512,
+            final_shots: 2048,
+            ..TrainConfig::default()
+        };
+        let result = search_min_duration(&model, &graph, &config, 32, 320, 0.05);
+        assert_eq!(result.best_duration_dt % 32, 0);
+        assert!(result.best_duration_dt >= 32 && result.best_duration_dt <= 320);
+        // The search must have evaluated the baseline plus log2 grid steps.
+        assert!(result.evaluated.len() >= 2);
+        assert!(result.evaluated.len() <= 6);
+    }
+
+    #[test]
+    fn generous_tolerance_accepts_short_durations() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let model = HybridModel::new(&backend, &graph, 1, vec![1, 2, 3, 4, 5, 7]).unwrap();
+        let config = TrainConfig {
+            max_evals: 4,
+            shots: 256,
+            final_shots: 1024,
+            ..TrainConfig::default()
+        };
+        let loose = search_min_duration(&model, &graph, &config, 32, 320, 1.0);
+        // Tolerance 1.0 accepts anything, so the search bottoms out.
+        assert_eq!(loose.best_duration_dt, 32);
+    }
+}

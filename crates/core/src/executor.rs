@@ -1,0 +1,446 @@
+//! Machine-in-loop noisy execution of hybrid programs.
+//!
+//! The executor mirrors [`hgp_noise::NoisySimulator`] but accepts the
+//! hybrid [`Program`] IR: gate ops pay calibrated gate durations and
+//! depolarizing errors; pulse blocks pay their own (often shorter)
+//! durations — this asymmetry is exactly the hybrid model's hardware
+//! advantage. Readout confusion is applied to the final distribution
+//! before sampling, so mitigation sees realistic statistics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hgp_circuit::Gate;
+use hgp_device::Backend;
+use hgp_math::su2::zyz_decompose;
+use hgp_math::Matrix;
+use hgp_noise::durations::gate_duration_dt;
+use hgp_noise::{NoisySimulator, ReadoutModel};
+use hgp_pulse::propagator::{drive_propagator, virtual_z};
+use hgp_pulse::Waveform;
+use hgp_sim::{Counts, DensityMatrix};
+
+use crate::program::{BlockKind, Program, ProgramOp};
+
+/// Executes hybrid programs on a simulated backend.
+#[derive(Debug, Clone)]
+pub struct Executor<'a> {
+    backend: &'a Backend,
+    /// `layout[i]` = physical qubit hosting logical qubit `i`.
+    layout: Vec<usize>,
+    readout: ReadoutModel,
+    /// Insert X-X dynamical-decoupling pairs into long idle windows
+    /// (Fig. 3 lists DD among the compatible Step III techniques).
+    dynamical_decoupling: bool,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor for a logical register laid out on `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layout entry is out of range.
+    pub fn new(backend: &'a Backend, layout: Vec<usize>) -> Self {
+        for &p in &layout {
+            assert!(p < backend.n_qubits(), "physical qubit {p} out of range");
+        }
+        let readout = ReadoutModel::from_backend(backend, &layout);
+        Self {
+            backend,
+            layout,
+            readout,
+            dynamical_decoupling: false,
+        }
+    }
+
+    /// Enables X-X dynamical decoupling on idle windows longer than four
+    /// pulse lengths. The pair refocuses coherent frame drift at the cost
+    /// of two extra calibrated pulses per window.
+    pub fn with_dynamical_decoupling(mut self) -> Self {
+        self.dynamical_decoupling = true;
+        self
+    }
+
+    /// The backend.
+    pub fn backend(&self) -> &Backend {
+        self.backend
+    }
+
+    /// The logical-to-physical layout.
+    pub fn layout(&self) -> &[usize] {
+        &self.layout
+    }
+
+    /// The readout model derived from the layout.
+    pub fn readout(&self) -> &ReadoutModel {
+        &self.readout
+    }
+
+    /// Runs a program, returning the noisy final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program width disagrees with the layout or a gate
+    /// spans a non-coupled physical pair.
+    pub fn run(&self, program: &Program) -> DensityMatrix {
+        assert_eq!(
+            program.n_qubits(),
+            self.layout.len(),
+            "program width must match the layout"
+        );
+        let noise = NoisySimulator::new(self.backend);
+        let n = program.n_qubits();
+        let mut rho = DensityMatrix::zero_state(n);
+        let mut clock = vec![0u64; n];
+        for op in program.ops() {
+            let qubits = op.qubits().to_vec();
+            let phys: Vec<usize> = qubits.iter().map(|&q| self.layout[q]).collect();
+            let (duration, is_gate) = match op {
+                ProgramOp::Gate { gate, .. } => {
+                    (gate_duration_dt(self.backend, gate, &phys), true)
+                }
+                ProgramOp::PulseBlock { duration, .. } => (*duration, false),
+            };
+            // ASAP alignment with idle decoherence and frame drift.
+            let start = qubits.iter().map(|&q| clock[q]).max().unwrap_or(0);
+            for &q in &qubits {
+                let gap = start - clock[q];
+                if gap > 0 {
+                    self.idle_qubit(&noise, &mut rho, q, gap as u32);
+                }
+            }
+            // The applied unitary. Gate ops are executed with the
+            // qubit's *coherent* calibration errors (frame-frequency
+            // drift and pulse-amplitude miscalibration) — errors a
+            // gate-level user cannot see or correct, while pulse-level
+            // models compile their own blocks against the same true
+            // physics and can train them away (paper §IV-A).
+            match op {
+                ProgramOp::Gate { gate, qubits } => {
+                    if gate.n_qubits() == 1 {
+                        let m = self.actual_1q_unitary(gate, self.layout[qubits[0]], duration);
+                        rho.apply_unitary(&m, qubits);
+                    } else {
+                        let m = gate.matrix().expect("program gates are bound");
+                        rho.apply_unitary(&m, qubits);
+                        // Frame drift accumulated on both operands.
+                        for (&lq, &pq) in qubits.iter().zip(phys.iter()) {
+                            let drift = self.backend.qubit(pq).freq_offset * f64::from(duration);
+                            if drift != 0.0 {
+                                rho.apply_unitary(&virtual_z(drift), &[lq]);
+                            }
+                        }
+                    }
+                }
+                ProgramOp::PulseBlock { qubits, unitary, .. } => {
+                    rho.apply_unitary(unitary, qubits);
+                }
+            }
+            // Noise.
+            for &q in &qubits {
+                noise.relax_qubit(&mut rho, q, self.layout[q], duration);
+            }
+            match op {
+                ProgramOp::Gate { gate, qubits } => {
+                    noise.apply_gate_error(&mut rho, gate.n_qubits(), qubits, &phys, duration);
+                }
+                ProgramOp::PulseBlock { qubits, kind, .. } => match kind {
+                    BlockKind::Drive => {
+                        noise.apply_gate_error(&mut rho, 1, qubits, &phys, duration);
+                    }
+                    BlockKind::CrossResonance => {
+                        noise.apply_gate_error(&mut rho, 2, qubits, &phys, duration);
+                    }
+                    BlockKind::Virtual => {}
+                },
+            }
+            for &q in &qubits {
+                clock[q] = start + u64::from(duration);
+            }
+            let _ = is_gate;
+        }
+        // Simultaneous terminal measurement: idle early finishers.
+        let end = clock.iter().copied().max().unwrap_or(0);
+        for q in 0..n {
+            let gap = end - clock[q];
+            if gap > 0 {
+                self.idle_qubit(&noise, &mut rho, q, gap as u32);
+            }
+        }
+        rho
+    }
+
+    /// Idles a qubit for `duration_dt`: decoherence plus coherent frame
+    /// drift, with an X-X dynamical-decoupling pair splitting long
+    /// windows when enabled.
+    fn idle_qubit(
+        &self,
+        noise: &NoisySimulator<'_>,
+        rho: &mut DensityMatrix,
+        logical: usize,
+        duration_dt: u32,
+    ) {
+        let p1 = self.backend.pulse_1q_duration_dt();
+        if self.dynamical_decoupling && duration_dt >= 4 * p1 {
+            // idle(s1) - X - idle(s2) - X with s1 = s2: the drift of the
+            // two idle segments refocuses (X Z(phi) X = Z(-phi)).
+            let free = duration_dt - 2 * p1;
+            let s1 = free / 2;
+            let s2 = free - s1;
+            let phys = self.layout[logical];
+            let x = self.actual_1q_unitary(&Gate::X, phys, p1);
+            for seg in [s1, s2] {
+                noise.relax_qubit(rho, logical, phys, seg);
+                self.apply_idle_drift(rho, logical, seg);
+                rho.apply_unitary(&x, &[logical]);
+                noise.relax_qubit(rho, logical, phys, p1);
+                noise.apply_gate_error(rho, 1, &[logical], &[phys], p1);
+            }
+        } else {
+            noise.relax_qubit(rho, logical, self.layout[logical], duration_dt);
+            self.apply_idle_drift(rho, logical, duration_dt);
+        }
+    }
+
+    /// Frame-frequency drift over an idle period (a Z rotation at the
+    /// qubit's residual frequency offset).
+    fn apply_idle_drift(&self, rho: &mut DensityMatrix, logical: usize, duration_dt: u32) {
+        let offset = self.backend.qubit(self.layout[logical]).freq_offset;
+        if offset != 0.0 {
+            rho.apply_unitary(&virtual_z(offset * f64::from(duration_dt)), &[logical]);
+        }
+    }
+
+    /// The unitary a 1q gate *actually* implements on hardware.
+    ///
+    /// Gates with nonzero duration are executed through the same pulse
+    /// physics the pulse-level models compile against: calibrated
+    /// Gaussian pulses distorted by the qubit's amplitude miscalibration
+    /// and residual frame-frequency offset. Virtual (zero-duration) gates
+    /// are exact frame changes. This keeps the physics identical across
+    /// abstraction levels — the only asymmetry is *who can train against
+    /// it*.
+    fn actual_1q_unitary(&self, gate: &Gate, phys: usize, duration: u32) -> Matrix {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        let ideal = gate.matrix().expect("program gates are bound");
+        if duration == 0 {
+            return ideal;
+        }
+        let qp = self.backend.qubit(phys);
+        let w = Waveform::gaussian(self.backend.pulse_1q_duration_dt());
+        let area = w.area();
+        let over = 1.0 + qp.amp_error;
+        let pulse = |angle: f64, phase: f64| {
+            let amp = angle / (qp.drive_strength * area) * over;
+            drive_propagator(&w, amp, phase, qp.freq_offset, qp.drive_strength)
+        };
+        match gate {
+            // Single-pulse gates.
+            Gate::X => pulse(PI, 0.0),
+            Gate::Y => pulse(PI, FRAC_PI_2),
+            Gate::SX => pulse(FRAC_PI_2, 0.0),
+            Gate::H => {
+                // H = RZ(pi/2) SX RZ(pi/2) up to phase.
+                let vz = virtual_z(FRAC_PI_2);
+                vz.matmul(&pulse(FRAC_PI_2, 0.0)).matmul(&vz)
+            }
+            // Two-pulse gates via the ZYZ expansion
+            // RZ(beta + pi) SX RZ(gamma - pi) SX RZ(delta).
+            _ => {
+                let (_, beta, gamma, delta) = zyz_decompose(&ideal);
+                virtual_z(beta + PI)
+                    .matmul(&pulse(FRAC_PI_2, 0.0))
+                    .matmul(&virtual_z(gamma - PI))
+                    .matmul(&pulse(FRAC_PI_2, 0.0))
+                    .matmul(&virtual_z(delta))
+            }
+        }
+    }
+
+    /// Runs a program and samples `shots` noisy measurement outcomes
+    /// (readout confusion applied exactly to the distribution, then
+    /// sampled with the seeded RNG).
+    pub fn sample(&self, program: &Program, shots: usize, seed: u64) -> Counts {
+        let rho = self.run(program);
+        self.sample_state(&rho, shots, seed)
+    }
+
+    /// Samples measurement outcomes from an already-computed state.
+    pub fn sample_state(&self, rho: &DensityMatrix, shots: usize, seed: u64) -> Counts {
+        let mut probs = self.readout.apply_to_probabilities(&rho.probabilities());
+        let sum: f64 = probs.iter().sum();
+        if sum > 0.0 {
+            for p in &mut probs {
+                *p /= sum;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        Counts::sample_from_probabilities(&probs, shots, rho.n_qubits(), &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::BlockKind;
+    use hgp_circuit::{Circuit, Gate};
+    use hgp_math::Matrix;
+    use hgp_sim::StateVector;
+
+    #[test]
+    fn gate_program_matches_noisy_simulator_on_ideal_hardware() {
+        // With zero coherent calibration errors the executor's
+        // pulse-backed gate path reduces exactly to the ideal-gate
+        // NoisySimulator semantics.
+        let backend = Backend::ideal(2);
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).rx(1, 0.4);
+        let layout = vec![0, 1];
+        let program = Program::from_circuit(&qc).unwrap();
+        let by_exec = Executor::new(&backend, layout.clone()).run(&program);
+        let by_noise = NoisySimulator::new(&backend)
+            .simulate(&qc, &layout)
+            .unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((by_exec.get(i, j) - by_noise.get(i, j)).norm() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_errors_perturb_but_do_not_destroy() {
+        // On a real backend the executor's gates carry coherent
+        // calibration errors, so it deviates from the ideal-gate noisy
+        // simulator — slightly.
+        let backend = Backend::ibmq_toronto();
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).rx(1, 0.4);
+        let layout = vec![0, 1];
+        let program = Program::from_circuit(&qc).unwrap();
+        let by_exec = Executor::new(&backend, layout.clone()).run(&program);
+        let by_noise = NoisySimulator::new(&backend)
+            .simulate(&qc, &layout)
+            .unwrap();
+        let mut max_dev = 0.0f64;
+        for i in 0..4 {
+            for j in 0..4 {
+                max_dev = max_dev.max((by_exec.get(i, j) - by_noise.get(i, j)).norm());
+            }
+        }
+        assert!(max_dev > 1e-6, "coherent errors should show up");
+        assert!(max_dev < 0.2, "but remain perturbative (got {max_dev})");
+    }
+
+    #[test]
+    fn pulse_block_shorter_duration_means_less_decoherence() {
+        let backend = Backend::ibmq_toronto();
+        let exec = Executor::new(&backend, vec![0]);
+        let x = Gate::X.matrix().unwrap();
+        let mk = |duration| {
+            let mut p = Program::new(1);
+            // Repeat to amplify the effect.
+            for _ in 0..20 {
+                p.push_pulse_block(&[0], x.clone(), duration, BlockKind::Drive);
+            }
+            p
+        };
+        let long = exec.run(&mk(320)).purity();
+        let short = exec.run(&mk(128)).purity();
+        assert!(
+            short > long,
+            "shorter pulses should preserve purity: {short} vs {long}"
+        );
+    }
+
+    #[test]
+    fn readout_confusion_shows_in_samples() {
+        let backend = Backend::ibmq_toronto();
+        let exec = Executor::new(&backend, vec![0]);
+        let mut p = Program::new(1);
+        p.push_gate(Gate::X, &[0]);
+        let counts = exec.sample(&p, 50_000, 7);
+        let f0 = counts.frequency(0);
+        // The state is ~|1>, but readout error leaks some weight to 0.
+        let expected_leak = backend.qubit(0).readout_error;
+        assert!(f0 > 0.2 * expected_leak && f0 < 5.0 * expected_leak + 0.02,
+            "readout leak {f0} vs error {expected_leak}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let backend = Backend::ibmq_guadalupe();
+        let exec = Executor::new(&backend, vec![2, 3]);
+        let mut p = Program::new(2);
+        p.push_gate(Gate::H, &[0]).push_gate(Gate::CX, &[0, 1]);
+        let a = exec.sample(&p, 1024, 5);
+        let b = exec.sample(&p, 1024, 5);
+        let c = exec.sample(&p, 1024, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dynamical_decoupling_refocuses_idle_drift() {
+        // A qubit parked in |+> while its neighbour works accumulates
+        // coherent Z drift; the X-X pair refocuses it.
+        let backend = Backend::ibmq_toronto();
+        // Park the register on the qubit with the worst frame drift so the
+        // refocusing effect dominates the DD pulses' own gate error.
+        let worst = (0..backend.n_qubits())
+            .max_by(|&a, &b| {
+                backend
+                    .qubit(a)
+                    .freq_offset
+                    .abs()
+                    .partial_cmp(&backend.qubit(b).freq_offset.abs())
+                    .expect("finite")
+            })
+            .expect("qubits");
+        let neighbour = backend.coupling_map().neighbors(worst)[0];
+        assert!(backend.qubit(worst).freq_offset.abs() > 5e-5);
+        let mk_exec = |dd: bool| {
+            let e = Executor::new(&backend, vec![worst, neighbour]);
+            if dd { e.with_dynamical_decoupling() } else { e }
+        };
+        // H on q0, then q1 works for a long time, then H on q0 again.
+        let mut p = Program::new(2);
+        p.push_gate(Gate::H, &[0]);
+        for _ in 0..80 {
+            p.push_gate(Gate::X, &[1]);
+        }
+        // A 2q op synchronizes the clocks, realizing q0's idle gap (and
+        // its drift) *before* the closing H — as routing-induced waits do
+        // in real circuits. RZZ(0) is the identity, so it only syncs.
+        p.push_gate(Gate::Rzz(hgp_circuit::Param::bound(0.0)), &[1, 0]);
+        p.push_gate(Gate::H, &[0]);
+        // Without drift, the program returns q0 to |0>; drift during the
+        // idle rotates the frame and leaks probability to |1>.
+        let leak = |dd: bool| {
+            let rho = mk_exec(dd).run(&p);
+            rho.probabilities()[0b01] + rho.probabilities()[0b11]
+        };
+        let without = leak(false);
+        let with = leak(true);
+        assert!(
+            with < without,
+            "DD should reduce drift leakage: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn ideal_backend_reproduces_pure_state_through_blocks() {
+        let backend = Backend::ideal(2);
+        let exec = Executor::new(&backend, vec![0, 1]);
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        let psi = StateVector::from_circuit(&qc).unwrap();
+        // Same circuit, but the H expressed as a pulse block.
+        let mut p = Program::new(2);
+        p.push_pulse_block(&[0], Gate::H.matrix().unwrap(), 160, BlockKind::Drive);
+        p.push_gate(Gate::CX, &[0, 1]);
+        let rho = exec.run(&p);
+        assert!((rho.fidelity_with_pure(&psi) - 1.0).abs() < 1e-10);
+        let _ = Matrix::identity(1);
+    }
+}

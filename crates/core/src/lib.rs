@@ -1,0 +1,62 @@
+//! The hybrid gate-pulse model for variational quantum algorithms.
+//!
+//! This crate implements the paper's contribution on top of the
+//! workspace's substrates:
+//!
+//! - [`qaoa`]: QAOA for Max-Cut — cost Hamiltonian, gate-level ansatz,
+//!   approximation ratio,
+//! - [`program`]: the *hybrid program* IR — an instruction stream that
+//!   freely mixes gate operations with compiled pulse blocks, the
+//!   concrete form of the paper's "hybrid abstraction layer",
+//! - [`models`]: the three model variants the paper compares — gate-level
+//!   [`models::GateModel`], pulse-level [`models::PulseModel`] (VQP-like,
+//!   all pulse parameters trainable, structure gradually lost), and the
+//!   proposed [`models::HybridModel`] (gate-level Hamiltonian layer with
+//!   problem knowledge, native-pulse mixer layer with amplitude / phase /
+//!   frequency parameters),
+//! - [`executor`]: machine-in-loop noisy execution — density-matrix
+//!   simulation with duration-scaled decoherence, calibrated gate errors,
+//!   and readout confusion,
+//! - [`training`]: the COBYLA training loop (1024 shots, 50 iterations in
+//!   the paper's setup) with optional CVaR aggregation and M3 mitigation,
+//! - [`duration_search`]: Step I — binary search for the shortest mixer
+//!   pulse duration that preserves performance (320 dt -> 128 dt in the
+//!   paper),
+//! - [`pipeline`]: Steps I-III composed into the evaluation
+//!   configurations of the paper's Table II (Raw / GO / M3 / CVaR).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hgp_core::prelude::*;
+//! use hgp_graph::instances;
+//!
+//! let graph = instances::task1_three_regular_6();
+//! let backend = hgp_device::Backend::ibmq_toronto();
+//! let layout = vec![0, 1, 2, 3, 5, 8];
+//! let model = HybridModel::new(&backend, &graph, 1, layout).expect("layout is coupled");
+//! let config = TrainConfig { max_evals: 20, ..TrainConfig::default() };
+//! let result = train(&model, &graph, &config);
+//! assert!(result.approximation_ratio > 0.0 && result.approximation_ratio <= 1.0);
+//! ```
+
+pub mod cost;
+pub mod duration_search;
+pub mod executor;
+pub mod models;
+pub mod pipeline;
+pub mod program;
+pub mod qaoa;
+pub mod training;
+
+/// Convenient re-exports for application code.
+pub mod prelude {
+    pub use crate::cost::CostEvaluator;
+    pub use crate::duration_search::{search_min_duration, DurationSearchResult};
+    pub use crate::executor::Executor;
+    pub use crate::models::{GateModel, HybridModel, PulseModel, VqaModel};
+    pub use crate::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+    pub use crate::program::{Program, ProgramOp};
+    pub use crate::qaoa::{approximation_ratio, cost_hamiltonian, cut_cost, qaoa_circuit};
+    pub use crate::training::{train, TrainConfig, TrainResult};
+}

@@ -1,0 +1,453 @@
+//! The hybrid gate-pulse model — the paper's contribution.
+//!
+//! The Hamiltonian layer keeps its gate-level `RZZ` structure (problem
+//! encoding, carefully calibrated 2q pulses, small parameter count); the
+//! problem-agnostic mixer layer is replaced with one *native parametric
+//! drive pulse per qubit*, exposing amplitude, phase, and per-pulse
+//! frequency shift — parameters invisible at the gate level (§IV-A.1 of
+//! the paper). The mixer pulse duration is a compile-time knob, binary
+//! searched by Step I ([`crate::duration_search`]).
+
+use hgp_circuit::{Circuit, ParamId};
+use hgp_device::Backend;
+use hgp_graph::Graph;
+use hgp_pulse::propagator::drive_propagator;
+use hgp_pulse::Waveform;
+use hgp_sim::Counts;
+use hgp_transpile::Layout;
+
+use crate::models::gate::{route_in_region, GateModelOptions};
+use crate::models::VqaModel;
+use crate::program::{BlockKind, Program};
+use crate::qaoa::{append_hamiltonian_layer, initial_point};
+
+/// Hardware bound on the sustained mixer drive amplitude.
+pub const MIXER_AMP_BOUND: f64 = 0.3;
+/// Bound on the *accumulated* frequency-trim authority of one mixer
+/// pulse, radians (`|freq_shift| * duration <= this`).
+///
+/// Hardware allows shifts of ~±100 MHz (±0.14 rad/dt, see
+/// [`FREQ_SHIFT_HW_BOUND`]) — far more Z-authority over a 320 dt pulse
+/// than the trim needs. On a smooth simulated landscape the optimizer
+/// spends all of it synthesizing large interleaved Z rotations, leaving
+/// the QAOA algorithm family entirely, which the paper's hardware-noise-
+/// and budget-limited training could not do (their gains were ~5%). The
+/// accumulated trim is therefore capped at about 1 rad — calibrating the
+/// pulse parametrization's benefit to the paper's effect size — and made
+/// duration-independent so Step I's duration reduction does not eat the
+/// benefit (Fig. 5 finds none lost).
+pub const FREQ_TRIM_AUTHORITY_RAD: f64 = 0.96;
+/// The hardware limit on per-pulse frequency shifts, rad/dt (~100 MHz,
+/// paper §IV-A.2).
+pub const FREQ_SHIFT_HW_BOUND: f64 = 0.14;
+/// Bound on the per-qubit carrier-phase trim, radians.
+///
+/// The phase parameter exists to track slow frame drift and residual `Z`
+/// phases (paper §IV-A); it is a *trim*, not a free mixer axis — left
+/// unbounded it turns the ansatz into a free-axis mixer, a materially
+/// stronger algorithm than the QAOA family the paper evaluates.
+pub const PHASE_TRIM_BOUND: f64 = 0.25;
+
+/// One QAOA layer's gate part, routed inside the region.
+#[derive(Debug, Clone)]
+struct LayerPart {
+    /// Routed Hamiltonian-layer circuit with one free param (`gamma`).
+    circuit: Circuit,
+    /// Region wire of each logical qubit when the mixer plays.
+    wires: Vec<usize>,
+}
+
+/// The hybrid gate-pulse QAOA model.
+///
+/// Parameter layout (per QAOA layer, concatenated):
+/// `[gamma, theta, phase_0, f_0, phase_1, f_1, ...]`:
+///
+/// - `theta` — the commanded mixer rotation angle, *shared* across qubits
+///   (the mixer keeps its global `e^{-i beta X^n}` structure; `theta`
+///   plays `2 beta`'s role and maps to each qubit's drive amplitude
+///   through its calibration),
+/// - per qubit, `phase` (drive phase, radians, clamped to the trim bound)
+///   and `f` (frequency shift as a fraction of the allowed trim:
+///   `freq = clamp(2 f, +-1) * bound`) — the pulse-only degrees of freedom
+///   the paper highlights (§IV-A.1), which can cancel per-qubit frame
+///   drift and calibration error invisible at the gate level.
+///
+/// All parameters are angle-like in magnitude so a single optimizer trust
+/// region fits them.
+///
+/// ```
+/// use hgp_core::models::{HybridModel, VqaModel};
+/// use hgp_graph::instances;
+/// use hgp_device::Backend;
+///
+/// let backend = Backend::ibmq_toronto();
+/// let graph = instances::task1_three_regular_6();
+/// let model = HybridModel::new(&backend, &graph, 1, vec![1, 2, 3, 4, 5, 7])
+///     .expect("connected region");
+/// assert_eq!(model.n_params(), 2 + 2 * 6);
+/// assert_eq!(model.mixer_duration_dt(), 320); // raw, before Step I
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridModel<'a> {
+    backend: &'a Backend,
+    region: Vec<usize>,
+    layers: Vec<LayerPart>,
+    final_layout: Layout,
+    mixer_duration: u32,
+    n_logical: usize,
+    p: usize,
+    options: GateModelOptions,
+    graph: Graph,
+}
+
+impl<'a> HybridModel<'a> {
+    /// Builds the hybrid model with the raw (unoptimized) gate part and
+    /// the raw 320 dt mixer duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the region size mismatches the graph.
+    pub fn new(
+        backend: &'a Backend,
+        graph: &Graph,
+        p: usize,
+        region: Vec<usize>,
+    ) -> Result<Self, String> {
+        Self::with_options(backend, graph, p, region, GateModelOptions::raw())
+    }
+
+    /// Builds the hybrid model with explicit gate-level options (the
+    /// paper's GO configuration uses [`GateModelOptions::optimized`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the region size mismatches the graph.
+    pub fn with_options(
+        backend: &'a Backend,
+        graph: &Graph,
+        p: usize,
+        region: Vec<usize>,
+        options: GateModelOptions,
+    ) -> Result<Self, String> {
+        let n = graph.n_nodes();
+        if region.len() != n {
+            return Err(format!(
+                "region has {} qubits but the graph has {n} nodes",
+                region.len()
+            ));
+        }
+        assert!(p > 0, "need at least one QAOA layer");
+        // Route each Hamiltonian layer separately, chaining layouts so the
+        // mixer pulses always land on the right wires. Under the GO
+        // configuration, SABRE picks the first layer's placement inside
+        // the region (as for the gate model).
+        let mut layers = Vec::with_capacity(p);
+        let mut current = if options.sabre_iterations > 0 {
+            let mut probe = Circuit::new(n);
+            let gamma = probe.add_param();
+            append_hamiltonian_layer(&mut probe, graph, gamma);
+            let sub = crate::models::region::region_coupling(backend, &region);
+            hgp_transpile::sabre::choose_initial_layout(&probe, &sub, options.sabre_iterations)
+        } else {
+            Layout::trivial(n, n)
+        };
+        for layer in 0..p {
+            let mut qc = Circuit::new(n);
+            let gamma = qc.add_param();
+            debug_assert_eq!(gamma, ParamId(0));
+            if layer == 0 {
+                // The initial |+> wall belongs to the first layer's gate
+                // part (state preparation stays at the gate level, Fig. 1).
+                for q in 0..n {
+                    qc.h(q);
+                }
+            }
+            append_hamiltonian_layer(&mut qc, graph, gamma);
+            let (circuit, out_layout) =
+                route_in_region(&qc, backend, &region, &current, &options)?;
+            let wires = (0..n).map(|l| out_layout.physical(l)).collect();
+            layers.push(LayerPart { circuit, wires });
+            current = out_layout;
+        }
+        Ok(Self {
+            backend,
+            region,
+            layers,
+            final_layout: current,
+            mixer_duration: 320,
+            n_logical: n,
+            p,
+            options,
+            graph: graph.clone(),
+        })
+    }
+
+    /// Sets the mixer pulse duration (Step I's knob). Must be a positive
+    /// multiple of 32 dt per the Gaussian waveform constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid duration.
+    pub fn with_mixer_duration(mut self, duration_dt: u32) -> Self {
+        assert!(
+            duration_dt > 0 && duration_dt % 32 == 0,
+            "mixer duration must be a positive multiple of 32 dt"
+        );
+        self.mixer_duration = duration_dt;
+        self
+    }
+
+    /// Rebuilds this model with a different mixer duration (used by the
+    /// Step I binary search).
+    pub fn clone_with_duration(&self, duration_dt: u32) -> Self {
+        self.clone().with_mixer_duration(duration_dt)
+    }
+
+    /// The gate-level options the gate part was compiled with.
+    pub fn options(&self) -> GateModelOptions {
+        self.options
+    }
+
+    /// The problem instance.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The backend.
+    pub fn backend(&self) -> &Backend {
+        self.backend
+    }
+
+    /// QAOA depth.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The mixer waveform at the current duration.
+    pub fn mixer_waveform(&self) -> Waveform {
+        Waveform::gaussian(self.mixer_duration)
+    }
+
+    /// Number of parameters per layer: `gamma`, the shared mixer angle
+    /// `theta`, and `(phase, freq)` per qubit.
+    pub fn params_per_layer(&self) -> usize {
+        2 + 2 * self.n_logical
+    }
+
+    /// The drive amplitude that reproduces `RX(theta)` at the current
+    /// mixer duration on region wire `wire` (used for initialization).
+    pub fn amp_for_angle(&self, wire: usize, theta: f64) -> f64 {
+        let strength = self.backend.qubit(self.region[wire]).drive_strength;
+        theta / (strength * self.mixer_waveform().area())
+    }
+
+    /// Expands a gate-level `[gamma_1, beta_1, ...]` point into this
+    /// model's parameter vector (`theta = 2 beta`, trims zero).
+    fn params_from_gate_point(&self, point: &[f64]) -> Vec<f64> {
+        let mut params = Vec::with_capacity(self.n_params());
+        for layer in 0..self.p {
+            params.push(point[2 * layer]);
+            params.push(2.0 * point[2 * layer + 1]);
+            for _ in 0..self.n_logical {
+                params.push(0.0); // phase
+                params.push(0.0); // frequency-shift scale
+            }
+        }
+        params
+    }
+}
+
+impl VqaModel for HybridModel<'_> {
+    fn backend(&self) -> &Backend {
+        self.backend
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.n_logical
+    }
+
+    fn region_size(&self) -> usize {
+        self.region.len()
+    }
+
+    fn n_params(&self) -> usize {
+        self.p * self.params_per_layer()
+    }
+
+    fn initial_params(&self) -> Vec<f64> {
+        // gamma from the standard schedule; mixer pulses initialized at
+        // the gate-level equivalent RX(2 beta) — "initialized from the
+        // gate-level circuit".
+        self.params_from_gate_point(&initial_point(self.p))
+    }
+
+    fn initial_param_candidates(&self) -> Vec<Vec<f64>> {
+        crate::qaoa::initial_candidates(self.p)
+            .iter()
+            .map(|point| self.params_from_gate_point(point))
+            .collect()
+    }
+
+    fn build(&self, params: &[f64]) -> Program {
+        assert_eq!(params.len(), self.n_params(), "parameter count");
+        let mut program = Program::new(self.region.len());
+        let waveform = self.mixer_waveform();
+        let per_layer = self.params_per_layer();
+        for (layer_idx, layer) in self.layers.iter().enumerate() {
+            let chunk = &params[layer_idx * per_layer..(layer_idx + 1) * per_layer];
+            let gamma = chunk[0];
+            let theta = chunk[1];
+            let bound = layer.circuit.bind(&[gamma]);
+            program.append(&Program::from_circuit(&bound).expect("bound layer"));
+            let freq_bound = (FREQ_TRIM_AUTHORITY_RAD / f64::from(self.mixer_duration))
+                .min(FREQ_SHIFT_HW_BOUND);
+            for l in 0..self.n_logical {
+                let phase = chunk[2 + 2 * l].clamp(-PHASE_TRIM_BOUND, PHASE_TRIM_BOUND);
+                // The raw parameter is a *fraction* of the allowed trim, so
+                // the same physical pulse has the same parameter value at
+                // every duration (Step I changes durations mid-pipeline).
+                let freq_param = (2.0 * chunk[2 + 2 * l + 1]).clamp(-1.0, 1.0) * freq_bound;
+                let wire = layer.wires[l];
+                let qp = self.backend.qubit(self.region[wire]);
+                // Commanded amplitude, then the *true* physics: amplitude
+                // miscalibration and residual frame offset act on the
+                // pulse exactly as on the gate model's pulses — but here
+                // the trainable parameters can cancel them.
+                let amp_cmd = self
+                    .amp_for_angle(wire, theta)
+                    .clamp(-MIXER_AMP_BOUND, MIXER_AMP_BOUND);
+                let unitary = drive_propagator(
+                    &waveform,
+                    amp_cmd * (1.0 + qp.amp_error),
+                    phase,
+                    freq_param + qp.freq_offset,
+                    qp.drive_strength,
+                );
+                program.push_pulse_block(&[wire], unitary, self.mixer_duration, BlockKind::Drive);
+            }
+        }
+        program
+    }
+
+    fn layout(&self) -> &[usize] {
+        &self.region
+    }
+
+    fn interpret_counts(&self, counts: &Counts) -> Counts {
+        let map: Vec<usize> = (0..self.n_logical)
+            .map(|l| self.final_layout.physical(l))
+            .collect();
+        counts.remapped(&map, self.n_logical)
+    }
+
+    fn mixer_duration_dt(&self) -> u32 {
+        self.mixer_duration
+    }
+
+    fn coarse_param_ids(&self) -> Option<Vec<usize>> {
+        // Per layer: gamma and the shared mixer angle theta — exactly the
+        // gate-level QAOA's (gamma, beta) pair. Coarse-stage training over
+        // these dimensions is the gate model's own optimization, so the
+        // hybrid never loses to its gate-level sub-model.
+        let per_layer = self.params_per_layer();
+        Some(
+            (0..self.p)
+                .flat_map(|l| [l * per_layer, l * per_layer + 1])
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostEvaluator;
+    use crate::executor::Executor;
+    use hgp_graph::instances;
+
+    fn region6() -> Vec<usize> {
+        vec![1, 2, 3, 4, 5, 7]
+    }
+
+    #[test]
+    fn parameter_layout() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let model = HybridModel::new(&backend, &graph, 2, region6()).unwrap();
+        assert_eq!(model.n_params(), 2 * (2 + 12));
+        assert_eq!(model.initial_params().len(), model.n_params());
+    }
+
+    #[test]
+    fn initial_params_reproduce_gate_level_mixer() {
+        // At the initial parameters, the hybrid mixer pulse equals
+        // RX(2 beta) on every qubit, so on an ideal backend the hybrid and
+        // gate models produce the same distribution.
+        let backend = Backend::ideal(6);
+        let graph = instances::task1_three_regular_6();
+        let region: Vec<usize> = (0..6).collect();
+        let hybrid = HybridModel::new(&backend, &graph, 1, region.clone()).unwrap();
+        let params = hybrid.initial_params();
+        let program = hybrid.build(&params);
+        let exec = Executor::new(&backend, hybrid.layout().to_vec());
+        let counts = hybrid.interpret_counts(&exec.sample(&program, 150_000, 1));
+
+        let base = initial_point(1);
+        let reference = crate::qaoa::qaoa_circuit(&graph, 1).bind(&base);
+        let psi = hgp_sim::StateVector::from_circuit(&reference).unwrap();
+        for b in 0..(1usize << 6) {
+            assert!(
+                (counts.frequency(b) - psi.probability(b)).abs() < 0.012,
+                "state {b:06b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixer_duration_is_configurable() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let model = HybridModel::new(&backend, &graph, 1, region6())
+            .unwrap()
+            .with_mixer_duration(128);
+        assert_eq!(model.mixer_duration_dt(), 128);
+        let program = model.build(&model.initial_params());
+        // 6 mixer blocks of 128 dt.
+        assert_eq!(program.pulse_duration_dt(), 6 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn invalid_duration_panics() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let _ = HybridModel::new(&backend, &graph, 1, region6())
+            .unwrap()
+            .with_mixer_duration(100);
+    }
+
+    #[test]
+    fn amp_bound_is_enforced() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let model = HybridModel::new(&backend, &graph, 1, region6()).unwrap();
+        let mut params = model.initial_params();
+        params[1] = 50.0; // absurd amplitude; must be clamped, not explode
+        let program = model.build(&params);
+        let exec = Executor::new(&backend, model.layout().to_vec());
+        let rho = exec.run(&program);
+        assert!((rho.trace() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn hybrid_runs_with_noise_and_scores_reasonably() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let model = HybridModel::new(&backend, &graph, 1, region6()).unwrap();
+        let exec = Executor::new(&backend, model.layout().to_vec());
+        let counts = exec.sample(&model.build(&model.initial_params()), 1024, 9);
+        let eval = CostEvaluator::new(&graph);
+        let ar = eval.approximation_ratio(&model.interpret_counts(&counts));
+        assert!(ar > 0.4 && ar < 0.9, "initial hybrid AR {ar}");
+    }
+}

@@ -1,0 +1,79 @@
+//! The three VQA model variants the paper compares.
+//!
+//! | Model | Hamiltonian layer | Mixer layer | Parameters / layer |
+//! |---|---|---|---|
+//! | [`GateModel`] | gates (`RZZ`) | gates (`RX`) | 2 (`gamma`, `beta`) |
+//! | [`HybridModel`] | gates (`RZZ`) — *algorithm knowledge kept* | native pulses | 1 + 3n (`gamma` + per-qubit amp/phase/freq) |
+//! | [`PulseModel`] | trainable pulses | trainable pulses | 2 per physical pulse (structure gradually lost) |
+//!
+//! Every model routes its gate content inside a fixed connected *region*
+//! of physical qubits (the paper fixes the logical-to-physical mapping),
+//! so the density-matrix width never exceeds the region size.
+
+mod gate;
+mod hybrid;
+mod pulse;
+mod region;
+
+pub use gate::{GateModel, GateModelOptions};
+pub use hybrid::HybridModel;
+pub use pulse::PulseModel;
+pub use region::{default_region, region_coupling};
+
+use crate::program::Program;
+
+/// A trainable VQA model: parameters in, executable hybrid program out.
+pub trait VqaModel {
+    /// The backend the model is compiled against.
+    fn backend(&self) -> &hgp_device::Backend;
+
+    /// Number of *logical* qubits (the problem size).
+    fn n_qubits(&self) -> usize;
+
+    /// Width of the simulated register (the routing region size).
+    fn region_size(&self) -> usize;
+
+    /// Number of trainable parameters.
+    fn n_params(&self) -> usize;
+
+    /// A sensible starting point for the optimizer.
+    fn initial_params(&self) -> Vec<f64>;
+
+    /// Builds the executable program for a parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.n_params()`.
+    fn build(&self, params: &[f64]) -> Program;
+
+    /// The region: `layout[i]` = physical qubit of region wire `i`.
+    fn layout(&self) -> &[usize];
+
+    /// Maps measured region-wire counts to logical-qubit counts
+    /// (accounting for routing's final permutation).
+    fn interpret_counts(&self, counts: &hgp_sim::Counts) -> hgp_sim::Counts;
+
+    /// Duration of one mixer layer in `dt` (the paper's headline
+    /// duration metric).
+    fn mixer_duration_dt(&self) -> u32;
+
+    /// Indices of the *core* parameters for hierarchical training, if the
+    /// model benefits from it.
+    ///
+    /// When present, the training loop first optimizes only these
+    /// dimensions (the algorithmic parameters, e.g. QAOA's
+    /// `gamma`/`theta`), then refines the full vector — the standard
+    /// coarse-to-fine protocol for pulse-augmented ansatze, which keeps a
+    /// high-dimensional model from losing to its own low-dimensional
+    /// sub-model under a tight evaluation budget.
+    fn coarse_param_ids(&self) -> Option<Vec<usize>> {
+        None
+    }
+
+    /// Candidate starting points for training (the optimizer probes each
+    /// once and starts from the best). Defaults to the single
+    /// [`VqaModel::initial_params`] point.
+    fn initial_param_candidates(&self) -> Vec<Vec<f64>> {
+        vec![self.initial_params()]
+    }
+}

@@ -1,0 +1,104 @@
+//! Fixed routing regions.
+//!
+//! The paper fixes the logical-to-physical qubit mapping; we generalize
+//! slightly: models route inside a fixed *connected region* of physical
+//! qubits, which bounds the simulated register width and keeps
+//! comparisons fair across models.
+
+use hgp_device::{Backend, CouplingMap};
+
+/// Chooses a connected region of `n` physical qubits by BFS from the
+/// best-connected qubit, preferring high-degree neighbours.
+///
+/// # Panics
+///
+/// Panics if the device has fewer than `n` connected qubits.
+pub fn default_region(backend: &Backend, n: usize) -> Vec<usize> {
+    let coupling = backend.coupling_map();
+    assert!(n <= coupling.n_qubits(), "region larger than the device");
+    let start = (0..coupling.n_qubits())
+        .max_by_key(|&q| coupling.neighbors(q).len())
+        .expect("device has qubits");
+    let mut region = vec![start];
+    while region.len() < n {
+        // Frontier: neighbours of the region not yet inside, preferring
+        // qubits with many links back into the region (keeps it dense).
+        let mut best: Option<(usize, usize)> = None;
+        for &q in &region {
+            for nb in coupling.neighbors(q) {
+                if region.contains(&nb) {
+                    continue;
+                }
+                let links = coupling
+                    .neighbors(nb)
+                    .iter()
+                    .filter(|x| region.contains(x))
+                    .count();
+                if best.map_or(true, |(_, bl)| links > bl) {
+                    best = Some((nb, links));
+                }
+            }
+        }
+        let (next, _) = best.expect("device is too small or disconnected");
+        region.push(next);
+    }
+    region
+}
+
+/// The induced coupling map on a region: wire `i` of the result is
+/// physical qubit `region[i]`.
+///
+/// # Panics
+///
+/// Panics if the induced subgraph is disconnected (routing inside it
+/// would deadlock).
+pub fn region_coupling(backend: &Backend, region: &[usize]) -> CouplingMap {
+    let coupling = backend.coupling_map();
+    let mut edges = Vec::new();
+    for (i, &p) in region.iter().enumerate() {
+        for (j, &q) in region.iter().enumerate().skip(i + 1) {
+            if coupling.are_coupled(p, q) {
+                edges.push((i, j));
+            }
+        }
+    }
+    let sub = CouplingMap::new(region.len(), &edges);
+    assert!(
+        sub.is_connected(),
+        "region {region:?} induces a disconnected subgraph"
+    );
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_region_is_connected() {
+        for n in [4, 6, 8] {
+            let backend = Backend::ibmq_toronto();
+            let region = default_region(&backend, n);
+            assert_eq!(region.len(), n);
+            let sub = region_coupling(&backend, &region);
+            assert!(sub.is_connected());
+        }
+    }
+
+    #[test]
+    fn region_coupling_reflects_device_edges() {
+        let backend = Backend::ibmq_guadalupe();
+        // Qubits 0-1-2-3 are a path on guadalupe.
+        let sub = region_coupling(&backend, &[0, 1, 2, 3]);
+        assert!(sub.are_coupled(0, 1));
+        assert!(sub.are_coupled(1, 2));
+        assert!(!sub.are_coupled(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_region_panics() {
+        let backend = Backend::ibmq_guadalupe();
+        let _ = region_coupling(&backend, &[0, 15]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The full Step I-III co-optimization pipeline (Fig. 3 of the paper).
+//!
+//! Composes, for the hybrid gate-pulse model:
+//!
+//! - **Step I** (pulse-level optimization): binary search for the mixer
+//!   pulse duration,
+//! - **Step II** (gate-level optimization): SABRE placement +
+//!   commutative cancellation on the gate part,
+//! - **Step III** (error suppression): M3 measurement mitigation and
+//!   CVaR cost aggregation,
+//!
+//! and trains the resulting model, returning the trained result together
+//! with the duration-search record.
+
+use hgp_device::Backend;
+use hgp_graph::Graph;
+
+use crate::duration_search::{search_min_duration, DurationSearchResult};
+use crate::models::{GateModelOptions, HybridModel};
+use crate::training::{train, TrainConfig, TrainResult};
+
+/// Pipeline switches (each maps to one step of Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// QAOA depth.
+    pub p: usize,
+    /// Fixed physical region (the paper's fixed qubit mapping).
+    pub region: Vec<usize>,
+    /// Step I: run the duration binary search (otherwise keep 320 dt).
+    pub pulse_optimization: bool,
+    /// Step I tolerance on AR degradation.
+    pub duration_tolerance: f64,
+    /// Step II: gate-level optimization on the Hamiltonian layers.
+    pub gate_optimization: bool,
+    /// Step III: M3 measurement mitigation.
+    pub m3: bool,
+    /// Step III: CVaR aggregation fraction.
+    pub cvar_alpha: Option<f64>,
+    /// Training budget and shots.
+    pub train: TrainConfig,
+}
+
+impl PipelineConfig {
+    /// The paper's full configuration: all three steps on, CVaR 0.3.
+    pub fn full(p: usize, region: Vec<usize>) -> Self {
+        Self {
+            p,
+            region,
+            pulse_optimization: true,
+            duration_tolerance: 0.02,
+            gate_optimization: true,
+            m3: true,
+            cvar_alpha: Some(0.3),
+            train: TrainConfig::default(),
+        }
+    }
+
+    /// The raw configuration: no optimization steps.
+    pub fn raw(p: usize, region: Vec<usize>) -> Self {
+        Self {
+            p,
+            region,
+            pulse_optimization: false,
+            duration_tolerance: 0.02,
+            gate_optimization: false,
+            m3: false,
+            cvar_alpha: None,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Pipeline output.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The trained hybrid model's result.
+    pub result: TrainResult,
+    /// The Step I record, when pulse optimization ran.
+    pub duration_search: Option<DurationSearchResult>,
+    /// Final mixer duration, `dt`.
+    pub mixer_duration_dt: u32,
+}
+
+/// Runs the full pipeline on a backend/instance pair.
+///
+/// # Errors
+///
+/// Returns an error if the region is invalid for the graph.
+pub fn run_pipeline(
+    backend: &Backend,
+    graph: &Graph,
+    config: &PipelineConfig,
+) -> Result<PipelineResult, String> {
+    let gate_options = if config.gate_optimization {
+        GateModelOptions::optimized()
+    } else {
+        GateModelOptions::raw()
+    };
+    let model = HybridModel::with_options(
+        backend,
+        graph,
+        config.p,
+        config.region.clone(),
+        gate_options,
+    )?;
+    let mut train_config = config.train.clone();
+    train_config.cvar_alpha = config.cvar_alpha;
+    train_config.use_m3 = config.m3;
+    let (model, duration_search) = if config.pulse_optimization {
+        // Step I must judge candidates at the full training budget, or a
+        // weak baseline lets crippled short durations slip through.
+        let search = search_min_duration(
+            &model,
+            graph,
+            &train_config,
+            32,
+            320,
+            config.duration_tolerance,
+        );
+        (
+            model.clone_with_duration(search.best_duration_dt),
+            Some(search),
+        )
+    } else {
+        (model, None)
+    };
+    let result = train(&model, graph, &train_config);
+    Ok(PipelineResult {
+        mixer_duration_dt: result.mixer_duration_dt,
+        result,
+        duration_search,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::instances;
+
+    #[test]
+    fn raw_pipeline_runs() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let mut config = PipelineConfig::raw(1, vec![1, 2, 3, 4, 5, 7]);
+        config.train.max_evals = 5;
+        config.train.shots = 256;
+        config.train.final_shots = 1024;
+        let out = run_pipeline(&backend, &graph, &config).unwrap();
+        assert!(out.duration_search.is_none());
+        assert_eq!(out.mixer_duration_dt, 320);
+        assert!(out.result.approximation_ratio > 0.3);
+    }
+
+    #[test]
+    fn full_pipeline_shrinks_duration() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let mut config = PipelineConfig::full(1, vec![1, 2, 3, 4, 5, 7]);
+        config.train.max_evals = 6;
+        config.train.shots = 256;
+        config.train.final_shots = 1024;
+        config.duration_tolerance = 0.05;
+        let out = run_pipeline(&backend, &graph, &config).unwrap();
+        let search = out.duration_search.expect("step I ran");
+        assert!(out.mixer_duration_dt <= 320);
+        assert_eq!(out.mixer_duration_dt, search.best_duration_dt);
+    }
+
+    #[test]
+    fn bad_region_is_an_error() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let config = PipelineConfig::raw(1, vec![0, 1]);
+        assert!(run_pipeline(&backend, &graph, &config).is_err());
+    }
+}

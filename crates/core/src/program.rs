@@ -1,0 +1,224 @@
+//! The hybrid program IR.
+//!
+//! A [`Program`] is the concrete form of the paper's hybrid abstraction
+//! layer: an instruction stream over *logical* qubits where each step is
+//! either a gate (executed with calibrated-gate noise semantics) or a
+//! compiled pulse block (a unitary with an explicit duration, executed
+//! with duration-scaled noise). The executor treats both uniformly.
+
+use hgp_circuit::{Circuit, Gate, Instruction};
+use hgp_math::Matrix;
+
+/// Classification of a pulse block, used to pick its error channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A single-qubit drive pulse.
+    Drive,
+    /// A two-qubit cross-resonance pulse.
+    CrossResonance,
+    /// A virtual frame change (no noise, no duration).
+    Virtual,
+}
+
+/// One step of a hybrid program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramOp {
+    /// A gate on logical qubits.
+    Gate {
+        /// The gate (must be bound).
+        gate: Gate,
+        /// Logical operands.
+        qubits: Vec<usize>,
+    },
+    /// A compiled pulse block.
+    PulseBlock {
+        /// Logical operands (first = most significant bit of `unitary`).
+        qubits: Vec<usize>,
+        /// The block's unitary.
+        unitary: Matrix,
+        /// Duration in `dt`.
+        duration: u32,
+        /// What kind of pulse produced this block.
+        kind: BlockKind,
+    },
+}
+
+impl ProgramOp {
+    /// Logical qubits touched.
+    pub fn qubits(&self) -> &[usize] {
+        match self {
+            ProgramOp::Gate { qubits, .. } | ProgramOp::PulseBlock { qubits, .. } => qubits,
+        }
+    }
+}
+
+/// An executable hybrid gate-pulse program over logical qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    n_qubits: usize,
+    ops: Vec<ProgramOp>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(n_qubits > 0, "program needs at least one qubit");
+        Self {
+            n_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Builds a program from a bound circuit (gates only).
+    ///
+    /// Returns `None` if the circuit has unbound parameters.
+    pub fn from_circuit(circuit: &Circuit) -> Option<Self> {
+        let mut p = Self::new(circuit.n_qubits());
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Gate { gate, qubits } => {
+                    if !gate.is_bound() {
+                        return None;
+                    }
+                    p.push_gate(*gate, qubits);
+                }
+                Instruction::Barrier { .. } | Instruction::Measure { .. } => {}
+            }
+        }
+        Some(p)
+    }
+
+    /// Number of logical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The instruction stream.
+    pub fn ops(&self) -> &[ProgramOp] {
+        &self.ops
+    }
+
+    /// Appends a bound gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity/range violations or an unbound gate.
+    pub fn push_gate(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        assert!(gate.is_bound(), "program gates must be bound");
+        assert_eq!(qubits.len(), gate.n_qubits(), "operand count");
+        for &q in qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
+        self.ops.push(ProgramOp::Gate {
+            gate,
+            qubits: qubits.to_vec(),
+        });
+        self
+    }
+
+    /// Appends a compiled pulse block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unitary dimension mismatches the operand count or an
+    /// operand is out of range.
+    pub fn push_pulse_block(
+        &mut self,
+        qubits: &[usize],
+        unitary: Matrix,
+        duration: u32,
+        kind: BlockKind,
+    ) -> &mut Self {
+        assert_eq!(unitary.rows(), 1 << qubits.len(), "unitary dimension");
+        for &q in qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
+        self.ops.push(ProgramOp::PulseBlock {
+            qubits: qubits.to_vec(),
+            unitary,
+            duration,
+            kind,
+        });
+        self
+    }
+
+    /// Appends all ops of another program (same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn append(&mut self, other: &Program) -> &mut Self {
+        assert_eq!(self.n_qubits, other.n_qubits, "width mismatch");
+        self.ops.extend(other.ops.iter().cloned());
+        self
+    }
+
+    /// Total duration of the pulse blocks only, `dt` (gate durations are
+    /// the executor's concern since they depend on the backend).
+    pub fn pulse_duration_dt(&self) -> u32 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                ProgramOp::PulseBlock { duration, .. } => *duration,
+                ProgramOp::Gate { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Number of pulse blocks.
+    pub fn count_pulse_blocks(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ProgramOp::PulseBlock { .. }))
+            .count()
+    }
+
+    /// Number of gate ops.
+    pub fn count_gates(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ProgramOp::Gate { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_circuit::Param;
+
+    #[test]
+    fn from_circuit_keeps_gates_drops_rest() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).barrier().measure_all();
+        let p = Program::from_circuit(&qc).unwrap();
+        assert_eq!(p.count_gates(), 2);
+        assert_eq!(p.count_pulse_blocks(), 0);
+    }
+
+    #[test]
+    fn unbound_circuit_is_rejected() {
+        let mut qc = Circuit::new(1);
+        let id = qc.add_param();
+        qc.rx_param(0, id, 1.0);
+        assert!(Program::from_circuit(&qc).is_none());
+    }
+
+    #[test]
+    fn pulse_blocks_track_duration() {
+        let mut p = Program::new(2);
+        p.push_pulse_block(&[0], Matrix::identity(2), 320, BlockKind::Drive);
+        p.push_pulse_block(&[0, 1], Matrix::identity(4), 512, BlockKind::CrossResonance);
+        p.push_gate(Gate::Rz(Param::bound(0.5)), &[1]);
+        assert_eq!(p.pulse_duration_dt(), 832);
+        assert_eq!(p.count_pulse_blocks(), 2);
+        assert_eq!(p.count_gates(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary dimension")]
+    fn wrong_block_dimension_panics() {
+        let mut p = Program::new(2);
+        p.push_pulse_block(&[0, 1], Matrix::identity(2), 100, BlockKind::Drive);
+    }
+}

@@ -1,0 +1,50 @@
+//! Superconducting backend models.
+//!
+//! The paper evaluates on four IBM machines (`ibm_auckland`,
+//! `ibmq_toronto`, `ibmq_guadalupe`, `ibmq_montreal`). This crate models
+//! them: heavy-hex coupling maps, the calibration data of the paper's
+//! Table I (Pauli-X / CNOT / readout error, T1, T2, readout length), qubit
+//! frequencies and anharmonicities, drive (Rabi) rates, cross-resonance
+//! coupling coefficients, and the `dt = 2/9 ns` sample time that all pulse
+//! durations are quoted in.
+//!
+//! Per-qubit parameters are derived from the backend-average calibration
+//! values with deterministic, seeded jitter so that qubit selection and
+//! mapping matter, as on real hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_device::Backend;
+//! let toronto = Backend::ibmq_toronto();
+//! assert_eq!(toronto.n_qubits(), 27);
+//! assert!(toronto.coupling_map().are_coupled(0, 1));
+//! // Table I: toronto has the lowest CNOT error of the four machines.
+//! assert!(toronto.calibration().cx_error < Backend::ibm_auckland().calibration().cx_error);
+//! ```
+
+pub mod backend;
+pub mod calibration;
+pub mod coupling;
+
+pub use backend::{Backend, QubitParams, TwoQubitParams};
+pub use calibration::Calibration;
+pub use coupling::CouplingMap;
+
+/// IBM backend sample time: one `dt` is 2/9 ns.
+pub const DT_NS: f64 = 2.0 / 9.0;
+
+/// Duration of a calibrated single-qubit (X / SX) pulse, in `dt`.
+pub const PULSE_1Q_DT: u32 = 160;
+
+/// Converts a duration in `dt` units to nanoseconds.
+#[inline]
+pub fn dt_to_ns(dt: u32) -> f64 {
+    f64::from(dt) * DT_NS
+}
+
+/// Converts a duration in `dt` units to microseconds.
+#[inline]
+pub fn dt_to_us(dt: u32) -> f64 {
+    dt_to_ns(dt) * 1e-3
+}

@@ -1,0 +1,126 @@
+//! Random graph generators: `d`-regular (pairing model) and
+//! Erdős–Rényi `G(n, p)`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+
+/// Generates a random `d`-regular graph on `n` vertices via the
+/// configuration (pairing) model, retrying until a simple graph appears.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n` (no simple `d`-regular graph
+/// exists), or if 10 000 attempts fail to produce a simple matching
+/// (practically unreachable for the small sizes used here).
+///
+/// ```
+/// use hgp_graph::generators::random_regular;
+/// let g = random_regular(8, 3, 42);
+/// assert!(g.is_regular(3));
+/// assert_eq!(g.n_edges(), 12);
+/// ```
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(d < n, "degree must be below the vertex count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..10_000 {
+        // Stubs: vertex v appears d times.
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut g = Graph::new(n);
+        let mut adj = vec![vec![false; n]; n];
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || adj[u][v] {
+                continue 'attempt;
+            }
+            adj[u][v] = true;
+            adj[v][u] = true;
+            g.add_edge(u, v, 1.0);
+        }
+        return g;
+    }
+    panic!("failed to generate a simple {d}-regular graph on {n} vertices");
+}
+
+/// Generates an Erdős–Rényi graph `G(n, p)`: each of the `n(n-1)/2`
+/// possible edges is present independently with probability `p`.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(u, v, 1.0);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_generator_is_regular_and_deterministic() {
+        let a = random_regular(6, 3, 7);
+        let b = random_regular(6, 3, 7);
+        assert_eq!(a, b);
+        assert!(a.is_regular(3));
+        assert_eq!(a.n_edges(), 9);
+    }
+
+    #[test]
+    fn regular_generator_varies_with_seed() {
+        let a = random_regular(10, 3, 1);
+        let b = random_regular(10, 3, 2);
+        assert!(a.is_regular(3) && b.is_regular(3));
+        // Overwhelmingly likely to differ.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_stub_count_panics() {
+        let _ = random_regular(5, 3, 0);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = erdos_renyi(5, 0.0, 0);
+        assert_eq!(empty.n_edges(), 0);
+        let full = erdos_renyi(5, 1.0, 0);
+        assert_eq!(full.n_edges(), 10);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = erdos_renyi(8, 0.4, 99);
+        let b = erdos_renyi(8, 0.4, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn erdos_renyi_density_is_plausible() {
+        // Over many seeds, edge count should concentrate near p * C(n,2).
+        let n = 12;
+        let p = 0.5;
+        let total: usize = (0..50).map(|s| erdos_renyi(n, p, s).n_edges()).sum();
+        let mean = total as f64 / 50.0;
+        let expect = p * (n * (n - 1) / 2) as f64;
+        assert!((mean - expect).abs() < 5.0, "mean {mean} vs {expect}");
+    }
+}

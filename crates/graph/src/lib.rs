@@ -1,0 +1,23 @@
+//! Graphs and Max-Cut instances for QAOA benchmarking.
+//!
+//! Provides the undirected weighted [`Graph`] type, random-graph
+//! generators ([`generators`]), exact brute-force Max-Cut
+//! ([`maxcut`]), and the three fixed benchmark instances of the paper's
+//! Fig. 4 ([`instances`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_graph::{instances, maxcut};
+//! let g = instances::task1_three_regular_6();
+//! let best = maxcut::brute_force(&g);
+//! assert_eq!(best.value, 9.0);
+//! ```
+
+pub mod generators;
+pub mod graph;
+pub mod instances;
+pub mod maxcut;
+
+pub use graph::{Edge, Graph};
+pub use maxcut::{brute_force, cut_value, MaxCutSolution};

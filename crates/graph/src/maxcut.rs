@@ -1,0 +1,104 @@
+//! Exact Max-Cut by exhaustive search.
+//!
+//! The benchmark graphs have 6-8 vertices, so the `2^(n-1)` enumeration is
+//! instantaneous and provides the ground-truth `C_max` used in the
+//! approximation ratio `alpha = C* / C_max`.
+
+use crate::graph::Graph;
+
+/// An optimal (or candidate) cut: a bit mask assigning each vertex to one
+/// of two sets, and the cut's weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxCutSolution {
+    /// Bit `v` gives the side of vertex `v`.
+    pub assignment: usize,
+    /// Total weight of edges crossing the cut.
+    pub value: f64,
+}
+
+/// Weight of the cut induced by `assignment` (bit `v` = side of vertex `v`).
+///
+/// ```
+/// use hgp_graph::{Graph, maxcut::cut_value};
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// // Putting vertex 1 alone cuts two of the triangle's edges.
+/// assert_eq!(cut_value(&g, 0b010), 2.0);
+/// ```
+pub fn cut_value(graph: &Graph, assignment: usize) -> f64 {
+    graph
+        .edges()
+        .iter()
+        .filter(|e| ((assignment >> e.u) ^ (assignment >> e.v)) & 1 == 1)
+        .map(|e| e.weight)
+        .sum()
+}
+
+/// Exhaustive Max-Cut.
+///
+/// Enumerates `2^(n-1)` assignments (vertex 0 fixed to side 0 by the cut's
+/// symmetry) and returns the best.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 30 vertices (the enumeration would be
+/// infeasible) or no vertices.
+pub fn brute_force(graph: &Graph) -> MaxCutSolution {
+    let n = graph.n_nodes();
+    assert!(n > 0, "graph must have vertices");
+    assert!(n <= 30, "brute force limited to 30 vertices");
+    let mut best = MaxCutSolution {
+        assignment: 0,
+        value: 0.0,
+    };
+    for assignment in 0..(1usize << (n - 1)) {
+        let value = cut_value(graph, assignment);
+        if value > best.value {
+            best = MaxCutSolution { assignment, value };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_maxcut_is_two() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(brute_force(&g).value, 2.0);
+    }
+
+    #[test]
+    fn bipartite_graph_cuts_everything() {
+        // K_{2,2}: 4 edges, all cuttable.
+        let g = Graph::from_edges(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let best = brute_force(&g);
+        assert_eq!(best.value, 4.0);
+        // The assignment separates {0,1} from {2,3}.
+        let a = best.assignment;
+        assert_eq!((a >> 0) & 1, (a >> 1) & 1);
+        assert_eq!((a >> 2) & 1, (a >> 3) & 1);
+        assert_ne!((a >> 0) & 1, (a >> 2) & 1);
+    }
+
+    #[test]
+    fn weighted_edges_count_properly() {
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 5.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        // Best cut separates 0 and 1 (weight 5 + 1 from one side edge).
+        assert_eq!(brute_force(&g).value, 6.0);
+    }
+
+    #[test]
+    fn cut_value_of_trivial_assignment_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(cut_value(&g, 0), 0.0);
+        assert_eq!(cut_value(&g, 0b1111), 0.0);
+    }
+
+    #[test]
+    fn five_cycle_maxcut_is_four() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(brute_force(&g).value, 4.0);
+    }
+}

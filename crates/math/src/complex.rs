@@ -1,0 +1,351 @@
+//! A minimal double-precision complex number.
+//!
+//! The workspace deliberately avoids external numerics dependencies, so the
+//! complex type used throughout the simulators is defined here. The API is
+//! modelled on `num_complex::Complex64` where that makes migration easy.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// ```
+/// use hgp_math::Complex64;
+/// let z = Complex64::new(3.0, 4.0);
+/// assert_eq!(z.norm(), 5.0);
+/// assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * exp(i*theta)`.
+    ///
+    /// ```
+    /// use hgp_math::Complex64;
+    /// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15);
+    /// assert!((z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `exp(i*theta)`, a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`; cheaper than [`Complex64::norm`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `self` is zero, matching the IEEE
+    /// behaviour of dividing by zero.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let (r, theta) = (self.norm(), self.arg());
+        Self::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-add `self * b + c`, used by the matrix kernels.
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Self::new(
+            self.re * b.re - self.im * b.im + c.re,
+            self.re * b.im + self.im * b.re + c.im,
+        )
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_re(re)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).norm() < EPS
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(1.5, -2.5);
+        assert!(close(z + Complex64::ZERO, z));
+        assert!(close(z * Complex64::ONE, z));
+        assert!(close(z - z, Complex64::ZERO));
+        assert!(close(z * z.inv(), Complex64::ONE));
+        assert!(close(-(-z), z));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, Complex64::from_re(-1.0)));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z * z.conj(), Complex64::from_re(25.0)));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::new(-1.25, 0.75);
+        let back = Complex64::from_polar(z.norm(), z.arg());
+        assert!(close(z, back));
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let theta = 0.7;
+        let e = Complex64::new(0.0, theta).exp();
+        assert!(close(e, Complex64::cis(theta)));
+        assert!((e.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn exp_adds_exponents() {
+        let a = Complex64::new(0.3, -0.8);
+        let b = Complex64::new(-0.1, 0.4);
+        assert!(close((a + b).exp(), a.exp() * b.exp()));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex64::new(-2.0, 5.0);
+        let s = z.sqrt();
+        assert!(close(s * s, z));
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_inverse() {
+        let a = Complex64::new(2.0, -1.0);
+        let b = Complex64::new(-0.5, 3.0);
+        assert!(close(a / b, a * b.inv()));
+    }
+
+    #[test]
+    fn sum_folds() {
+        let zs = [
+            Complex64::new(1.0, 1.0),
+            Complex64::new(2.0, -3.0),
+            Complex64::new(-0.5, 0.25),
+        ];
+        let s: Complex64 = zs.iter().copied().sum();
+        assert!(close(s, Complex64::new(2.5, -1.75)));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        let c = Complex64::new(0.25, -0.75);
+        assert!(close(a.mul_add(b, c), a * b + c));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

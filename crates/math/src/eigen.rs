@@ -1,0 +1,266 @@
+//! Hermitian eigendecomposition via the cyclic Jacobi method.
+//!
+//! The pulse simulator exponentiates small (2x2 and 4x4) Hamiltonians many
+//! thousands of times per training run; noise-channel construction needs
+//! spectra of slightly larger operators. The complex Jacobi iteration below
+//! handles all of these with high accuracy and no external dependencies.
+
+use crate::complex::Complex64;
+use crate::matrix::Matrix;
+
+/// Result of a Hermitian eigendecomposition: `A = V diag(values) V†`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigh {
+    /// Real eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: Matrix,
+}
+
+impl Eigh {
+    /// Reconstructs the original matrix `V diag(values) V†`, mainly for
+    /// validation.
+    pub fn reconstruct(&self) -> Matrix {
+        let diag = Matrix::from_diag(
+            &self
+                .values
+                .iter()
+                .map(|&l| Complex64::from_re(l))
+                .collect::<Vec<_>>(),
+        );
+        self.vectors.matmul(&diag).matmul(&self.vectors.adjoint())
+    }
+}
+
+/// Sum of squared moduli of the strictly-off-diagonal entries.
+fn off_diag_norm_sqr(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)].norm_sqr();
+            }
+        }
+    }
+    s
+}
+
+/// Eigendecomposition of a Hermitian matrix.
+///
+/// Uses cyclic complex Jacobi rotations; each rotation exactly diagonalizes
+/// one 2x2 principal block. Converges quadratically for Hermitian input.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not Hermitian to `1e-9` (entry-wise).
+///
+/// ```
+/// use hgp_math::{Matrix, c64, eigen::eigh};
+/// let h = Matrix::from_rows(&[
+///     &[c64(1.0, 0.0), c64(0.0, -1.0)],
+///     &[c64(0.0, 1.0), c64(1.0, 0.0)],
+/// ]);
+/// let e = eigh(&h);
+/// assert!((e.values[0] - 0.0).abs() < 1e-12);
+/// assert!((e.values[1] - 2.0).abs() < 1e-12);
+/// ```
+pub fn eigh(a: &Matrix) -> Eigh {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    assert!(
+        a.is_hermitian(1e-9),
+        "eigh requires a Hermitian matrix (tolerance 1e-9)"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    // Symmetrize exactly to suppress round-off drift during sweeps.
+    for i in 0..n {
+        m[(i, i)] = Complex64::from_re(m[(i, i)].re);
+        for j in 0..i {
+            let avg = (m[(i, j)] + m[(j, i)].conj()).scale(0.5);
+            m[(i, j)] = avg;
+            m[(j, i)] = avg.conj();
+        }
+    }
+    let mut v = Matrix::identity(n);
+    let scale = m.frobenius_norm().max(1.0);
+    let tol = 1e-30 * scale * scale;
+    const MAX_SWEEPS: usize = 100;
+    for _ in 0..MAX_SWEEPS {
+        if off_diag_norm_sqr(&m) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let z = m[(p, q)];
+                if z.norm_sqr() <= tol / (n * n) as f64 {
+                    continue;
+                }
+                let (alpha, beta) = block_eigvec(m[(p, p)].re, m[(q, q)].re, z);
+                // J is identity except J[p][p]=alpha, J[q][p]=beta,
+                // J[p][q]=-conj(beta), J[q][q]=conj(alpha); columns are the
+                // eigenvectors of the (p,q) block, so J† M J zeroes m[p][q].
+                apply_rotation(&mut m, &mut v, p, q, alpha, beta);
+            }
+        }
+    }
+    // Collect eigenvalues and sort ascending, permuting eigenvectors along.
+    let mut order: Vec<usize> = (0..n).collect();
+    let values_raw: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    order.sort_by(|&i, &j| values_raw[i].partial_cmp(&values_raw[j]).expect("finite"));
+    let values: Vec<f64> = order.iter().map(|&i| values_raw[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Eigh { values, vectors }
+}
+
+/// Unit eigenvector `(alpha, beta)` of the Hermitian block
+/// `[[a, z], [conj(z), b]]` for its *larger* eigenvalue.
+fn block_eigvec(a: f64, b: f64, z: Complex64) -> (Complex64, Complex64) {
+    let d = (a - b) / 2.0;
+    let r = z.norm();
+    let s = (d * d + r * r).sqrt();
+    // Larger eigenvalue: (a+b)/2 + s. Eigenvector: (z, lambda - a)
+    // = (z, s - d). Guard against the vector degenerating when d > 0, r ~ 0.
+    let (ux, uy) = if d >= 0.0 {
+        // lambda - b = d + s is safely away from zero.
+        (Complex64::from_re(d + s), z.conj())
+    } else {
+        (z, Complex64::from_re(s - d))
+    };
+    let norm = (ux.norm_sqr() + uy.norm_sqr()).sqrt();
+    (ux / norm, uy / norm)
+}
+
+/// Applies `M <- J† M J` and `V <- V J` where `J` is identity except on the
+/// `(p, q)` plane with first column `(alpha, beta)` and second column
+/// `(-conj(beta), conj(alpha))`.
+fn apply_rotation(
+    m: &mut Matrix,
+    v: &mut Matrix,
+    p: usize,
+    q: usize,
+    alpha: Complex64,
+    beta: Complex64,
+) {
+    let n = m.rows();
+    // Column update: M <- M J (mix columns p and q).
+    for i in 0..n {
+        let mip = m[(i, p)];
+        let miq = m[(i, q)];
+        m[(i, p)] = mip * alpha + miq * beta;
+        m[(i, q)] = mip * (-beta.conj()) + miq * alpha.conj();
+    }
+    // Row update: M <- J† M (mix rows p and q).
+    for j in 0..n {
+        let mpj = m[(p, j)];
+        let mqj = m[(q, j)];
+        m[(p, j)] = alpha.conj() * mpj + beta.conj() * mqj;
+        m[(q, j)] = (-beta) * mpj + alpha * mqj;
+    }
+    // Enforce exact zero on the annihilated pair to stop round-off creep.
+    m[(p, q)] = Complex64::ZERO;
+    m[(q, p)] = Complex64::ZERO;
+    m[(p, p)] = Complex64::from_re(m[(p, p)].re);
+    m[(q, q)] = Complex64::from_re(m[(q, q)].re);
+    // Accumulate eigenvectors: V <- V J.
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = vip * alpha + viq * beta;
+        v[(i, q)] = vip * (-beta.conj()) + viq * alpha.conj();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+    use crate::pauli::{sigma_x, sigma_y, sigma_z};
+
+    fn check_decomposition(a: &Matrix, tol: f64) {
+        let e = eigh(a);
+        assert!(e.vectors.is_unitary(1e-10), "eigenvectors not unitary");
+        // A V = V diag(lambda)
+        let av = a.matmul(&e.vectors);
+        let diag = Matrix::from_diag(
+            &e.values
+                .iter()
+                .map(|&l| Complex64::from_re(l))
+                .collect::<Vec<_>>(),
+        );
+        let vd = e.vectors.matmul(&diag);
+        assert!(av.approx_eq(&vd, tol), "A V != V D");
+        // Ascending order.
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pauli_spectra() {
+        for m in [sigma_x(), sigma_y(), sigma_z()] {
+            let e = eigh(&m);
+            assert!((e.values[0] + 1.0).abs() < 1e-12);
+            assert!((e.values[1] - 1.0).abs() < 1e-12);
+            check_decomposition(&m, 1e-10);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let d = Matrix::from_diag(&[c64(-2.0, 0.0), c64(0.5, 0.0), c64(3.0, 0.0)]);
+        let e = eigh(&d);
+        assert!((e.values[0] + 2.0).abs() < 1e-14);
+        assert!((e.values[1] - 0.5).abs() < 1e-14);
+        assert!((e.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complex_hermitian_4x4() {
+        // sigma_y (x) sigma_x is Hermitian with eigenvalues +-1 (doubly).
+        let m = sigma_y().kron(&sigma_x());
+        check_decomposition(&m, 1e-9);
+        let e = eigh(&m);
+        assert!((e.values[0] + 1.0).abs() < 1e-10);
+        assert!((e.values[3] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = Matrix::from_rows(&[
+            &[c64(2.0, 0.0), c64(1.0, 1.0), c64(0.0, -0.5)],
+            &[c64(1.0, -1.0), c64(-1.0, 0.0), c64(0.25, 0.0)],
+            &[c64(0.0, 0.5), c64(0.25, 0.0), c64(0.5, 0.0)],
+        ]);
+        assert!(m.is_hermitian(1e-12));
+        let e = eigh(&m);
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - m.trace().re).abs() < 1e-10);
+        check_decomposition(&m, 1e-9);
+    }
+
+    #[test]
+    fn degenerate_eigenvalues_are_handled() {
+        let m = Matrix::identity(4).scale(c64(2.5, 0.0));
+        let e = eigh(&m);
+        for l in &e.values {
+            assert!((l - 2.5).abs() < 1e-13);
+        }
+        assert!(e.vectors.is_unitary(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn non_hermitian_input_panics() {
+        let m = Matrix::from_rows(&[
+            &[c64(0.0, 0.0), c64(1.0, 0.0)],
+            &[c64(0.0, 0.0), c64(0.0, 0.0)],
+        ]);
+        let _ = eigh(&m);
+    }
+}

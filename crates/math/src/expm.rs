@@ -1,0 +1,166 @@
+//! Matrix exponentials.
+//!
+//! Two routes are provided:
+//!
+//! - [`expi_hermitian`] / [`expm_hermitian`]: exact (to eigensolver
+//!   precision) exponentials of Hermitian matrices via diagonalization —
+//!   the path used for pulse propagators, which must stay unitary over
+//!   thousands of time steps;
+//! - [`expm`]: general scaling-and-squaring Taylor exponential, used for
+//!   validation and the occasional non-Hermitian generator.
+
+use crate::complex::Complex64;
+use crate::eigen::eigh;
+use crate::matrix::Matrix;
+
+/// Computes `exp(i * t * H)` for Hermitian `H` via diagonalization.
+///
+/// The result is unitary by construction (up to eigensolver round-off).
+///
+/// # Panics
+///
+/// Panics if `h` is not square/Hermitian.
+///
+/// ```
+/// use hgp_math::{pauli, expm::expi_hermitian};
+/// use std::f64::consts::PI;
+/// // exp(-i pi X / 2) = -i X
+/// let u = expi_hermitian(&pauli::sigma_x(), -PI / 2.0);
+/// let expect = pauli::sigma_x().scale(hgp_math::c64(0.0, -1.0));
+/// assert!(u.approx_eq(&expect, 1e-12));
+/// ```
+pub fn expi_hermitian(h: &Matrix, t: f64) -> Matrix {
+    let e = eigh(h);
+    let phases: Vec<Complex64> = e.values.iter().map(|&l| Complex64::cis(t * l)).collect();
+    let diag = Matrix::from_diag(&phases);
+    e.vectors.matmul(&diag).matmul(&e.vectors.adjoint())
+}
+
+/// Computes `exp(t * H)` for Hermitian `H` (real exponent, e.g. thermal
+/// states or test oracles).
+///
+/// # Panics
+///
+/// Panics if `h` is not square/Hermitian.
+pub fn expm_hermitian(h: &Matrix, t: f64) -> Matrix {
+    let e = eigh(h);
+    let diag = Matrix::from_diag(
+        &e.values
+            .iter()
+            .map(|&l| Complex64::from_re((t * l).exp()))
+            .collect::<Vec<_>>(),
+    );
+    e.vectors.matmul(&diag).matmul(&e.vectors.adjoint())
+}
+
+/// General matrix exponential `exp(A)` by scaling and squaring with a
+/// truncated Taylor series.
+///
+/// Accuracy is adequate for validation (relative error around `1e-12` for
+/// well-conditioned inputs); production propagators use the Hermitian path.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn expm(a: &Matrix) -> Matrix {
+    assert!(a.is_square(), "expm requires a square matrix");
+    let n = a.rows();
+    // Scale so the max-abs norm is below 0.5, then square back.
+    let norm = a.max_abs() * n as f64;
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
+    let scaled = a.scale(Complex64::from_re(1.0 / f64::from(1u32 << s.min(31))));
+    // Taylor series sum_k scaled^k / k!.
+    let mut term = Matrix::identity(n);
+    let mut acc = Matrix::identity(n);
+    for k in 1..=24 {
+        term = term.matmul(&scaled).scale(Complex64::from_re(1.0 / k as f64));
+        acc = &acc + &term;
+        if term.max_abs() < 1e-18 {
+            break;
+        }
+    }
+    let mut result = acc;
+    for _ in 0..s {
+        result = result.matmul(&result);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+    use crate::pauli::{sigma_x, sigma_y, sigma_z};
+    use std::f64::consts::PI;
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        assert!(expm(&z).approx_eq(&Matrix::identity(3), 1e-14));
+        assert!(expi_hermitian(&z, 1.0).approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn rotation_about_z_is_diagonal_phase() {
+        let theta = 0.7;
+        let u = expi_hermitian(&sigma_z(), -theta / 2.0);
+        assert!((u[(0, 0)] - Complex64::cis(-theta / 2.0)).norm() < 1e-12);
+        assert!((u[(1, 1)] - Complex64::cis(theta / 2.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn full_x_rotation_is_minus_identity() {
+        // exp(-i pi X) = -I.
+        let u = expi_hermitian(&sigma_x(), -PI);
+        assert!(u.approx_eq(&Matrix::identity(2).scale(c64(-1.0, 0.0)), 1e-12));
+    }
+
+    #[test]
+    fn hermitian_exponential_is_unitary() {
+        let h = &sigma_x().kron(&sigma_z()) + &sigma_y().kron(&sigma_y());
+        for t in [0.1, 1.0, 10.0, -3.7] {
+            assert!(expi_hermitian(&h, t).is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn general_expm_agrees_with_hermitian_path() {
+        let h = &sigma_x() + &sigma_z();
+        let t = 0.9;
+        let by_eig = expi_hermitian(&h, t);
+        let by_taylor = expm(&h.scale(c64(0.0, t)));
+        assert!(by_eig.approx_eq(&by_taylor, 1e-10));
+    }
+
+    #[test]
+    fn expm_hermitian_real_exponent() {
+        // exp(t Z) = diag(e^t, e^-t).
+        let m = expm_hermitian(&sigma_z(), 0.5);
+        assert!((m[(0, 0)].re - 0.5f64.exp()).abs() < 1e-12);
+        assert!((m[(1, 1)].re - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commuting_exponents_add() {
+        let h = sigma_z();
+        let a = expi_hermitian(&h, 0.3);
+        let b = expi_hermitian(&h, 0.9);
+        let ab = a.matmul(&b);
+        let sum = expi_hermitian(&h, 1.2);
+        assert!(ab.approx_eq(&sum, 1e-12));
+    }
+
+    #[test]
+    fn expm_of_large_norm_input() {
+        let h = sigma_x().scale(c64(0.0, 40.0)); // i*40*X
+        let u = expm(&h);
+        // exp(i 40 X) = cos(40) I + i sin(40) X.
+        let expect = &Matrix::identity(2).scale(c64(40f64.cos(), 0.0))
+            + &sigma_x().scale(c64(0.0, 40f64.sin()));
+        assert!(u.approx_eq(&expect, 1e-8));
+    }
+}

@@ -1,0 +1,48 @@
+//! Dense complex linear algebra for quantum simulation.
+//!
+//! This crate is the numerical foundation of the hybrid gate-pulse
+//! workspace. It provides:
+//!
+//! - [`Complex64`]: a `f64`-based complex number (the workspace avoids
+//!   external numerics crates, so the type is defined here),
+//! - [`Matrix`]: a dense, row-major complex matrix with the operations a
+//!   quantum simulator needs (product, adjoint, Kronecker product, trace),
+//! - Hermitian eigendecomposition ([`eigen::eigh`]) via the cyclic Jacobi
+//!   method, and matrix exponentials built on top of it
+//!   ([`expm::expm_hermitian`], [`expm::expi_hermitian`]),
+//! - Pauli matrices and Pauli-string algebra ([`pauli`]),
+//! - an analytic fast path for SU(2) rotations ([`su2::exp_i_pauli`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_math::pauli;
+//!
+//! // exp(-i (pi/2) X) style rotations come out unitary:
+//! let x = pauli::sigma_x();
+//! let u = hgp_math::expm::expi_hermitian(&x, -std::f64::consts::FRAC_PI_2);
+//! assert!(u.is_unitary(1e-12));
+//! ```
+
+pub mod complex;
+pub mod eigen;
+pub mod expm;
+pub mod matrix;
+pub mod pauli;
+pub mod su2;
+
+pub use complex::Complex64;
+pub use matrix::Matrix;
+
+/// Shorthand constructor for a [`Complex64`].
+///
+/// ```
+/// use hgp_math::c64;
+/// let z = c64(1.0, -2.0);
+/// assert_eq!(z.re, 1.0);
+/// assert_eq!(z.im, -2.0);
+/// ```
+#[inline]
+pub fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64::new(re, im)
+}

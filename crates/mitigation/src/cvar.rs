@@ -1,0 +1,123 @@
+//! Conditional Value-at-Risk cost aggregation.
+//!
+//! For a maximization problem, `CVaR_alpha` averages the cost over only
+//! the best `alpha` fraction of shots. `alpha = 1` recovers the plain
+//! expectation; `alpha -> 0` approaches the best sampled value. QAOA with
+//! CVaR converges to good cuts much faster because the tail of bad
+//! bitstrings stops diluting the signal — the paper uses `alpha = 0.3`.
+
+use hgp_sim::Counts;
+
+/// CVaR of a per-bitstring cost over a shot record.
+///
+/// With `maximize = true` the *largest* costs are kept; otherwise the
+/// smallest. The boundary outcome is included fractionally so the
+/// statistic is continuous in `alpha`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not in `(0, 1]` or the record is empty.
+///
+/// ```
+/// use hgp_sim::Counts;
+/// use hgp_mitigation::cvar;
+/// let mut counts = Counts::new(2);
+/// counts.record(0b00, 50); // cost 0
+/// counts.record(0b11, 50); // cost 2
+/// let cost = |b: usize| b.count_ones() as f64;
+/// assert_eq!(cvar(&counts, cost, 1.0, true), 1.0);  // plain mean
+/// assert_eq!(cvar(&counts, cost, 0.5, true), 2.0);  // best half
+/// ```
+pub fn cvar(counts: &Counts, cost: impl Fn(usize) -> f64, alpha: f64, maximize: bool) -> f64 {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let total = counts.total();
+    assert!(total > 0, "cannot aggregate an empty record");
+    let mut outcomes: Vec<(f64, u64)> = counts.iter().map(|(b, c)| (cost(b), c)).collect();
+    outcomes.sort_by(|a, b| {
+        if maximize {
+            b.0.partial_cmp(&a.0).expect("finite costs")
+        } else {
+            a.0.partial_cmp(&b.0).expect("finite costs")
+        }
+    });
+    let budget = alpha * total as f64;
+    let mut taken = 0.0;
+    let mut acc = 0.0;
+    for (value, count) in outcomes {
+        if taken >= budget {
+            break;
+        }
+        let take = (count as f64).min(budget - taken);
+        acc += value * take;
+        taken += take;
+    }
+    acc / budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(pairs: &[(usize, u64)], n: usize) -> Counts {
+        let mut c = Counts::new(n);
+        for &(b, k) in pairs {
+            c.record(b, k);
+        }
+        c
+    }
+
+    #[test]
+    fn alpha_one_is_plain_expectation() {
+        let c = record(&[(0, 25), (1, 25), (2, 25), (3, 25)], 2);
+        let cost = |b: usize| b as f64;
+        let mean = c.expectation_of(cost);
+        assert!((cvar(&c, cost, 1.0, true) - mean).abs() < 1e-12);
+        assert!((cvar(&c, cost, 1.0, false) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_alpha_approaches_best_outcome() {
+        let c = record(&[(0b00, 90), (0b11, 10)], 2);
+        let cost = |b: usize| b.count_ones() as f64;
+        assert_eq!(cvar(&c, cost, 0.1, true), 2.0);
+        assert_eq!(cvar(&c, cost, 0.1, false), 0.0);
+    }
+
+    #[test]
+    fn fractional_boundary_is_interpolated() {
+        // 10 shots of cost 2, 90 of cost 0; alpha = 0.2 -> 20-shot budget:
+        // 10 shots at 2 plus 10 at 0 = average 1.0.
+        let c = record(&[(0b00, 90), (0b11, 10)], 2);
+        let cost = |b: usize| b.count_ones() as f64;
+        assert!((cvar(&c, cost, 0.2, true) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cvar_dominates_expectation_when_maximizing() {
+        let c = record(&[(0, 40), (1, 30), (2, 20), (3, 10)], 2);
+        let cost = |b: usize| b as f64;
+        let mean = c.expectation_of(cost);
+        for alpha in [0.1, 0.3, 0.5, 0.9] {
+            assert!(cvar(&c, cost, alpha, true) >= mean - 1e-12, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_alpha_when_maximizing() {
+        let c = record(&[(0, 10), (1, 20), (2, 30), (3, 40)], 2);
+        let cost = |b: usize| b as f64;
+        let mut prev = f64::INFINITY;
+        for alpha in [0.1, 0.3, 0.5, 0.7, 1.0] {
+            let v = cvar(&c, cost, alpha, true);
+            assert!(v <= prev + 1e-12, "CVaR should shrink as alpha grows");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_panics() {
+        let c = record(&[(0, 1)], 1);
+        let _ = cvar(&c, |_| 0.0, 0.0, true);
+    }
+}

@@ -1,0 +1,227 @@
+//! Standard Kraus channels.
+//!
+//! Every constructor returns a set of Kraus operators satisfying the CPTP
+//! completeness relation `sum_k K_k† K_k = I` (checked by tests and by the
+//! [`is_cptp`] helper).
+
+use hgp_math::pauli::{sigma_x, sigma_y, sigma_z};
+use hgp_math::{c64, Matrix};
+
+/// Amplitude damping with decay probability `gamma` (`|1> -> |0>`).
+///
+/// # Panics
+///
+/// Panics if `gamma` is outside `[0, 1]`.
+pub fn amplitude_damping(gamma: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+    let k0 = Matrix::from_rows(&[
+        &[c64(1.0, 0.0), c64(0.0, 0.0)],
+        &[c64(0.0, 0.0), c64((1.0 - gamma).sqrt(), 0.0)],
+    ]);
+    let k1 = Matrix::from_rows(&[
+        &[c64(0.0, 0.0), c64(gamma.sqrt(), 0.0)],
+        &[c64(0.0, 0.0), c64(0.0, 0.0)],
+    ]);
+    vec![k0, k1]
+}
+
+/// Phase damping with dephasing probability `lambda`.
+///
+/// # Panics
+///
+/// Panics if `lambda` is outside `[0, 1]`.
+pub fn phase_damping(lambda: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+    let k0 = Matrix::from_rows(&[
+        &[c64(1.0, 0.0), c64(0.0, 0.0)],
+        &[c64(0.0, 0.0), c64((1.0 - lambda).sqrt(), 0.0)],
+    ]);
+    let k1 = Matrix::from_rows(&[
+        &[c64(0.0, 0.0), c64(0.0, 0.0)],
+        &[c64(0.0, 0.0), c64(lambda.sqrt(), 0.0)],
+    ]);
+    vec![k0, k1]
+}
+
+/// Single-qubit depolarizing channel with error probability `p`
+/// (`rho -> (1-p) rho + p I/2`).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn depolarizing(p: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    vec![
+        Matrix::identity(2).scale(c64((1.0 - 3.0 * p / 4.0).sqrt(), 0.0)),
+        sigma_x().scale(c64((p / 4.0).sqrt(), 0.0)),
+        sigma_y().scale(c64((p / 4.0).sqrt(), 0.0)),
+        sigma_z().scale(c64((p / 4.0).sqrt(), 0.0)),
+    ]
+}
+
+/// Two-qubit depolarizing channel with error probability `p`
+/// (`rho -> (1-p) rho + p I/4`), as 16 weighted Pauli products.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn depolarizing_2q(p: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let paulis = [Matrix::identity(2), sigma_x(), sigma_y(), sigma_z()];
+    let mut kraus = Vec::with_capacity(16);
+    for (i, a) in paulis.iter().enumerate() {
+        for (j, b) in paulis.iter().enumerate() {
+            let weight = if i == 0 && j == 0 {
+                (1.0 - 15.0 * p / 16.0).sqrt()
+            } else {
+                (p / 16.0).sqrt()
+            };
+            kraus.push(a.kron(b).scale(c64(weight, 0.0)));
+        }
+    }
+    kraus
+}
+
+/// Thermal relaxation over `duration_us` for a qubit with times `t1_us`
+/// and `t2_us`: amplitude damping with `gamma = 1 - exp(-t/T1)` composed
+/// with pure dephasing `lambda = 1 - exp(-t/Tphi)`, where
+/// `1/Tphi = 1/T2 - 1/(2 T1)`.
+///
+/// Infinite T1/T2 (ideal backends) give an identity channel.
+///
+/// # Panics
+///
+/// Panics if times are non-positive, the duration is negative, or
+/// `T2 > 2 T1` (unphysical).
+pub fn thermal_relaxation(t1_us: f64, t2_us: f64, duration_us: f64) -> Vec<Matrix> {
+    assert!(t1_us > 0.0 && t2_us > 0.0, "T1/T2 must be positive");
+    assert!(duration_us >= 0.0, "duration must be non-negative");
+    assert!(
+        t2_us <= 2.0 * t1_us * (1.0 + 1e-9),
+        "T2 must not exceed 2*T1"
+    );
+    if !t1_us.is_finite() && !t2_us.is_finite() {
+        return vec![Matrix::identity(2)];
+    }
+    let gamma = if t1_us.is_finite() {
+        1.0 - (-duration_us / t1_us).exp()
+    } else {
+        0.0
+    };
+    // Pure dephasing rate beyond what T1 causes.
+    let inv_tphi = (1.0 / t2_us - 1.0 / (2.0 * t1_us)).max(0.0);
+    let lambda = 1.0 - (-duration_us * inv_tphi).exp();
+    compose(&amplitude_damping(gamma), &phase_damping(lambda))
+}
+
+/// Composes two channels: the Kraus set of "apply `first`, then `second`".
+pub fn compose(first: &[Matrix], second: &[Matrix]) -> Vec<Matrix> {
+    let mut out = Vec::with_capacity(first.len() * second.len());
+    for b in second {
+        for a in first {
+            out.push(b.matmul(a));
+        }
+    }
+    out
+}
+
+/// Checks the completeness relation `sum_k K_k† K_k = I` within `tol`.
+pub fn is_cptp(kraus: &[Matrix], tol: f64) -> bool {
+    if kraus.is_empty() {
+        return false;
+    }
+    let dim = kraus[0].rows();
+    let mut acc = Matrix::zeros(dim, dim);
+    for k in kraus {
+        acc = &acc + &k.adjoint().matmul(k);
+    }
+    acc.approx_eq(&Matrix::identity(dim), tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_sim::DensityMatrix;
+
+    #[test]
+    fn all_channels_are_cptp() {
+        for p in [0.0, 0.01, 0.3, 1.0] {
+            assert!(is_cptp(&amplitude_damping(p), 1e-12));
+            assert!(is_cptp(&phase_damping(p), 1e-12));
+            assert!(is_cptp(&depolarizing(p), 1e-12));
+            assert!(is_cptp(&depolarizing_2q(p), 1e-12));
+        }
+        assert!(is_cptp(&thermal_relaxation(100.0, 80.0, 0.5), 1e-12));
+        assert!(is_cptp(
+            &thermal_relaxation(f64::INFINITY, f64::INFINITY, 1.0),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_unitary(&sigma_x(), &[0]); // |1>
+        rho.apply_kraus(&amplitude_damping(0.3), &[0]);
+        assert!((rho.get(1, 1).re - 0.7).abs() < 1e-12);
+        assert!((rho.get(0, 0).re - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_damping_preserves_populations() {
+        let mut rho = DensityMatrix::plus_state(1);
+        rho.apply_kraus(&phase_damping(0.5), &[0]);
+        assert!((rho.get(0, 0).re - 0.5).abs() < 1e-12);
+        // Coherence shrinks by sqrt(1 - lambda).
+        assert!((rho.get(0, 1).re - 0.5 * 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_shrinks_bloch_vector() {
+        let p = 0.2;
+        let mut rho = DensityMatrix::plus_state(1);
+        rho.apply_kraus(&depolarizing(p), &[0]);
+        // <X> scales by (1 - p).
+        assert!((2.0 * rho.get(0, 1).re - (1.0 - p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_relaxation_limits() {
+        // Zero duration: identity.
+        let ch = thermal_relaxation(100.0, 80.0, 0.0);
+        let mut rho = DensityMatrix::plus_state(1);
+        let before = rho.clone();
+        rho.apply_kraus(&ch, &[0]);
+        assert!((rho.purity() - before.purity()).abs() < 1e-12);
+        // Long duration: relax to |0>.
+        let ch = thermal_relaxation(1.0, 1.0, 1e6);
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_unitary(&sigma_x(), &[0]);
+        rho.apply_kraus(&ch, &[0]);
+        assert!((rho.get(0, 0).re - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let ad = amplitude_damping(0.2);
+        let pd = phase_damping(0.3);
+        let composed = compose(&ad, &pd);
+        assert!(is_cptp(&composed, 1e-12));
+        let mut a = DensityMatrix::plus_state(1);
+        a.apply_kraus(&ad, &[0]);
+        a.apply_kraus(&pd, &[0]);
+        let mut b = DensityMatrix::plus_state(1);
+        b.apply_kraus(&composed, &[0]);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((a.get(i, j) - b.get(i, j)).norm() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "T2 must not exceed")]
+    fn unphysical_t2_panics() {
+        let _ = thermal_relaxation(10.0, 25.0, 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Gate durations on a backend, in `dt`.
+//!
+//! The gate level pays for every rotation in calibrated pulse time:
+//! `RZ`-family gates are *virtual* (frame changes, zero duration); `X` and
+//! `SX` are one calibrated pulse (160 dt); every other single-qubit gate
+//! decomposes to `RZ·SX·RZ·SX·RZ` and costs two pulses (320 dt — the
+//! paper's "raw mixer layer duration"); `CX` is the echoed-CR schedule;
+//! `RZZ` is two CXs plus a virtual `RZ`.
+
+use hgp_circuit::Gate;
+use hgp_device::Backend;
+
+/// Duration of a gate on `backend`, in `dt` units.
+///
+/// `qubits` are the *physical* operands (used to look up per-edge CR
+/// durations for two-qubit gates).
+///
+/// # Panics
+///
+/// Panics if a two-qubit gate is applied across a non-coupled pair; route
+/// circuits before asking for durations.
+pub fn gate_duration_dt(backend: &Backend, gate: &Gate, qubits: &[usize]) -> u32 {
+    let p1 = backend.pulse_1q_duration_dt();
+    match gate {
+        // Virtual frame changes.
+        Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) => 0,
+        // One calibrated pulse. Y = RZ-X-RZ, H = RZ-SX-RZ.
+        Gate::X | Gate::Y | Gate::SX | Gate::H => p1,
+        // Generic 1q rotations: RZ-SX-RZ-SX-RZ, i.e. two pulses.
+        Gate::Rx(_) | Gate::Ry(_) | Gate::U3(..) => 2 * p1,
+        Gate::CX => backend.cx_duration_dt(qubits[0], qubits[1]),
+        // CZ = H-CX-H on the target.
+        Gate::CZ => backend.cx_duration_dt(qubits[0], qubits[1]) + 2 * p1,
+        // SWAP = 3 CX.
+        Gate::Swap => 3 * backend.cx_duration_dt(qubits[0], qubits[1]),
+        // RZZ = CX - RZ - CX.
+        Gate::Rzz(_) => 2 * backend.cx_duration_dt(qubits[0], qubits[1]),
+        // One echoed CR (half a CX's CR content plus echoes).
+        Gate::Rzx(_) => {
+            let e = backend.edge(qubits[0], qubits[1]);
+            2 * e.cr_duration_dt + 2 * p1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_circuit::Param;
+
+    #[test]
+    fn virtual_gates_are_free() {
+        let b = Backend::ibmq_toronto();
+        assert_eq!(gate_duration_dt(&b, &Gate::Rz(Param::bound(0.3)), &[0]), 0);
+        assert_eq!(gate_duration_dt(&b, &Gate::S, &[0]), 0);
+    }
+
+    #[test]
+    fn rx_costs_two_pulses() {
+        let b = Backend::ibmq_toronto();
+        assert_eq!(gate_duration_dt(&b, &Gate::Rx(Param::bound(0.3)), &[0]), 320);
+        assert_eq!(gate_duration_dt(&b, &Gate::X, &[0]), 160);
+    }
+
+    #[test]
+    fn rzz_costs_two_cx() {
+        let b = Backend::ibmq_toronto();
+        let cx = gate_duration_dt(&b, &Gate::CX, &[0, 1]);
+        assert_eq!(
+            gate_duration_dt(&b, &Gate::Rzz(Param::bound(1.0)), &[0, 1]),
+            2 * cx
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a coupler")]
+    fn uncoupled_cx_panics() {
+        let b = Backend::ibmq_guadalupe();
+        let _ = gate_duration_dt(&b, &Gate::CX, &[0, 15]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Noise channels and calibration-derived noise models.
+//!
+//! Hardware noise enters the hybrid gate-pulse experiments in three ways,
+//! all modeled here:
+//!
+//! - **Decoherence** ([`channels::thermal_relaxation`]): amplitude damping
+//!   (T1) and dephasing (T2) scaled by instruction *duration* — the channel
+//!   through which the pulse-level model's shorter schedules pay off,
+//! - **Gate error** ([`channels::depolarizing`]): depolarizing noise with
+//!   the calibrated per-gate error rates (Table I),
+//! - **Readout error** ([`readout::ReadoutModel`]): per-qubit assignment
+//!   confusion applied to measurement distributions — the error that M3
+//!   mitigates.
+//!
+//! [`NoisySimulator`] ties these to a [`hgp_device::Backend`] and executes
+//! bound circuits on a density matrix with an ASAP schedule, applying idle
+//! decoherence to waiting qubits.
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_circuit::Circuit;
+//! use hgp_device::Backend;
+//! use hgp_noise::NoisySimulator;
+//!
+//! let backend = Backend::ibmq_toronto();
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let sim = NoisySimulator::new(&backend);
+//! let rho = sim.simulate(&bell, &[0, 1]).expect("bound circuit");
+//! // Noise leaves the state close to, but not exactly, the Bell state.
+//! assert!(rho.purity() < 1.0);
+//! assert!(rho.purity() > 0.9);
+//! ```
+
+pub mod channels;
+pub mod durations;
+pub mod readout;
+pub mod simulator;
+
+pub use readout::ReadoutModel;
+pub use simulator::NoisySimulator;

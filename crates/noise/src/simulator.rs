@@ -1,0 +1,271 @@
+//! Noisy circuit execution on a density matrix.
+//!
+//! [`NoisySimulator`] executes a *logical* circuit (6-8 qubits for the
+//! paper's benchmarks) whose qubits are laid out on *physical* qubits of a
+//! backend. The density matrix stays `2^n`-dimensional in the logical
+//! width; only noise parameters are fetched from the physical qubits.
+//!
+//! The schedule is ASAP: each gate starts when its last operand becomes
+//! free; operands that wait accumulate idle thermal relaxation for the
+//! gap. After each gate, its operands suffer (a) thermal relaxation for
+//! the gate duration and (b) depolarizing noise at the calibrated error
+//! rate, scaled by how many calibrated pulses the gate expands to.
+
+use hgp_circuit::{Circuit, Instruction};
+use hgp_device::{dt_to_us, Backend};
+use hgp_sim::DensityMatrix;
+
+use crate::channels::{depolarizing, depolarizing_2q, thermal_relaxation};
+use crate::durations::gate_duration_dt;
+
+/// Executes circuits with calibration-derived noise.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Copy)]
+pub struct NoisySimulator<'a> {
+    backend: &'a Backend,
+}
+
+impl<'a> NoisySimulator<'a> {
+    /// Creates a simulator bound to a backend.
+    pub fn new(backend: &'a Backend) -> Self {
+        Self { backend }
+    }
+
+    /// The backend noise parameters are drawn from.
+    pub fn backend(&self) -> &Backend {
+        self.backend
+    }
+
+    /// Runs a bound logical circuit with `layout[i]` giving the physical
+    /// qubit of logical qubit `i`. Returns the final noisy state.
+    ///
+    /// Measurement instructions are ignored here — apply a
+    /// [`crate::ReadoutModel`] to the result's probabilities instead.
+    ///
+    /// Returns `None` if the circuit has unbound parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout.len() != circuit.n_qubits()`, a physical index is
+    /// out of range, or a two-qubit gate spans a non-coupled physical pair.
+    pub fn simulate(&self, circuit: &Circuit, layout: &[usize]) -> Option<DensityMatrix> {
+        assert_eq!(
+            layout.len(),
+            circuit.n_qubits(),
+            "layout must cover every logical qubit"
+        );
+        for &p in layout {
+            assert!(p < self.backend.n_qubits(), "physical qubit {p} out of range");
+        }
+        let n = circuit.n_qubits();
+        let mut rho = DensityMatrix::zero_state(n);
+        let mut clock = vec![0u64; n];
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Gate { gate, qubits } => {
+                    let phys: Vec<usize> = qubits.iter().map(|&q| layout[q]).collect();
+                    let duration = gate_duration_dt(self.backend, gate, &phys);
+                    // Align operands: laggards idle (and decohere) until the
+                    // gate can start.
+                    let start = qubits.iter().map(|&q| clock[q]).max().unwrap_or(0);
+                    for &q in qubits {
+                        let gap = start - clock[q];
+                        if gap > 0 {
+                            self.relax_qubit(&mut rho, q, layout[q], gap as u32);
+                        }
+                    }
+                    // The ideal gate...
+                    let m = gate.matrix()?;
+                    rho.apply_unitary(&m, qubits);
+                    // ...followed by its noise.
+                    for &q in qubits {
+                        self.relax_qubit(&mut rho, q, layout[q], duration);
+                    }
+                    self.apply_gate_error(&mut rho, gate.n_qubits(), qubits, &phys, duration);
+                    for &q in qubits {
+                        clock[q] = start + u64::from(duration);
+                    }
+                }
+                Instruction::Barrier { qubits } => {
+                    let sync = qubits.iter().map(|&q| clock[q]).max().unwrap_or(0);
+                    for &q in qubits {
+                        let gap = sync - clock[q];
+                        if gap > 0 {
+                            self.relax_qubit(&mut rho, q, layout[q], gap as u32);
+                        }
+                        clock[q] = sync;
+                    }
+                }
+                Instruction::Measure { .. } => {}
+            }
+        }
+        // All qubits are measured simultaneously at the end: idle the early
+        // finishers up to the global end time.
+        let end = clock.iter().copied().max().unwrap_or(0);
+        for q in 0..n {
+            let gap = end - clock[q];
+            if gap > 0 {
+                self.relax_qubit(&mut rho, q, layout[q], gap as u32);
+            }
+        }
+        Some(rho)
+    }
+
+    /// Applies thermal relaxation to logical qubit `logical` (with physics
+    /// from physical qubit `physical`) for `duration_dt`.
+    pub fn relax_qubit(
+        &self,
+        rho: &mut DensityMatrix,
+        logical: usize,
+        physical: usize,
+        duration_dt: u32,
+    ) {
+        if duration_dt == 0 {
+            return;
+        }
+        let qp = self.backend.qubit(physical);
+        if !qp.t1_us.is_finite() && !qp.t2_us.is_finite() {
+            return;
+        }
+        let ch = thermal_relaxation(qp.t1_us, qp.t2_us, dt_to_us(duration_dt));
+        rho.apply_kraus(&ch, &[logical]);
+    }
+
+    /// Applies depolarizing gate error after a gate of `duration_dt` on
+    /// the given logical/physical operands.
+    ///
+    /// Single-qubit error scales with pulse count (`duration / 160dt`);
+    /// two-qubit error scales with CX-equivalents.
+    pub fn apply_gate_error(
+        &self,
+        rho: &mut DensityMatrix,
+        arity: usize,
+        logical: &[usize],
+        physical: &[usize],
+        duration_dt: u32,
+    ) {
+        match arity {
+            1 => {
+                let qp = self.backend.qubit(physical[0]);
+                let pulses = f64::from(duration_dt) / f64::from(self.backend.pulse_1q_duration_dt());
+                let p = (qp.x_error * pulses).clamp(0.0, 1.0);
+                if p > 0.0 {
+                    rho.apply_kraus(&depolarizing(p), &[logical[0]]);
+                }
+            }
+            2 => {
+                let e = self.backend.edge(physical[0], physical[1]);
+                let cx_dt = self.backend.cx_duration_dt(physical[0], physical[1]);
+                let cx_equiv = f64::from(duration_dt) / f64::from(cx_dt);
+                let p = (e.cx_error * cx_equiv).clamp(0.0, 1.0);
+                if p > 0.0 {
+                    rho.apply_kraus(&depolarizing_2q(p), &[logical[0], logical[1]]);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_circuit::Circuit;
+    use hgp_sim::StateVector;
+
+    #[test]
+    fn ideal_backend_reproduces_pure_state() {
+        let backend = Backend::ideal(3);
+        let sim = NoisySimulator::new(&backend);
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).cx(1, 2).rx(2, 0.7);
+        let rho = sim.simulate(&qc, &[0, 1, 2]).unwrap();
+        let psi = StateVector::from_circuit(&qc).unwrap();
+        assert!((rho.fidelity_with_pure(&psi) - 1.0).abs() < 1e-10);
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noise_reduces_purity_and_fidelity() {
+        let backend = Backend::ibmq_toronto();
+        let sim = NoisySimulator::new(&backend);
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        let rho = sim.simulate(&qc, &[0, 1]).unwrap();
+        let psi = StateVector::from_circuit(&qc).unwrap();
+        let f = rho.fidelity_with_pure(&psi);
+        assert!(f < 1.0, "noise should reduce fidelity");
+        assert!(f > 0.9, "a single CX should not destroy the state (f={f})");
+        assert!((rho.trace() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_circuits_are_noisier() {
+        let backend = Backend::ibmq_toronto();
+        let sim = NoisySimulator::new(&backend);
+        let mut shallow = Circuit::new(2);
+        shallow.h(0).cx(0, 1);
+        let mut deep = Circuit::new(2);
+        deep.h(0);
+        for _ in 0..6 {
+            deep.cx(0, 1);
+        }
+        let ps = sim.simulate(&shallow, &[0, 1]).unwrap().purity();
+        let pd = sim.simulate(&deep, &[0, 1]).unwrap().purity();
+        assert!(pd < ps, "deep {pd} should be below shallow {ps}");
+    }
+
+    #[test]
+    fn virtual_gates_add_no_noise() {
+        let backend = Backend::ibmq_toronto();
+        let sim = NoisySimulator::new(&backend);
+        let mut a = Circuit::new(1);
+        a.x(0);
+        let mut b = Circuit::new(1);
+        b.x(0);
+        for _ in 0..10 {
+            b.rz(0, 0.1);
+        }
+        // Compare diagonal populations: RZ only shifts phases, and being
+        // virtual it adds no decoherence time.
+        let pa = sim.simulate(&a, &[0]).unwrap().purity();
+        let pb = sim.simulate(&b, &[0]).unwrap().purity();
+        assert!((pa - pb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layout_selects_noise_parameters() {
+        // Two layouts on qubits with different T1 give different purity
+        // after an identical long idle-heavy circuit.
+        let backend = Backend::ibmq_toronto();
+        let sim = NoisySimulator::new(&backend);
+        let mut qc = Circuit::new(2);
+        qc.h(0).h(1);
+        for _ in 0..4 {
+            qc.cx(0, 1);
+        }
+        let p01 = sim.simulate(&qc, &[0, 1]).unwrap().purity();
+        let p12 = sim.simulate(&qc, &[1, 2]).unwrap().purity();
+        assert!((p01 - p12).abs() > 1e-6, "layouts should differ: {p01} vs {p12}");
+    }
+
+    #[test]
+    fn trace_is_preserved_through_noise() {
+        let backend = Backend::ibmq_guadalupe();
+        let sim = NoisySimulator::new(&backend);
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).rzz(1, 2, 0.8).rx(0, 0.4).cx(1, 2);
+        let rho = sim.simulate(&qc, &[1, 2, 3]).unwrap();
+        assert!((rho.trace() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout must cover")]
+    fn short_layout_panics() {
+        let backend = Backend::ideal(3);
+        let sim = NoisySimulator::new(&backend);
+        let qc = Circuit::new(3);
+        let _ = sim.simulate(&qc, &[0, 1]);
+    }
+}

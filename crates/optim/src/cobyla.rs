@@ -1,0 +1,279 @@
+//! COBYLA: constrained optimization by linear approximation (Powell,
+//! 1994) — unconstrained variant.
+//!
+//! The method keeps a non-degenerate simplex of `n + 1` points, fits the
+//! *linear* interpolant of the objective over the simplex, and steps the
+//! best vertex against the interpolant's gradient by the trust-region
+//! radius `rho`. When steps stop helping, `rho` shrinks; the run ends at
+//! `rho_end` or when the evaluation budget is spent. This mirrors how
+//! SciPy's COBYLA behaves on the smooth, unconstrained landscapes of
+//! QAOA training.
+
+use crate::result::OptimizeResult;
+use crate::Optimizer;
+
+/// The COBYLA optimizer.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cobyla {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Initial trust-region radius.
+    pub rho_begin: f64,
+    /// Final trust-region radius (convergence threshold).
+    pub rho_end: f64,
+}
+
+impl Cobyla {
+    /// COBYLA with an evaluation budget and the customary radii
+    /// (`rho_begin = 0.5`, `rho_end = 1e-4`) for angle-valued parameters.
+    pub fn new(max_evals: usize) -> Self {
+        Self {
+            max_evals,
+            rho_begin: 0.5,
+            rho_end: 1e-4,
+        }
+    }
+
+    /// Overrides the trust-region radii.
+    pub fn with_rho(mut self, rho_begin: f64, rho_end: f64) -> Self {
+        assert!(rho_begin > rho_end && rho_end > 0.0, "need rho_begin > rho_end > 0");
+        self.rho_begin = rho_begin;
+        self.rho_end = rho_end;
+        self
+    }
+}
+
+impl Optimizer for Cobyla {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimizeResult {
+        let n = x0.len();
+        assert!(n > 0, "need at least one parameter");
+        let mut n_evals = 0usize;
+        let mut eval = |x: &[f64], n_evals: &mut usize| -> f64 {
+            *n_evals += 1;
+            f(x)
+        };
+        // Simplex: vertex 0 is the incumbent; vertices 1..=n offset by rho
+        // along coordinate axes.
+        let mut rho = self.rho_begin;
+        let mut verts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        let mut vals: Vec<f64> = Vec::with_capacity(n + 1);
+        verts.push(x0.to_vec());
+        vals.push(eval(x0, &mut n_evals));
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += rho;
+            vals.push(eval(&v, &mut n_evals));
+            verts.push(v);
+        }
+        let mut history: Vec<f64> = Vec::new();
+        let mut n_iters = 0usize;
+        let mut converged = false;
+        while n_evals < self.max_evals {
+            n_iters += 1;
+            // Order so vertex 0 is best.
+            let best = (0..=n)
+                .min_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("finite objective"))
+                .expect("nonempty");
+            verts.swap(0, best);
+            vals.swap(0, best);
+            history.push(vals[0]);
+            // Linear model: gradient g solves D g = df where row i of D is
+            // verts[i+1] - verts[0].
+            let mut d = vec![vec![0.0; n]; n];
+            let mut df = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    d[i][j] = verts[i + 1][j] - verts[0][j];
+                }
+                df[i] = vals[i + 1] - vals[0];
+            }
+            let g = match solve(&mut d, &mut df) {
+                Some(g) => g,
+                None => {
+                    // Degenerate simplex: rebuild around the incumbent.
+                    if n_evals + n > self.max_evals {
+                        break;
+                    }
+                    rebuild_simplex(&mut verts, &mut vals, rho, &mut eval, &mut n_evals);
+                    continue;
+                }
+            };
+            let gnorm = g.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if gnorm < 1e-14 {
+                // Flat model: shrink or finish.
+                if rho <= self.rho_end {
+                    converged = true;
+                    break;
+                }
+                rho = (rho * 0.5).max(self.rho_end);
+                if n_evals + n > self.max_evals {
+                    break;
+                }
+                rebuild_simplex(&mut verts, &mut vals, rho, &mut eval, &mut n_evals);
+                continue;
+            }
+            // Trust-region step against the model gradient.
+            let cand: Vec<f64> = verts[0]
+                .iter()
+                .zip(g.iter())
+                .map(|(&x, &gi)| x - rho * gi / gnorm)
+                .collect();
+            if n_evals >= self.max_evals {
+                break;
+            }
+            let cand_val = eval(&cand, &mut n_evals);
+            let worst = (0..=n)
+                .max_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("finite"))
+                .expect("nonempty");
+            if cand_val < vals[worst] {
+                // Any improvement over the worst vertex refreshes the
+                // simplex — cheap progress, like Powell's original.
+                verts[worst] = cand;
+                vals[worst] = cand_val;
+                if cand_val >= vals[0] {
+                    // Not a new best: gently tighten the region.
+                    rho = (rho * 0.8).max(self.rho_end);
+                }
+            } else {
+                // Model step failed outright: tighten the trust region
+                // (without discarding the simplex — rebuilds cost n+1
+                // evaluations and are reserved for degeneracy).
+                if rho <= self.rho_end {
+                    converged = true;
+                    break;
+                }
+                rho = (rho * 0.5).max(self.rho_end);
+            }
+        }
+        let best = (0..vals.len())
+            .min_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("finite"))
+            .expect("nonempty");
+        history.push(vals[best]);
+        OptimizeResult {
+            x: verts[best].clone(),
+            fun: vals[best],
+            n_evals,
+            n_iters,
+            converged,
+            history,
+        }
+    }
+}
+
+/// Rebuilds the simplex as axis offsets of size `rho` around vertex 0.
+fn rebuild_simplex(
+    verts: &mut [Vec<f64>],
+    vals: &mut [f64],
+    rho: f64,
+    eval: &mut impl FnMut(&[f64], &mut usize) -> f64,
+    n_evals: &mut usize,
+) {
+    let n = verts.len() - 1;
+    let base = verts[0].clone();
+    for i in 0..n {
+        let mut v = base.clone();
+        v[i] += rho;
+        vals[i + 1] = eval(&v, n_evals);
+        verts[i + 1] = v;
+    }
+}
+
+/// Gaussian elimination with partial pivoting; returns `None` when
+/// singular.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let mut f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = Cobyla::new(300).minimize(&mut f, &[2.0, -1.5, 0.7]);
+        assert!(r.fun < 1e-4, "fun = {}", r.fun);
+    }
+
+    #[test]
+    fn minimizes_shifted_anisotropic_quadratic() {
+        let mut f = |x: &[f64]| (x[0] - 3.0).powi(2) + 10.0 * (x[1] + 1.0).powi(2);
+        let r = Cobyla::new(500).minimize(&mut f, &[0.0, 0.0]);
+        assert!((r.x[0] - 3.0).abs() < 0.01, "x = {:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn handles_trig_landscape() {
+        // A QAOA-like periodic landscape with minimum -2 at (pi/2, pi).
+        let mut f = |x: &[f64]| -(x[0].sin() + (x[1] / 2.0).sin());
+        let r = Cobyla::new(400).minimize(&mut f, &[0.3, 0.3]);
+        assert!(r.fun < -1.95, "fun = {}", r.fun);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| {
+            count += 1;
+            x[0] * x[0]
+        };
+        let r = Cobyla::new(25).minimize(&mut f, &[5.0]);
+        assert!(r.n_evals <= 25);
+        assert_eq!(r.n_evals, count);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let mut f = |x: &[f64]| (x[0] + 2.0).powi(2) + (x[1] - 1.0).powi(2);
+        let r = Cobyla::new(200).minimize(&mut f, &[4.0, 4.0]);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn converged_flag_fires_on_easy_problems() {
+        let mut f = |x: &[f64]| x[0] * x[0];
+        let r = Cobyla::new(10_000).minimize(&mut f, &[1.0]);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve(&mut a, &mut b).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Derivative-free optimizers for variational quantum training.
+//!
+//! The paper trains QAOA with COBYLA (`maxiter = 50`); this crate
+//! implements it from scratch, together with two standard baselines:
+//!
+//! - [`Cobyla`]: linear-approximation trust-region method (unconstrained
+//!   variant of Powell's COBYLA — the constraint machinery is unused by
+//!   VQA cost functions),
+//! - [`NelderMead`]: the classic simplex method,
+//! - [`Spsa`]: simultaneous-perturbation stochastic approximation, the
+//!   usual choice under shot noise.
+//!
+//! All optimizers *minimize*; QAOA maximizes its cost, so callers negate.
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_optim::{Cobyla, Optimizer};
+//! let mut f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2);
+//! let result = Cobyla::new(200).minimize(&mut f, &[0.0, 0.0]);
+//! assert!((result.x[0] - 1.0).abs() < 1e-3);
+//! assert!((result.x[1] + 2.0).abs() < 1e-3);
+//! ```
+
+pub mod cobyla;
+pub mod nelder_mead;
+pub mod parameter_shift;
+pub mod result;
+pub mod spsa;
+
+pub use cobyla::Cobyla;
+pub use nelder_mead::NelderMead;
+pub use parameter_shift::{parameter_shift_gradient, ParameterShiftDescent};
+pub use result::OptimizeResult;
+pub use spsa::Spsa;
+
+/// A minimization algorithm over `R^n` using only function evaluations.
+pub trait Optimizer {
+    /// Minimizes `f` starting from `x0`.
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimizeResult;
+}

@@ -1,0 +1,177 @@
+//! The Nelder-Mead simplex method.
+
+use crate::result::OptimizeResult;
+use crate::Optimizer;
+
+/// Nelder-Mead with the standard reflection/expansion/contraction/shrink
+/// coefficients (1, 2, 0.5, 0.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMead {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Convergence threshold on the simplex's value spread.
+    pub f_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl NelderMead {
+    /// Nelder-Mead with an evaluation budget and conventional settings.
+    pub fn new(max_evals: usize) -> Self {
+        Self {
+            max_evals,
+            f_tol: 1e-8,
+            initial_step: 0.5,
+        }
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimizeResult {
+        let n = x0.len();
+        assert!(n > 0, "need at least one parameter");
+        let mut n_evals = 0usize;
+        let mut eval = |x: &[f64], c: &mut usize| {
+            *c += 1;
+            f(x)
+        };
+        let mut verts: Vec<Vec<f64>> = vec![x0.to_vec()];
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += self.initial_step;
+            verts.push(v);
+        }
+        let mut vals: Vec<f64> = verts.iter().map(|v| eval(v, &mut n_evals)).collect();
+        let mut history = Vec::new();
+        let mut n_iters = 0usize;
+        let mut converged = false;
+        while n_evals + 2 <= self.max_evals {
+            n_iters += 1;
+            // Sort ascending by value.
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("finite"));
+            let verts_s: Vec<Vec<f64>> = order.iter().map(|&i| verts[i].clone()).collect();
+            let vals_s: Vec<f64> = order.iter().map(|&i| vals[i]).collect();
+            verts = verts_s;
+            vals = vals_s;
+            history.push(vals[0]);
+            // Converge only when both the value spread and the simplex
+            // extent collapse — a symmetric simplex straddling the minimum
+            // can have zero value spread while being far from converged.
+            let x_spread: f64 = (0..n)
+                .map(|j| {
+                    let lo = verts.iter().map(|v| v[j]).fold(f64::INFINITY, f64::min);
+                    let hi = verts.iter().map(|v| v[j]).fold(f64::NEG_INFINITY, f64::max);
+                    hi - lo
+                })
+                .fold(0.0, f64::max);
+            if (vals[n] - vals[0]).abs() < self.f_tol && x_spread < 1e-6 {
+                converged = true;
+                break;
+            }
+            // Centroid of all but the worst.
+            let centroid: Vec<f64> = (0..n)
+                .map(|j| verts[..n].iter().map(|v| v[j]).sum::<f64>() / n as f64)
+                .collect();
+            let worst = verts[n].clone();
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(worst.iter())
+                .map(|(&c, &w)| c + (c - w))
+                .collect();
+            let fr = eval(&reflect, &mut n_evals);
+            if fr < vals[0] {
+                // Try expansion.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(worst.iter())
+                    .map(|(&c, &w)| c + 2.0 * (c - w))
+                    .collect();
+                let fe = eval(&expand, &mut n_evals);
+                if fe < fr {
+                    verts[n] = expand;
+                    vals[n] = fe;
+                } else {
+                    verts[n] = reflect;
+                    vals[n] = fr;
+                }
+            } else if fr < vals[n - 1] {
+                verts[n] = reflect;
+                vals[n] = fr;
+            } else {
+                // Contraction.
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(worst.iter())
+                    .map(|(&c, &w)| c + 0.5 * (w - c))
+                    .collect();
+                let fc = eval(&contract, &mut n_evals);
+                if fc < vals[n] {
+                    verts[n] = contract;
+                    vals[n] = fc;
+                } else {
+                    // Shrink toward the best vertex.
+                    for i in 1..=n {
+                        let best = verts[0].clone();
+                        for (vj, bj) in verts[i].iter_mut().zip(best.iter()) {
+                            *vj = bj + 0.5 * (*vj - bj);
+                        }
+                        if n_evals >= self.max_evals {
+                            break;
+                        }
+                        vals[i] = eval(&verts[i].clone(), &mut n_evals);
+                    }
+                }
+            }
+        }
+        let best = (0..vals.len())
+            .min_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("finite"))
+            .expect("nonempty");
+        history.push(vals[best]);
+        OptimizeResult {
+            x: verts[best].clone(),
+            fun: vals[best],
+            n_evals,
+            n_iters,
+            converged,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2);
+        let r = NelderMead::new(500).minimize(&mut f, &[-1.0, -1.0]);
+        assert!((r.x[0] - 1.0).abs() < 1e-3);
+        assert!((r.x[1] - 2.0).abs() < 1e-3);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_reasonably() {
+        let mut f = |x: &[f64]| {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        };
+        let r = NelderMead::new(2000).minimize(&mut f, &[-1.2, 1.0]);
+        assert!(r.fun < 1e-4, "fun = {}", r.fun);
+    }
+
+    #[test]
+    fn one_dimensional_problems_work() {
+        let mut f = |x: &[f64]| (x[0] - 0.25).powi(2);
+        let r = NelderMead::new(200).minimize(&mut f, &[3.0]);
+        assert!((r.x[0] - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut f = |x: &[f64]| x[0].powi(2);
+        let r = NelderMead::new(30).minimize(&mut f, &[10.0]);
+        assert!(r.n_evals <= 30);
+    }
+}

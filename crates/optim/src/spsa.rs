@@ -1,0 +1,147 @@
+//! Simultaneous-perturbation stochastic approximation (Spall, 1992).
+//!
+//! SPSA estimates the gradient from *two* evaluations regardless of
+//! dimension, which makes it the standard optimizer under shot noise —
+//! the regime pulse-level VQAs live in.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::result::OptimizeResult;
+use crate::Optimizer;
+
+/// The SPSA optimizer with the standard gain sequences
+/// `a_k = a / (k + 1 + A)^alpha`, `c_k = c / (k + 1)^gamma`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spsa {
+    /// Number of iterations (each costs two evaluations).
+    pub max_iters: usize,
+    /// Step-size numerator.
+    pub a: f64,
+    /// Perturbation-size numerator.
+    pub c: f64,
+    /// Step-size stability constant.
+    pub big_a: f64,
+    /// Step-size decay exponent.
+    pub alpha: f64,
+    /// Perturbation decay exponent.
+    pub gamma: f64,
+    /// RNG seed for the perturbation directions.
+    pub seed: u64,
+}
+
+impl Spsa {
+    /// SPSA with Spall's recommended exponents and a given iteration
+    /// budget.
+    pub fn new(max_iters: usize) -> Self {
+        Self {
+            max_iters,
+            a: 0.2,
+            c: 0.15,
+            big_a: max_iters as f64 * 0.1,
+            alpha: 0.602,
+            gamma: 0.101,
+            seed: 7,
+        }
+    }
+
+    /// Overrides the RNG seed (runs are deterministic per seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Optimizer for Spsa {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimizeResult {
+        let n = x0.len();
+        assert!(n > 0, "need at least one parameter");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut x = x0.to_vec();
+        let mut n_evals = 0usize;
+        let mut history = Vec::with_capacity(self.max_iters);
+        let mut best_x = x.clone();
+        let mut best_f = f64::INFINITY;
+        for k in 0..self.max_iters {
+            let ak = self.a / (k as f64 + 1.0 + self.big_a).powf(self.alpha);
+            let ck = self.c / (k as f64 + 1.0).powf(self.gamma);
+            // Rademacher perturbation.
+            let delta: Vec<f64> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let xp: Vec<f64> = x.iter().zip(&delta).map(|(&xi, &d)| xi + ck * d).collect();
+            let xm: Vec<f64> = x.iter().zip(&delta).map(|(&xi, &d)| xi - ck * d).collect();
+            let fp = f(&xp);
+            let fm = f(&xm);
+            n_evals += 2;
+            let diff = (fp - fm) / (2.0 * ck);
+            for (xi, &d) in x.iter_mut().zip(&delta) {
+                *xi -= ak * diff / d;
+            }
+            // Track the best *measured* point (the iterate itself is not
+            // re-evaluated to save budget).
+            let (cand_f, cand_x) = if fp < fm { (fp, &xp) } else { (fm, &xm) };
+            if cand_f < best_f {
+                best_f = cand_f;
+                best_x = cand_x.clone();
+            }
+            history.push(best_f);
+        }
+        OptimizeResult {
+            x: best_x,
+            fun: best_f,
+            n_evals,
+            n_iters: self.max_iters,
+            converged: false,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_clean_quadratic() {
+        let mut f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] + 0.5).powi(2);
+        let r = Spsa::new(400).minimize(&mut f, &[3.0, 3.0]);
+        assert!(r.fun < 0.05, "fun = {}", r.fun);
+    }
+
+    #[test]
+    fn tolerates_noisy_objective() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut f = |x: &[f64]| {
+            let noise: f64 = rng.gen_range(-0.05..0.05);
+            x[0] * x[0] + x[1] * x[1] + noise
+        };
+        let r = Spsa::new(500).minimize(&mut f, &[2.0, -2.0]);
+        assert!(r.fun < 0.3, "fun = {}", r.fun);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        // A coupled 2-D objective, where the Rademacher direction pattern
+        // actually changes the trajectory (in symmetric 1-D it cancels).
+        let run = |seed| {
+            let mut f =
+                |x: &[f64]| (x[0] - 1.0).powi(2) + 3.0 * (x[1] + 2.0).powi(2) + 0.5 * x[0] * x[1];
+            Spsa::new(50).with_seed(seed).minimize(&mut f, &[1.0, 0.3]).fun
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn evaluation_count_is_two_per_iteration() {
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| {
+            count += 1;
+            x[0] * x[0]
+        };
+        let r = Spsa::new(30).minimize(&mut f, &[1.0]);
+        assert_eq!(r.n_evals, 60);
+        assert_eq!(count, 60);
+    }
+}

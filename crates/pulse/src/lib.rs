@@ -1,0 +1,41 @@
+//! Pulse-level IR and simulation.
+//!
+//! This crate is the "OpenPulse substitute" of the workspace: everything
+//! below the gate abstraction is modeled here.
+//!
+//! - [`Waveform`]: analytic pulse envelopes (Gaussian, DRAG,
+//!   GaussianSquare, Constant) sampled at the backend `dt`,
+//! - [`Channel`] and [`Schedule`]: pulses played at start times on drive /
+//!   control channels, with virtual-Z phase shifts,
+//! - [`propagator`]: rotating-frame physics. A drive pulse on qubit `q`
+//!   evolves under `H(t) = (delta/2) Z + (Omega(t)/2)(cos(phi) X + sin(phi) Y)`
+//!   (`delta` = frequency-shift parameter, `Omega(t)` = envelope times the
+//!   qubit's calibrated Rabi rate); a cross-resonance pulse on a coupler
+//!   evolves the pair under the echo-compatible
+//!   `H_CR(t) = (Omega(t)/2)(mu_zx ZX + mu_ix IX + mu_zi ZI)` model,
+//! - [`calibration::PulseLibrary`]: calibrated `X`, `SX`, CR and CX
+//!   schedules for a backend, the pulse-level ground truth that gate-level
+//!   circuits ultimately lower to.
+//!
+//! # Example: a calibrated X pulse really is an X gate
+//!
+//! ```
+//! use hgp_device::Backend;
+//! use hgp_pulse::calibration::PulseLibrary;
+//!
+//! let backend = Backend::ibmq_toronto();
+//! let lib = PulseLibrary::new(&backend);
+//! let u = lib.x_propagator(0);
+//! let x = hgp_circuit::Gate::X.matrix().expect("bound");
+//! assert!(u.approx_eq_up_to_phase(&x, 1e-6));
+//! ```
+
+pub mod calibration;
+pub mod channel;
+pub mod propagator;
+pub mod schedule;
+pub mod waveform;
+
+pub use channel::Channel;
+pub use schedule::{PlayedPulse, PulseSpec, Schedule};
+pub use waveform::Waveform;

@@ -1,0 +1,283 @@
+//! Measurement outcome multisets.
+//!
+//! A [`Counts`] value is what a quantum backend returns from repeated
+//! measurement: a map from observed bitstrings to occurrence counts. The
+//! mitigation crate consumes and produces these.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Histogram of measured bitstrings.
+///
+/// Keys are basis-state indices (qubit 0 = least-significant bit).
+///
+/// ```
+/// use hgp_sim::Counts;
+/// let mut counts = Counts::new(2);
+/// counts.record(0b11, 60);
+/// counts.record(0b00, 40);
+/// assert_eq!(counts.total(), 100);
+/// assert!((counts.frequency(0b11) - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counts {
+    n_qubits: usize,
+    counts: BTreeMap<usize, u64>,
+}
+
+impl Counts {
+    /// An empty histogram over `n_qubits`-bit strings.
+    pub fn new(n_qubits: usize) -> Self {
+        Self {
+            n_qubits,
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Samples `shots` outcomes from an explicit probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != 2^n_qubits` or probabilities are grossly
+    /// unnormalized (sum deviating from 1 by more than `1e-6`).
+    pub fn sample_from_probabilities<R: Rng + ?Sized>(
+        probs: &[f64],
+        shots: usize,
+        n_qubits: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(probs.len(), 1 << n_qubits, "probability vector length");
+        let sum: f64 = probs.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "probabilities must sum to 1 (got {sum})"
+        );
+        // Cumulative distribution + binary search per shot.
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in probs {
+            acc += p.max(0.0);
+            cdf.push(acc);
+        }
+        let mut counts = Self::new(n_qubits);
+        for _ in 0..shots {
+            let r: f64 = rng.gen::<f64>() * acc;
+            let idx = match cdf.binary_search_by(|c| {
+                c.partial_cmp(&r).expect("finite probabilities")
+            }) {
+                Ok(i) | Err(i) => i.min(probs.len() - 1),
+            };
+            counts.record(idx, 1);
+        }
+        counts
+    }
+
+    /// Adds `n` observations of `bitstring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitstring` does not fit in `n_qubits` bits.
+    pub fn record(&mut self, bitstring: usize, n: u64) {
+        assert!(
+            bitstring < (1usize << self.n_qubits),
+            "bitstring out of range"
+        );
+        *self.counts.entry(bitstring).or_insert(0) += n;
+    }
+
+    /// Number of qubits per bitstring.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Total number of shots recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Count of a specific bitstring.
+    pub fn count(&self, bitstring: usize) -> u64 {
+        self.counts.get(&bitstring).copied().unwrap_or(0)
+    }
+
+    /// Relative frequency of a bitstring (0 when no shots are recorded).
+    pub fn frequency(&self, bitstring: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(bitstring) as f64 / total as f64
+        }
+    }
+
+    /// Iterates over `(bitstring, count)` pairs in ascending bitstring
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// Distinct observed bitstrings, ascending.
+    pub fn observed(&self) -> Vec<usize> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// Converts to a dense probability vector of length `2^n`.
+    pub fn to_probabilities(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        let mut probs = vec![0.0; 1 << self.n_qubits];
+        for (&b, &c) in &self.counts {
+            probs[b] = c as f64 / total;
+        }
+        probs
+    }
+
+    /// Expectation of a per-bitstring cost function under the empirical
+    /// distribution.
+    pub fn expectation_of(&self, cost: impl Fn(usize) -> f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .map(|(&b, &c)| cost(b) * c as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Remaps each observed bitstring's bits through `qubit_map`, where the
+    /// value at physical position `p` of the new string is bit
+    /// `qubit_map[p]` of the old string. Used to undo transpiler layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit_map.len() != n_qubits` or an index is out of range.
+    pub fn remapped(&self, qubit_map: &[usize], new_n_qubits: usize) -> Counts {
+        assert!(qubit_map.len() == new_n_qubits, "map length mismatch");
+        let mut out = Counts::new(new_n_qubits);
+        for (&b, &c) in &self.counts {
+            let mut nb = 0usize;
+            for (new_pos, &old_pos) in qubit_map.iter().enumerate() {
+                assert!(old_pos < self.n_qubits, "map index out of range");
+                if (b >> old_pos) & 1 == 1 {
+                    nb |= 1 << new_pos;
+                }
+            }
+            out.record(nb, c);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counts over {} qubits ({} shots):", self.n_qubits, self.total())?;
+        for (&b, &c) in &self.counts {
+            writeln!(f, "  {:0width$b}: {c}", b, width = self.n_qubits)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(usize, u64)> for Counts {
+    /// Collects `(bitstring, count)` pairs; the width is chosen as the
+    /// smallest that fits all bitstrings.
+    fn from_iter<I: IntoIterator<Item = (usize, u64)>>(iter: I) -> Self {
+        let pairs: Vec<(usize, u64)> = iter.into_iter().collect();
+        let max_bit = pairs.iter().map(|&(b, _)| b).max().unwrap_or(0);
+        let n_qubits = (usize::BITS - max_bit.leading_zeros()).max(1) as usize;
+        let mut counts = Counts::new(n_qubits);
+        for (b, c) in pairs {
+            counts.record(b, c);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Counts::new(3);
+        c.record(0b101, 7);
+        c.record(0b101, 3);
+        c.record(0b000, 10);
+        assert_eq!(c.count(0b101), 10);
+        assert_eq!(c.total(), 20);
+        assert_eq!(c.frequency(0b101), 0.5);
+        assert_eq!(c.observed(), vec![0b000, 0b101]);
+    }
+
+    #[test]
+    fn to_probabilities_normalizes() {
+        let mut c = Counts::new(1);
+        c.record(0, 30);
+        c.record(1, 70);
+        let p = c.to_probabilities();
+        assert_eq!(p, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn expectation_of_cost() {
+        let mut c = Counts::new(2);
+        c.record(0b00, 50);
+        c.record(0b11, 50);
+        // Cost = number of ones.
+        let e = c.expectation_of(|b| b.count_ones() as f64);
+        assert_eq!(e, 1.0);
+    }
+
+    #[test]
+    fn sampling_is_reproducible_and_calibrated() {
+        let probs = vec![0.1, 0.2, 0.3, 0.4];
+        let mut rng = StdRng::seed_from_u64(11);
+        let c = Counts::sample_from_probabilities(&probs, 40_000, 2, &mut rng);
+        assert_eq!(c.total(), 40_000);
+        for (b, &p) in probs.iter().enumerate() {
+            assert!((c.frequency(b) - p).abs() < 0.01, "b={b}");
+        }
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let c2 = Counts::sample_from_probabilities(&probs, 40_000, 2, &mut rng2);
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn remap_permutes_bits() {
+        let mut c = Counts::new(3);
+        c.record(0b110, 5);
+        // New bit p reads old bit map[p]; map = [2, 0, 1].
+        let r = c.remapped(&[2, 0, 1], 3);
+        // old 0b110: bit0=0, bit1=1, bit2=1 -> new bit0=old2=1, bit1=old0=0, bit2=old1=1 -> 0b101.
+        assert_eq!(r.count(0b101), 5);
+    }
+
+    #[test]
+    fn from_iterator_infers_width() {
+        let c: Counts = vec![(0b100, 1u64), (0b001, 2u64)].into_iter().collect();
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn empty_counts_edge_cases() {
+        let c = Counts::new(2);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.frequency(0), 0.0);
+        assert_eq!(c.expectation_of(|_| 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_bitstring_panics() {
+        let mut c = Counts::new(2);
+        c.record(0b100, 1);
+    }
+}

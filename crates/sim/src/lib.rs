@@ -1,0 +1,37 @@
+//! Statevector and density-matrix quantum simulators.
+//!
+//! Two execution backends power the workspace:
+//!
+//! - [`StateVector`]: pure-state simulation for ideal (noiseless) circuit
+//!   evaluation and for unit-testing compiled pulse propagators,
+//! - [`DensityMatrix`]: mixed-state simulation used by the machine-in-loop
+//!   training runs, where Kraus noise channels act after every instruction.
+//!
+//! Both apply small (1- and 2-qubit) operators with `O(2^n)`-per-gate
+//! kernels instead of materializing `2^n x 2^n` unitaries.
+//!
+//! Measurement statistics come out as [`Counts`] — multisets of observed
+//! bitstrings — which downstream crates feed to error mitigation and cost
+//! aggregation.
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_circuit::Circuit;
+//! use hgp_sim::StateVector;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let psi = StateVector::from_circuit(&bell).expect("bound circuit");
+//! let probs = psi.probabilities();
+//! assert!((probs[0b00] - 0.5).abs() < 1e-12);
+//! assert!((probs[0b11] - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod counts;
+pub mod density;
+pub mod statevector;
+
+pub use counts::Counts;
+pub use density::DensityMatrix;
+pub use statevector::StateVector;

@@ -1,0 +1,137 @@
+//! Single-qubit gate fusion (resynthesis).
+//!
+//! Maximal runs of bound single-qubit gates on one wire collapse into a
+//! single `U3`, cutting pulse count (every 1q stretch costs at most two
+//! SX pulses after fusion). Runs containing free parameters are left
+//! untouched — they must survive binding.
+
+use hgp_circuit::{Circuit, Gate, Instruction, Param};
+use hgp_math::su2::zyz_decompose;
+use hgp_math::Matrix;
+
+/// Fuses runs of bound 1q gates into single `U3` gates.
+///
+/// Identity-equivalent runs are dropped entirely.
+pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
+    let insts = circuit.instructions();
+    let mut out = Circuit::new(circuit.n_qubits());
+    for _ in 0..circuit.n_params() {
+        out.add_param();
+    }
+    // Pending accumulated unitary per qubit.
+    let mut pending: Vec<Option<Matrix>> = vec![None; circuit.n_qubits()];
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<Matrix>>, q: usize| {
+        if let Some(u) = pending[q].take() {
+            if u.approx_eq_up_to_phase(&Matrix::identity(2), 1e-12) {
+                return;
+            }
+            let (_, beta, gamma, delta) = zyz_decompose(&u);
+            // U3(theta, phi, lambda) = RZ(phi) RY(theta) RZ(lambda) up to
+            // global phase, with theta = gamma, phi = beta, lambda = delta.
+            out.push(
+                Gate::U3(
+                    Param::bound(gamma),
+                    Param::bound(beta),
+                    Param::bound(delta),
+                ),
+                &[q],
+            );
+        }
+    };
+    for inst in insts {
+        match inst {
+            Instruction::Gate { gate, qubits } if gate.n_qubits() == 1 && gate.is_bound() => {
+                let q = qubits[0];
+                let m = gate.matrix().expect("bound");
+                pending[q] = Some(match pending[q].take() {
+                    Some(acc) => m.matmul(&acc),
+                    None => m,
+                });
+            }
+            other => {
+                for &q in other.qubits() {
+                    flush(&mut out, &mut pending, q);
+                }
+                match other {
+                    Instruction::Gate { gate, qubits } => {
+                        out.push(*gate, qubits);
+                    }
+                    o => out.instructions_mut().push(o.clone()),
+                }
+            }
+        }
+    }
+    for q in 0..circuit.n_qubits() {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_of_rotations_becomes_one_u3() {
+        let mut qc = Circuit::new(1);
+        qc.rx(0, 0.3).rz(0, 0.7).ry(0, -0.4).h(0);
+        let out = fuse_1q_runs(&qc);
+        assert_eq!(out.count_gates(), 1);
+        assert!(out
+            .unitary()
+            .unwrap()
+            .approx_eq_up_to_phase(&qc.unitary().unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn identity_runs_vanish() {
+        let mut qc = Circuit::new(1);
+        qc.h(0).h(0).x(0).x(0);
+        assert_eq!(fuse_1q_runs(&qc).count_gates(), 0);
+    }
+
+    #[test]
+    fn two_qubit_gates_interrupt_runs() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).h(0);
+        let out = fuse_1q_runs(&qc);
+        // Each H survives as its own U3 around the CX.
+        assert_eq!(out.count_gates(), 3);
+        assert!(out
+            .unitary()
+            .unwrap()
+            .approx_eq_up_to_phase(&qc.unitary().unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn free_parameters_are_preserved() {
+        let mut qc = Circuit::new(1);
+        let p = qc.add_param();
+        qc.h(0).rx_param(0, p, 2.0).h(0);
+        let out = fuse_1q_runs(&qc);
+        // Hs fuse separately; the free RX survives symbolically.
+        assert!(out
+            .instructions()
+            .iter()
+            .any(|i| matches!(i.gate(), Some(Gate::Rx(Param::Free { .. })))));
+        let bound_in = qc.bind(&[0.4]);
+        let bound_out = out.bind(&[0.4]);
+        assert!(bound_out
+            .unitary()
+            .unwrap()
+            .approx_eq_up_to_phase(&bound_in.unitary().unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn multi_qubit_runs_fuse_independently() {
+        let mut qc = Circuit::new(3);
+        qc.h(0).h(1).rx(0, 0.5).ry(1, 0.2).rz(2, 1.0).cx(0, 1);
+        let out = fuse_1q_runs(&qc);
+        assert!(out
+            .unitary()
+            .unwrap()
+            .approx_eq_up_to_phase(&qc.unitary().unwrap(), 1e-10));
+        // Qubit 0 and 1 runs fused to one gate each + the rz + the cx.
+        assert_eq!(out.count_gates(), 4);
+    }
+}

@@ -1,0 +1,48 @@
+//! Gate-level compilation passes (the paper's "Step II").
+//!
+//! The hybrid gate-pulse workflow applies gate-level optimization to the
+//! fixed-structure parts of a VQA. This crate provides the passes the
+//! paper selects, plus the routing machinery they sit on:
+//!
+//! - [`sabre`]: SABRE qubit mapping and routing (Li, Ding, Xie; ASPLOS'19)
+//!   — inserts SWAPs so every two-qubit gate lands on a coupler,
+//! - [`cancellation`]: commutative gate cancellation — self-inverse pairs
+//!   annihilate and same-axis rotations merge, looking through commuting
+//!   neighbours,
+//! - [`fusion`]: single-qubit resynthesis — runs of 1q gates collapse to
+//!   one `U3`,
+//! - [`basis`]: translation to the hardware basis `{RZ, SX, X, CX}`
+//!   (`RZZ` is kept by request — the Hamiltonian layer's problem encoding),
+//! - [`Transpiler`]: the composed pipeline with a [`TranspileOptions`]
+//!   switchboard, returning the routed circuit plus initial/final layouts.
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_circuit::Circuit;
+//! use hgp_device::Backend;
+//! use hgp_transpile::{Transpiler, TranspileOptions};
+//!
+//! let backend = Backend::ibmq_guadalupe();
+//! let mut qc = Circuit::new(3);
+//! qc.h(0).cx(0, 1).cx(0, 2).cx(1, 2);
+//! let out = Transpiler::new(&backend).run(&qc, &TranspileOptions::default());
+//! // Every 2q gate in the output touches a real coupler.
+//! for inst in out.circuit.instructions() {
+//!     if let hgp_circuit::Instruction::Gate { qubits, .. } = inst {
+//!         if qubits.len() == 2 {
+//!             assert!(backend.coupling_map().are_coupled(qubits[0], qubits[1]));
+//!         }
+//!     }
+//! }
+//! ```
+
+pub mod basis;
+pub mod cancellation;
+pub mod fusion;
+pub mod layout;
+pub mod sabre;
+pub mod transpiler;
+
+pub use layout::Layout;
+pub use transpiler::{TranspileOptions, TranspiledCircuit, Transpiler};

@@ -1,0 +1,226 @@
+//! The composed transpilation pipeline.
+
+use hgp_circuit::Circuit;
+use hgp_device::Backend;
+
+use crate::basis::to_basis;
+use crate::cancellation::cancel_gates;
+use crate::fusion::fuse_1q_runs;
+use crate::layout::Layout;
+use crate::sabre::{choose_initial_layout, route, RoutedCircuit};
+
+/// Pipeline switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranspileOptions {
+    /// Run commutative gate cancellation before and after routing.
+    pub cancellation: bool,
+    /// Fuse bound 1q-gate runs into single `U3`s.
+    pub fusion: bool,
+    /// Translate to the `{RZ, SX, X, CX}` basis at the end.
+    pub basis_translation: bool,
+    /// Keep `RZZ` intact through basis translation (the Hamiltonian
+    /// layer's problem structure).
+    pub keep_rzz: bool,
+    /// Use SABRE forward-backward iteration to pick the initial layout
+    /// (otherwise requires an explicit layout).
+    pub sabre_layout_iterations: usize,
+    /// Explicit initial layout (overrides SABRE layout selection). The
+    /// paper fixes the logical-to-physical mapping for fair comparisons.
+    pub initial_layout: Option<Vec<usize>>,
+}
+
+impl Default for TranspileOptions {
+    fn default() -> Self {
+        Self {
+            cancellation: true,
+            fusion: false,
+            basis_translation: false,
+            keep_rzz: true,
+            sabre_layout_iterations: 3,
+            initial_layout: None,
+        }
+    }
+}
+
+impl TranspileOptions {
+    /// Routing only — no optimization passes (the paper's unoptimized
+    /// "raw" configuration).
+    pub fn raw() -> Self {
+        Self {
+            cancellation: false,
+            fusion: false,
+            basis_translation: false,
+            keep_rzz: true,
+            sabre_layout_iterations: 0,
+            initial_layout: None,
+        }
+    }
+
+    /// The paper's "GO" (gate-level optimization) configuration: SABRE
+    /// mapping plus commutative cancellation.
+    pub fn gate_optimized() -> Self {
+        Self::default()
+    }
+
+    /// Sets a fixed initial layout.
+    pub fn with_layout(mut self, layout: Vec<usize>) -> Self {
+        self.initial_layout = Some(layout);
+        self
+    }
+}
+
+/// Result of transpilation.
+#[derive(Debug, Clone)]
+pub struct TranspiledCircuit {
+    /// The physical circuit (width = device size).
+    pub circuit: Circuit,
+    /// Layout at entry.
+    pub initial_layout: Layout,
+    /// Layout at exit.
+    pub final_layout: Layout,
+    /// SWAPs inserted by routing.
+    pub n_swaps: usize,
+}
+
+/// The composed pipeline (see [`TranspileOptions`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Transpiler<'a> {
+    backend: &'a Backend,
+}
+
+impl<'a> Transpiler<'a> {
+    /// Creates a transpiler for `backend`.
+    pub fn new(backend: &'a Backend) -> Self {
+        Self { backend }
+    }
+
+    /// Runs the pipeline on a logical circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit layout has the wrong width.
+    pub fn run(&self, circuit: &Circuit, options: &TranspileOptions) -> TranspiledCircuit {
+        let coupling = self.backend.coupling_map();
+        let mut logical = circuit.clone();
+        if options.cancellation {
+            logical = cancel_gates(&logical);
+        }
+        if options.fusion {
+            logical = fuse_1q_runs(&logical);
+        }
+        let initial_layout = match &options.initial_layout {
+            Some(l) => Layout::new(l.clone(), coupling.n_qubits()),
+            None if options.sabre_layout_iterations > 0 => {
+                choose_initial_layout(&logical, coupling, options.sabre_layout_iterations)
+            }
+            None => Layout::trivial(logical.n_qubits(), coupling.n_qubits()),
+        };
+        let RoutedCircuit {
+            circuit: mut routed,
+            initial_layout,
+            final_layout,
+            n_swaps,
+        } = route(&logical, coupling, &initial_layout);
+        if options.cancellation {
+            routed = cancel_gates(&routed);
+        }
+        if options.basis_translation {
+            routed = to_basis(&routed, options.keep_rzz);
+            if options.cancellation {
+                routed = cancel_gates(&routed);
+            }
+        }
+        TranspiledCircuit {
+            circuit: routed,
+            initial_layout,
+            final_layout,
+            n_swaps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_circuit::Instruction;
+
+    fn qaoa_like(n: usize, edges: &[(usize, usize)]) -> Circuit {
+        let mut qc = Circuit::new(n);
+        for q in 0..n {
+            qc.h(q);
+        }
+        for &(u, v) in edges {
+            qc.rzz(u, v, 0.4);
+        }
+        for q in 0..n {
+            qc.rx(q, 0.8);
+        }
+        qc
+    }
+
+    #[test]
+    fn pipeline_produces_coupled_gates_only() {
+        let backend = Backend::ibmq_guadalupe();
+        let qc = qaoa_like(6, &[(0, 3), (1, 4), (2, 5), (0, 4), (1, 5), (2, 3)]);
+        let out = Transpiler::new(&backend).run(&qc, &TranspileOptions::default());
+        for inst in out.circuit.instructions() {
+            if let Instruction::Gate { qubits, .. } = inst {
+                if qubits.len() == 2 {
+                    assert!(
+                        backend.coupling_map().are_coupled(qubits[0], qubits[1]),
+                        "uncoupled 2q gate after transpilation"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_layout_is_respected() {
+        let backend = Backend::ibmq_guadalupe();
+        let qc = qaoa_like(3, &[(0, 1), (1, 2)]);
+        let layout = vec![1, 4, 7];
+        let out = Transpiler::new(&backend).run(
+            &qc,
+            &TranspileOptions::default().with_layout(layout.clone()),
+        );
+        assert_eq!(out.initial_layout.as_slice(), layout.as_slice());
+    }
+
+    #[test]
+    fn cancellation_reduces_gate_count() {
+        let backend = Backend::ideal(4);
+        let mut qc = Circuit::new(2);
+        qc.cx(0, 1).cx(0, 1).h(0).h(0).rz(1, 0.4).rz(1, -0.4);
+        let raw = Transpiler::new(&backend).run(&qc, &TranspileOptions::raw());
+        let opt = Transpiler::new(&backend).run(&qc, &TranspileOptions::default());
+        assert!(opt.circuit.count_gates() < raw.circuit.count_gates());
+        assert_eq!(opt.circuit.count_gates(), 0);
+    }
+
+    #[test]
+    fn basis_translation_composes_with_routing() {
+        let backend = Backend::ibmq_guadalupe();
+        let qc = qaoa_like(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let opts = TranspileOptions {
+            basis_translation: true,
+            keep_rzz: false,
+            ..TranspileOptions::default()
+        };
+        let out = Transpiler::new(&backend).run(&qc, &opts);
+        for inst in out.circuit.instructions() {
+            if let Some(g) = inst.gate() {
+                assert!(
+                    matches!(
+                        g,
+                        hgp_circuit::Gate::Rz(_)
+                            | hgp_circuit::Gate::SX
+                            | hgp_circuit::Gate::X
+                            | hgp_circuit::Gate::CX
+                    ),
+                    "gate {g} escaped basis translation"
+                );
+            }
+        }
+    }
+}

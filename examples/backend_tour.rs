@@ -1,0 +1,53 @@
+//! Tour of the simulated backends: calibration data, coupling maps,
+//! pulse calibration sanity checks, and the noise a Bell pair suffers on
+//! each machine.
+//!
+//! ```text
+//! cargo run --release --example backend_tour
+//! ```
+
+use hybrid_gate_pulse::circuit::Circuit;
+use hybrid_gate_pulse::device::Backend;
+use hybrid_gate_pulse::noise::NoisySimulator;
+use hybrid_gate_pulse::pulse::calibration::PulseLibrary;
+use hybrid_gate_pulse::sim::StateVector;
+
+fn main() {
+    for backend in Backend::paper_backends() {
+        let cal = backend.calibration();
+        println!("=== {} ({} qubits)", backend.name(), backend.n_qubits());
+        println!(
+            "  couplers: {}  CX error: {:.2e}  readout error: {:.3}",
+            backend.coupling_map().edges().len(),
+            cal.cx_error,
+            cal.readout_error
+        );
+        println!(
+            "  T1/T2: {:.0}/{:.0} us   CX duration: {} dt   readout: {} dt",
+            cal.t1_us,
+            cal.t2_us,
+            backend.cx_duration_dt(0, 1),
+            backend.measure_duration_dt()
+        );
+        // The calibrated X pulse really is an X gate on this machine.
+        let lib = PulseLibrary::new(&backend);
+        let x = lib.x_propagator(0);
+        let ideal = hybrid_gate_pulse::circuit::Gate::X.matrix().expect("bound");
+        println!(
+            "  X pulse calibration: amp {:.3}, matches gate: {}",
+            lib.x_amp(0),
+            x.approx_eq_up_to_phase(&ideal, 1e-6)
+        );
+        // Bell-pair fidelity under this backend's noise.
+        let mut bell = Circuit::new(2);
+        bell.h(0).cx(0, 1);
+        let rho = NoisySimulator::new(&backend)
+            .simulate(&bell, &[0, 1])
+            .expect("bound circuit");
+        let psi = StateVector::from_circuit(&bell).expect("bound circuit");
+        println!(
+            "  Bell-pair fidelity after one CX: {:.4}\n",
+            rho.fidelity_with_pure(&psi)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Step I in isolation: binary search for the shortest mixer pulse
+//! duration that keeps the trained approximation ratio (the paper's
+//! 320 dt -> 128 dt result).
+//!
+//! ```text
+//! cargo run --release --example pulse_duration_search
+//! ```
+
+use hybrid_gate_pulse::core::models::HybridModel;
+use hybrid_gate_pulse::device::Backend;
+use hybrid_gate_pulse::graph::instances;
+use hybrid_gate_pulse::prelude::*;
+
+fn main() {
+    let backend = Backend::ibmq_toronto();
+    let graph = instances::task1_three_regular_6();
+    let model = HybridModel::new(&backend, &graph, 1, vec![1, 2, 3, 4, 5, 7])
+        .expect("connected region");
+
+    let config = TrainConfig {
+        max_evals: 30,
+        ..TrainConfig::default()
+    };
+    let result = search_min_duration(&model, &graph, &config, 32, 320, 0.02);
+
+    println!("baseline (320 dt) AR: {:.1}%", 100.0 * result.baseline_ar);
+    println!(
+        "shortest accepted duration: {} dt (AR {:.1}%)",
+        result.best_duration_dt,
+        100.0 * result.ar_at_best
+    );
+    println!("evaluations:");
+    for (duration, ar) in &result.evaluated {
+        println!("  {duration:>4} dt -> {:.1}%", 100.0 * ar);
+    }
+    println!(
+        "\nduration reduced by {:.0}% (paper: 60%, 320 dt -> 128 dt)",
+        100.0 * (1.0 - f64::from(result.best_duration_dt) / 320.0)
+    );
+}

@@ -1,0 +1,47 @@
+//! # hybrid-gate-pulse
+//!
+//! A from-scratch Rust reproduction of **"Hybrid Gate-Pulse Model for
+//! Variational Quantum Algorithms"** (Liang et al., DAC 2023,
+//! arXiv:2212.00661), including every substrate the paper's evaluation
+//! depends on: a gate-level circuit IR and transpiler (SABRE routing,
+//! commutative cancellation), a pulse-level IR with a rotating-frame
+//! simulator and calibrated pulse library, statevector and density-matrix
+//! simulators, calibration-derived noise models of the four IBM backends
+//! of the paper's Table I, derivative-free optimizers (COBYLA), and error
+//! suppression (M3 measurement mitigation, CVaR aggregation).
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! name so applications can depend on a single package. See the
+//! `examples/` directory for runnable entry points and `crates/bench`
+//! for the binaries that regenerate each of the paper's tables and
+//! figures.
+//!
+//! ```
+//! use hybrid_gate_pulse::prelude::*;
+//! use hybrid_gate_pulse::{device::Backend, graph::instances};
+//!
+//! let backend = Backend::ibmq_toronto();
+//! let graph = instances::task1_three_regular_6();
+//! let model = HybridModel::new(&backend, &graph, 1, vec![1, 2, 3, 4, 5, 7])
+//!     .expect("connected region");
+//! let config = TrainConfig { max_evals: 10, ..TrainConfig::default() };
+//! let result = train(&model, &graph, &config);
+//! assert!(result.approximation_ratio > 0.0);
+//! ```
+
+pub use hgp_circuit as circuit;
+pub use hgp_core as core;
+pub use hgp_device as device;
+pub use hgp_graph as graph;
+pub use hgp_math as math;
+pub use hgp_mitigation as mitigation;
+pub use hgp_noise as noise;
+pub use hgp_optim as optim;
+pub use hgp_pulse as pulse;
+pub use hgp_sim as sim;
+pub use hgp_transpile as transpile;
+
+/// One-stop imports for application code.
+pub mod prelude {
+    pub use hgp_core::prelude::*;
+}

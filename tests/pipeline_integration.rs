@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: whole pipelines from graph to
+//! approximation ratio.
+
+use hybrid_gate_pulse::core::models::{GateModel, GateModelOptions, HybridModel, VqaModel};
+use hybrid_gate_pulse::device::Backend;
+use hybrid_gate_pulse::graph::instances;
+use hybrid_gate_pulse::prelude::*;
+
+fn quick_config() -> TrainConfig {
+    TrainConfig {
+        max_evals: 10,
+        shots: 512,
+        final_shots: 4096,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn gate_pipeline_end_to_end() {
+    // graph -> QAOA -> route -> noisy sim -> counts -> AR.
+    let backend = Backend::ibmq_toronto();
+    let graph = instances::task1_three_regular_6();
+    let model = GateModel::new(
+        &backend,
+        &graph,
+        1,
+        vec![1, 2, 3, 4, 5, 7],
+        GateModelOptions::optimized(),
+    )
+    .expect("connected region");
+    let result = train(&model, &graph, &quick_config());
+    assert!(result.approximation_ratio > 0.40);
+    assert!(result.approximation_ratio < 1.0);
+    assert_eq!(result.mixer_duration_dt, 320);
+}
+
+#[test]
+fn hybrid_pipeline_end_to_end_with_all_steps() {
+    let backend = Backend::ibmq_toronto();
+    let graph = instances::task1_three_regular_6();
+    let mut config = PipelineConfig::full(1, vec![1, 2, 3, 4, 5, 7]);
+    config.train = quick_config();
+    config.duration_tolerance = 0.05;
+    let out = run_pipeline(&backend, &graph, &config).expect("valid region");
+    assert!(out.result.approximation_ratio > 0.40);
+    assert!(out.mixer_duration_dt <= 320);
+    let search = out.duration_search.expect("step I ran");
+    assert_eq!(search.best_duration_dt % 32, 0);
+}
+
+#[test]
+fn hybrid_beats_gate_on_toronto_task1() {
+    // The paper's headline ordering, at the full paper budget. This is
+    // the repository's reproduction smoke test.
+    let backend = Backend::ibmq_toronto();
+    let graph = instances::task1_three_regular_6();
+    let region = vec![1, 2, 3, 4, 5, 7];
+    let config = TrainConfig::default();
+    let gate = GateModel::new(&backend, &graph, 1, region.clone(), GateModelOptions::raw())
+        .expect("region");
+    let hybrid = HybridModel::new(&backend, &graph, 1, region).expect("region");
+    let r_gate = train(&gate, &graph, &config);
+    let r_hybrid = train(&hybrid, &graph, &config);
+    assert!(
+        r_hybrid.expectation_ar > r_gate.expectation_ar + 0.01,
+        "hybrid {:.3} must beat gate {:.3}",
+        r_hybrid.expectation_ar,
+        r_gate.expectation_ar
+    );
+}
+
+#[test]
+fn cvar_dominates_expectation_everywhere() {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task2_random_6();
+    let region = vec![0, 1, 2, 3, 4, 5];
+    let model = HybridModel::new(&backend, &graph, 1, region).expect("region");
+    let plain = train(&model, &graph, &quick_config());
+    let mut cvar_cfg = quick_config();
+    cvar_cfg.cvar_alpha = Some(0.3);
+    let cvar = train(&model, &graph, &cvar_cfg);
+    assert!(cvar.approximation_ratio >= plain.approximation_ratio - 0.02);
+}
+
+#[test]
+fn all_three_tasks_run_on_both_montreal_and_toronto() {
+    for backend in [Backend::ibmq_toronto(), Backend::ibmq_montreal()] {
+        for (name, graph, _) in instances::all_tasks() {
+            let n = graph.n_nodes();
+            let region: Vec<usize> = if n == 6 {
+                vec![1, 2, 3, 4, 5, 7]
+            } else {
+                vec![1, 2, 3, 4, 5, 7, 8, 10]
+            };
+            let model = HybridModel::new(&backend, &graph, 1, region).expect("region");
+            let mut config = quick_config();
+            config.max_evals = 4;
+            config.shots = 256;
+            config.final_shots = 1024;
+            let result = train(&model, &graph, &config);
+            assert!(
+                result.approximation_ratio > 0.3,
+                "{name} on {} gave AR {}",
+                backend.name(),
+                result.approximation_ratio
+            );
+        }
+    }
+}
+
+#[test]
+fn deeper_qaoa_builds_and_trains() {
+    let backend = Backend::ibmq_toronto();
+    let graph = instances::task1_three_regular_6();
+    let model = HybridModel::new(&backend, &graph, 2, vec![1, 2, 3, 4, 5, 7]).expect("region");
+    assert_eq!(model.n_params(), 2 * (2 + 12));
+    let mut config = quick_config();
+    config.max_evals = 4;
+    let result = train(&model, &graph, &config);
+    assert!(result.approximation_ratio > 0.2);
+}
