@@ -79,9 +79,14 @@ fn main() {
     let graph = instances::task1_three_regular_6();
     println!("Ablation: hybrid pulse-parameter families (ibmq_toronto, task 1)\n");
     let region = region_for(&backend, 6);
-    let gate = GateModel::new(&backend, &graph, 1, region, GateModelOptions::raw()).expect("region");
+    let gate =
+        GateModel::new(&backend, &graph, 1, region, GateModelOptions::raw()).expect("region");
     let r_gate = train(&gate, &graph, &paper_train_config());
-    println!("{:<42}{:>8}", "gate-level baseline", pct(r_gate.expectation_ar));
+    println!(
+        "{:<42}{:>8}",
+        "gate-level baseline",
+        pct(r_gate.expectation_ar)
+    );
     for (label, phase, freq) in [
         ("amplitude only (trims frozen)", false, false),
         ("amplitude + phase", true, false),

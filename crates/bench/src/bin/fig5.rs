@@ -33,7 +33,10 @@ fn main() {
     let optimized = hybrid.clone_with_duration(search.best_duration_dt);
     let r_po = train(&optimized, &graph, &config);
 
-    println!("{:<38}{:>10}{:>14}{:>12}", "model", "AR", "mixer (dt)", "evals");
+    println!(
+        "{:<38}{:>10}{:>14}{:>12}",
+        "model", "AR", "mixer (dt)", "evals"
+    );
     println!(
         "{:<38}{:>10}{:>14}{:>12}",
         "pulse-level model",

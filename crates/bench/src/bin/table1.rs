@@ -7,24 +7,45 @@ use hgp_device::Backend;
 
 fn main() {
     let backends = Backend::paper_backends();
+    // The header names columns positionally; pin the backend order so a
+    // future reordering of paper_backends() cannot mislabel the table.
+    let order = [
+        "ibm_auckland",
+        "ibmq_toronto",
+        "ibmq_guadalupe",
+        "ibmq_montreal",
+    ];
+    assert_eq!(backends.len(), order.len(), "backend count");
+    for (b, expect) in backends.iter().zip(order) {
+        assert_eq!(b.name(), expect, "column order must match the header");
+    }
     println!("Table I: calibration data of quantum computers (device models)");
-    println!("{:<22}{:>12}{:>12}{:>12}{:>12}", "", "auckland", "toronto", "guadalupe", "montreal");
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}{:>12}",
+        "", "auckland", "toronto", "guadalupe", "montreal"
+    );
     let row = |label: &str, f: &dyn Fn(&Backend) -> String| {
         print!("{label:<22}");
         for b in &backends {
-            let order = ["ibm_auckland", "ibmq_toronto", "ibmq_guadalupe", "ibmq_montreal"];
-            let _ = order;
             print!("{:>12}", f(b));
         }
         println!();
     };
     row("# qubit", &|b| format!("{}", b.n_qubits()));
-    row("Pauli-X error", &|b| format!("{:.3e}", b.calibration().x_error));
-    row("CNOT error", &|b| format!("{:.3e}", b.calibration().cx_error));
-    row("Readout error", &|b| format!("{:.3}", b.calibration().readout_error));
+    row("Pauli-X error", &|b| {
+        format!("{:.3e}", b.calibration().x_error)
+    });
+    row("CNOT error", &|b| {
+        format!("{:.3e}", b.calibration().cx_error)
+    });
+    row("Readout error", &|b| {
+        format!("{:.3}", b.calibration().readout_error)
+    });
     row("T1 time (us)", &|b| format!("{:.2}", b.calibration().t1_us));
     row("T2 time (us)", &|b| format!("{:.2}", b.calibration().t2_us));
-    row("Readout length (ns)", &|b| format!("{:.1}", b.calibration().readout_length_ns));
+    row("Readout length (ns)", &|b| {
+        format!("{:.1}", b.calibration().readout_length_ns)
+    });
     println!();
     println!("Derived checks (paper's analysis):");
     let cx: Vec<(f64, &str)> = backends
@@ -35,7 +56,10 @@ fn main() {
         .iter()
         .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
         .expect("nonempty");
-    println!("  lowest CNOT error:    {} (expect ibmq_toronto)", best_cx.1);
+    println!(
+        "  lowest CNOT error:    {} (expect ibmq_toronto)",
+        best_cx.1
+    );
     let ro: Vec<(f64, &str)> = backends
         .iter()
         .map(|b| (b.calibration().readout_error, b.name()))
@@ -44,5 +68,8 @@ fn main() {
         .iter()
         .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
         .expect("nonempty");
-    println!("  lowest readout error: {} (expect ibm_auckland)", best_ro.1);
+    println!(
+        "  lowest readout error: {} (expect ibm_auckland)",
+        best_ro.1
+    );
 }

@@ -21,8 +21,15 @@ fn main() {
     println!("Table II: 3-regular 6-node Max-Cut, p = 1 QAOA\n");
     print!("{:<14}", "");
     for b in &backends {
-        let short = b.name().trim_start_matches("ibmq_").trim_start_matches("ibm_");
-        print!("{:>14}{:>14}", format!("{short}(gate)"), format!("{short}(hyb)"));
+        let short = b
+            .name()
+            .trim_start_matches("ibmq_")
+            .trim_start_matches("ibm_");
+        print!(
+            "{:>14}{:>14}",
+            format!("{short}(gate)"),
+            format!("{short}(hyb)")
+        );
     }
     println!();
 

@@ -55,16 +55,15 @@ pub fn table2_cell(
     config.use_m3 = m3;
     config.cvar_alpha = if cvar { Some(0.3) } else { None };
     if hybrid {
-        let mut model = HybridModel::with_options(backend, graph, 1, region, options)
-            .expect("valid region");
+        let mut model =
+            HybridModel::with_options(backend, graph, 1, region, options).expect("valid region");
         if let Some(d) = pulse_opt_duration {
             model = model.with_mixer_duration(d);
         }
         let _ = model.mixer_duration_dt();
         train(&model, graph, &config)
     } else {
-        let model =
-            GateModel::new(backend, graph, 1, region, options).expect("valid region");
+        let model = GateModel::new(backend, graph, 1, region, options).expect("valid region");
         train(&model, graph, &config)
     }
 }
@@ -131,8 +130,8 @@ pub fn table2_cell_seeded(
     config.use_m3 = m3;
     config.cvar_alpha = if cvar { Some(0.3) } else { None };
     if hybrid {
-        let mut model = HybridModel::with_options(backend, graph, 1, region, options)
-            .expect("valid region");
+        let mut model =
+            HybridModel::with_options(backend, graph, 1, region, options).expect("valid region");
         if let Some(d) = pulse_opt_duration {
             model = model.with_mixer_duration(d);
         }

@@ -167,7 +167,8 @@ impl Circuit {
     /// Appends measurement of every qubit into the same-numbered bit.
     pub fn measure_all(&mut self) -> &mut Self {
         for q in 0..self.n_qubits {
-            self.instructions.push(Instruction::Measure { qubit: q, cbit: q });
+            self.instructions
+                .push(Instruction::Measure { qubit: q, cbit: q });
         }
         self
     }
@@ -432,7 +433,11 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} params)", self.n_qubits, self.n_params)?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} params)",
+            self.n_qubits, self.n_params
+        )?;
         for inst in &self.instructions {
             match inst {
                 Instruction::Gate { gate, qubits } => {

@@ -128,9 +128,7 @@ impl Gate {
         let eval = |p: &Param| -> Option<f64> {
             match *p {
                 Param::Bound(v) => Some(v),
-                Param::Free { id, scale, offset } => {
-                    params.get(id.0).map(|&v| scale * v + offset)
-                }
+                Param::Free { id, scale, offset } => params.get(id.0).map(|&v| scale * v + offset),
             }
         };
         let m = match self {
@@ -150,14 +148,12 @@ impl Gate {
             ]),
             Gate::S => Matrix::from_diag(&[Complex64::ONE, Complex64::I]),
             Gate::Sdg => Matrix::from_diag(&[Complex64::ONE, c64(0.0, -1.0)]),
-            Gate::T => Matrix::from_diag(&[
-                Complex64::ONE,
-                Complex64::cis(std::f64::consts::FRAC_PI_4),
-            ]),
-            Gate::Tdg => Matrix::from_diag(&[
-                Complex64::ONE,
-                Complex64::cis(-std::f64::consts::FRAC_PI_4),
-            ]),
+            Gate::T => {
+                Matrix::from_diag(&[Complex64::ONE, Complex64::cis(std::f64::consts::FRAC_PI_4)])
+            }
+            Gate::Tdg => {
+                Matrix::from_diag(&[Complex64::ONE, Complex64::cis(-std::f64::consts::FRAC_PI_4)])
+            }
             Gate::SX => Matrix::from_rows(&[
                 &[c64(0.5, 0.5), c64(0.5, -0.5)],
                 &[c64(0.5, -0.5), c64(0.5, 0.5)],
@@ -185,10 +181,7 @@ impl Gate {
                 let p = eval(phi)?;
                 let l = eval(lam)?;
                 Matrix::from_rows(&[
-                    &[
-                        c64(t.cos(), 0.0),
-                        Complex64::cis(l).scale(-t.sin()),
-                    ],
+                    &[c64(t.cos(), 0.0), Complex64::cis(l).scale(-t.sin())],
                     &[
                         Complex64::cis(p).scale(t.sin()),
                         Complex64::cis(p + l).scale(t.cos()),
@@ -196,10 +189,30 @@ impl Gate {
                 ])
             }
             Gate::CX => Matrix::from_rows(&[
-                &[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO],
-                &[Complex64::ZERO, Complex64::ONE, Complex64::ZERO, Complex64::ZERO],
-                &[Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ONE],
-                &[Complex64::ZERO, Complex64::ZERO, Complex64::ONE, Complex64::ZERO],
+                &[
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                ],
+                &[
+                    Complex64::ZERO,
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                ],
+                &[
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ONE,
+                ],
+                &[
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                ],
             ]),
             Gate::CZ => Matrix::from_diag(&[
                 Complex64::ONE,
@@ -208,10 +221,30 @@ impl Gate {
                 c64(-1.0, 0.0),
             ]),
             Gate::Swap => Matrix::from_rows(&[
-                &[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO],
-                &[Complex64::ZERO, Complex64::ZERO, Complex64::ONE, Complex64::ZERO],
-                &[Complex64::ZERO, Complex64::ONE, Complex64::ZERO, Complex64::ZERO],
-                &[Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ONE],
+                &[
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                ],
+                &[
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                ],
+                &[
+                    Complex64::ZERO,
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                ],
+                &[
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ONE,
+                ],
             ]),
             Gate::Rzz(p) => {
                 let t = eval(p)? / 2.0;
@@ -274,7 +307,13 @@ impl Gate {
     pub fn is_diagonal(&self) -> bool {
         matches!(
             self,
-            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_)
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
                 | Gate::CZ
                 | Gate::Rzz(_)
         )

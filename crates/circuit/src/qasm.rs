@@ -1,12 +1,16 @@
-//! OpenQASM 2 export.
+//! OpenQASM 2 import and export.
 //!
-//! Circuits interchange with the wider quantum toolchain through OpenQASM.
-//! Only export is provided; the workspace never needs to parse QASM.
+//! Circuits interchange with the wider quantum toolchain through
+//! OpenQASM: [`to_qasm`] serializes a bound circuit, [`from_qasm`]
+//! parses the dialect this exporter (and Qiskit's exporter, for the
+//! workspace's gate set) emits — one statement per line, a single
+//! quantum register, angles as literals or simple `pi` expressions.
 
 use std::fmt::Write as _;
 
 use crate::circuit::{Circuit, Instruction};
 use crate::gate::Gate;
+use crate::param::Param;
 
 /// Error returned when a circuit cannot be exported.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,9 +68,7 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, ExportQasmError> {
         out.push_str("gate rzz(theta) a,b { cx a,b; rz(theta) b; cx a,b; }\n");
     }
     if uses_rzx {
-        out.push_str(
-            "gate rzx(theta) a,b { h b; cx a,b; rz(theta) b; cx a,b; h b; }\n",
-        );
+        out.push_str("gate rzx(theta) a,b { h b; cx a,b; rz(theta) b; cx a,b; h b; }\n");
     }
     let n = circuit.n_qubits();
     let _ = writeln!(out, "qreg q[{n}];");
@@ -127,10 +129,347 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, ExportQasmError> {
     Ok(out)
 }
 
+/// Error returned when QASM text cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportQasmError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A gate name outside the workspace's gate set.
+    UnsupportedGate {
+        /// 1-based source line.
+        line: usize,
+        /// The offending mnemonic.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for ImportQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportQasmError::Syntax { line, message } => {
+                write!(f, "QASM syntax error on line {line}: {message}")
+            }
+            ImportQasmError::UnsupportedGate { line, name } => {
+                write!(f, "unsupported gate `{name}` on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportQasmError {}
+
+/// Parses OpenQASM 2 text into a [`Circuit`].
+///
+/// Supports the statement-per-line dialect [`to_qasm`] emits: a single
+/// `qreg`, an optional `creg`, `gate` definitions for `rzz`/`rzx`
+/// (skipped — both are native here), gate applications over the
+/// workspace gate set, `barrier`, and `measure`. Angles may be decimal
+/// literals or products/quotients of literals and `pi`.
+///
+/// # Errors
+///
+/// Returns [`ImportQasmError`] on malformed statements, unknown gates,
+/// arity mismatches, or out-of-range qubit indices.
+///
+/// ```
+/// use hgp_circuit::qasm::{from_qasm, to_qasm};
+/// use hgp_circuit::Circuit;
+///
+/// let mut qc = Circuit::new(2);
+/// qc.h(0).rzz(0, 1, 0.5).measure_all();
+/// let round_tripped = from_qasm(&to_qasm(&qc)?).expect("parses");
+/// assert_eq!(qc.instructions(), round_tripped.instructions());
+/// # Ok::<(), hgp_circuit::qasm::ExportQasmError>(())
+/// ```
+pub fn from_qasm(text: &str) -> Result<Circuit, ImportQasmError> {
+    let syntax = |line: usize, message: &str| ImportQasmError::Syntax {
+        line,
+        message: message.to_string(),
+    };
+    let mut circuit: Option<Circuit> = None;
+    let mut in_gate_def = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Skip gate-definition bodies (rzz/rzx are native gates here).
+        if in_gate_def {
+            if line.contains('}') {
+                in_gate_def = false;
+            }
+            continue;
+        }
+        if line.starts_with("gate ") {
+            in_gate_def = !line.contains('}');
+            continue;
+        }
+        if line.starts_with("OPENQASM") || line.starts_with("include") || line.starts_with("creg") {
+            continue;
+        }
+        let stmt = line
+            .strip_suffix(';')
+            .ok_or_else(|| syntax(line_no, "missing terminating `;`"))?
+            .trim();
+        if let Some(decl) = stmt.strip_prefix("qreg") {
+            if circuit.is_some() {
+                return Err(syntax(line_no, "multiple qreg declarations"));
+            }
+            let size = decl
+                .trim()
+                .split(['[', ']'])
+                .nth(1)
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| syntax(line_no, "malformed qreg declaration"))?;
+            if size == 0 {
+                return Err(syntax(line_no, "qreg must hold at least one qubit"));
+            }
+            circuit = Some(Circuit::new(size));
+            continue;
+        }
+        let qc = circuit
+            .as_mut()
+            .ok_or_else(|| syntax(line_no, "statement before qreg declaration"))?;
+        let n_qubits = qc.n_qubits();
+        let parse_qubits = |list: &str| -> Result<Vec<usize>, ImportQasmError> {
+            list.split(',')
+                .map(|operand| {
+                    let q = operand
+                        .trim()
+                        .split(['[', ']'])
+                        .nth(1)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .ok_or_else(|| syntax(line_no, "malformed qubit operand"))?;
+                    if q >= n_qubits {
+                        return Err(syntax(line_no, "qubit index out of range"));
+                    }
+                    Ok(q)
+                })
+                .collect()
+        };
+        if let Some(rest) = stmt.strip_prefix("barrier") {
+            let qubits = parse_qubits(rest)?;
+            qc.instructions_mut().push(Instruction::Barrier { qubits });
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("measure") {
+            let (lhs, rhs) = rest
+                .split_once("->")
+                .ok_or_else(|| syntax(line_no, "measure needs `->`"))?;
+            let qubit = parse_qubits(lhs)?[0];
+            let cbit = rhs
+                .trim()
+                .split(['[', ']'])
+                .nth(1)
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| syntax(line_no, "malformed classical operand"))?;
+            qc.instructions_mut()
+                .push(Instruction::Measure { qubit, cbit });
+            continue;
+        }
+        // Gate application: `name(params)? q[i](,q[j])*`.
+        let (head, operands) = match stmt.find(|c: char| c.is_whitespace()) {
+            Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => {
+                stmt.split_at(pos)
+            }
+            _ => stmt
+                .find(')')
+                .map(|pos| stmt.split_at(pos + 1))
+                .ok_or_else(|| syntax(line_no, "malformed gate statement"))?,
+        };
+        let (name, params) = match head.split_once('(') {
+            Some((name, rest)) => {
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| syntax(line_no, "unclosed parameter list"))?;
+                let values = inner
+                    .split(',')
+                    .map(|expr| {
+                        parse_angle(expr).ok_or_else(|| {
+                            syntax(line_no, &format!("cannot evaluate angle `{}`", expr.trim()))
+                        })
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?;
+                (name.trim(), values)
+            }
+            None => (head.trim(), Vec::new()),
+        };
+        let qubits = parse_qubits(operands)?;
+        let gate =
+            gate_from_mnemonic(name, &params).ok_or_else(|| ImportQasmError::UnsupportedGate {
+                line: line_no,
+                name: name.to_string(),
+            })?;
+        if gate.n_qubits() != qubits.len() {
+            return Err(syntax(line_no, "operand count does not match gate arity"));
+        }
+        if qubits.len() == 2 && qubits[0] == qubits[1] {
+            return Err(syntax(line_no, "two-qubit gate operands must differ"));
+        }
+        qc.push(gate, &qubits);
+    }
+    circuit.ok_or_else(|| syntax(text.lines().count().max(1), "no qreg declaration found"))
+}
+
+/// Builds a gate from its QASM mnemonic and evaluated parameters.
+fn gate_from_mnemonic(name: &str, params: &[f64]) -> Option<Gate> {
+    let one = |ctor: fn(Param) -> Gate| -> Option<Gate> {
+        (params.len() == 1).then(|| ctor(Param::bound(params[0])))
+    };
+    match name {
+        "id" if params.is_empty() => Some(Gate::I),
+        "x" if params.is_empty() => Some(Gate::X),
+        "y" if params.is_empty() => Some(Gate::Y),
+        "z" if params.is_empty() => Some(Gate::Z),
+        "h" if params.is_empty() => Some(Gate::H),
+        "s" if params.is_empty() => Some(Gate::S),
+        "sdg" if params.is_empty() => Some(Gate::Sdg),
+        "t" if params.is_empty() => Some(Gate::T),
+        "tdg" if params.is_empty() => Some(Gate::Tdg),
+        "sx" if params.is_empty() => Some(Gate::SX),
+        "rx" => one(Gate::Rx),
+        "ry" => one(Gate::Ry),
+        "rz" => one(Gate::Rz),
+        "u3" => (params.len() == 3).then(|| {
+            Gate::U3(
+                Param::bound(params[0]),
+                Param::bound(params[1]),
+                Param::bound(params[2]),
+            )
+        }),
+        "cx" if params.is_empty() => Some(Gate::CX),
+        "cz" if params.is_empty() => Some(Gate::CZ),
+        "swap" if params.is_empty() => Some(Gate::Swap),
+        "rzz" => one(Gate::Rzz),
+        "rzx" => one(Gate::Rzx),
+        _ => None,
+    }
+}
+
+/// Evaluates a QASM angle expression: products and quotients of decimal
+/// literals and `pi`, with an optional leading minus.
+fn parse_angle(expr: &str) -> Option<f64> {
+    let expr = expr.trim();
+    let (negated, expr) = match expr.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, expr),
+    };
+    let mut value = 1.0f64;
+    // Split into multiplicative factors, tracking the pending operator.
+    let mut divide = false;
+    for piece in expr.split_inclusive(['*', '/']) {
+        let (factor_text, next_op) = match piece.strip_suffix(['*', '/']) {
+            Some(stripped) => (stripped.trim(), piece.ends_with('/')),
+            None => (piece.trim(), false),
+        };
+        let factor = match factor_text {
+            "pi" => std::f64::consts::PI,
+            other => other.parse::<f64>().ok()?,
+        };
+        if divide {
+            if factor == 0.0 {
+                return None;
+            }
+            value /= factor;
+        } else {
+            value *= factor;
+        }
+        divide = next_op;
+    }
+    Some(if negated { -value } else { value })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::param::{Param, ParamId};
+
+    #[test]
+    fn full_gate_set_round_trips() {
+        let mut qc = Circuit::new(3);
+        qc.h(0)
+            .x(1)
+            .y(2)
+            .z(0)
+            .sx(1)
+            .rx(0, 1.25)
+            .ry(1, -0.75)
+            .rz(2, 0.125)
+            .cx(0, 1)
+            .cz(1, 2)
+            .swap(0, 2)
+            .rzz(0, 1, -2.5)
+            .push(Gate::S, &[0])
+            .push(Gate::Sdg, &[1])
+            .push(Gate::T, &[2])
+            .push(Gate::Tdg, &[0])
+            .push(Gate::I, &[1])
+            .push(
+                Gate::U3(Param::bound(0.3), Param::bound(-0.4), Param::bound(0.5)),
+                &[2],
+            )
+            .push(Gate::Rzx(Param::bound(0.9)), &[1, 2])
+            .barrier()
+            .measure_all();
+        let text = to_qasm(&qc).expect("bound circuit exports");
+        let back = from_qasm(&text).expect("exported text parses");
+        assert_eq!(qc.n_qubits(), back.n_qubits());
+        assert_eq!(qc.instructions(), back.instructions());
+    }
+
+    #[test]
+    fn import_evaluates_pi_expressions() {
+        let text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nrx(pi/2) q[0];\nrz(-pi) q[0];\nry(3*pi/4) q[0];\n";
+        let qc = from_qasm(text).expect("parses");
+        let angles: Vec<f64> = qc
+            .instructions()
+            .iter()
+            .map(|i| i.gate().unwrap().params()[0].value().unwrap())
+            .collect();
+        assert!((angles[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!((angles[1] + std::f64::consts::PI).abs() < 1e-15);
+        assert!((angles[2] - 3.0 * std::f64::consts::FRAC_PI_4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn import_rejects_unknown_gates_and_bad_indices() {
+        let unknown = "qreg q[2];\nccx q[0],q[1];\n";
+        assert!(matches!(
+            from_qasm(unknown),
+            Err(ImportQasmError::UnsupportedGate { name, .. }) if name == "ccx"
+        ));
+        let out_of_range = "qreg q[2];\nx q[5];\n";
+        assert!(matches!(
+            from_qasm(out_of_range),
+            Err(ImportQasmError::Syntax { line: 2, .. })
+        ));
+        let no_qreg = "x q[0];\n";
+        assert!(from_qasm(no_qreg).is_err());
+        // Duplicate operands must come back as an error, not a panic.
+        let duplicate = "qreg q[2];\ncx q[0],q[0];\n";
+        assert!(matches!(
+            from_qasm(duplicate),
+            Err(ImportQasmError::Syntax { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn import_skips_gate_definitions() {
+        let mut qc = Circuit::new(2);
+        qc.rzz(0, 1, 0.5)
+            .push(Gate::Rzx(Param::bound(0.25)), &[0, 1]);
+        let text = to_qasm(&qc).unwrap();
+        assert!(text.contains("gate rzz"));
+        assert!(text.contains("gate rzx"));
+        let back = from_qasm(&text).unwrap();
+        assert_eq!(qc.instructions(), back.instructions());
+    }
 
     #[test]
     fn bell_circuit_exports() {

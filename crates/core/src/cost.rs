@@ -69,10 +69,7 @@ impl CostEvaluator {
                 // CVaR over the mitigated quasi-distribution, projected to
                 // a true distribution with fractional weights.
                 let probs = m3.apply(counts).to_probabilities();
-                cvar_weighted(
-                    probs.iter().map(|(&b, &p)| (cut(b), p)),
-                    alpha,
-                )
+                cvar_weighted(probs.iter().map(|(&b, &p)| (cut(b), p)), alpha)
             }
         }
     }
@@ -142,7 +139,10 @@ mod tests {
             .with_cvar(0.3)
             .approximation_ratio(&counts);
         assert!(cvar30 > plain);
-        assert!((cvar30 - 1.0).abs() < 1e-12, "best 30% of shots are optimal");
+        assert!(
+            (cvar30 - 1.0).abs() < 1e-12,
+            "best 30% of shots are optimal"
+        );
     }
 
     #[test]
@@ -159,7 +159,10 @@ mod tests {
             .with_m3(M3Mitigator::from_readout_model(&model))
             .approximation_ratio(&noisy);
         assert!(raw < 1.0);
-        assert!(mitigated > raw, "M3 should improve AR: {mitigated} vs {raw}");
+        assert!(
+            mitigated > raw,
+            "M3 should improve AR: {mitigated} vs {raw}"
+        );
         assert!((mitigated - 1.0).abs() < 0.03);
     }
 
@@ -169,7 +172,9 @@ mod tests {
         let counts = record(&[(0b010101, 512), (0b000000, 512)], 6);
         let eval = CostEvaluator::new(&g)
             .with_cvar(0.3)
-            .with_m3(M3Mitigator::from_readout_model(&ReadoutModel::uniform(6, 0.02)));
+            .with_m3(M3Mitigator::from_readout_model(&ReadoutModel::uniform(
+                6, 0.02,
+            )));
         let ar = eval.approximation_ratio(&counts);
         assert!(ar > 0.0 && ar <= 1.001);
     }
@@ -180,8 +185,7 @@ mod tests {
         let counts = record(&[(0b010101, 700), (0b000000, 300)], 6);
         let by_counts = CostEvaluator::new(&g).with_cvar(0.5).cost(&counts);
         let by_weight = cvar_weighted(
-            [(cut_cost(&g, 0b010101), 0.7), (cut_cost(&g, 0b000000), 0.3)]
-                .into_iter(),
+            [(cut_cost(&g, 0b010101), 0.7), (cut_cost(&g, 0b000000), 0.3)].into_iter(),
             0.5,
         );
         assert!((by_counts - by_weight).abs() < 1e-12);

@@ -39,8 +39,14 @@ pub fn search_min_duration(
     max_dt: u32,
     tolerance: f64,
 ) -> DurationSearchResult {
-    assert!(min_dt >= 32 && min_dt % 32 == 0, "min_dt must be a multiple of 32");
-    assert!(max_dt >= min_dt && max_dt % 32 == 0, "max_dt must be a multiple of 32");
+    assert!(
+        min_dt >= 32 && min_dt.is_multiple_of(32),
+        "min_dt must be a multiple of 32"
+    );
+    assert!(
+        max_dt >= min_dt && max_dt.is_multiple_of(32),
+        "max_dt must be a multiple of 32"
+    );
     let mut evaluated = Vec::new();
     let baseline_model = model.clone_with_duration(max_dt);
     let baseline_ar = train(&baseline_model, graph, config).approximation_ratio;

@@ -18,7 +18,7 @@ use hgp_noise::durations::gate_duration_dt;
 use hgp_noise::{NoisySimulator, ReadoutModel};
 use hgp_pulse::propagator::{drive_propagator, virtual_z};
 use hgp_pulse::Waveform;
-use hgp_sim::{Counts, DensityMatrix};
+use hgp_sim::{Counts, DensityMatrix, SimBackend};
 
 use crate::program::{BlockKind, Program, ProgramOp};
 
@@ -83,6 +83,21 @@ impl<'a> Executor<'a> {
     /// Panics if the program width disagrees with the layout or a gate
     /// spans a non-coupled physical pair.
     pub fn run(&self, program: &Program) -> DensityMatrix {
+        self.run_on(program)
+    }
+
+    /// [`Executor::run`] generalized over the execution engine.
+    ///
+    /// The engine of record for noisy training is [`DensityMatrix`];
+    /// engines without channel support (statevector) host the same
+    /// schedule on ideal hardware, where every noise channel
+    /// degenerates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program width disagrees with the layout or a gate
+    /// spans a non-coupled physical pair.
+    pub fn run_on<B: SimBackend>(&self, program: &Program) -> B {
         assert_eq!(
             program.n_qubits(),
             self.layout.len(),
@@ -90,15 +105,13 @@ impl<'a> Executor<'a> {
         );
         let noise = NoisySimulator::new(self.backend);
         let n = program.n_qubits();
-        let mut rho = DensityMatrix::zero_state(n);
+        let mut rho = B::init(n);
         let mut clock = vec![0u64; n];
         for op in program.ops() {
             let qubits = op.qubits().to_vec();
             let phys: Vec<usize> = qubits.iter().map(|&q| self.layout[q]).collect();
             let (duration, is_gate) = match op {
-                ProgramOp::Gate { gate, .. } => {
-                    (gate_duration_dt(self.backend, gate, &phys), true)
-                }
+                ProgramOp::Gate { gate, .. } => (gate_duration_dt(self.backend, gate, &phys), true),
                 ProgramOp::PulseBlock { duration, .. } => (*duration, false),
             };
             // ASAP alignment with idle decoherence and frame drift.
@@ -121,8 +134,10 @@ impl<'a> Executor<'a> {
                         let m = self.actual_1q_unitary(gate, self.layout[qubits[0]], duration);
                         rho.apply_unitary(&m, qubits);
                     } else {
-                        let m = gate.matrix().expect("program gates are bound");
-                        rho.apply_unitary(&m, qubits);
+                        // Fused kernel dispatch (RZZ/CZ cost layers are
+                        // diagonal — the executor's hot path).
+                        rho.apply_gate(gate, qubits)
+                            .expect("program gates are bound");
                         // Frame drift accumulated on both operands.
                         for (&lq, &pq) in qubits.iter().zip(phys.iter()) {
                             let drift = self.backend.qubit(pq).freq_offset * f64::from(duration);
@@ -132,7 +147,9 @@ impl<'a> Executor<'a> {
                         }
                     }
                 }
-                ProgramOp::PulseBlock { qubits, unitary, .. } => {
+                ProgramOp::PulseBlock {
+                    qubits, unitary, ..
+                } => {
                     rho.apply_unitary(unitary, qubits);
                 }
             }
@@ -161,8 +178,8 @@ impl<'a> Executor<'a> {
         }
         // Simultaneous terminal measurement: idle early finishers.
         let end = clock.iter().copied().max().unwrap_or(0);
-        for q in 0..n {
-            let gap = end - clock[q];
+        for (q, &busy_until) in clock.iter().enumerate() {
+            let gap = end - busy_until;
             if gap > 0 {
                 self.idle_qubit(&noise, &mut rho, q, gap as u32);
             }
@@ -173,10 +190,10 @@ impl<'a> Executor<'a> {
     /// Idles a qubit for `duration_dt`: decoherence plus coherent frame
     /// drift, with an X-X dynamical-decoupling pair splitting long
     /// windows when enabled.
-    fn idle_qubit(
+    fn idle_qubit<B: SimBackend>(
         &self,
         noise: &NoisySimulator<'_>,
-        rho: &mut DensityMatrix,
+        rho: &mut B,
         logical: usize,
         duration_dt: u32,
     ) {
@@ -204,7 +221,7 @@ impl<'a> Executor<'a> {
 
     /// Frame-frequency drift over an idle period (a Z rotation at the
     /// qubit's residual frequency offset).
-    fn apply_idle_drift(&self, rho: &mut DensityMatrix, logical: usize, duration_dt: u32) {
+    fn apply_idle_drift<B: SimBackend>(&self, rho: &mut B, logical: usize, duration_dt: u32) {
         let offset = self.backend.qubit(self.layout[logical]).freq_offset;
         if offset != 0.0 {
             rho.apply_unitary(&virtual_z(offset * f64::from(duration_dt)), &[logical]);
@@ -266,7 +283,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Samples measurement outcomes from an already-computed state.
-    pub fn sample_state(&self, rho: &DensityMatrix, shots: usize, seed: u64) -> Counts {
+    pub fn sample_state<B: SimBackend>(&self, rho: &B, shots: usize, seed: u64) -> Counts {
         let mut probs = self.readout.apply_to_probabilities(&rho.probabilities());
         let sum: f64 = probs.iter().sum();
         if sum > 0.0 {
@@ -363,8 +380,10 @@ mod tests {
         let f0 = counts.frequency(0);
         // The state is ~|1>, but readout error leaks some weight to 0.
         let expected_leak = backend.qubit(0).readout_error;
-        assert!(f0 > 0.2 * expected_leak && f0 < 5.0 * expected_leak + 0.02,
-            "readout leak {f0} vs error {expected_leak}");
+        assert!(
+            f0 > 0.2 * expected_leak && f0 < 5.0 * expected_leak + 0.02,
+            "readout leak {f0} vs error {expected_leak}"
+        );
     }
 
     #[test]
@@ -401,7 +420,11 @@ mod tests {
         assert!(backend.qubit(worst).freq_offset.abs() > 5e-5);
         let mk_exec = |dd: bool| {
             let e = Executor::new(&backend, vec![worst, neighbour]);
-            if dd { e.with_dynamical_decoupling() } else { e }
+            if dd {
+                e.with_dynamical_decoupling()
+            } else {
+                e
+            }
         };
         // H on q0, then q1 works for a long time, then H on q0 again.
         let mut p = Program::new(2);

@@ -58,5 +58,5 @@ pub mod prelude {
     pub use crate::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
     pub use crate::program::{Program, ProgramOp};
     pub use crate::qaoa::{approximation_ratio, cost_hamiltonian, cut_cost, qaoa_circuit};
-    pub use crate::training::{train, TrainConfig, TrainResult};
+    pub use crate::training::{objective_gradient, train, TrainConfig, TrainResult};
 }

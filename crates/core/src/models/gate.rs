@@ -248,10 +248,8 @@ mod tests {
         let counts = exec.sample_state(&rho, 200_000, 3);
         let logical_counts = model.interpret_counts(&counts);
         // Reference distribution.
-        let reference = StateVector::from_circuit(
-            &crate::qaoa::qaoa_circuit(&graph, 1).bind(&params),
-        )
-        .unwrap();
+        let reference =
+            StateVector::from_circuit(&crate::qaoa::qaoa_circuit(&graph, 1).bind(&params)).unwrap();
         for b in 0..(1 << 6) {
             let f = logical_counts.frequency(b);
             let p = reference.probability(b);
@@ -309,13 +307,7 @@ mod tests {
     fn wrong_region_size_is_an_error() {
         let backend = Backend::ibmq_toronto();
         let graph = instances::task1_three_regular_6();
-        let r = GateModel::new(
-            &backend,
-            &graph,
-            1,
-            vec![0, 1, 2],
-            GateModelOptions::raw(),
-        );
+        let r = GateModel::new(&backend, &graph, 1, vec![0, 1, 2], GateModelOptions::raw());
         assert!(r.is_err());
     }
 }

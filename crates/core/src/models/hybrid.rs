@@ -163,8 +163,7 @@ impl<'a> HybridModel<'a> {
                 }
             }
             append_hamiltonian_layer(&mut qc, graph, gamma);
-            let (circuit, out_layout) =
-                route_in_region(&qc, backend, &region, &current, &options)?;
+            let (circuit, out_layout) = route_in_region(&qc, backend, &region, &current, &options)?;
             let wires = (0..n).map(|l| out_layout.physical(l)).collect();
             layers.push(LayerPart { circuit, wires });
             current = out_layout;
@@ -190,7 +189,7 @@ impl<'a> HybridModel<'a> {
     /// Panics on an invalid duration.
     pub fn with_mixer_duration(mut self, duration_dt: u32) -> Self {
         assert!(
-            duration_dt > 0 && duration_dt % 32 == 0,
+            duration_dt > 0 && duration_dt.is_multiple_of(32),
             "mixer duration must be a positive multiple of 32 dt"
         );
         self.mixer_duration = duration_dt;
@@ -299,8 +298,8 @@ impl VqaModel for HybridModel<'_> {
             let theta = chunk[1];
             let bound = layer.circuit.bind(&[gamma]);
             program.append(&Program::from_circuit(&bound).expect("bound layer"));
-            let freq_bound = (FREQ_TRIM_AUTHORITY_RAD / f64::from(self.mixer_duration))
-                .min(FREQ_SHIFT_HW_BOUND);
+            let freq_bound =
+                (FREQ_TRIM_AUTHORITY_RAD / f64::from(self.mixer_duration)).min(FREQ_SHIFT_HW_BOUND);
             for l in 0..self.n_logical {
                 let phase = chunk[2 + 2 * l].clamp(-PHASE_TRIM_BOUND, PHASE_TRIM_BOUND);
                 // The raw parameter is a *fraction* of the allowed trim, so

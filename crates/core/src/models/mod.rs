@@ -23,7 +23,12 @@ pub use region::{default_region, region_coupling};
 use crate::program::Program;
 
 /// A trainable VQA model: parameters in, executable hybrid program out.
-pub trait VqaModel {
+///
+/// Models are `Sync`: the training loop evaluates independent objective
+/// probes (multi-start warm-up, simplex initializations, parameter-shift
+/// gradients) in parallel, building one program per worker from the same
+/// shared model.
+pub trait VqaModel: Sync {
     /// The backend the model is compiled against.
     fn backend(&self) -> &hgp_device::Backend;
 

@@ -219,12 +219,7 @@ impl VqaModel for PulseModel<'_> {
                         *freq0 + qp.freq_offset,
                         qp.drive_strength,
                     );
-                    program.push_pulse_block(
-                        &[*wire],
-                        u,
-                        waveform.duration(),
-                        BlockKind::Drive,
-                    );
+                    program.push_pulse_block(&[*wire], u, waveform.duration(), BlockKind::Drive);
                 }
                 TemplateItem::CrossRes {
                     control_wire,
@@ -250,12 +245,7 @@ impl VqaModel for PulseModel<'_> {
                     );
                 }
                 TemplateItem::VirtualZ { wire, angle } => {
-                    program.push_pulse_block(
-                        &[*wire],
-                        virtual_z(*angle),
-                        0,
-                        BlockKind::Virtual,
-                    );
+                    program.push_pulse_block(&[*wire], virtual_z(*angle), 0, BlockKind::Virtual);
                 }
             }
         }

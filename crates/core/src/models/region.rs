@@ -34,7 +34,7 @@ pub fn default_region(backend: &Backend, n: usize) -> Vec<usize> {
                     .iter()
                     .filter(|x| region.contains(x))
                     .count();
-                if best.map_or(true, |(_, bl)| links > bl) {
+                if best.is_none_or(|(_, bl)| links > bl) {
                     best = Some((nb, links));
                 }
             }

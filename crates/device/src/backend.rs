@@ -82,11 +82,9 @@ impl Backend {
     /// averages, deriving per-qubit/per-edge values with deterministic
     /// jitter seeded by `name`.
     pub fn from_calibration(name: &str, coupling: CouplingMap, cal: Calibration) -> Self {
-        let seed = name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-            });
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        });
         let mut rng = StdRng::seed_from_u64(seed);
         let n = coupling.n_qubits();
         let jitter = |rng: &mut StdRng, lo: f64, hi: f64| rng.gen_range(lo..hi);
@@ -345,7 +343,12 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["ibm_auckland", "ibmq_toronto", "ibmq_guadalupe", "ibmq_montreal"]
+            vec![
+                "ibm_auckland",
+                "ibmq_toronto",
+                "ibmq_guadalupe",
+                "ibmq_montreal"
+            ]
         );
     }
 

@@ -68,8 +68,7 @@ impl CouplingMap {
     /// A ring `0 - 1 - ... - (n-1) - 0`.
     pub fn ring(n_qubits: usize) -> Self {
         assert!(n_qubits >= 3, "ring needs at least 3 qubits");
-        let mut edges: Vec<(usize, usize)> =
-            (0..n_qubits - 1).map(|i| (i, i + 1)).collect();
+        let mut edges: Vec<(usize, usize)> = (0..n_qubits - 1).map(|i| (i, i + 1)).collect();
         edges.push((0, n_qubits - 1));
         Self::new(n_qubits, &edges)
     }

@@ -25,12 +25,15 @@ use crate::graph::Graph;
 /// assert_eq!(g.n_edges(), 12);
 /// ```
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph"
+    );
     assert!(d < n, "degree must be below the vertex count");
     let mut rng = StdRng::seed_from_u64(seed);
     'attempt: for _ in 0..10_000 {
         // Stubs: vertex v appears d times.
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(&mut rng);
         let mut g = Graph::new(n);
         let mut adj = vec![vec![false; n]; n];

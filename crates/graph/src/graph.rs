@@ -73,7 +73,10 @@ impl Graph {
     /// Panics on a self-loop, out-of-range endpoint, or duplicate edge.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
         assert_ne!(u, v, "self-loops are not allowed");
-        assert!(u < self.n_nodes && v < self.n_nodes, "endpoint out of range");
+        assert!(
+            u < self.n_nodes && v < self.n_nodes,
+            "endpoint out of range"
+        );
         let (u, v) = if u < v { (u, v) } else { (v, u) };
         assert!(
             !self.edges.iter().any(|e| e.u == u && e.v == v),

@@ -77,9 +77,9 @@ mod tests {
         assert_eq!(best.value, 4.0);
         // The assignment separates {0,1} from {2,3}.
         let a = best.assignment;
-        assert_eq!((a >> 0) & 1, (a >> 1) & 1);
+        assert_eq!(a & 1, (a >> 1) & 1);
         assert_eq!((a >> 2) & 1, (a >> 3) & 1);
-        assert_ne!((a >> 0) & 1, (a >> 2) & 1);
+        assert_ne!(a & 1, (a >> 2) & 1);
     }
 
     #[test]

@@ -182,6 +182,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w = z * w^-1 by definition
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }

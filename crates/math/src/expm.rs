@@ -77,7 +77,9 @@ pub fn expm(a: &Matrix) -> Matrix {
     let mut term = Matrix::identity(n);
     let mut acc = Matrix::identity(n);
     for k in 1..=24 {
-        term = term.matmul(&scaled).scale(Complex64::from_re(1.0 / k as f64));
+        term = term
+            .matmul(&scaled)
+            .scale(Complex64::from_re(1.0 / k as f64));
         acc = &acc + &term;
         if term.max_abs() < 1e-18 {
             break;

@@ -196,6 +196,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `v.len() != self.cols()`.
+    #[allow(clippy::needless_range_loop)] // row index drives a slice window
     pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(v.len(), self.cols, "vector length must match columns");
         let mut out = vec![Complex64::ZERO; self.rows];
@@ -250,11 +251,7 @@ impl Matrix {
 
     /// Frobenius norm `sqrt(sum |a_ij|^2)`.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// Largest entry-wise modulus, used as a cheap norm bound.
@@ -342,7 +339,10 @@ impl Matrix {
         assert_eq!(self.rows, 1 << k, "operator dimension must be 2^k");
         assert!(self.is_square(), "operator must be square");
         for &t in targets {
-            assert!(t < n_qubits, "target {t} out of range for {n_qubits} qubits");
+            assert!(
+                t < n_qubits,
+                "target {t} out of range for {n_qubits} qubits"
+            );
         }
         let mut seen = vec![false; n_qubits];
         for &t in targets {
@@ -465,7 +465,10 @@ mod tests {
     use crate::c64;
 
     fn x() -> Matrix {
-        Matrix::from_rows(&[&[c64(0.0, 0.0), c64(1.0, 0.0)], &[c64(1.0, 0.0), c64(0.0, 0.0)]])
+        Matrix::from_rows(&[
+            &[c64(0.0, 0.0), c64(1.0, 0.0)],
+            &[c64(1.0, 0.0), c64(0.0, 0.0)],
+        ])
     }
 
     fn z() -> Matrix {

@@ -66,17 +66,26 @@ impl fmt::Display for Pauli {
 
 /// The Pauli-X matrix.
 pub fn sigma_x() -> Matrix {
-    Matrix::from_rows(&[&[c64(0.0, 0.0), c64(1.0, 0.0)], &[c64(1.0, 0.0), c64(0.0, 0.0)]])
+    Matrix::from_rows(&[
+        &[c64(0.0, 0.0), c64(1.0, 0.0)],
+        &[c64(1.0, 0.0), c64(0.0, 0.0)],
+    ])
 }
 
 /// The Pauli-Y matrix.
 pub fn sigma_y() -> Matrix {
-    Matrix::from_rows(&[&[c64(0.0, 0.0), c64(0.0, -1.0)], &[c64(0.0, 1.0), c64(0.0, 0.0)]])
+    Matrix::from_rows(&[
+        &[c64(0.0, 0.0), c64(0.0, -1.0)],
+        &[c64(0.0, 1.0), c64(0.0, 0.0)],
+    ])
 }
 
 /// The Pauli-Z matrix.
 pub fn sigma_z() -> Matrix {
-    Matrix::from_rows(&[&[c64(1.0, 0.0), c64(0.0, 0.0)], &[c64(0.0, 0.0), c64(-1.0, 0.0)]])
+    Matrix::from_rows(&[
+        &[c64(1.0, 0.0), c64(0.0, 0.0)],
+        &[c64(0.0, 0.0), c64(-1.0, 0.0)],
+    ])
 }
 
 /// A weighted Pauli string acting on `n` qubits, e.g. `0.5 * Z_0 Z_3`.
@@ -116,7 +125,11 @@ impl PauliString {
             .collect();
         kept.sort_by_key(|&(q, _)| q);
         for w in kept.windows(2) {
-            assert!(w[0].0 != w[1].0, "duplicate qubit {} in Pauli string", w[0].0);
+            assert!(
+                w[0].0 != w[1].0,
+                "duplicate qubit {} in Pauli string",
+                w[0].0
+            );
         }
         if let Some(&(q, _)) = kept.last() {
             assert!(q < n_qubits, "qubit {q} out of range for {n_qubits} qubits");
@@ -265,7 +278,10 @@ impl PauliSum {
     ///
     /// Panics if any term contains an `X`/`Y` factor.
     pub fn eval_diagonal(&self, basis_state: usize) -> f64 {
-        self.terms.iter().map(|t| t.eval_diagonal(basis_state)).sum()
+        self.terms
+            .iter()
+            .map(|t| t.eval_diagonal(basis_state))
+            .sum()
     }
 
     /// Whether every term is diagonal.
@@ -304,7 +320,12 @@ mod tests {
 
     #[test]
     fn from_char_round_trip() {
-        for (c, p) in [('I', Pauli::I), ('x', Pauli::X), ('Y', Pauli::Y), ('z', Pauli::Z)] {
+        for (c, p) in [
+            ('I', Pauli::I),
+            ('x', Pauli::X),
+            ('Y', Pauli::Y),
+            ('z', Pauli::Z),
+        ] {
             assert_eq!(Pauli::from_char(c).unwrap(), p);
         }
         assert_eq!(Pauli::from_char('q'), Err('Q'));

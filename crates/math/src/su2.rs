@@ -37,14 +37,8 @@ pub fn exp_i_pauli(ax: f64, ay: f64, az: f64) -> Matrix {
     let (nx, ny, nz) = (ax / norm, ay / norm, az / norm);
     // cos I - i sin (n . sigma)
     Matrix::from_rows(&[
-        &[
-            Complex64::new(c, -s * nz),
-            Complex64::new(-s * ny, -s * nx),
-        ],
-        &[
-            Complex64::new(s * ny, -s * nx),
-            Complex64::new(c, s * nz),
-        ],
+        &[Complex64::new(c, -s * nz), Complex64::new(-s * ny, -s * nx)],
+        &[Complex64::new(s * ny, -s * nx), Complex64::new(c, s * nz)],
     ])
 }
 

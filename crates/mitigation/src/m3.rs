@@ -50,11 +50,8 @@ impl QuasiDistribution {
     /// negatives, renormalize) — used when downstream code needs real
     /// probabilities (e.g. CVaR over mitigated shots).
     pub fn to_probabilities(&self) -> BTreeMap<usize, f64> {
-        let clipped: BTreeMap<usize, f64> = self
-            .probs
-            .iter()
-            .map(|(&b, &p)| (b, p.max(0.0)))
-            .collect();
+        let clipped: BTreeMap<usize, f64> =
+            self.probs.iter().map(|(&b, &p)| (b, p.max(0.0))).collect();
         let sum: f64 = clipped.values().sum();
         if sum <= 0.0 {
             return clipped;
@@ -125,6 +122,7 @@ impl M3Mitigator {
     ///
     /// Panics if the counts' width disagrees with the calibration or the
     /// record is empty.
+    #[allow(clippy::needless_range_loop)] // dense index iteration over the assignment matrix
     pub fn apply(&self, counts: &Counts) -> QuasiDistribution {
         assert_eq!(counts.n_qubits(), self.qubits.len(), "width mismatch");
         let observed = counts.observed();
@@ -140,7 +138,8 @@ impl M3Mitigator {
             .iter()
             .map(|&col| observed.iter().map(|&row| self.assignment(row, col)).sum())
             .collect();
-        let a = |row: usize, col: usize| self.assignment(observed[row], observed[col]) / col_norm[col];
+        let a =
+            |row: usize, col: usize| self.assignment(observed[row], observed[col]) / col_norm[col];
         // Jacobi iteration with diagonal preconditioning; A_sub is
         // strongly diagonally dominant for realistic readout errors.
         let mut x = p_noisy.clone();
@@ -173,6 +172,7 @@ impl M3Mitigator {
         }
     }
 
+    #[allow(clippy::needless_range_loop)] // Gaussian elimination indexes two rows at once
     fn direct_solve(&self, observed: &[usize], p: &[f64], col_norm: &[f64]) -> Vec<f64> {
         let m = observed.len();
         let mut a: Vec<Vec<f64>> = (0..m)
@@ -265,7 +265,13 @@ mod tests {
         truth.record(0b11, 40_000);
         let mut rng = StdRng::seed_from_u64(5);
         let noisy = model.corrupt_counts(&truth, &mut rng);
-        let parity = |b: usize| if (b.count_ones() % 2) == 0 { 1.0 } else { -1.0 };
+        let parity = |b: usize| {
+            if b.count_ones().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            }
+        };
         let raw = noisy.expectation_of(parity);
         let mitigated = M3Mitigator::from_readout_model(&model)
             .apply(&noisy)
@@ -277,13 +283,25 @@ mod tests {
     #[test]
     fn asymmetric_errors_are_handled() {
         let m3 = M3Mitigator::new(vec![
-            QubitReadout { p01: 0.02, p10: 0.15 },
-            QubitReadout { p01: 0.08, p10: 0.01 },
+            QubitReadout {
+                p01: 0.02,
+                p10: 0.15,
+            },
+            QubitReadout {
+                p01: 0.08,
+                p10: 0.01,
+            },
         ]);
         // True state |01> (qubit0 = 1): qubit 0 often decays to read 0.
         let model = ReadoutModel::new(vec![
-            QubitReadout { p01: 0.02, p10: 0.15 },
-            QubitReadout { p01: 0.08, p10: 0.01 },
+            QubitReadout {
+                p01: 0.02,
+                p10: 0.15,
+            },
+            QubitReadout {
+                p01: 0.08,
+                p10: 0.01,
+            },
         ]);
         let mut truth = Counts::new(2);
         truth.record(0b01, 60_000);

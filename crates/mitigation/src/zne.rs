@@ -58,10 +58,7 @@ pub fn richardson(points: &[(f64, f64)]) -> f64 {
         let mut weight = 1.0;
         for (j, &(xj, _)) in points.iter().enumerate() {
             if i != j {
-                assert!(
-                    (xi - xj).abs() > 1e-12,
-                    "noise scales must be distinct"
-                );
+                assert!((xi - xj).abs() > 1e-12, "noise scales must be distinct");
                 weight *= xj / (xj - xi);
             }
         }

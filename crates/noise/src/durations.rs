@@ -58,7 +58,10 @@ mod tests {
     #[test]
     fn rx_costs_two_pulses() {
         let b = Backend::ibmq_toronto();
-        assert_eq!(gate_duration_dt(&b, &Gate::Rx(Param::bound(0.3)), &[0]), 320);
+        assert_eq!(
+            gate_duration_dt(&b, &Gate::Rx(Param::bound(0.3)), &[0]),
+            320
+        );
         assert_eq!(gate_duration_dt(&b, &Gate::X, &[0]), 160);
     }
 

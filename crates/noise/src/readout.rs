@@ -151,8 +151,14 @@ mod tests {
     #[test]
     fn confusion_preserves_total_probability() {
         let m = ReadoutModel::new(vec![
-            QubitReadout { p01: 0.02, p10: 0.07 },
-            QubitReadout { p01: 0.05, p10: 0.01 },
+            QubitReadout {
+                p01: 0.02,
+                p10: 0.07,
+            },
+            QubitReadout {
+                p01: 0.05,
+                p10: 0.01,
+            },
         ]);
         let probs = vec![0.1, 0.4, 0.3, 0.2];
         let observed = m.apply_to_probabilities(&probs);

@@ -13,7 +13,7 @@
 
 use hgp_circuit::{Circuit, Instruction};
 use hgp_device::{dt_to_us, Backend};
-use hgp_sim::DensityMatrix;
+use hgp_sim::{DensityMatrix, SimBackend};
 
 use crate::channels::{depolarizing, depolarizing_2q, thermal_relaxation};
 use crate::durations::gate_duration_dt;
@@ -50,16 +50,28 @@ impl<'a> NoisySimulator<'a> {
     /// Panics if `layout.len() != circuit.n_qubits()`, a physical index is
     /// out of range, or a two-qubit gate spans a non-coupled physical pair.
     pub fn simulate(&self, circuit: &Circuit, layout: &[usize]) -> Option<DensityMatrix> {
+        self.simulate_on(circuit, layout)
+    }
+
+    /// [`NoisySimulator::simulate`] generalized over the execution
+    /// engine: any [`SimBackend`] can host the schedule. Backends without
+    /// channel support (statevector) work only when every noise channel
+    /// degenerates to nothing — i.e. on ideal backends — and panic
+    /// otherwise; real noise needs [`DensityMatrix`].
+    pub fn simulate_on<B: SimBackend>(&self, circuit: &Circuit, layout: &[usize]) -> Option<B> {
         assert_eq!(
             layout.len(),
             circuit.n_qubits(),
             "layout must cover every logical qubit"
         );
         for &p in layout {
-            assert!(p < self.backend.n_qubits(), "physical qubit {p} out of range");
+            assert!(
+                p < self.backend.n_qubits(),
+                "physical qubit {p} out of range"
+            );
         }
         let n = circuit.n_qubits();
-        let mut rho = DensityMatrix::zero_state(n);
+        let mut state = B::init(n);
         let mut clock = vec![0u64; n];
         for inst in circuit.instructions() {
             match inst {
@@ -72,17 +84,16 @@ impl<'a> NoisySimulator<'a> {
                     for &q in qubits {
                         let gap = start - clock[q];
                         if gap > 0 {
-                            self.relax_qubit(&mut rho, q, layout[q], gap as u32);
+                            self.relax_qubit(&mut state, q, layout[q], gap as u32);
                         }
                     }
-                    // The ideal gate...
-                    let m = gate.matrix()?;
-                    rho.apply_unitary(&m, qubits);
+                    // The ideal gate (through the fused kernel dispatch)...
+                    state.apply_gate(gate, qubits)?;
                     // ...followed by its noise.
                     for &q in qubits {
-                        self.relax_qubit(&mut rho, q, layout[q], duration);
+                        self.relax_qubit(&mut state, q, layout[q], duration);
                     }
-                    self.apply_gate_error(&mut rho, gate.n_qubits(), qubits, &phys, duration);
+                    self.apply_gate_error(&mut state, gate.n_qubits(), qubits, &phys, duration);
                     for &q in qubits {
                         clock[q] = start + u64::from(duration);
                     }
@@ -92,7 +103,7 @@ impl<'a> NoisySimulator<'a> {
                     for &q in qubits {
                         let gap = sync - clock[q];
                         if gap > 0 {
-                            self.relax_qubit(&mut rho, q, layout[q], gap as u32);
+                            self.relax_qubit(&mut state, q, layout[q], gap as u32);
                         }
                         clock[q] = sync;
                     }
@@ -106,17 +117,17 @@ impl<'a> NoisySimulator<'a> {
         for q in 0..n {
             let gap = end - clock[q];
             if gap > 0 {
-                self.relax_qubit(&mut rho, q, layout[q], gap as u32);
+                self.relax_qubit(&mut state, q, layout[q], gap as u32);
             }
         }
-        Some(rho)
+        Some(state)
     }
 
     /// Applies thermal relaxation to logical qubit `logical` (with physics
     /// from physical qubit `physical`) for `duration_dt`.
-    pub fn relax_qubit(
+    pub fn relax_qubit<B: SimBackend>(
         &self,
-        rho: &mut DensityMatrix,
+        state: &mut B,
         logical: usize,
         physical: usize,
         duration_dt: u32,
@@ -129,7 +140,7 @@ impl<'a> NoisySimulator<'a> {
             return;
         }
         let ch = thermal_relaxation(qp.t1_us, qp.t2_us, dt_to_us(duration_dt));
-        rho.apply_kraus(&ch, &[logical]);
+        state.apply_kraus(&ch, &[logical]);
     }
 
     /// Applies depolarizing gate error after a gate of `duration_dt` on
@@ -137,9 +148,9 @@ impl<'a> NoisySimulator<'a> {
     ///
     /// Single-qubit error scales with pulse count (`duration / 160dt`);
     /// two-qubit error scales with CX-equivalents.
-    pub fn apply_gate_error(
+    pub fn apply_gate_error<B: SimBackend>(
         &self,
-        rho: &mut DensityMatrix,
+        state: &mut B,
         arity: usize,
         logical: &[usize],
         physical: &[usize],
@@ -148,10 +159,11 @@ impl<'a> NoisySimulator<'a> {
         match arity {
             1 => {
                 let qp = self.backend.qubit(physical[0]);
-                let pulses = f64::from(duration_dt) / f64::from(self.backend.pulse_1q_duration_dt());
+                let pulses =
+                    f64::from(duration_dt) / f64::from(self.backend.pulse_1q_duration_dt());
                 let p = (qp.x_error * pulses).clamp(0.0, 1.0);
                 if p > 0.0 {
-                    rho.apply_kraus(&depolarizing(p), &[logical[0]]);
+                    state.apply_kraus(&depolarizing(p), &[logical[0]]);
                 }
             }
             2 => {
@@ -160,7 +172,7 @@ impl<'a> NoisySimulator<'a> {
                 let cx_equiv = f64::from(duration_dt) / f64::from(cx_dt);
                 let p = (e.cx_error * cx_equiv).clamp(0.0, 1.0);
                 if p > 0.0 {
-                    rho.apply_kraus(&depolarizing_2q(p), &[logical[0], logical[1]]);
+                    state.apply_kraus(&depolarizing_2q(p), &[logical[0], logical[1]]);
                 }
             }
             _ => {}
@@ -184,6 +196,22 @@ mod tests {
         let psi = StateVector::from_circuit(&qc).unwrap();
         assert!((rho.fidelity_with_pure(&psi) - 1.0).abs() < 1e-10);
         assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ideal_backend_runs_on_the_statevector_engine() {
+        // On an ideal backend every channel degenerates, so the same
+        // schedule runs on the pure-state engine and agrees with the
+        // density-matrix engine through the SimBackend seam.
+        let backend = Backend::ideal(3);
+        let sim = NoisySimulator::new(&backend);
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).rzz(1, 2, 0.8).rx(2, 0.3);
+        let psi: StateVector = sim.simulate_on(&qc, &[0, 1, 2]).unwrap();
+        let rho = sim.simulate(&qc, &[0, 1, 2]).unwrap();
+        for (p, q) in psi.probabilities().iter().zip(rho.probabilities()) {
+            assert!((p - q).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -247,7 +275,10 @@ mod tests {
         }
         let p01 = sim.simulate(&qc, &[0, 1]).unwrap().purity();
         let p12 = sim.simulate(&qc, &[1, 2]).unwrap().purity();
-        assert!((p01 - p12).abs() > 1e-6, "layouts should differ: {p01} vs {p12}");
+        assert!(
+            (p01 - p12).abs() > 1e-6,
+            "layouts should differ: {p01} vs {p12}"
+        );
     }
 
     #[test]

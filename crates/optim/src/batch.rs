@@ -1,0 +1,89 @@
+//! Batch objective evaluation.
+//!
+//! Variational training spends almost all of its time inside objective
+//! evaluations, and several of the optimizer's query patterns are
+//! *independent by construction*: COBYLA's simplex initialization and
+//! rebuilds, multi-start warm-up probes, and the `2n` shifted points of
+//! a parameter-shift gradient. A [`BatchObjective`] receives all points
+//! of such a group in one call and may evaluate them in any order — in
+//! particular in parallel — as long as the returned values line up with
+//! the inputs.
+//!
+//! Contract: for a batch `xs`, the result has `xs.len()` entries and
+//! entry `i` is the objective value at `xs[i]`. Callers guarantee
+//! nothing about batch sizes (singletons are common); implementations
+//! guarantee nothing about evaluation order *within* a batch — stateful
+//! objectives must derive any per-evaluation state (RNG seeds, shot
+//! budgets) from the batch base index, not from call order. See
+//! `hgp_core::training` for the canonical parallel implementation.
+
+/// An objective that evaluates whole batches of points at once.
+///
+/// Blanket-implemented for `FnMut(&[Vec<f64>]) -> Vec<f64>` closures, so
+/// call sites just pass a closure:
+///
+/// ```
+/// use hgp_optim::{BatchObjective, Cobyla};
+/// let mut f = |xs: &[Vec<f64>]| -> Vec<f64> {
+///     xs.iter().map(|x| (x[0] - 2.0).powi(2)).collect()
+/// };
+/// let r = Cobyla::new(100).minimize_batch(&mut f, &[0.0]);
+/// assert!((r.x[0] - 2.0).abs() < 1e-2);
+/// ```
+pub trait BatchObjective {
+    /// Evaluates the objective at every point of `xs`, in order.
+    fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64>;
+}
+
+impl<F: FnMut(&[Vec<f64>]) -> Vec<f64>> BatchObjective for F {
+    fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        self(xs)
+    }
+}
+
+/// Adapts a scalar objective into a batch objective that evaluates
+/// points one at a time, in order. This is the bridge from the classic
+/// [`crate::Optimizer`] entry points to the batched internals: routing a
+/// scalar objective through a batched algorithm reproduces the exact
+/// sequential evaluation order (and therefore bit-identical results for
+/// stateful objectives).
+pub struct Pointwise<'a> {
+    f: &'a mut dyn FnMut(&[f64]) -> f64,
+}
+
+impl<'a> Pointwise<'a> {
+    /// Wraps a scalar objective.
+    pub fn new(f: &'a mut dyn FnMut(&[f64]) -> f64) -> Self {
+        Self { f }
+    }
+}
+
+impl BatchObjective for Pointwise<'_> {
+    fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| (self.f)(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointwise_preserves_order() {
+        let mut calls: Vec<f64> = Vec::new();
+        let mut scalar = |x: &[f64]| {
+            calls.push(x[0]);
+            x[0] * 2.0
+        };
+        let mut batch = Pointwise::new(&mut scalar);
+        let vals = batch.eval_batch(&[vec![1.0], vec![2.0], vec![3.0]]);
+        assert_eq!(vals, vec![2.0, 4.0, 6.0]);
+        assert_eq!(calls, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn closures_are_batch_objectives() {
+        let mut f = |xs: &[Vec<f64>]| -> Vec<f64> { xs.iter().map(|x| x[0] + 1.0).collect() };
+        assert_eq!(f.eval_batch(&[vec![41.0]]), vec![42.0]);
+    }
+}

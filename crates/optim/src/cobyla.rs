@@ -9,6 +9,7 @@
 //! SciPy's COBYLA behaves on the smooth, unconstrained landscapes of
 //! QAOA training.
 
+use crate::batch::{BatchObjective, Pointwise};
 use crate::result::OptimizeResult;
 use crate::Optimizer;
 
@@ -38,35 +39,39 @@ impl Cobyla {
 
     /// Overrides the trust-region radii.
     pub fn with_rho(mut self, rho_begin: f64, rho_end: f64) -> Self {
-        assert!(rho_begin > rho_end && rho_end > 0.0, "need rho_begin > rho_end > 0");
+        assert!(
+            rho_begin > rho_end && rho_end > 0.0,
+            "need rho_begin > rho_end > 0"
+        );
         self.rho_begin = rho_begin;
         self.rho_end = rho_end;
         self
     }
-}
 
-impl Optimizer for Cobyla {
-    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimizeResult {
+    /// Minimizes a batched objective starting from `x0`.
+    ///
+    /// The simplex initialization (`n + 1` points) and every simplex
+    /// rebuild (`n` points) are issued as single batches, so a parallel
+    /// [`BatchObjective`] evaluates them concurrently; trust-region
+    /// steps remain singleton batches. Routed through
+    /// [`crate::batch::Pointwise`], this is bit-identical to the classic
+    /// sequential [`Optimizer::minimize`] path.
+    pub fn minimize_batch(&self, f: &mut dyn BatchObjective, x0: &[f64]) -> OptimizeResult {
         let n = x0.len();
         assert!(n > 0, "need at least one parameter");
         let mut n_evals = 0usize;
-        let mut eval = |x: &[f64], n_evals: &mut usize| -> f64 {
-            *n_evals += 1;
-            f(x)
-        };
         // Simplex: vertex 0 is the incumbent; vertices 1..=n offset by rho
-        // along coordinate axes.
+        // along coordinate axes — all n + 1 probes in one batch.
         let mut rho = self.rho_begin;
         let mut verts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
-        let mut vals: Vec<f64> = Vec::with_capacity(n + 1);
         verts.push(x0.to_vec());
-        vals.push(eval(x0, &mut n_evals));
         for i in 0..n {
             let mut v = x0.to_vec();
             v[i] += rho;
-            vals.push(eval(&v, &mut n_evals));
             verts.push(v);
         }
+        let mut vals = f.eval_batch(&verts);
+        n_evals += n + 1;
         let mut history: Vec<f64> = Vec::new();
         let mut n_iters = 0usize;
         let mut converged = false;
@@ -96,7 +101,7 @@ impl Optimizer for Cobyla {
                     if n_evals + n > self.max_evals {
                         break;
                     }
-                    rebuild_simplex(&mut verts, &mut vals, rho, &mut eval, &mut n_evals);
+                    rebuild_simplex(&mut verts, &mut vals, rho, f, &mut n_evals);
                     continue;
                 }
             };
@@ -111,7 +116,7 @@ impl Optimizer for Cobyla {
                 if n_evals + n > self.max_evals {
                     break;
                 }
-                rebuild_simplex(&mut verts, &mut vals, rho, &mut eval, &mut n_evals);
+                rebuild_simplex(&mut verts, &mut vals, rho, f, &mut n_evals);
                 continue;
             }
             // Trust-region step against the model gradient.
@@ -123,7 +128,8 @@ impl Optimizer for Cobyla {
             if n_evals >= self.max_evals {
                 break;
             }
-            let cand_val = eval(&cand, &mut n_evals);
+            let cand_val = f.eval_batch(std::slice::from_ref(&cand))[0];
+            n_evals += 1;
             let worst = (0..=n)
                 .max_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("finite"))
                 .expect("nonempty");
@@ -162,26 +168,41 @@ impl Optimizer for Cobyla {
     }
 }
 
-/// Rebuilds the simplex as axis offsets of size `rho` around vertex 0.
+impl Optimizer for Cobyla {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimizeResult {
+        self.minimize_batch(&mut Pointwise::new(f), x0)
+    }
+}
+
+/// Rebuilds the simplex as axis offsets of size `rho` around vertex 0,
+/// evaluating all `n` fresh vertices as one batch.
 fn rebuild_simplex(
     verts: &mut [Vec<f64>],
     vals: &mut [f64],
     rho: f64,
-    eval: &mut impl FnMut(&[f64], &mut usize) -> f64,
+    f: &mut dyn BatchObjective,
     n_evals: &mut usize,
 ) {
     let n = verts.len() - 1;
     let base = verts[0].clone();
-    for i in 0..n {
-        let mut v = base.clone();
-        v[i] += rho;
-        vals[i + 1] = eval(&v, n_evals);
+    let fresh: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut v = base.clone();
+            v[i] += rho;
+            v
+        })
+        .collect();
+    let fresh_vals = f.eval_batch(&fresh);
+    *n_evals += n;
+    for (i, (v, value)) in fresh.into_iter().zip(fresh_vals).enumerate() {
         verts[i + 1] = v;
+        vals[i + 1] = value;
     }
 }
 
 /// Gaussian elimination with partial pivoting; returns `None` when
 /// singular.
+#[allow(clippy::needless_range_loop)] // elimination indexes two rows at once
 fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {

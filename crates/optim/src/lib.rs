@@ -22,15 +22,19 @@
 //! assert!((result.x[1] + 2.0).abs() < 1e-3);
 //! ```
 
+pub mod batch;
 pub mod cobyla;
 pub mod nelder_mead;
 pub mod parameter_shift;
 pub mod result;
 pub mod spsa;
 
+pub use batch::{BatchObjective, Pointwise};
 pub use cobyla::Cobyla;
 pub use nelder_mead::NelderMead;
-pub use parameter_shift::{parameter_shift_gradient, ParameterShiftDescent};
+pub use parameter_shift::{
+    parameter_shift_gradient, parameter_shift_gradient_batch, ParameterShiftDescent, STANDARD_SHIFT,
+};
 pub use result::OptimizeResult;
 pub use spsa::Spsa;
 

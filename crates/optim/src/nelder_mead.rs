@@ -154,9 +154,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_reasonably() {
-        let mut f = |x: &[f64]| {
-            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
-        };
+        let mut f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = NelderMead::new(2000).minimize(&mut f, &[-1.2, 1.0]);
         assert!(r.fun < 1e-4, "fun = {}", r.fun);
     }

@@ -127,7 +127,10 @@ mod tests {
         let run = |seed| {
             let mut f =
                 |x: &[f64]| (x[0] - 1.0).powi(2) + 3.0 * (x[1] + 2.0).powi(2) + 0.5 * x[0] * x[1];
-            Spsa::new(50).with_seed(seed).minimize(&mut f, &[1.0, 0.3]).fun
+            Spsa::new(50)
+                .with_seed(seed)
+                .minimize(&mut f, &[1.0, 0.3])
+                .fun
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));

@@ -198,11 +198,13 @@ impl<'a> PulseLibrary<'a> {
                 continue;
             };
             if !gate.is_bound() {
-                return Err(format!("instruction {idx}: gate {gate} has unbound parameters"));
+                return Err(format!(
+                    "instruction {idx}: gate {gate} has unbound parameters"
+                ));
             }
-            let sub = self.gate_schedule(gate, qubits).map_err(|e| {
-                format!("instruction {idx}: {e}")
-            })?;
+            let sub = self
+                .gate_schedule(gate, qubits)
+                .map_err(|e| format!("instruction {idx}: {e}"))?;
             merge_asap(&mut out, &sub);
         }
         Ok(out)
@@ -269,7 +271,10 @@ impl<'a> PulseLibrary<'a> {
                 let theta = p.value().ok_or("unbound rzz")?;
                 merge_asap(&mut s, &self.cx_schedule(qubits[0], qubits[1]));
                 let mut rz = Schedule::new();
-                rz.play(Channel::Drive(qubits[1]), PulseSpec::VirtualZ { angle: theta });
+                rz.play(
+                    Channel::Drive(qubits[1]),
+                    PulseSpec::VirtualZ { angle: theta },
+                );
                 merge_asap(&mut s, &rz);
                 merge_asap(&mut s, &self.cx_schedule(qubits[0], qubits[1]));
             }
@@ -326,9 +331,19 @@ impl<'a> PulseLibrary<'a> {
         // single-pulse form RZ(beta + pi/2) SX RZ(delta - pi/2) (up to
         // phase) — check numerically and fall back otherwise.
         let mut single = Schedule::new();
-        single.play(d, PulseSpec::VirtualZ { angle: delta - FRAC_PI_2 });
+        single.play(
+            d,
+            PulseSpec::VirtualZ {
+                angle: delta - FRAC_PI_2,
+            },
+        );
         single.play(d, self.sx_pulse(q));
-        single.play(d, PulseSpec::VirtualZ { angle: beta + FRAC_PI_2 });
+        single.play(
+            d,
+            PulseSpec::VirtualZ {
+                angle: beta + FRAC_PI_2,
+            },
+        );
         let got = schedule_unitary(&single, self.backend, &[q]);
         if got.approx_eq_up_to_phase(u, 1e-7) {
             single

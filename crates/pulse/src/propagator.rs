@@ -91,8 +91,12 @@ pub fn cr_unitary_from_angle(theta: f64, phase: f64, edge: &TwoQubitParams) -> M
     let a_ix = 0.5 * edge.mu_ix * theta;
     let a_zi = 0.5 * edge.mu_zi * theta;
     // Control |0> (Z = +1): target rotation (a_zx + a_ix), phase e^{-i a_zi}.
-    let u0 = exp_i_pauli((a_zx + a_ix) * phase.cos(), (a_zx + a_ix) * phase.sin(), 0.0)
-        .scale(Complex64::cis(-a_zi));
+    let u0 = exp_i_pauli(
+        (a_zx + a_ix) * phase.cos(),
+        (a_zx + a_ix) * phase.sin(),
+        0.0,
+    )
+    .scale(Complex64::cis(-a_zi));
     // Control |1> (Z = -1): rotation (-a_zx + a_ix), phase e^{+i a_zi}.
     let u1 = exp_i_pauli(
         (-a_zx + a_ix) * phase.cos(),
@@ -249,7 +253,9 @@ mod tests {
         let strength = 0.125;
         let amp = FRAC_PI_2 / (strength * w.area());
         let u = drive_propagator(&w, amp, 0.0, 0.0, strength);
-        let rx90 = Gate::Rx(hgp_circuit::Param::bound(FRAC_PI_2)).matrix().unwrap();
+        let rx90 = Gate::Rx(hgp_circuit::Param::bound(FRAC_PI_2))
+            .matrix()
+            .unwrap();
         assert!(u.approx_eq(&rx90, 1e-9));
     }
 
@@ -259,7 +265,9 @@ mod tests {
         let strength = 0.125;
         let amp = FRAC_PI_2 / (strength * w.area());
         let u = drive_propagator(&w, amp, FRAC_PI_2, 0.0, strength);
-        let ry90 = Gate::Ry(hgp_circuit::Param::bound(FRAC_PI_2)).matrix().unwrap();
+        let ry90 = Gate::Ry(hgp_circuit::Param::bound(FRAC_PI_2))
+            .matrix()
+            .unwrap();
         assert!(u.approx_eq(&ry90, 1e-9));
     }
 

@@ -74,7 +74,10 @@ impl std::fmt::Display for WaveformError {
         match self {
             WaveformError::ZeroDuration => write!(f, "waveform duration must be positive"),
             WaveformError::NotMultipleOf32 { duration } => {
-                write!(f, "gaussian waveform duration {duration} is not a multiple of 32 dt")
+                write!(
+                    f,
+                    "gaussian waveform duration {duration} is not a multiple of 32 dt"
+                )
             }
             WaveformError::BadSigma { sigma } => write!(f, "invalid sigma {sigma}"),
             WaveformError::WidthTooLarge { width, duration } => {
@@ -130,7 +133,7 @@ impl Waveform {
             Waveform::Gaussian { sigma, .. }
             | Waveform::GaussianSquare { sigma, .. }
             | Waveform::Drag { sigma, .. } => {
-                if duration % 32 != 0 {
+                if !duration.is_multiple_of(32) {
                     return Err(WaveformError::NotMultipleOf32 { duration });
                 }
                 if !(sigma > 0.0 && sigma.is_finite()) {
@@ -139,7 +142,10 @@ impl Waveform {
             }
             Waveform::Constant { .. } => {}
         }
-        if let Waveform::GaussianSquare { width, duration, .. } = *self {
+        if let Waveform::GaussianSquare {
+            width, duration, ..
+        } = *self
+        {
             if width > duration {
                 return Err(WaveformError::WidthTooLarge { width, duration });
             }
@@ -160,7 +166,10 @@ impl Waveform {
         }
         let tf = f64::from(t) + 0.5; // midpoint sampling
         match *self {
-            Waveform::Gaussian { duration, sigma } | Waveform::Drag { duration, sigma, .. } => {
+            Waveform::Gaussian { duration, sigma }
+            | Waveform::Drag {
+                duration, sigma, ..
+            } => {
                 let mid = f64::from(duration) / 2.0;
                 (-((tf - mid) * (tf - mid)) / (2.0 * sigma * sigma)).exp()
             }

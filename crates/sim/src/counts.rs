@@ -65,11 +65,10 @@ impl Counts {
         let mut counts = Self::new(n_qubits);
         for _ in 0..shots {
             let r: f64 = rng.gen::<f64>() * acc;
-            let idx = match cdf.binary_search_by(|c| {
-                c.partial_cmp(&r).expect("finite probabilities")
-            }) {
-                Ok(i) | Err(i) => i.min(probs.len() - 1),
-            };
+            let idx =
+                match cdf.binary_search_by(|c| c.partial_cmp(&r).expect("finite probabilities")) {
+                    Ok(i) | Err(i) => i.min(probs.len() - 1),
+                };
             counts.record(idx, 1);
         }
         counts
@@ -175,7 +174,12 @@ impl Counts {
 
 impl fmt::Display for Counts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "counts over {} qubits ({} shots):", self.n_qubits, self.total())?;
+        writeln!(
+            f,
+            "counts over {} qubits ({} shots):",
+            self.n_qubits,
+            self.total()
+        )?;
         for (&b, &c) in &self.counts {
             writeln!(f, "  {:0width$b}: {c}", b, width = self.n_qubits)?;
         }

@@ -9,11 +9,13 @@
 
 use rand::Rng;
 
-use hgp_circuit::{Circuit, Instruction};
+use hgp_circuit::{Circuit, Gate, Instruction};
 use hgp_math::pauli::PauliSum;
 use hgp_math::{Complex64, Matrix};
 
+use crate::backend::SimBackend;
 use crate::counts::Counts;
+use crate::kernels;
 use crate::statevector::StateVector;
 
 /// A density matrix over `n` qubits, stored dense row-major.
@@ -134,11 +136,51 @@ impl DensityMatrix {
         assert_eq!(circuit.n_qubits(), self.n_qubits, "width mismatch");
         for inst in circuit.instructions() {
             if let Instruction::Gate { gate, qubits } = inst {
-                let m = gate.matrix()?;
-                self.apply_unitary(&m, qubits);
+                self.apply_gate(gate, qubits)?;
             }
         }
         Some(())
+    }
+
+    /// Applies one gate, taking the diagonal fast path where the gate's
+    /// structure allows (`rho -> D rho D†` is an elementwise scale — no
+    /// block gathering).
+    ///
+    /// Returns `None` if the gate has unbound parameters.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Option<()> {
+        let diag: Option<Vec<Complex64>> = match qubits.len() {
+            1 => kernels::diagonal_1q(gate).map(|d| d.to_vec()),
+            2 => kernels::diagonal_2q(gate).map(|d| d.to_vec()),
+            _ => None,
+        };
+        if let Some(d) = diag {
+            self.apply_diagonal_unitary(qubits, &d);
+            return Some(());
+        }
+        let m = gate.matrix()?;
+        self.apply_unitary(&m, qubits);
+        Some(())
+    }
+
+    /// Applies a diagonal unitary given by its `2^k` diagonal entries on
+    /// `targets` (`targets[0]` = most-significant bit):
+    /// `rho[i][j] *= d(i) conj(d(j))`.
+    fn apply_diagonal_unitary(&mut self, targets: &[usize], d: &[Complex64]) {
+        assert_eq!(d.len(), 1 << targets.len(), "diagonal length mismatch");
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < self.n_qubits, "target out of range");
+            assert!(!targets[..i].contains(&t), "targets must differ");
+        }
+        let dim = self.dim;
+        let factors: Vec<Complex64> = (0..dim)
+            .map(|i| kernels::diag_factor(i, targets, d))
+            .collect();
+        for (i, row) in self.data.chunks_exact_mut(dim).enumerate() {
+            let fi = factors[i];
+            for (entry, fj) in row.iter_mut().zip(factors.iter()) {
+                *entry *= fi * fj.conj();
+            }
+        }
     }
 
     /// Applies a quantum channel given by Kraus operators on `targets`:
@@ -148,7 +190,10 @@ impl DensityMatrix {
     ///
     /// Panics if `kraus` is empty or operator dimensions mismatch.
     pub fn apply_kraus(&mut self, kraus: &[Matrix], targets: &[usize]) {
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         let mut acc = vec![Complex64::ZERO; self.data.len()];
         let original = self.data.clone();
         for k in kraus {
@@ -264,6 +309,17 @@ impl DensityMatrix {
             .sum()
     }
 
+    /// Expectation of a Hermitian observable given as a Pauli sum
+    /// (diagonal sums avoid materializing the observable matrix).
+    pub fn expectation_pauli(&self, observable: &PauliSum) -> f64 {
+        assert_eq!(observable.n_qubits(), self.n_qubits, "width mismatch");
+        if observable.is_diagonal() {
+            self.expectation_diagonal(observable)
+        } else {
+            self.expectation(&observable.matrix())
+        }
+    }
+
     /// Expectation of a general Hermitian observable `Tr(rho O)`.
     pub fn expectation(&self, observable: &Matrix) -> f64 {
         assert_eq!(observable.rows(), self.dim, "dimension mismatch");
@@ -364,6 +420,39 @@ impl DensityMatrix {
             .filter(|&&l| l > 1e-12)
             .map(|&l| l * l.ln())
             .sum::<f64>()
+    }
+}
+
+impl SimBackend for DensityMatrix {
+    const NAME: &'static str = "density-matrix";
+    const SUPPORTS_CHANNELS: bool = true;
+
+    fn init(n_qubits: usize) -> Self {
+        Self::zero_state(n_qubits)
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Option<()> {
+        DensityMatrix::apply_gate(self, gate, qubits)
+    }
+
+    fn apply_unitary(&mut self, op: &Matrix, targets: &[usize]) {
+        DensityMatrix::apply_unitary(self, op, targets);
+    }
+
+    fn apply_kraus(&mut self, kraus: &[Matrix], targets: &[usize]) {
+        DensityMatrix::apply_kraus(self, kraus, targets);
+    }
+
+    fn probabilities(&self) -> Vec<f64> {
+        DensityMatrix::probabilities(self)
+    }
+
+    fn expectation(&self, observable: &PauliSum) -> f64 {
+        self.expectation_pauli(observable)
     }
 }
 
@@ -478,7 +567,10 @@ mod tests {
     fn general_expectation_matches_diagonal_path() {
         use hgp_math::pauli::{Pauli, PauliString, PauliSum};
         let mut rho = DensityMatrix::plus_state(2);
-        rho.apply_unitary(&Gate::Rzz(hgp_circuit::Param::bound(0.8)).matrix().unwrap(), &[0, 1]);
+        rho.apply_unitary(
+            &Gate::Rzz(hgp_circuit::Param::bound(0.8)).matrix().unwrap(),
+            &[0, 1],
+        );
         let zz = PauliSum::from_terms(vec![PauliString::new(
             2,
             vec![(0, Pauli::Z), (1, Pauli::Z)],

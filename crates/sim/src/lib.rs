@@ -1,4 +1,5 @@
-//! Statevector and density-matrix quantum simulators.
+//! Statevector and density-matrix quantum simulators behind the unified
+//! [`SimBackend`] execution engine.
 //!
 //! Two execution backends power the workspace:
 //!
@@ -7,8 +8,12 @@
 //! - [`DensityMatrix`]: mixed-state simulation used by the machine-in-loop
 //!   training runs, where Kraus noise channels act after every instruction.
 //!
-//! Both apply small (1- and 2-qubit) operators with `O(2^n)`-per-gate
-//! kernels instead of materializing `2^n x 2^n` unitaries.
+//! Both implement [`SimBackend`] — the trait every execution consumer
+//! (the executor, the noisy simulator, training, benches) routes through
+//! — and both dispatch gates into the fused kernel layer ([`kernels`]):
+//! diagonal fast paths for `RZ`/`RZZ`/`CZ` (QAOA's entire cost layer),
+//! stride-based dense 1q/2q kernels, and rayon-parallel amplitude
+//! chunking above [`kernels::PAR_QUBIT_THRESHOLD`] qubits.
 //!
 //! Measurement statistics come out as [`Counts`] — multisets of observed
 //! bitstrings — which downstream crates feed to error mitigation and cost
@@ -28,10 +33,13 @@
 //! assert!((probs[0b11] - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod backend;
 pub mod counts;
 pub mod density;
+pub mod kernels;
 pub mod statevector;
 
+pub use backend::SimBackend;
 pub use counts::Counts;
 pub use density::DensityMatrix;
 pub use statevector::StateVector;

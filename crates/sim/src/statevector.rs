@@ -2,11 +2,13 @@
 
 use rand::Rng;
 
-use hgp_circuit::{Circuit, Instruction};
+use hgp_circuit::{Circuit, Gate, Instruction};
 use hgp_math::pauli::PauliSum;
 use hgp_math::{Complex64, Matrix};
 
+use crate::backend::SimBackend;
 use crate::counts::Counts;
+use crate::kernels;
 
 /// A pure quantum state over `n` qubits.
 ///
@@ -85,14 +87,64 @@ impl StateVector {
         &self.amps
     }
 
-    /// Applies a bound circuit's gates in order.
+    /// Applies a bound circuit's gates in order, fusing maximal runs of
+    /// consecutive diagonal gates (a QAOA cost layer is one such run)
+    /// into single sweeps over the amplitudes.
     ///
     /// Returns `None` (leaving the state partially evolved) if an unbound
     /// gate is hit; callers bind first.
     pub fn apply_circuit(&mut self, circuit: &Circuit) -> Option<()> {
         assert_eq!(circuit.n_qubits(), self.n_qubits, "width mismatch");
+        let mut run: Vec<kernels::DiagOp> = Vec::new();
         for inst in circuit.instructions() {
             if let Instruction::Gate { gate, qubits } = inst {
+                if let Some(op) = kernels::DiagOp::from_gate(gate, qubits) {
+                    for &q in qubits {
+                        assert!(q < self.n_qubits, "target out of range");
+                    }
+                    if qubits.len() == 2 {
+                        assert_ne!(qubits[0], qubits[1], "targets must differ");
+                    }
+                    run.push(op);
+                    continue;
+                }
+                kernels::apply_diag_fused(&mut self.amps, &run);
+                run.clear();
+                self.apply_gate(gate, qubits)?;
+            }
+        }
+        kernels::apply_diag_fused(&mut self.amps, &run);
+        Some(())
+    }
+
+    /// Applies one gate through the fused kernel layer: diagonal gates
+    /// (`RZ`, `Z`, `S`, `T`, `CZ`, `RZZ`, ...) take the phase-only fast
+    /// path, everything else the strided dense kernels.
+    ///
+    /// Returns `None` if the gate has unbound parameters.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Option<()> {
+        for &q in qubits {
+            assert!(q < self.n_qubits, "target out of range");
+        }
+        match qubits.len() {
+            1 => {
+                if let Some(d) = kernels::diagonal_1q(gate) {
+                    kernels::apply_diag_1q(&mut self.amps, qubits[0], d);
+                } else {
+                    let m = gate.matrix()?;
+                    kernels::apply_dense_1q(&mut self.amps, qubits[0], &m);
+                }
+            }
+            2 => {
+                assert_ne!(qubits[0], qubits[1], "targets must differ");
+                if let Some(d) = kernels::diagonal_2q(gate) {
+                    kernels::apply_diag_2q(&mut self.amps, qubits[0], qubits[1], d);
+                } else {
+                    let m = gate.matrix()?;
+                    kernels::apply_dense_2q(&mut self.amps, qubits[0], qubits[1], &m);
+                }
+            }
+            _ => {
                 let m = gate.matrix()?;
                 self.apply_operator(&m, qubits);
             }
@@ -103,15 +155,27 @@ impl StateVector {
     /// Applies a `2^k x 2^k` operator to the listed target qubits.
     ///
     /// `targets[0]` is the most-significant bit of the operator's index,
-    /// matching [`hgp_math::Matrix::embed`].
+    /// matching [`hgp_math::Matrix::embed`]. 1- and 2-qubit operators use
+    /// the strided kernels; larger operators fall back to the embedded
+    /// matrix-vector product.
     ///
     /// # Panics
     ///
     /// Panics on dimension mismatch or out-of-range/duplicate targets.
     pub fn apply_operator(&mut self, op: &Matrix, targets: &[usize]) {
+        for &t in targets {
+            assert!(t < self.n_qubits, "target out of range");
+        }
         match targets.len() {
-            1 => self.apply_1q(op, targets[0]),
-            2 => self.apply_2q(op, targets[0], targets[1]),
+            1 => {
+                assert_eq!(op.rows(), 2, "expected a 2x2 operator");
+                kernels::apply_dense_1q(&mut self.amps, targets[0], op);
+            }
+            2 => {
+                assert_eq!(op.rows(), 4, "expected a 4x4 operator");
+                assert_ne!(targets[0], targets[1], "targets must differ");
+                kernels::apply_dense_2q(&mut self.amps, targets[0], targets[1], op);
+            }
             _ => {
                 let full = op.embed(self.n_qubits, targets);
                 self.amps = full.matvec(&self.amps);
@@ -122,47 +186,7 @@ impl StateVector {
     fn apply_1q(&mut self, op: &Matrix, target: usize) {
         assert_eq!(op.rows(), 2, "expected a 2x2 operator");
         assert!(target < self.n_qubits, "target out of range");
-        let bit = 1usize << target;
-        let (a, b, c, d) = (op[(0, 0)], op[(0, 1)], op[(1, 0)], op[(1, 1)]);
-        let dim = self.amps.len();
-        let mut i = 0usize;
-        while i < dim {
-            if i & bit == 0 {
-                let j = i | bit;
-                let (x, y) = (self.amps[i], self.amps[j]);
-                self.amps[i] = a * x + b * y;
-                self.amps[j] = c * x + d * y;
-            }
-            i += 1;
-        }
-    }
-
-    fn apply_2q(&mut self, op: &Matrix, t_hi: usize, t_lo: usize) {
-        assert_eq!(op.rows(), 4, "expected a 4x4 operator");
-        assert!(t_hi < self.n_qubits && t_lo < self.n_qubits, "target out of range");
-        assert_ne!(t_hi, t_lo, "targets must differ");
-        let bh = 1usize << t_hi;
-        let bl = 1usize << t_lo;
-        let dim = self.amps.len();
-        for i in 0..dim {
-            if i & bh == 0 && i & bl == 0 {
-                // Basis order |t_hi t_lo> = 00, 01, 10, 11.
-                let idx = [i, i | bl, i | bh, i | bh | bl];
-                let vin = [
-                    self.amps[idx[0]],
-                    self.amps[idx[1]],
-                    self.amps[idx[2]],
-                    self.amps[idx[3]],
-                ];
-                for (r, &out_i) in idx.iter().enumerate() {
-                    let mut acc = Complex64::ZERO;
-                    for (ccol, &v) in vin.iter().enumerate() {
-                        acc = op[(r, ccol)].mul_add(v, acc);
-                    }
-                    self.amps[out_i] = acc;
-                }
-            }
-        }
+        kernels::apply_dense_1q(&mut self.amps, target, op);
     }
 
     /// Probability of observing basis state `b`.
@@ -228,6 +252,47 @@ impl StateVector {
     /// Samples `shots` measurement outcomes in the computational basis.
     pub fn sample<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> Counts {
         Counts::sample_from_probabilities(&self.probabilities(), shots, self.n_qubits, rng)
+    }
+}
+
+impl SimBackend for StateVector {
+    const NAME: &'static str = "statevector";
+    const SUPPORTS_CHANNELS: bool = false;
+
+    fn init(n_qubits: usize) -> Self {
+        Self::zero_state(n_qubits)
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Option<()> {
+        StateVector::apply_gate(self, gate, qubits)
+    }
+
+    fn apply_unitary(&mut self, op: &Matrix, targets: &[usize]) {
+        self.apply_operator(op, targets);
+    }
+
+    /// Pure states evolve only unitarily: a single Kraus operator is
+    /// applied as a unitary; genuine (multi-operator) channels panic.
+    fn apply_kraus(&mut self, kraus: &[Matrix], targets: &[usize]) {
+        assert_eq!(
+            kraus.len(),
+            1,
+            "statevector backend cannot apply non-unitary channels \
+             (use DensityMatrix, or check SimBackend::SUPPORTS_CHANNELS)"
+        );
+        self.apply_operator(&kraus[0], targets);
+    }
+
+    fn probabilities(&self) -> Vec<f64> {
+        StateVector::probabilities(self)
+    }
+
+    fn expectation(&self, observable: &PauliSum) -> f64 {
+        StateVector::expectation(self, observable)
     }
 }
 
@@ -300,7 +365,7 @@ mod tests {
             .rz(0, 0.3);
         let psi = StateVector::from_circuit(&qc).unwrap();
         let u = qc.unitary().unwrap();
-        let mut expect = vec![Complex64::ZERO; 8];
+        let mut expect = [Complex64::ZERO; 8];
         for r in 0..8 {
             expect[r] = u[(r, 0)];
         }

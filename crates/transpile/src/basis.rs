@@ -161,12 +161,24 @@ mod tests {
 
     #[test]
     fn clifford_gates_translate() {
-        assert_translates(|qc| { qc.h(0).z(0).y(1).push(Gate::S, &[1]); }, 2, true);
+        assert_translates(
+            |qc| {
+                qc.h(0).z(0).y(1).push(Gate::S, &[1]);
+            },
+            2,
+            true,
+        );
     }
 
     #[test]
     fn rotations_translate() {
-        assert_translates(|qc| { qc.rx(0, 0.7).ry(1, -1.2).rz(0, 2.2); }, 2, true);
+        assert_translates(
+            |qc| {
+                qc.rx(0, 0.7).ry(1, -1.2).rz(0, 2.2);
+            },
+            2,
+            true,
+        );
     }
 
     #[test]
@@ -185,7 +197,13 @@ mod tests {
 
     #[test]
     fn two_qubit_gates_translate() {
-        assert_translates(|qc| { qc.cz(0, 1).swap(0, 1).rzz(0, 1, 0.8); }, 2, false);
+        assert_translates(
+            |qc| {
+                qc.cz(0, 1).swap(0, 1).rzz(0, 1, 0.8);
+            },
+            2,
+            false,
+        );
     }
 
     #[test]
@@ -222,6 +240,12 @@ mod tests {
 
     #[test]
     fn rzx_translates() {
-        assert_translates(|qc| { qc.push(Gate::Rzx(Param::bound(0.6)), &[0, 1]); }, 2, true);
+        assert_translates(
+            |qc| {
+                qc.push(Gate::Rzx(Param::bound(0.6)), &[0, 1]);
+            },
+            2,
+            true,
+        );
     }
 }

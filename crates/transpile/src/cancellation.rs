@@ -31,7 +31,11 @@ fn one_pass(circuit: &Circuit) -> (Circuit, bool) {
     let mut keep: Vec<Option<Instruction>> = insts.iter().cloned().map(Some).collect();
     let mut changed = false;
     for i in 0..insts.len() {
-        let Some(Instruction::Gate { gate: g1, qubits: q1 }) = keep[i].clone() else {
+        let Some(Instruction::Gate {
+            gate: g1,
+            qubits: q1,
+        }) = keep[i].clone()
+        else {
             continue;
         };
         // Find the next gate on the same qubits that g1 could interact
@@ -42,7 +46,11 @@ fn one_pass(circuit: &Circuit) -> (Circuit, bool) {
                 j += 1;
                 continue;
             };
-            let Instruction::Gate { gate: g2, qubits: q2 } = &inst2 else {
+            let Instruction::Gate {
+                gate: g2,
+                qubits: q2,
+            } = &inst2
+            else {
                 // Barriers and measurements block movement on their qubits.
                 if inst2.qubits().iter().any(|q| q1.contains(q)) {
                     break;
@@ -311,7 +319,10 @@ mod tests {
         // Two QAOA Hamiltonian layers back to back with the same edge set
         // merge their RZZ angles.
         let mut qc = Circuit::new(3);
-        qc.rzz(0, 1, 0.2).rzz(1, 2, 0.2).rzz(0, 1, 0.3).rzz(1, 2, 0.3);
+        qc.rzz(0, 1, 0.2)
+            .rzz(1, 2, 0.2)
+            .rzz(0, 1, 0.3)
+            .rzz(1, 2, 0.3);
         let out = cancel_gates(&qc);
         assert_eq!(out.count_gates(), 2);
         assert!(out

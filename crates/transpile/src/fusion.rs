@@ -29,11 +29,7 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
             // U3(theta, phi, lambda) = RZ(phi) RY(theta) RZ(lambda) up to
             // global phase, with theta = gamma, phi = beta, lambda = delta.
             out.push(
-                Gate::U3(
-                    Param::bound(gamma),
-                    Param::bound(beta),
-                    Param::bound(delta),
-                ),
+                Gate::U3(Param::bound(gamma), Param::bound(beta), Param::bound(delta)),
                 &[q],
             );
         }

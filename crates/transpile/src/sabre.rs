@@ -38,7 +38,11 @@ const EXTENDED_SIZE: usize = 20;
 /// Panics if the layout widths disagree with the circuit/coupling, or if
 /// the coupling map is disconnected.
 pub fn route(circuit: &Circuit, coupling: &CouplingMap, initial_layout: &Layout) -> RoutedCircuit {
-    assert_eq!(initial_layout.n_logical(), circuit.n_qubits(), "layout width");
+    assert_eq!(
+        initial_layout.n_logical(),
+        circuit.n_qubits(),
+        "layout width"
+    );
     assert_eq!(
         initial_layout.n_physical(),
         coupling.n_qubits(),
@@ -134,7 +138,7 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap, initial_layout: &Layout)
                     trial.swap_physical(cand.0, cand.1);
                     let h = heuristic(&blocked, &extended, &trial, coupling)
                         * decay[cand.0].max(decay[cand.1]);
-                    if best.map_or(true, |(_, bh)| h < bh) {
+                    if best.is_none_or(|(_, bh)| h < bh) {
                         best = Some((cand, h));
                     }
                 }
@@ -194,9 +198,8 @@ fn heuristic(
     layout: &Layout,
     coupling: &CouplingMap,
 ) -> f64 {
-    let dist = |&(a, b): &(usize, usize)| {
-        coupling.distance(layout.physical(a), layout.physical(b)) as f64
-    };
+    let dist =
+        |&(a, b): &(usize, usize)| coupling.distance(layout.physical(a), layout.physical(b)) as f64;
     let f: f64 = front.iter().map(dist).sum::<f64>() / front.len().max(1) as f64;
     let e: f64 = if extended.is_empty() {
         0.0

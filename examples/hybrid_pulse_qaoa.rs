@@ -25,8 +25,8 @@ fn main() {
     );
 
     // The full Step I-III pipeline.
-    let full = run_pipeline(&backend, &graph, &PipelineConfig::full(1, region))
-        .expect("valid region");
+    let full =
+        run_pipeline(&backend, &graph, &PipelineConfig::full(1, region)).expect("valid region");
     println!(
         "full hybrid: AR {:.1}% at {} dt mixer (CVaR 0.3 + M3 + GO + PO)",
         100.0 * full.result.approximation_ratio,

@@ -7,7 +7,7 @@
 //! ```
 
 use hybrid_gate_pulse::circuit::qasm::to_qasm;
-use hybrid_gate_pulse::core::models::{GateModel, GateModelOptions, VqaModel};
+use hybrid_gate_pulse::core::models::{GateModel, GateModelOptions};
 use hybrid_gate_pulse::device::Backend;
 use hybrid_gate_pulse::graph::instances;
 use hybrid_gate_pulse::prelude::*;
@@ -21,8 +21,8 @@ fn main() {
         ("raw (no optimization)", GateModelOptions::raw()),
         ("GO (SABRE + cancellation)", GateModelOptions::optimized()),
     ] {
-        let model = GateModel::new(&backend, &graph, 1, region.clone(), options)
-            .expect("connected region");
+        let model =
+            GateModel::new(&backend, &graph, 1, region.clone(), options).expect("connected region");
         println!("--- {label}");
         println!(
             "routed circuit: {} gates, {} two-qubit",

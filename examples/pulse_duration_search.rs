@@ -14,8 +14,8 @@ use hybrid_gate_pulse::prelude::*;
 fn main() {
     let backend = Backend::ibmq_toronto();
     let graph = instances::task1_three_regular_6();
-    let model = HybridModel::new(&backend, &graph, 1, vec![1, 2, 3, 4, 5, 7])
-        .expect("connected region");
+    let model =
+        HybridModel::new(&backend, &graph, 1, vec![1, 2, 3, 4, 5, 7]).expect("connected region");
 
     let config = TrainConfig {
         max_evals: 30,

@@ -1,0 +1,304 @@
+//! Offline stand-in for `rayon`: the data-parallel subset the workspace
+//! uses, implemented on `std::thread::scope`.
+//!
+//! The build container has no registry access, so the real `rayon`
+//! cannot be fetched. This crate keeps rayon's call-site shapes —
+//! `par_iter().map(..).collect()`, `par_chunks_mut(..).for_each(..)`,
+//! [`join`] — so swapping the real crate back in is a manifest-only
+//! change. There is no work-stealing pool: each parallel call splits its
+//! input into contiguous blocks, one per available hardware thread, and
+//! runs them on scoped threads. On a single-core host everything runs
+//! inline with zero thread overhead.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel calls fan out to.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Runs `f(i)` for every `i` in `0..n`, distributing contiguous index
+/// blocks over the worker threads, and returns the results in order.
+fn map_indexed<U: Send, F: Fn(usize) -> U + Sync>(n: usize, f: F) -> Vec<U> {
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let block = n.div_ceil(workers);
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * block;
+            let hi = ((w + 1) * block).min(n);
+            let f = &f;
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<U>>()));
+        }
+        for h in handles {
+            out.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Rayon-style traits and adapters; `use rayon::prelude::*` as usual.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+pub mod iter {
+    use super::{current_num_threads, map_indexed};
+
+    /// Eager stand-in for rayon's lazy `ParallelIterator`.
+    ///
+    /// Adapters collect into an ordered `Vec` under the hood; only the
+    /// `map`/`for_each`/`sum`/`collect` combinators the workspace uses
+    /// are provided.
+    pub struct ParallelIterator<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator<T> {
+        /// Applies `f` to every element in parallel, preserving order.
+        pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParallelIterator<U>
+        where
+            T: Sync,
+        {
+            // Move items into cells so worker threads can take them by index.
+            let cells: Vec<std::sync::Mutex<Option<T>>> = self
+                .items
+                .into_iter()
+                .map(|t| std::sync::Mutex::new(Some(t)))
+                .collect();
+            let out = map_indexed(cells.len(), |i| {
+                let item = cells[i]
+                    .lock()
+                    .expect("parallel map cell poisoned")
+                    .take()
+                    .expect("parallel map cell taken twice");
+                f(item)
+            });
+            ParallelIterator { items: out }
+        }
+
+        /// Runs `f` on every element in parallel.
+        pub fn for_each<F: Fn(T) + Sync>(self, f: F)
+        where
+            T: Sync,
+        {
+            let _ = self.map(f);
+        }
+
+        /// Collects the (already ordered) results.
+        pub fn collect<C: FromIterator<T>>(self) -> C {
+            self.items.into_iter().collect()
+        }
+
+        /// Sums the elements.
+        pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+            self.items.into_iter().sum()
+        }
+
+        /// Pairs each element with its index.
+        pub fn enumerate(self) -> ParallelIterator<(usize, T)> {
+            ParallelIterator {
+                items: self.items.into_iter().enumerate().collect(),
+            }
+        }
+    }
+
+    /// Conversion into a parallel iterator (owning).
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Builds the iterator.
+        fn into_par_iter(self) -> ParallelIterator<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParallelIterator<T> {
+            ParallelIterator { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParallelIterator<usize> {
+            ParallelIterator {
+                items: self.collect(),
+            }
+        }
+    }
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: Send + 'a;
+        /// Builds the iterator.
+        fn par_iter(&'a self) -> ParallelIterator<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParallelIterator<&'a T> {
+            ParallelIterator {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParallelIterator<&'a T> {
+            ParallelIterator {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits into chunks of `chunk_size` (last may be shorter) and
+        /// returns a parallel adapter over them.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut {
+                chunks: self.chunks_mut(chunk_size).collect(),
+            }
+        }
+    }
+
+    /// Parallel adapter over mutable chunks of a slice.
+    pub struct ParChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Runs `f` on every chunk, in parallel when workers are available.
+        pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+            self.enumerate().for_each(move |(_, chunk)| f(chunk));
+        }
+
+        /// Pairs each chunk with its index.
+        pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+            EnumeratedChunksMut {
+                chunks: self.chunks,
+            }
+        }
+    }
+
+    /// Enumerated variant of [`ParChunksMut`].
+    pub struct EnumeratedChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<T: Send> EnumeratedChunksMut<'_, T> {
+        /// Runs `f` on every `(index, chunk)` pair, in parallel when
+        /// workers are available.
+        pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+            let workers = current_num_threads().min(self.chunks.len().max(1));
+            if workers <= 1 {
+                for (i, chunk) in self.chunks.into_iter().enumerate() {
+                    f((i, chunk));
+                }
+                return;
+            }
+            let n = self.chunks.len();
+            let block = n.div_ceil(workers);
+            let mut batches: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
+            let mut current = Vec::with_capacity(block);
+            for pair in self.chunks.into_iter().enumerate() {
+                current.push(pair);
+                if current.len() == block {
+                    batches.push(std::mem::take(&mut current));
+                }
+            }
+            if !current.is_empty() {
+                batches.push(current);
+            }
+            std::thread::scope(|scope| {
+                for batch in batches {
+                    let f = &f;
+                    scope.spawn(move || {
+                        for pair in batch {
+                            f(pair);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_collects() {
+        let squares: Vec<u64> = (0..100usize)
+            .into_par_iter()
+            .map(|i| (i * i) as u64)
+            .collect();
+        assert_eq!(squares[99], 99 * 99);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element() {
+        let mut v = vec![1.0f64; 4096];
+        v.par_chunks_mut(256).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x += i as f64;
+            }
+        });
+        let expect: f64 = (0..16).map(|i| 256.0 * (1.0 + i as f64)).sum();
+        assert!((v.iter().sum::<f64>() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 21 * 2, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+}

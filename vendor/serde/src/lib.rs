@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container this workspace builds in has no access to the crates.io
+//! registry, so the real `serde` cannot be fetched. The workspace only
+//! uses `serde` as `#[derive(Serialize, Deserialize)]` annotations on
+//! data types — nothing serializes through the serde data model yet — so
+//! this stand-in provides the two trait names (satisfied by a blanket
+//! impl) and re-exports the no-op derives from `serde_derive`.
+//!
+//! Swapping in the real serde later is a manifest-only change: the
+//! annotations in the workspace are already the real ones.
+
+/// Marker for serializable types. Blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace vendors a minimal `serde` substitute (see
+//! `vendor/serde`) so crates can keep their `#[derive(Serialize,
+//! Deserialize)]` annotations without a network dependency. Nothing in
+//! the workspace consumes the serde data model, so the derives expand to
+//! nothing: the traits are implemented for every type by a blanket impl
+//! in the `serde` facade crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
