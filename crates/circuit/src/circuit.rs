@@ -387,6 +387,100 @@ impl Circuit {
         Some(out)
     }
 
+    /// A canonical 64-bit structural hash of the circuit.
+    ///
+    /// Two circuits share a key exactly when they are structurally
+    /// identical: same width, same declared parameter count, and the
+    /// same instruction stream (gate kinds, operand order, bound angle
+    /// bits, and free-parameter `id`/`scale`/`offset` structure). The
+    /// key is computed over a canonical byte encoding with FNV-1a, so it
+    /// is stable across processes and runs — suitable as a
+    /// compiled-program cache key.
+    ///
+    /// Note the asymmetry that makes this useful for serving: a
+    /// *parametrized* circuit keeps one key no matter what values are
+    /// later passed to [`Circuit::bind`], while two fully bound circuits
+    /// differing in any angle hash differently (their transpiled forms
+    /// may legitimately differ, e.g. through rotation merging). Callers
+    /// that want to share compiled programs across parameter points
+    /// should therefore submit the parametrized circuit plus a binding,
+    /// not pre-bound circuits.
+    pub fn structural_key(&self) -> u64 {
+        /// FNV-1a 64-bit accumulator.
+        struct Fnv(u64);
+        impl Fnv {
+            fn new() -> Self {
+                Fnv(0xCBF2_9CE4_8422_2325)
+            }
+            fn byte(&mut self, b: u8) {
+                self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            fn u64(&mut self, v: u64) {
+                for b in v.to_le_bytes() {
+                    self.byte(b);
+                }
+            }
+            fn usize(&mut self, v: usize) {
+                self.u64(v as u64);
+            }
+            fn f64(&mut self, v: f64) {
+                self.u64(v.to_bits());
+            }
+            fn str(&mut self, s: &str) {
+                self.usize(s.len());
+                for b in s.bytes() {
+                    self.byte(b);
+                }
+            }
+            fn param(&mut self, p: &Param) {
+                match *p {
+                    Param::Bound(v) => {
+                        self.byte(0);
+                        self.f64(v);
+                    }
+                    Param::Free { id, scale, offset } => {
+                        self.byte(1);
+                        self.usize(id.0);
+                        self.f64(scale);
+                        self.f64(offset);
+                    }
+                }
+            }
+        }
+        let mut h = Fnv::new();
+        h.usize(self.n_qubits);
+        h.usize(self.n_params);
+        h.usize(self.instructions.len());
+        for inst in &self.instructions {
+            match inst {
+                Instruction::Gate { gate, qubits } => {
+                    h.byte(0);
+                    h.str(gate.name());
+                    for p in gate.params() {
+                        h.param(&p);
+                    }
+                    h.usize(qubits.len());
+                    for &q in qubits {
+                        h.usize(q);
+                    }
+                }
+                Instruction::Barrier { qubits } => {
+                    h.byte(1);
+                    h.usize(qubits.len());
+                    for &q in qubits {
+                        h.usize(q);
+                    }
+                }
+                Instruction::Measure { qubit, cbit } => {
+                    h.byte(2);
+                    h.usize(*qubit);
+                    h.usize(*cbit);
+                }
+            }
+        }
+        h.0
+    }
+
     /// Returns a copy with every qubit index `q` replaced by `layout[q]`.
     ///
     /// Used by the transpiler to apply an initial layout onto a wider
@@ -589,6 +683,59 @@ mod tests {
         let mut qc2 = Circuit::new(1);
         qc2.sx(0);
         assert!(qc2.inverse().is_none());
+    }
+
+    #[test]
+    fn structural_key_is_stable_and_discriminating() {
+        let build = |theta: f64| {
+            let mut qc = Circuit::new(3);
+            let p = qc.add_param();
+            qc.h(0).cx(0, 1).rzz_param(1, 2, p, 2.0).rx(2, theta);
+            qc.barrier().measure_all();
+            qc
+        };
+        // Identical construction => identical key (stable across values).
+        assert_eq!(build(0.4).structural_key(), build(0.4).structural_key());
+        // A different bound angle is a different shape.
+        assert_ne!(build(0.4).structural_key(), build(0.5).structural_key());
+        // Different operand order is a different shape.
+        let mut a = Circuit::new(2);
+        a.cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(1, 0);
+        assert_ne!(a.structural_key(), b.structural_key());
+        // Width matters even with identical instructions.
+        let mut narrow = Circuit::new(2);
+        narrow.h(0);
+        let mut wide = Circuit::new(3);
+        wide.h(0);
+        assert_ne!(narrow.structural_key(), wide.structural_key());
+    }
+
+    #[test]
+    fn structural_key_invariant_under_binding_values() {
+        // The whole point of the key: one parametrized circuit keeps one
+        // key; its bindings differ from it and from each other.
+        let mut qc = Circuit::new(2);
+        let p = qc.add_param();
+        qc.rx_param(0, p, 1.0).rzz_param(0, 1, p, 2.0);
+        let key = qc.structural_key();
+        assert_eq!(key, qc.clone().structural_key());
+        let b1 = qc.bind(&[0.3]);
+        let b2 = qc.bind(&[0.7]);
+        assert_ne!(key, b1.structural_key());
+        assert_ne!(b1.structural_key(), b2.structural_key());
+    }
+
+    #[test]
+    fn structural_key_separates_free_param_structure() {
+        let mut a = Circuit::new(1);
+        let p = a.add_param();
+        a.rx_param(0, p, 1.0);
+        let mut b = Circuit::new(1);
+        let q = b.add_param();
+        b.rx_param(0, q, 2.0);
+        assert_ne!(a.structural_key(), b.structural_key());
     }
 
     #[test]

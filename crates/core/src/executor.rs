@@ -277,6 +277,11 @@ impl<'a> Executor<'a> {
     /// Runs a program and samples `shots` noisy measurement outcomes
     /// (readout confusion applied exactly to the distribution, then
     /// sampled with the seeded RNG).
+    ///
+    /// Callers issuing *streams* of sampling calls (training probes,
+    /// serve jobs) should derive `seed` from the call's position via
+    /// [`hgp_sim::seed::stream_seed`], so concurrent schedules stay
+    /// bit-identical to sequential ones.
     pub fn sample(&self, program: &Program, shots: usize, seed: u64) -> Counts {
         let rho = self.run(program);
         self.sample_state(&rho, shots, seed)

@@ -17,6 +17,10 @@
 //! - [`executor`]: machine-in-loop noisy execution — density-matrix
 //!   simulation with duration-scaled decoherence, calibrated gate errors,
 //!   and readout confusion,
+//! - [`compile`]: the compile/execute split — [`compile::CircuitCompiler`]
+//!   runs the per-*shape* work (cancellation, placement, routing) once,
+//!   and [`compile::CompiledCircuit`] binds parameters per dispatch; the
+//!   cacheable unit behind `hgp_serve`'s compiled-program cache,
 //! - [`training`]: the COBYLA training loop (1024 shots, 50 iterations in
 //!   the paper's setup) with optional CVaR aggregation and M3 mitigation,
 //! - [`duration_search`]: Step I — binary search for the shortest mixer
@@ -40,6 +44,7 @@
 //! assert!(result.approximation_ratio > 0.0 && result.approximation_ratio <= 1.0);
 //! ```
 
+pub mod compile;
 pub mod cost;
 pub mod duration_search;
 pub mod executor;
@@ -51,6 +56,7 @@ pub mod training;
 
 /// Convenient re-exports for application code.
 pub mod prelude {
+    pub use crate::compile::{CircuitCompiler, CompiledCircuit};
     pub use crate::cost::CostEvaluator;
     pub use crate::duration_search::{search_min_duration, DurationSearchResult};
     pub use crate::executor::Executor;

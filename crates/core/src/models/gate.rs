@@ -41,14 +41,20 @@ impl GateModelOptions {
 }
 
 /// Routes a logical circuit inside a fixed region, preserving free
-/// parameters. Returns the region-wire circuit and entry/exit layouts.
+/// parameters. Returns the region-wire circuit, the exit layout, and
+/// the number of SWAPs routing inserted.
+///
+/// This is the one shape pipeline (cancellation, routing, cancellation)
+/// shared by the model types and [`crate::compile::CircuitCompiler`] —
+/// keeping the two in lockstep is what makes served jobs bit-identical
+/// to model-driven runs.
 pub(crate) fn route_in_region(
     circuit: &Circuit,
     backend: &Backend,
     region: &[usize],
     entry_layout: &Layout,
     options: &GateModelOptions,
-) -> Result<(Circuit, Layout), String> {
+) -> Result<(Circuit, Layout, usize), String> {
     let sub = region_coupling(backend, region);
     let mut logical = circuit.clone();
     if options.cancellation {
@@ -59,7 +65,7 @@ pub(crate) fn route_in_region(
     if options.cancellation {
         out = cancel_gates(&out);
     }
-    Ok((out, routed.final_layout))
+    Ok((out, routed.final_layout, routed.n_swaps))
 }
 
 /// The standard gate-level QAOA model: `RZZ` Hamiltonian layers and
@@ -120,7 +126,7 @@ impl<'a> GateModel<'a> {
         } else {
             Layout::trivial(n, n)
         };
-        let (circuit, final_layout) =
+        let (circuit, final_layout, _n_swaps) =
             route_in_region(&logical, backend, &region, &entry, &options)?;
         Ok(Self {
             backend,

@@ -163,7 +163,8 @@ impl<'a> HybridModel<'a> {
                 }
             }
             append_hamiltonian_layer(&mut qc, graph, gamma);
-            let (circuit, out_layout) = route_in_region(&qc, backend, &region, &current, &options)?;
+            let (circuit, out_layout, _n_swaps) =
+                route_in_region(&qc, backend, &region, &current, &options)?;
             let wires = (0..n).map(|l| out_layout.physical(l)).collect();
             layers.push(LayerPart { circuit, wires });
             current = out_layout;

@@ -15,6 +15,7 @@ mod hybrid;
 mod pulse;
 mod region;
 
+pub(crate) use gate::route_in_region;
 pub use gate::{GateModel, GateModelOptions};
 pub use hybrid::HybridModel;
 pub use pulse::PulseModel;

@@ -17,6 +17,7 @@
 use hgp_graph::Graph;
 use hgp_mitigation::M3Mitigator;
 use hgp_optim::{parameter_shift_gradient_batch, Cobyla, STANDARD_SHIFT};
+use hgp_sim::seed::stream_seed;
 use rayon::prelude::*;
 
 use crate::cost::CostEvaluator;
@@ -113,7 +114,7 @@ fn evaluate_probe(
     eval_id: u64,
 ) -> f64 {
     let program = model.build(params);
-    let counts = exec.sample(&program, config.shots, config.seed.wrapping_add(eval_id));
+    let counts = exec.sample(&program, config.shots, stream_seed(config.seed, eval_id));
     let logical = model.interpret_counts(&counts);
     // Minimize the negative AR.
     -evaluator.cost(&logical) / c_max
@@ -205,7 +206,9 @@ pub fn train(model: &dyn VqaModel, graph: &Graph, config: &TrainConfig) -> Train
     // Final high-shot evaluation at the best parameters.
     let program = model.build(&result.x);
     let rho = exec.run(&program);
-    let final_counts = exec.sample_state(&rho, config.final_shots, config.seed);
+    // The final report is stream 0 — distinct from every training probe,
+    // which start at stream 1.
+    let final_counts = exec.sample_state(&rho, config.final_shots, stream_seed(config.seed, 0));
     let logical = model.interpret_counts(&final_counts);
     let approximation_ratio = evaluator.cost(&logical) / c_max;
     let expectation_ar = CostEvaluator::new(graph).cost(&logical) / c_max;

@@ -1,0 +1,179 @@
+//! The compiled-program cache.
+//!
+//! Keyed by [`hgp_circuit::Circuit::structural_key`]: one entry per
+//! circuit *shape*, shared by every parameter binding of that shape.
+//! Entries are [`Arc`]s so in-flight batches keep their program alive
+//! even if the entry is evicted mid-run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hgp_core::compile::CompiledCircuit;
+
+/// A least-recently-used cache of compiled programs.
+///
+/// Recency is tracked with a logical clock bumped on every access;
+/// eviction scans for the minimum — `O(len)` per eviction, which is
+/// irrelevant at the capacities a serving host uses (tens to hundreds of
+/// shapes) and keeps the structure a plain `HashMap`.
+#[derive(Debug)]
+pub struct ProgramCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<u64, (Arc<CompiledCircuit>, u64)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ProgramCache {
+    /// A cache holding at most `capacity` compiled shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a shape, refreshing its recency. Counts a hit or miss.
+    pub fn get(&mut self, key: u64) -> Option<Arc<CompiledCircuit>> {
+        self.clock += 1;
+        match self.entries.get_mut(&key) {
+            Some((compiled, used)) => {
+                *used = self.clock;
+                self.hits += 1;
+                Some(Arc::clone(compiled))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled shape, evicting the least recently
+    /// used entry when full. Inserting an existing key refreshes it.
+    pub fn insert(&mut self, compiled: Arc<CompiledCircuit>) {
+        self.clock += 1;
+        let key = compiled.key();
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(&k, _)| k)
+                .expect("non-empty at capacity");
+            self.entries.remove(&oldest);
+            self.evictions += 1;
+        }
+        self.entries.insert(key, (compiled, self.clock));
+    }
+
+    /// Whether a shape is cached (does not refresh recency or count).
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Cached shapes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum shapes held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_circuit::Circuit;
+    use hgp_core::compile::CircuitCompiler;
+    use hgp_device::Backend;
+
+    fn compiled(backend: &Backend, theta: f64) -> Arc<CompiledCircuit> {
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).rx(1, theta);
+        Arc::new(
+            CircuitCompiler::new(backend, vec![0, 1])
+                .compile(&qc)
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let backend = Backend::ideal(2);
+        let mut cache = ProgramCache::new(4);
+        let c = compiled(&backend, 0.3);
+        let key = c.key();
+        assert!(cache.get(key).is_none());
+        cache.insert(c);
+        assert!(cache.get(key).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let backend = Backend::ideal(2);
+        let mut cache = ProgramCache::new(2);
+        let a = compiled(&backend, 0.1);
+        let b = compiled(&backend, 0.2);
+        let c = compiled(&backend, 0.3);
+        let (ka, kb, kc) = (a.key(), b.key(), c.key());
+        cache.insert(a);
+        cache.insert(b);
+        // Touch `a` so `b` is the LRU when `c` arrives.
+        assert!(cache.get(ka).is_some());
+        cache.insert(c);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.contains(ka));
+        assert!(!cache.contains(kb));
+        assert!(cache.contains(kc));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let backend = Backend::ideal(2);
+        let mut cache = ProgramCache::new(1);
+        let a = compiled(&backend, 0.1);
+        let key = a.key();
+        cache.insert(Arc::clone(&a));
+        cache.insert(a);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.contains(key));
+    }
+}

@@ -1,0 +1,136 @@
+//! Job and result types — the service's wire format.
+//!
+//! A [`JobRequest`] names a (possibly parametrized) logical circuit, the
+//! parameter binding for this evaluation, and what to compute
+//! ([`JobSpec`]). The service answers with a [`JobResult`] carrying the
+//! [`JobOutput`] plus provenance: the job id, the sampling seed actually
+//! used, whether the compiled program came from the cache, and the
+//! execution latency.
+//!
+//! All types serialize through [`crate::json`] (see the `JsonCodec`
+//! round-trip property suite) and derive the workspace's serde
+//! annotations, so swapping a real serde backend in later is a
+//! manifest-only change.
+
+use serde::{Deserialize, Serialize};
+
+use hgp_circuit::Circuit;
+use hgp_math::pauli::PauliSum;
+use hgp_sim::Counts;
+
+/// Monotonically increasing job identifier, assigned at submission.
+///
+/// The id doubles as the job's position in the service's evaluation
+/// stream: the default sampling seed is
+/// `hgp_sim::seed::stream_seed(base_seed, id)`, which is what makes any
+/// concurrent schedule bit-identical to sequential execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What a job computes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobSpec {
+    /// Ideal (noiseless) statevector simulation; returns the
+    /// computational-basis probabilities in logical qubit order.
+    StateVector,
+    /// Noisy density-matrix execution through the machine-in-loop
+    /// [`hgp_core::executor::Executor`]; returns probabilities (logical
+    /// order, before readout confusion) and the state purity.
+    DensityMatrix,
+    /// Noisy execution plus `shots` sampled measurement outcomes with
+    /// readout confusion — exactly what
+    /// [`hgp_core::executor::Executor::sample`] returns, decoded to
+    /// logical qubit order.
+    Counts {
+        /// Number of measurement shots.
+        shots: usize,
+    },
+    /// Expectation value of an observable (given over logical qubits)
+    /// on the noisy final state. Deterministic — no sampling.
+    Expectation {
+        /// The observable, width equal to the circuit.
+        observable: PauliSum,
+    },
+}
+
+/// One unit of work submitted to the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// The logical circuit. Submit the *parametrized* circuit (not a
+    /// pre-bound copy) so repeated shapes share one compiled program.
+    pub circuit: Circuit,
+    /// Binding for the circuit's free parameters
+    /// (`len == circuit.n_params()`).
+    pub params: Vec<f64>,
+    /// What to compute.
+    pub spec: JobSpec,
+    /// Explicit sampling seed; `None` derives one from the service's
+    /// base seed and the job id (the reproducible default).
+    pub seed: Option<u64>,
+}
+
+impl JobRequest {
+    /// A request with the default derived seed.
+    pub fn new(circuit: Circuit, params: Vec<f64>, spec: JobSpec) -> Self {
+        Self {
+            circuit,
+            params,
+            spec,
+            seed: None,
+        }
+    }
+
+    /// Overrides the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// The computed payload of a finished job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobOutput {
+    /// Ideal probabilities, logical qubit order.
+    StateVector {
+        /// `2^n` computational-basis probabilities.
+        probabilities: Vec<f64>,
+    },
+    /// Noisy-state probabilities and purity.
+    DensityMatrix {
+        /// `2^n` computational-basis probabilities, logical order.
+        probabilities: Vec<f64>,
+        /// `Tr(rho^2)` of the full wire state.
+        purity: f64,
+    },
+    /// Sampled measurement outcomes, logical qubit order.
+    Counts(Counts),
+    /// The expectation value.
+    Expectation {
+        /// `<observable>` on the noisy final state.
+        value: f64,
+    },
+}
+
+/// A finished job: payload plus provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The job's id (submission order).
+    pub id: JobId,
+    /// The sampling seed used (derived or explicit). Recorded even for
+    /// deterministic specs, so any result can be replayed.
+    pub seed: u64,
+    /// Whether the compiled program was already cached when this job's
+    /// batch started (false exactly for jobs of a shape compiled for
+    /// this batch).
+    pub cache_hit: bool,
+    /// Wall-clock execution time of this job on its worker.
+    pub elapsed_ns: u64,
+    /// The payload.
+    pub output: JobOutput,
+}

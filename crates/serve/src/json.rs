@@ -1,0 +1,1010 @@
+//! Canonical JSON serialization for the service's wire types.
+//!
+//! The workspace's `serde` is a vendored no-op facade (the build
+//! container has no registry access), so the serve layer ships its own
+//! self-contained JSON codec: a minimal [`Value`] model, a strict
+//! parser, and [`JsonCodec`] implementations for every public job and
+//! result type plus the simulator types they embed ([`Counts`],
+//! [`Circuit`], [`PauliSum`]). When the real serde comes back, these
+//! codecs define the wire format its derives must reproduce.
+//!
+//! # Fidelity
+//!
+//! - `f64` values are written with Rust's shortest round-trip formatting
+//!   and re-parsed with `str::parse`, so every finite double survives a
+//!   round trip **bit-exactly** (the property suite pins this).
+//!   Non-finite values are rejected at encode time — JSON has no
+//!   representation for them.
+//! - `u64` values (seeds, shot counts, job ids) are written as decimal
+//!   integers and parsed as integers, never through `f64`, so values
+//!   above `2^53` survive.
+//!
+//! ```
+//! use hgp_serve::json::JsonCodec;
+//! use hgp_sim::Counts;
+//!
+//! let mut counts = Counts::new(2);
+//! counts.record(0b11, 60);
+//! counts.record(0b00, 40);
+//! let text = counts.to_json_string();
+//! assert_eq!(Counts::from_json_str(&text).unwrap(), counts);
+//! ```
+
+use std::fmt;
+
+use hgp_circuit::{Circuit, Gate, Instruction, Param, ParamId};
+use hgp_math::pauli::{Pauli, PauliString, PauliSum};
+use hgp_sim::Counts;
+
+use crate::job::{JobId, JobOutput, JobRequest, JobResult, JobSpec};
+
+/// A JSON document.
+///
+/// Numbers are kept as their literal text ([`Value::Num`]) so integer
+/// and floating interpretations are both lossless; accessors parse on
+/// demand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its literal text.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (insertion-ordered).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A number value for a finite `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinity — JSON cannot represent them.
+    pub fn from_f64(v: f64) -> Value {
+        assert!(v.is_finite(), "JSON cannot represent {v}");
+        Value::Num(format!("{v}"))
+    }
+
+    /// A number value for a `u64`.
+    pub fn from_u64(v: u64) -> Value {
+        Value::Num(v.to_string())
+    }
+
+    /// A number value for a `usize`.
+    pub fn from_usize(v: usize) -> Value {
+        Value::Num(v.to_string())
+    }
+
+    /// The value as an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if this is not a parsable number.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Num(s) => s.parse().map_err(|e| format!("bad number {s:?}: {e}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// The value as a `u64` (rejects fractional/negative literals).
+    ///
+    /// # Errors
+    ///
+    /// Errors if this is not an unsigned integer literal.
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Value::Num(s) => s.parse().map_err(|e| format!("bad integer {s:?}: {e}")),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    /// The value as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if this is not an unsigned integer literal in range.
+    pub fn as_usize(&self) -> Result<usize, String> {
+        usize::try_from(self.as_u64()?).map_err(|e| e.to_string())
+    }
+
+    /// The value as a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if this is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Errors if this is not a string.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Errors if this is not an array.
+    pub fn as_arr(&self) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// Member `key` of an object.
+    ///
+    /// # Errors
+    ///
+    /// Errors if this is not an object or the key is absent.
+    pub fn get(&self, key: &str) -> Result<&Value, String> {
+        self.opt(key)?.ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    /// Member `key` of an object, if present.
+    ///
+    /// # Errors
+    ///
+    /// Errors if this is not an object.
+    pub fn opt(&self, key: &str) -> Result<Option<&Value>, String> {
+        match self {
+            Value::Obj(members) => Ok(members.iter().find(|(k, _)| k == key).map(|(_, v)| v)),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    /// Parses a JSON document (strict: one value, no trailing input).
+    ///
+    /// # Errors
+    ///
+    /// Errors with a position-annotated message on malformed input.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(s) => write!(f, "{s}"),
+            Value::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\r' => write!(f, "\\r")?,
+                        '\t' => write!(f, "\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Value::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Obj(members) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", Value::Str(k.clone()))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over bytes.
+struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > s
+        };
+        // Integer part: "0" or a nonzero-led digit run (JSON forbids
+        // leading zeros).
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(format!("leading zero at byte {start}"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                digits(self);
+            }
+            _ => return Err(format!("bad number at byte {start}")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("bad fraction at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad exponent at byte {start}"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        Ok(Value::Num(text.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("invalid UTF-8 in string: {e}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("bad low surrogate".to_string());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad code point {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape {s:?}"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Types with a canonical JSON representation.
+pub trait JsonCodec: Sized {
+    /// Encodes to a JSON value.
+    fn to_json(&self) -> Value;
+
+    /// Decodes from a JSON value, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Errors on structural mismatch or invariant violations (bad
+    /// widths, out-of-range indices, unknown tags).
+    fn from_json(value: &Value) -> Result<Self, String>;
+
+    /// Encodes to JSON text.
+    fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Decodes from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Errors on parse failure or [`JsonCodec::from_json`] failure.
+    fn from_json_str(text: &str) -> Result<Self, String> {
+        Self::from_json(&Value::parse(text)?)
+    }
+}
+
+fn obj(members: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn f64_arr(values: &[f64]) -> Value {
+    Value::Arr(values.iter().map(|&v| Value::from_f64(v)).collect())
+}
+
+fn f64_vec(value: &Value) -> Result<Vec<f64>, String> {
+    value.as_arr()?.iter().map(Value::as_f64).collect()
+}
+
+impl JsonCodec for Counts {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("n_qubits", Value::from_usize(self.n_qubits())),
+            (
+                "counts",
+                Value::Arr(
+                    self.iter()
+                        .map(|(b, c)| Value::Arr(vec![Value::from_usize(b), Value::from_u64(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let n_qubits = value.get("n_qubits")?.as_usize()?;
+        if n_qubits == 0 || n_qubits > usize::BITS as usize - 1 {
+            return Err(format!("bad qubit count {n_qubits}"));
+        }
+        let mut counts = Counts::new(n_qubits);
+        for pair in value.get("counts")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return Err("count entries are [bitstring, count] pairs".to_string());
+            }
+            let bitstring = pair[0].as_usize()?;
+            if bitstring >= 1 << n_qubits {
+                return Err(format!("bitstring {bitstring} out of range"));
+            }
+            counts.record(bitstring, pair[1].as_u64()?);
+        }
+        Ok(counts)
+    }
+}
+
+impl JsonCodec for Param {
+    fn to_json(&self) -> Value {
+        match *self {
+            Param::Bound(v) => obj(vec![("b", Value::from_f64(v))]),
+            Param::Free { id, scale, offset } => obj(vec![(
+                "f",
+                Value::Arr(vec![
+                    Value::from_usize(id.0),
+                    Value::from_f64(scale),
+                    Value::from_f64(offset),
+                ]),
+            )]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        if let Some(v) = value.opt("b")? {
+            return Ok(Param::Bound(v.as_f64()?));
+        }
+        if let Some(v) = value.opt("f")? {
+            let parts = v.as_arr()?;
+            if parts.len() != 3 {
+                return Err("free params are [id, scale, offset]".to_string());
+            }
+            return Ok(Param::Free {
+                id: ParamId(parts[0].as_usize()?),
+                scale: parts[1].as_f64()?,
+                offset: parts[2].as_f64()?,
+            });
+        }
+        Err("param must have key \"b\" or \"f\"".to_string())
+    }
+}
+
+impl JsonCodec for Gate {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("name", Value::Str(self.name().to_string())),
+            (
+                "params",
+                Value::Arr(self.params().iter().map(JsonCodec::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let name = value.get("name")?.as_str()?;
+        let params: Vec<Param> = value
+            .get("params")?
+            .as_arr()?
+            .iter()
+            .map(Param::from_json)
+            .collect::<Result<_, _>>()?;
+        let arity = |n: usize| -> Result<(), String> {
+            if params.len() == n {
+                Ok(())
+            } else {
+                Err(format!("gate {name} takes {n} parameter(s)"))
+            }
+        };
+        let fixed = |g: Gate| -> Result<Gate, String> {
+            arity(0)?;
+            Ok(g)
+        };
+        match name {
+            "id" => fixed(Gate::I),
+            "x" => fixed(Gate::X),
+            "y" => fixed(Gate::Y),
+            "z" => fixed(Gate::Z),
+            "h" => fixed(Gate::H),
+            "s" => fixed(Gate::S),
+            "sdg" => fixed(Gate::Sdg),
+            "t" => fixed(Gate::T),
+            "tdg" => fixed(Gate::Tdg),
+            "sx" => fixed(Gate::SX),
+            "cx" => fixed(Gate::CX),
+            "cz" => fixed(Gate::CZ),
+            "swap" => fixed(Gate::Swap),
+            "rx" => {
+                arity(1)?;
+                Ok(Gate::Rx(params[0]))
+            }
+            "ry" => {
+                arity(1)?;
+                Ok(Gate::Ry(params[0]))
+            }
+            "rz" => {
+                arity(1)?;
+                Ok(Gate::Rz(params[0]))
+            }
+            "rzz" => {
+                arity(1)?;
+                Ok(Gate::Rzz(params[0]))
+            }
+            "rzx" => {
+                arity(1)?;
+                Ok(Gate::Rzx(params[0]))
+            }
+            "u3" => {
+                arity(3)?;
+                Ok(Gate::U3(params[0], params[1], params[2]))
+            }
+            other => Err(format!("unknown gate {other:?}")),
+        }
+    }
+}
+
+impl JsonCodec for Circuit {
+    fn to_json(&self) -> Value {
+        let instructions = self
+            .instructions()
+            .iter()
+            .map(|inst| match inst {
+                Instruction::Gate { gate, qubits } => obj(vec![
+                    ("gate", gate.to_json()),
+                    (
+                        "qubits",
+                        Value::Arr(qubits.iter().map(|&q| Value::from_usize(q)).collect()),
+                    ),
+                ]),
+                Instruction::Barrier { qubits } => obj(vec![(
+                    "barrier",
+                    Value::Arr(qubits.iter().map(|&q| Value::from_usize(q)).collect()),
+                )]),
+                Instruction::Measure { qubit, cbit } => obj(vec![(
+                    "measure",
+                    Value::Arr(vec![Value::from_usize(*qubit), Value::from_usize(*cbit)]),
+                )]),
+            })
+            .collect();
+        obj(vec![
+            ("n_qubits", Value::from_usize(self.n_qubits())),
+            ("n_params", Value::from_usize(self.n_params())),
+            ("instructions", Value::Arr(instructions)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let n_qubits = value.get("n_qubits")?.as_usize()?;
+        if n_qubits == 0 {
+            return Err("circuit must have at least one qubit".to_string());
+        }
+        let n_params = value.get("n_params")?.as_usize()?;
+        let mut circuit = Circuit::new(n_qubits);
+        circuit.add_params(n_params);
+        let check_qubit = |q: usize| -> Result<usize, String> {
+            if q < n_qubits {
+                Ok(q)
+            } else {
+                Err(format!("qubit {q} out of range"))
+            }
+        };
+        for inst in value.get("instructions")?.as_arr()? {
+            if let Some(g) = inst.opt("gate")? {
+                let gate = Gate::from_json(g)?;
+                // Free-parameter ids must stay inside the declared table,
+                // or binding would panic far from the decode site.
+                for p in gate.params() {
+                    if let Some(id) = p.param_id() {
+                        if id.0 >= n_params {
+                            return Err(format!("parameter {id} out of range"));
+                        }
+                    }
+                }
+                let qubits: Vec<usize> = inst
+                    .get("qubits")?
+                    .as_arr()?
+                    .iter()
+                    .map(|q| check_qubit(q.as_usize()?))
+                    .collect::<Result<_, _>>()?;
+                if qubits.len() != gate.n_qubits() {
+                    return Err(format!("gate {} operand count", gate.name()));
+                }
+                if qubits.len() == 2 && qubits[0] == qubits[1] {
+                    return Err("two-qubit gate operands must differ".to_string());
+                }
+                circuit.push(gate, &qubits);
+            } else if let Some(b) = inst.opt("barrier")? {
+                let qubits: Vec<usize> = b
+                    .as_arr()?
+                    .iter()
+                    .map(|q| check_qubit(q.as_usize()?))
+                    .collect::<Result<_, _>>()?;
+                circuit
+                    .instructions_mut()
+                    .push(Instruction::Barrier { qubits });
+            } else if let Some(m) = inst.opt("measure")? {
+                let parts = m.as_arr()?;
+                if parts.len() != 2 {
+                    return Err("measure is [qubit, cbit]".to_string());
+                }
+                circuit.instructions_mut().push(Instruction::Measure {
+                    qubit: check_qubit(parts[0].as_usize()?)?,
+                    cbit: parts[1].as_usize()?,
+                });
+            } else {
+                return Err("instruction must be gate/barrier/measure".to_string());
+            }
+        }
+        Ok(circuit)
+    }
+}
+
+impl JsonCodec for PauliSum {
+    fn to_json(&self) -> Value {
+        let terms = self
+            .terms()
+            .iter()
+            .map(|t| {
+                obj(vec![
+                    ("coeff", Value::from_f64(t.coeff())),
+                    (
+                        "factors",
+                        Value::Arr(
+                            t.factors()
+                                .iter()
+                                .map(|&(q, p)| {
+                                    Value::Arr(vec![
+                                        Value::from_usize(q),
+                                        Value::Str(p.to_string()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("n_qubits", Value::from_usize(self.n_qubits())),
+            ("terms", Value::Arr(terms)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let n_qubits = value.get("n_qubits")?.as_usize()?;
+        if n_qubits == 0 {
+            return Err("observable must have at least one qubit".to_string());
+        }
+        let mut terms = Vec::new();
+        for term in value.get("terms")?.as_arr()? {
+            let coeff = term.get("coeff")?.as_f64()?;
+            let mut factors: Vec<(usize, Pauli)> = Vec::new();
+            for factor in term.get("factors")?.as_arr()? {
+                let parts = factor.as_arr()?;
+                if parts.len() != 2 {
+                    return Err("factors are [qubit, pauli] pairs".to_string());
+                }
+                let q = parts[0].as_usize()?;
+                if q >= n_qubits {
+                    return Err(format!("factor qubit {q} out of range"));
+                }
+                if factors.iter().any(|&(seen, _)| seen == q) {
+                    return Err(format!("factor qubit {q} repeated"));
+                }
+                let letter = parts[1].as_str()?;
+                let mut chars = letter.chars();
+                let (Some(c), None) = (chars.next(), chars.next()) else {
+                    return Err(format!("bad Pauli {letter:?}"));
+                };
+                factors.push((
+                    q,
+                    Pauli::from_char(c).map_err(|c| format!("bad Pauli {c:?}"))?,
+                ));
+            }
+            terms.push(PauliString::new(n_qubits, factors, coeff));
+        }
+        if terms.is_empty() {
+            return Err("observable needs at least one term".to_string());
+        }
+        Ok(PauliSum::from_terms(terms))
+    }
+}
+
+impl JsonCodec for JobId {
+    fn to_json(&self) -> Value {
+        Value::from_u64(self.0)
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        Ok(JobId(value.as_u64()?))
+    }
+}
+
+impl JsonCodec for JobSpec {
+    fn to_json(&self) -> Value {
+        match self {
+            JobSpec::StateVector => obj(vec![("kind", Value::Str("statevector".into()))]),
+            JobSpec::DensityMatrix => obj(vec![("kind", Value::Str("density_matrix".into()))]),
+            JobSpec::Counts { shots } => obj(vec![
+                ("kind", Value::Str("counts".into())),
+                ("shots", Value::from_usize(*shots)),
+            ]),
+            JobSpec::Expectation { observable } => obj(vec![
+                ("kind", Value::Str("expectation".into())),
+                ("observable", observable.to_json()),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        match value.get("kind")?.as_str()? {
+            "statevector" => Ok(JobSpec::StateVector),
+            "density_matrix" => Ok(JobSpec::DensityMatrix),
+            "counts" => Ok(JobSpec::Counts {
+                shots: value.get("shots")?.as_usize()?,
+            }),
+            "expectation" => Ok(JobSpec::Expectation {
+                observable: PauliSum::from_json(value.get("observable")?)?,
+            }),
+            other => Err(format!("unknown job kind {other:?}")),
+        }
+    }
+}
+
+impl JsonCodec for JobRequest {
+    fn to_json(&self) -> Value {
+        let mut members = vec![
+            ("circuit", self.circuit.to_json()),
+            ("params", f64_arr(&self.params)),
+            ("spec", self.spec.to_json()),
+        ];
+        if let Some(seed) = self.seed {
+            members.push(("seed", Value::from_u64(seed)));
+        }
+        obj(members)
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        Ok(JobRequest {
+            circuit: Circuit::from_json(value.get("circuit")?)?,
+            params: f64_vec(value.get("params")?)?,
+            spec: JobSpec::from_json(value.get("spec")?)?,
+            seed: value.opt("seed")?.map(Value::as_u64).transpose()?,
+        })
+    }
+}
+
+impl JsonCodec for JobOutput {
+    fn to_json(&self) -> Value {
+        match self {
+            JobOutput::StateVector { probabilities } => obj(vec![
+                ("kind", Value::Str("statevector".into())),
+                ("probabilities", f64_arr(probabilities)),
+            ]),
+            JobOutput::DensityMatrix {
+                probabilities,
+                purity,
+            } => obj(vec![
+                ("kind", Value::Str("density_matrix".into())),
+                ("probabilities", f64_arr(probabilities)),
+                ("purity", Value::from_f64(*purity)),
+            ]),
+            JobOutput::Counts(counts) => obj(vec![
+                ("kind", Value::Str("counts".into())),
+                ("counts", counts.to_json()),
+            ]),
+            JobOutput::Expectation { value } => obj(vec![
+                ("kind", Value::Str("expectation".into())),
+                ("value", Value::from_f64(*value)),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        match value.get("kind")?.as_str()? {
+            "statevector" => Ok(JobOutput::StateVector {
+                probabilities: f64_vec(value.get("probabilities")?)?,
+            }),
+            "density_matrix" => Ok(JobOutput::DensityMatrix {
+                probabilities: f64_vec(value.get("probabilities")?)?,
+                purity: value.get("purity")?.as_f64()?,
+            }),
+            "counts" => Ok(JobOutput::Counts(Counts::from_json(value.get("counts")?)?)),
+            "expectation" => Ok(JobOutput::Expectation {
+                value: value.get("value")?.as_f64()?,
+            }),
+            other => Err(format!("unknown output kind {other:?}")),
+        }
+    }
+}
+
+impl JsonCodec for JobResult {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("id", self.id.to_json()),
+            ("seed", Value::from_u64(self.seed)),
+            ("cache_hit", Value::Bool(self.cache_hit)),
+            ("elapsed_ns", Value::from_u64(self.elapsed_ns)),
+            ("output", self.output.to_json()),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        Ok(JobResult {
+            id: JobId::from_json(value.get("id")?)?,
+            seed: value.get("seed")?.as_u64()?,
+            cache_hit: value.get("cache_hit")?.as_bool()?,
+            elapsed_ns: value.get("elapsed_ns")?.as_u64()?,
+            output: JobOutput::from_json(value.get("output")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_accepts_canonical_forms() {
+        let v = Value::parse(r#"{"a":[1,-2.5,1e3,null,true,"x\n\"\u00e9"],"b":{}}"#).unwrap();
+        let a = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a[0].as_u64().unwrap(), 1);
+        assert!((a[1].as_f64().unwrap() + 2.5).abs() < 1e-15);
+        assert!((a[2].as_f64().unwrap() - 1000.0).abs() < 1e-12);
+        assert_eq!(a[3], Value::Null);
+        assert!(a[4].as_bool().unwrap());
+        assert_eq!(a[5].as_str().unwrap(), "x\n\"\u{e9}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,]", "{\"a\":}", "01", "1 2", "\"\\q\"", "nul", "+3",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v =
+            Value::parse(r#"{"k":[1,2.25,"s",{"n":null}],"big":18446744073709551615}"#).unwrap();
+        let again = Value::parse(&v.to_string()).unwrap();
+        assert_eq!(v, again);
+        assert_eq!(again.get("big").unwrap().as_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn f64_text_is_bit_exact() {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -0.0,
+            2.0_f64.powi(60),
+        ] {
+            let text = Value::from_f64(v).to_string();
+            let back: f64 = Value::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {text}");
+        }
+    }
+
+    #[test]
+    fn unknown_gate_and_bad_widths_are_rejected() {
+        assert!(
+            Gate::from_json(&Value::parse(r#"{"name":"frobnicate","params":[]}"#).unwrap())
+                .is_err()
+        );
+        let bad_circuit = r#"{"n_qubits":1,"n_params":0,"instructions":[
+            {"gate":{"name":"h","params":[]},"qubits":[4]}]}"#;
+        assert!(Circuit::from_json_str(bad_circuit).is_err());
+        let unbound_id = r#"{"n_qubits":1,"n_params":1,"instructions":[
+            {"gate":{"name":"rx","params":[{"f":[3,1,0]}]},"qubits":[0]}]}"#;
+        assert!(Circuit::from_json_str(unbound_id).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! `hgp_serve` — the batched job-execution service over the hybrid
+//! gate-pulse engine.
+//!
+//! The workloads this workspace reproduces are *shape-repetitive*:
+//! thousands of QAOA evaluations that differ only in bound parameters.
+//! Hand-driving [`hgp_core::executor::Executor`] re-transpiles and
+//! re-allocates per call; this crate is the serving layer that
+//! amortizes all of that:
+//!
+//! - [`job`]: serde-annotated, JSON-serializable [`JobRequest`] /
+//!   [`JobResult`] types covering statevector, density-matrix,
+//!   sampled-counts, and expectation-value workloads,
+//! - [`cache`]: a structural-hash LRU [`ProgramCache`] of compiled
+//!   programs — transpilation happens once per circuit *shape*
+//!   ([`hgp_circuit::Circuit::structural_key`]), parameter binding at
+//!   dispatch ([`hgp_core::compile`]),
+//! - [`service`]: the worker-pool [`Service`] (std threads + channels)
+//!   with same-shape batching and per-job deterministic seed derivation
+//!   ([`hgp_sim::seed`]) — any concurrent schedule is bit-identical to
+//!   sequential execution,
+//! - [`metrics`]: throughput/latency/cache accounting
+//!   ([`ServeMetrics`]),
+//! - [`json`]: the canonical wire format ([`json::JsonCodec`]),
+//!   self-contained because the vendored serde facade is a no-op.
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_core::qaoa::qaoa_circuit;
+//! use hgp_device::Backend;
+//! use hgp_graph::instances;
+//! use hgp_serve::{JobRequest, JobSpec, ServeConfig, Service};
+//!
+//! let backend = Backend::ibmq_guadalupe();
+//! let graph = instances::task1_three_regular_6();
+//! let circuit = qaoa_circuit(&graph, 1); // parametrized: one shape
+//! let mut service = Service::new(&backend, ServeConfig::new(vec![0, 1, 2, 3, 4, 5]));
+//! let jobs = (0..4)
+//!     .map(|i| {
+//!         let gamma = 0.1 * (i + 1) as f64;
+//!         JobRequest::new(circuit.clone(), vec![gamma, 0.25], JobSpec::Counts { shots: 256 })
+//!     })
+//!     .collect();
+//! let results = service.run_batch(jobs);
+//! assert_eq!(results.len(), 4);
+//! // One shape => one compilation; every later job hits the cache.
+//! assert_eq!(service.metrics().cache_misses, 1);
+//! assert_eq!(service.metrics().cache_hits, 0); // same batch compiled it once
+//! let again = service.run_batch(vec![JobRequest::new(
+//!     circuit.clone(),
+//!     vec![0.3, 0.25],
+//!     JobSpec::StateVector,
+//! )]);
+//! assert!(again[0].cache_hit);
+//! ```
+
+pub mod cache;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod service;
+
+pub use cache::ProgramCache;
+pub use job::{JobId, JobOutput, JobRequest, JobResult, JobSpec};
+pub use metrics::ServeMetrics;
+pub use service::{ServeConfig, Service};

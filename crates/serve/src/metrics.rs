@@ -1,0 +1,109 @@
+//! Service throughput and latency accounting.
+
+use std::fmt;
+
+/// Cumulative counters over a service's lifetime.
+///
+/// `wall_ns` accumulates end-to-end [`crate::Service::run_batch`] time
+/// (compile + dispatch + execution + collection), while `exec_ns` sums
+/// per-job worker time; with `workers > 1` on a multi-core host,
+/// `exec_ns` exceeding `wall_ns` is the parallel speedup made visible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Jobs finished.
+    pub jobs_completed: u64,
+    /// `run_batch` calls served.
+    pub batches: u64,
+    /// Shape groups dispatched (one per distinct structural key per
+    /// batch).
+    pub shape_groups: u64,
+    /// Compiled-program cache hits (shape lookups).
+    pub cache_hits: u64,
+    /// Compiled-program cache misses (each one paid a compilation).
+    pub cache_misses: u64,
+    /// Time spent compiling shapes.
+    pub compile_ns: u64,
+    /// Summed per-job execution time across workers.
+    pub exec_ns: u64,
+    /// Summed end-to-end batch wall time.
+    pub wall_ns: u64,
+}
+
+impl ServeMetrics {
+    /// End-to-end throughput over the service's lifetime, jobs/second.
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.jobs_completed as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Mean per-job execution latency, nanoseconds.
+    pub fn mean_job_latency_ns(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.exec_ns as f64 / self.jobs_completed as f64
+        }
+    }
+
+    /// Fraction of shape lookups served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ServeMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs in {} batches | {:.0} jobs/s | mean latency {:.1} us | \
+             cache {}/{} hits ({:.0}%) | compile {:.2} ms",
+            self.jobs_completed,
+            self.batches,
+            self.throughput_jobs_per_sec(),
+            self.mean_job_latency_ns() / 1e3,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            100.0 * self.cache_hit_rate(),
+            self.compile_ns as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let m = ServeMetrics {
+            jobs_completed: 100,
+            batches: 2,
+            shape_groups: 3,
+            cache_hits: 2,
+            cache_misses: 1,
+            compile_ns: 5_000_000,
+            exec_ns: 200_000_000,
+            wall_ns: 1_000_000_000,
+        };
+        assert!((m.throughput_jobs_per_sec() - 100.0).abs() < 1e-9);
+        assert!((m.mean_job_latency_ns() - 2_000_000.0).abs() < 1e-9);
+        assert!((m.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(!m.to_string().is_empty());
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let m = ServeMetrics::default();
+        assert_eq!(m.throughput_jobs_per_sec(), 0.0);
+        assert_eq!(m.mean_job_latency_ns(), 0.0);
+        assert_eq!(m.cache_hit_rate(), 0.0);
+    }
+}

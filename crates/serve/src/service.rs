@@ -1,0 +1,410 @@
+//! The job-execution service: same-shape batching over a worker pool.
+//!
+//! # Execution model
+//!
+//! [`Service::run_batch`] is the unit of scheduling:
+//!
+//! 1. **Admission** — each request gets a monotonically increasing
+//!    [`JobId`] and a sampling seed derived from the service's base seed
+//!    and that id ([`hgp_sim::seed::stream_seed`]), unless the request
+//!    pinned one. Seeds are therefore a pure function of submission
+//!    order, never of worker scheduling.
+//! 2. **Compile** — jobs are grouped by
+//!    [`Circuit::structural_key`]; each distinct shape is looked up in
+//!    the LRU [`ProgramCache`] and compiled on miss
+//!    ([`hgp_core::compile::CircuitCompiler`] — cancellation, SABRE
+//!    placement, routing), once, no matter how many jobs share it.
+//! 3. **Dispatch** — every shape group is chunked across the worker
+//!    pool (std threads + mpsc channels). A chunk carries its shared
+//!    `Arc<CompiledCircuit>`; workers bind each job's parameters
+//!    (`O(gates)`) and execute. This is the same batch-evaluation shape
+//!    as `hgp_optim`'s `BatchObjective`: one compiled artifact, a slice
+//!    of parameter points, independent evaluations
+//!    ([`Service::expectation_batch`] packages it as exactly that
+//!    closure).
+//! 4. **Collection** — results return over a channel and are reordered
+//!    by submission index; metrics accumulate.
+//!
+//! Because a job's output depends only on `(compiled shape, params,
+//! seed)` and all three are fixed at admission, **any concurrent
+//! schedule is bit-identical to sequential execution** — the
+//! integration suite pins this against hand-driven
+//! [`Executor`](hgp_core::executor::Executor) runs.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hgp_circuit::Circuit;
+use hgp_core::compile::{CircuitCompiler, CompiledCircuit};
+use hgp_core::models::GateModelOptions;
+use hgp_device::Backend;
+use hgp_math::pauli::PauliSum;
+use hgp_sim::seed::stream_seed;
+use hgp_sim::{DensityMatrix, SimBackend, StateVector};
+
+use crate::cache::ProgramCache;
+use crate::job::{JobId, JobOutput, JobRequest, JobResult, JobSpec};
+use crate::metrics::ServeMetrics;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Physical qubits circuits are routed into; a circuit of `n`
+    /// qubits uses the first `n` entries (which must induce a connected
+    /// subgraph).
+    pub layout: Vec<usize>,
+    /// Worker threads per batch. Defaults to the host's available
+    /// parallelism, capped at 8.
+    pub workers: usize,
+    /// Compiled shapes kept in the LRU cache.
+    pub cache_capacity: usize,
+    /// Base seed of the service's evaluation stream.
+    pub base_seed: u64,
+    /// Transpilation passes applied once per shape.
+    pub compile_options: GateModelOptions,
+}
+
+impl ServeConfig {
+    /// Defaults: host parallelism (max 8) workers, 64 cached shapes,
+    /// base seed 42, optimized compilation.
+    pub fn new(layout: Vec<usize>) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        Self {
+            layout,
+            workers,
+            cache_capacity: 64,
+            base_seed: 42,
+            compile_options: GateModelOptions::optimized(),
+        }
+    }
+
+    /// Overrides the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Overrides the base seed.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Overrides the compilation passes.
+    pub fn with_compile_options(mut self, options: GateModelOptions) -> Self {
+        self.compile_options = options;
+        self
+    }
+}
+
+/// A job admitted to the stream: id and seed fixed, awaiting dispatch.
+struct PreparedJob {
+    index: usize,
+    id: JobId,
+    seed: u64,
+    params: Vec<f64>,
+    spec: JobSpec,
+}
+
+/// One unit of worker work: a chunk of same-shape jobs plus their
+/// shared compiled program.
+struct WorkUnit {
+    compiled: Arc<CompiledCircuit>,
+    cache_hit: bool,
+    jobs: Vec<PreparedJob>,
+}
+
+/// The batched job-execution service. See the module docs.
+#[derive(Debug)]
+pub struct Service<'a> {
+    backend: &'a Backend,
+    config: ServeConfig,
+    cache: ProgramCache,
+    metrics: ServeMetrics,
+    next_job: u64,
+}
+
+impl<'a> Service<'a> {
+    /// Creates a service executing on `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout references qubits outside the backend (the
+    /// compiler validates on first use), `cache_capacity` is zero, or
+    /// `workers` is zero.
+    pub fn new(backend: &'a Backend, config: ServeConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let cache = ProgramCache::new(config.cache_capacity);
+        Self {
+            backend,
+            config,
+            cache,
+            metrics: ServeMetrics::default(),
+            next_job: 0,
+        }
+    }
+
+    /// The backend jobs execute on.
+    pub fn backend(&self) -> &Backend {
+        self.backend
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The compiled-program cache (shape count, hit/miss counters).
+    pub fn cache(&self) -> &ProgramCache {
+        &self.cache
+    }
+
+    /// Serves one batch of jobs, returning results in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed requests: a circuit wider than the layout, a
+    /// parameter vector whose length disagrees with the circuit, or an
+    /// expectation observable of the wrong width. Validation is atomic
+    /// — it runs for the whole batch *before* any job id is assigned,
+    /// so a rejected batch never advances the seed stream.
+    pub fn run_batch(&mut self, requests: Vec<JobRequest>) -> Vec<JobResult> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let wall = Instant::now();
+        let n_jobs = requests.len();
+
+        // 0. Validate everything before touching the id/seed stream.
+        for (index, request) in requests.iter().enumerate() {
+            assert_eq!(
+                request.params.len(),
+                request.circuit.n_params(),
+                "request {index}: expected {} parameter(s)",
+                request.circuit.n_params()
+            );
+            if let JobSpec::Expectation { observable } = &request.spec {
+                assert_eq!(
+                    observable.n_qubits(),
+                    request.circuit.n_qubits(),
+                    "request {index}: observable width must match the circuit"
+                );
+            }
+        }
+
+        // 1. Admission: fix ids and seeds by submission order.
+        let compiler = CircuitCompiler::new(self.backend, self.config.layout.clone())
+            .with_options(self.config.compile_options);
+        let mut groups: Vec<(u64, &Circuit, Vec<PreparedJob>)> = Vec::new();
+        for (index, request) in requests.iter().enumerate() {
+            let id = JobId(self.next_job);
+            self.next_job += 1;
+            let seed = request
+                .seed
+                .unwrap_or_else(|| stream_seed(self.config.base_seed, id.0));
+            let job = PreparedJob {
+                index,
+                id,
+                seed,
+                params: request.params.clone(),
+                spec: request.spec.clone(),
+            };
+            let key = request.circuit.structural_key();
+            match groups.iter_mut().find(|(k, _, _)| *k == key) {
+                Some((_, _, jobs)) => jobs.push(job),
+                None => groups.push((key, &request.circuit, vec![job])),
+            }
+        }
+
+        // 2. Compile each distinct shape once (cache hit or miss).
+        self.metrics.shape_groups += groups.len() as u64;
+        let mut units: Vec<WorkUnit> = Vec::new();
+        for (key, circuit, jobs) in groups {
+            let (compiled, cache_hit) = match self.cache.get(key) {
+                Some(compiled) => (compiled, true),
+                None => {
+                    let t0 = Instant::now();
+                    let compiled = Arc::new(
+                        compiler
+                            .compile(circuit)
+                            .unwrap_or_else(|e| panic!("compile failed: {e}")),
+                    );
+                    self.metrics.compile_ns += t0.elapsed().as_nanos() as u64;
+                    self.cache.insert(Arc::clone(&compiled));
+                    (compiled, false)
+                }
+            };
+            // 3a. Chunk the group across the pool so one hot shape does
+            // not serialize on a single worker.
+            let chunk = jobs.len().div_ceil(self.config.workers).max(1);
+            let mut jobs = jobs;
+            while !jobs.is_empty() {
+                let rest = jobs.split_off(chunk.min(jobs.len()));
+                units.push(WorkUnit {
+                    compiled: Arc::clone(&compiled),
+                    cache_hit,
+                    jobs,
+                });
+                jobs = rest;
+            }
+        }
+        self.metrics.cache_hits = self.cache.hits();
+        self.metrics.cache_misses = self.cache.misses();
+
+        // 3b. Dispatch over the pool: a shared channel of work units in,
+        // a channel of finished jobs out.
+        let (unit_tx, unit_rx) = mpsc::channel::<WorkUnit>();
+        for unit in units {
+            unit_tx.send(unit).expect("receiver alive");
+        }
+        drop(unit_tx);
+        let unit_rx = Arc::new(Mutex::new(unit_rx));
+        let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult)>();
+        let backend = self.backend;
+        let workers = self.config.workers.min(n_jobs).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let unit_rx = Arc::clone(&unit_rx);
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only to pop, not to work.
+                    let unit = { unit_rx.lock().expect("no poisoned lock").recv() };
+                    let Ok(unit) = unit else { break };
+                    for job in unit.jobs {
+                        let index = job.index;
+                        let result = execute_job(backend, &unit.compiled, unit.cache_hit, job);
+                        result_tx.send((index, result)).expect("collector alive");
+                    }
+                });
+            }
+            drop(result_tx);
+            // 4. Collect and reorder.
+            let mut slots: Vec<Option<JobResult>> = (0..n_jobs).map(|_| None).collect();
+            for (index, result) in result_rx {
+                self.metrics.exec_ns += result.elapsed_ns;
+                slots[index] = Some(result);
+            }
+            let results: Vec<JobResult> = slots
+                .into_iter()
+                .map(|r| r.expect("every job reports exactly once"))
+                .collect();
+            self.metrics.jobs_completed += n_jobs as u64;
+            self.metrics.batches += 1;
+            self.metrics.wall_ns += wall.elapsed().as_nanos() as u64;
+            results
+        })
+    }
+
+    /// Serves a single job (a batch of one).
+    pub fn run(&mut self, request: JobRequest) -> JobResult {
+        self.run_batch(vec![request])
+            .pop()
+            .expect("one job in, one result out")
+    }
+
+    /// Evaluates `observable` on `circuit` at a slice of parameter
+    /// points — the service-backed form of an `hgp_optim`
+    /// `BatchObjective`. All points share one compiled program and fan
+    /// out over the pool; values return in point order.
+    ///
+    /// ```ignore
+    /// let mut objective =
+    ///     |xs: &[Vec<f64>]| service.expectation_batch(&circuit, &observable, xs);
+    /// let result = Cobyla::new(60).minimize_batch(&mut objective, &x0);
+    /// ```
+    pub fn expectation_batch(
+        &mut self,
+        circuit: &Circuit,
+        observable: &PauliSum,
+        points: &[Vec<f64>],
+    ) -> Vec<f64> {
+        let requests = points
+            .iter()
+            .map(|x| {
+                JobRequest::new(
+                    circuit.clone(),
+                    x.clone(),
+                    JobSpec::Expectation {
+                        observable: observable.clone(),
+                    },
+                )
+            })
+            .collect();
+        self.run_batch(requests)
+            .into_iter()
+            .map(|r| match r.output {
+                JobOutput::Expectation { value } => value,
+                other => unreachable!("expectation job produced {other:?}"),
+            })
+            .collect()
+    }
+}
+
+/// Executes one job against its compiled shape. Pure in `(compiled,
+/// params, seed)` — the determinism contract lives here.
+fn execute_job(
+    backend: &Backend,
+    compiled: &CompiledCircuit,
+    cache_hit: bool,
+    job: PreparedJob,
+) -> JobResult {
+    let t0 = Instant::now();
+    let output = match &job.spec {
+        JobSpec::StateVector => {
+            let wire = StateVector::execute(&compiled.circuit().bind(&job.params))
+                .expect("compiled circuits bind fully");
+            JobOutput::StateVector {
+                probabilities: compiled.decode_probabilities(&wire.probabilities()),
+            }
+        }
+        JobSpec::DensityMatrix => {
+            let program = compiled.bind(&job.params);
+            let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
+            JobOutput::DensityMatrix {
+                probabilities: compiled.decode_probabilities(&rho.probabilities()),
+                purity: rho.purity(),
+            }
+        }
+        JobSpec::Counts { shots } => {
+            let program = compiled.bind(&job.params);
+            let counts = compiled
+                .executor(backend)
+                .sample(&program, *shots, job.seed);
+            JobOutput::Counts(compiled.decode_counts(&counts))
+        }
+        JobSpec::Expectation { observable } => {
+            let program = compiled.bind(&job.params);
+            let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
+            JobOutput::Expectation {
+                value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
+            }
+        }
+    };
+    JobResult {
+        id: job.id,
+        seed: job.seed,
+        cache_hit,
+        elapsed_ns: t0.elapsed().as_nanos() as u64,
+        output,
+    }
+}

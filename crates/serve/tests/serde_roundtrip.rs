@@ -1,0 +1,198 @@
+//! Round-trip property tests of the JSON wire format: every public
+//! `hgp_serve` job/result type (and the simulator types they embed)
+//! must survive `to_json_string` -> `from_json_str` exactly — bound
+//! f64 values bit for bit, u64 seeds above 2^53 included.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hgp_circuit::{Circuit, Gate, Param, ParamId};
+use hgp_math::pauli::{Pauli, PauliString, PauliSum};
+use hgp_serve::json::JsonCodec;
+use hgp_serve::{JobId, JobOutput, JobRequest, JobResult, JobSpec};
+use hgp_sim::Counts;
+
+/// A random (possibly parametrized) circuit drawn from the full gate
+/// set, including barriers and measurements.
+fn random_circuit(rng: &mut StdRng) -> Circuit {
+    let n = rng.gen_range(1usize..5);
+    let n_params = rng.gen_range(0usize..4);
+    let mut qc = Circuit::new(n);
+    qc.add_params(n_params);
+    let angle = |rng: &mut StdRng| -> Param {
+        if n_params > 0 && rng.gen_bool(0.5) {
+            Param::free(ParamId(rng.gen_range(0..n_params)))
+                .scaled(rng.gen_range(-3.0..3.0))
+                .shifted(rng.gen_range(-1.0..1.0))
+        } else {
+            Param::bound(rng.gen_range(-7.0..7.0))
+        }
+    };
+    for _ in 0..rng.gen_range(0usize..12) {
+        let choice = rng.gen_range(0usize..19);
+        let gate = match choice {
+            0 => Gate::I,
+            1 => Gate::X,
+            2 => Gate::Y,
+            3 => Gate::Z,
+            4 => Gate::H,
+            5 => Gate::S,
+            6 => Gate::Sdg,
+            7 => Gate::T,
+            8 => Gate::Tdg,
+            9 => Gate::SX,
+            10 => Gate::Rx(angle(rng)),
+            11 => Gate::Ry(angle(rng)),
+            12 => Gate::Rz(angle(rng)),
+            13 => Gate::U3(angle(rng), angle(rng), angle(rng)),
+            14 if n >= 2 => Gate::CX,
+            15 if n >= 2 => Gate::Rzz(angle(rng)),
+            16 if n >= 2 => Gate::Rzx(angle(rng)),
+            17 if n >= 2 => Gate::CZ,
+            18 if n >= 2 => Gate::Swap,
+            _ => Gate::H,
+        };
+        if gate.n_qubits() == 1 {
+            let q = rng.gen_range(0..n);
+            qc.push(gate, &[q]);
+        } else {
+            let a = rng.gen_range(0..n);
+            let b = (a + rng.gen_range(1..n)) % n;
+            qc.push(gate, &[a, b]);
+        }
+    }
+    if rng.gen_bool(0.3) {
+        qc.barrier();
+    }
+    if rng.gen_bool(0.3) {
+        qc.measure_all();
+    }
+    qc
+}
+
+fn random_counts(rng: &mut StdRng) -> Counts {
+    let n = rng.gen_range(1usize..6);
+    let mut counts = Counts::new(n);
+    for _ in 0..rng.gen_range(0usize..10) {
+        counts.record(rng.gen_range(0..1 << n), rng.gen_range(1u64..1 << 40));
+    }
+    counts
+}
+
+fn random_observable(rng: &mut StdRng, n: usize) -> PauliSum {
+    let n_terms = rng.gen_range(1usize..4);
+    let terms = (0..n_terms)
+        .map(|_| {
+            let mut qubits: Vec<usize> = (0..n).collect();
+            let k = rng.gen_range(0usize..=n.min(3));
+            let mut factors = Vec::new();
+            for _ in 0..k {
+                let q = qubits.remove(rng.gen_range(0..qubits.len()));
+                let p = match rng.gen_range(0u32..3) {
+                    0 => Pauli::X,
+                    1 => Pauli::Y,
+                    _ => Pauli::Z,
+                };
+                factors.push((q, p));
+            }
+            PauliString::new(n, factors, rng.gen_range(-5.0..5.0))
+        })
+        .collect();
+    PauliSum::from_terms(terms)
+}
+
+fn random_spec(rng: &mut StdRng, n: usize) -> JobSpec {
+    match rng.gen_range(0u32..4) {
+        0 => JobSpec::StateVector,
+        1 => JobSpec::DensityMatrix,
+        2 => JobSpec::Counts {
+            shots: rng.gen_range(1usize..100_000),
+        },
+        _ => JobSpec::Expectation {
+            observable: random_observable(rng, n),
+        },
+    }
+}
+
+fn random_request(rng: &mut StdRng) -> JobRequest {
+    let circuit = random_circuit(rng);
+    let n = circuit.n_qubits();
+    let params: Vec<f64> = (0..circuit.n_params())
+        .map(|_| rng.gen_range(-7.0..7.0))
+        .collect();
+    let mut request = JobRequest::new(circuit, params, random_spec(rng, n));
+    if rng.gen_bool(0.5) {
+        // Full u64 range: seeds above 2^53 must survive (they would not
+        // through an f64 number path).
+        request = request.with_seed(rng.gen());
+    }
+    request
+}
+
+fn random_output(rng: &mut StdRng) -> JobOutput {
+    let n = rng.gen_range(1usize..4);
+    match rng.gen_range(0u32..4) {
+        0 => JobOutput::StateVector {
+            probabilities: (0..1 << n).map(|_| rng.gen_range(0.0..1.0)).collect(),
+        },
+        1 => JobOutput::DensityMatrix {
+            probabilities: (0..1 << n).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            purity: rng.gen_range(0.0..1.0),
+        },
+        2 => JobOutput::Counts(random_counts(rng)),
+        _ => JobOutput::Expectation {
+            value: rng.gen_range(-100.0..100.0),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn counts_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = random_counts(&mut rng);
+        prop_assert_eq!(Counts::from_json_str(&counts.to_json_string()).unwrap(), counts);
+    }
+
+    #[test]
+    fn circuit_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = random_circuit(&mut rng);
+        let back = Circuit::from_json_str(&circuit.to_json_string()).unwrap();
+        // Equality is structural: same instructions, params, width —
+        // and therefore the same structural key / cache identity.
+        prop_assert_eq!(back.structural_key(), circuit.structural_key());
+        prop_assert_eq!(back, circuit);
+    }
+
+    #[test]
+    fn job_request_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let request = random_request(&mut rng);
+        prop_assert_eq!(JobRequest::from_json_str(&request.to_json_string()).unwrap(), request);
+    }
+
+    #[test]
+    fn job_result_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = JobResult {
+            id: JobId(rng.gen()),
+            seed: rng.gen(),
+            cache_hit: rng.gen_bool(0.5),
+            elapsed_ns: rng.gen(),
+            output: random_output(&mut rng),
+        };
+        prop_assert_eq!(JobResult::from_json_str(&result.to_json_string()).unwrap(), result);
+    }
+
+    #[test]
+    fn observable_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(1usize..6);
+        let obs = random_observable(&mut rng, width);
+        prop_assert_eq!(PauliSum::from_json_str(&obs.to_json_string()).unwrap(), obs);
+    }
+}

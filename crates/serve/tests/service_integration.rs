@@ -1,0 +1,279 @@
+//! Integration tests of the serving layer's core contracts:
+//!
+//! - serving through the worker pool is **bit-identical** to sequential
+//!   hand-driven `Executor` runs (the acceptance bar for every later
+//!   scaling PR),
+//! - results are invariant under the worker count and batch split,
+//! - the compiled-program cache actually dedupes shape work,
+//! - the service plugs into `hgp_optim`-style batch optimization.
+
+use hgp_circuit::Circuit;
+use hgp_core::compile::CircuitCompiler;
+use hgp_core::qaoa::{cost_hamiltonian, qaoa_circuit};
+use hgp_device::Backend;
+use hgp_graph::instances;
+use hgp_optim::Cobyla;
+use hgp_serve::{JobOutput, JobRequest, JobSpec, ServeConfig, Service};
+use hgp_sim::seed::stream_seed;
+use hgp_sim::Counts;
+
+fn qaoa_points(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| vec![0.05 + 0.07 * i as f64, 0.30 - 0.03 * i as f64])
+        .collect()
+}
+
+/// The sequential reference: compile + bind + run each job by hand with
+/// the same seeds the service derives.
+fn sequential_counts(
+    backend: &Backend,
+    layout: Vec<usize>,
+    circuit: &Circuit,
+    points: &[Vec<f64>],
+    shots: usize,
+    base_seed: u64,
+) -> Vec<Counts> {
+    let compiler = CircuitCompiler::new(backend, layout);
+    let compiled = compiler.compile(circuit).unwrap();
+    let exec = compiled.executor(backend);
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, params)| {
+            let program = compiled.bind(params);
+            let counts = exec.sample(&program, shots, stream_seed(base_seed, i as u64));
+            compiled.decode_counts(&counts)
+        })
+        .collect()
+}
+
+#[test]
+fn served_counts_are_bit_identical_to_sequential_executor_runs() {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task1_three_regular_6();
+    let circuit = qaoa_circuit(&graph, 1);
+    let layout = vec![0, 1, 2, 3, 4, 5];
+    let points = qaoa_points(6);
+    let shots = 512;
+    let base_seed = 42;
+
+    let reference = sequential_counts(
+        &backend,
+        layout.clone(),
+        &circuit,
+        &points,
+        shots,
+        base_seed,
+    );
+
+    let mut service = Service::new(
+        &backend,
+        ServeConfig::new(layout)
+            .with_workers(4)
+            .with_base_seed(base_seed),
+    );
+    let requests = points
+        .iter()
+        .map(|x| JobRequest::new(circuit.clone(), x.clone(), JobSpec::Counts { shots }))
+        .collect();
+    let results = service.run_batch(requests);
+
+    assert_eq!(results.len(), reference.len());
+    for (result, expected) in results.iter().zip(&reference) {
+        match &result.output {
+            JobOutput::Counts(counts) => assert_eq!(counts, expected, "{}", result.id),
+            other => panic!("expected counts, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn results_are_invariant_under_worker_count_and_batch_split() {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task2_random_6();
+    let circuit = qaoa_circuit(&graph, 1);
+    let layout = vec![0, 1, 2, 3, 4, 5];
+    let points = qaoa_points(8);
+    let mk_requests = |points: &[Vec<f64>]| -> Vec<JobRequest> {
+        points
+            .iter()
+            .map(|x| JobRequest::new(circuit.clone(), x.clone(), JobSpec::Counts { shots: 256 }))
+            .collect()
+    };
+
+    // One worker, one batch.
+    let mut solo = Service::new(&backend, ServeConfig::new(layout.clone()).with_workers(1));
+    let solo_results = solo.run_batch(mk_requests(&points));
+
+    // Many workers, batch split in two: ids keep counting across
+    // batches, so outputs must not move.
+    let mut pooled = Service::new(&backend, ServeConfig::new(layout).with_workers(5));
+    let mut pooled_results = pooled.run_batch(mk_requests(&points[..3]));
+    pooled_results.extend(pooled.run_batch(mk_requests(&points[3..])));
+
+    for (a, b) in solo_results.iter().zip(&pooled_results) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.output, b.output);
+    }
+}
+
+#[test]
+fn cache_dedupes_shape_work_across_and_within_batches() {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task1_three_regular_6();
+    let circuit = qaoa_circuit(&graph, 1);
+    let mut service = Service::new(
+        &backend,
+        ServeConfig::new(vec![0, 1, 2, 3, 4, 5]).with_workers(3),
+    );
+
+    // Batch 1: 5 jobs, 1 shape -> exactly one compilation.
+    let requests: Vec<JobRequest> = qaoa_points(5)
+        .into_iter()
+        .map(|x| JobRequest::new(circuit.clone(), x, JobSpec::StateVector))
+        .collect();
+    let first = service.run_batch(requests);
+    assert_eq!(service.metrics().cache_misses, 1);
+    assert_eq!(service.cache().len(), 1);
+    assert!(first.iter().all(|r| !r.cache_hit), "first batch compiled");
+
+    // Batch 2: same shape -> zero new compilations, all hits.
+    let requests: Vec<JobRequest> = qaoa_points(4)
+        .into_iter()
+        .map(|x| JobRequest::new(circuit.clone(), x, JobSpec::StateVector))
+        .collect();
+    let second = service.run_batch(requests);
+    assert_eq!(service.metrics().cache_misses, 1, "no recompilation");
+    assert!(second.iter().all(|r| r.cache_hit));
+
+    // A second shape (p=2) compiles once more; both coexist.
+    let deeper = qaoa_circuit(&graph, 2);
+    service.run(JobRequest::new(
+        deeper,
+        vec![0.1, 0.2, 0.3, 0.4],
+        JobSpec::StateVector,
+    ));
+    assert_eq!(service.metrics().cache_misses, 2);
+    assert_eq!(service.cache().len(), 2);
+    assert_eq!(service.metrics().jobs_completed, 10);
+    assert!(service.metrics().throughput_jobs_per_sec() > 0.0);
+}
+
+#[test]
+fn mixed_specs_share_one_compiled_shape() {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task1_three_regular_6();
+    let circuit = qaoa_circuit(&graph, 1);
+    let observable = cost_hamiltonian(&graph);
+    let params = vec![0.35, 0.25];
+    let mut service = Service::new(
+        &backend,
+        ServeConfig::new(vec![0, 1, 2, 3, 4, 5]).with_workers(2),
+    );
+    let results = service.run_batch(vec![
+        JobRequest::new(circuit.clone(), params.clone(), JobSpec::StateVector),
+        JobRequest::new(circuit.clone(), params.clone(), JobSpec::DensityMatrix),
+        JobRequest::new(
+            circuit.clone(),
+            params.clone(),
+            JobSpec::Counts { shots: 2048 },
+        ),
+        JobRequest::new(
+            circuit.clone(),
+            params.clone(),
+            JobSpec::Expectation {
+                observable: observable.clone(),
+            },
+        ),
+    ]);
+    // One shape despite four different specs.
+    assert_eq!(service.metrics().cache_misses, 1);
+    assert_eq!(service.metrics().shape_groups, 1);
+
+    let (ideal, noisy, counts, expectation) = match &results[..] {
+        [r1, r2, r3, r4] => (&r1.output, &r2.output, &r3.output, &r4.output),
+        _ => panic!("four results"),
+    };
+    let JobOutput::StateVector {
+        probabilities: ideal,
+    } = ideal
+    else {
+        panic!("statevector output");
+    };
+    let JobOutput::DensityMatrix {
+        probabilities: noisy,
+        purity,
+    } = noisy
+    else {
+        panic!("density output");
+    };
+    let JobOutput::Counts(counts) = counts else {
+        panic!("counts output");
+    };
+    let JobOutput::Expectation { value } = expectation else {
+        panic!("expectation output");
+    };
+    // Physical sanity: distributions normalized; noise reduces purity;
+    // the sampled histogram tracks the noisy distribution; the noisy
+    // expectation sits inside the spectrum.
+    assert!((ideal.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!((noisy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!(*purity < 1.0 && *purity > 0.1);
+    assert_eq!(counts.total(), 2048);
+    for (b, &p) in noisy.iter().enumerate() {
+        assert!((counts.frequency(b) - p).abs() < 0.08, "state {b}");
+    }
+    let c_max: f64 = (0..64)
+        .map(|b| observable.eval_diagonal(b))
+        .fold(f64::MIN, f64::max);
+    assert!(*value > 0.0 && *value <= c_max + 1e-9);
+}
+
+#[test]
+fn explicit_seeds_override_derivation() {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task1_three_regular_6();
+    let circuit = qaoa_circuit(&graph, 1);
+    let mut service = Service::new(&backend, ServeConfig::new(vec![0, 1, 2, 3, 4, 5]));
+    let spec = JobSpec::Counts { shots: 512 };
+    let a =
+        service.run(JobRequest::new(circuit.clone(), vec![0.3, 0.2], spec.clone()).with_seed(7));
+    let b =
+        service.run(JobRequest::new(circuit.clone(), vec![0.3, 0.2], spec.clone()).with_seed(7));
+    let c = service.run(JobRequest::new(circuit.clone(), vec![0.3, 0.2], spec));
+    assert_eq!(a.seed, 7);
+    assert_eq!(a.output, b.output, "same pinned seed, same stream");
+    assert_ne!(a.output, c.output, "derived seed differs");
+}
+
+#[test]
+fn service_backs_a_batch_optimizer() {
+    // The serve layer as the evaluation engine of an hgp_optim batch
+    // optimization: COBYLA minimizes the negative expected cut through
+    // Service::expectation_batch.
+    let backend = Backend::ideal(6);
+    let graph = instances::task1_three_regular_6();
+    let circuit = qaoa_circuit(&graph, 1);
+    let observable = cost_hamiltonian(&graph);
+    let mut service = Service::new(
+        &backend,
+        ServeConfig::new(vec![0, 1, 2, 3, 4, 5]).with_workers(4),
+    );
+    let mut objective = |xs: &[Vec<f64>]| -> Vec<f64> {
+        service
+            .expectation_batch(&circuit, &observable, xs)
+            .into_iter()
+            .map(|v| -v)
+            .collect()
+    };
+    let result = Cobyla::new(40).minimize_batch(&mut objective, &[0.1, 0.1]);
+    let c_max: f64 = (0..64)
+        .map(|b| observable.eval_diagonal(b))
+        .fold(f64::MIN, f64::max);
+    let ar = -result.fun / c_max;
+    assert!(ar > 0.6, "optimized AR = {ar}");
+    // Every evaluation rode the same compiled program.
+    assert_eq!(service.metrics().cache_misses, 1);
+    assert!(service.metrics().jobs_completed > 20);
+}

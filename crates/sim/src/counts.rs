@@ -39,11 +39,92 @@ impl Counts {
 
     /// Samples `shots` outcomes from an explicit probability vector.
     ///
+    /// Uses a Walker/Vose alias table: `O(2^n)` setup, then **O(1) per
+    /// shot** (one RNG draw, one comparison) instead of the historical
+    /// `O(n)` CDF binary search — the serve layer's sampling hot path.
+    /// The old CDF path is kept as
+    /// [`Counts::sample_from_probabilities_reference`] (mirroring
+    /// `hgp_sim::kernels::reference`) and pinned to this one by
+    /// statistical parity tests; the two draw different (equally
+    /// deterministic) streams from the same RNG.
+    ///
+    /// Negative entries (round-off from mitigation pipelines) are
+    /// clamped to zero, as in the reference path.
+    ///
     /// # Panics
     ///
     /// Panics if `probs.len() != 2^n_qubits` or probabilities are grossly
     /// unnormalized (sum deviating from 1 by more than `1e-6`).
     pub fn sample_from_probabilities<R: Rng + ?Sized>(
+        probs: &[f64],
+        shots: usize,
+        n_qubits: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(probs.len(), 1 << n_qubits, "probability vector length");
+        let sum: f64 = probs.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "probabilities must sum to 1 (got {sum})"
+        );
+        let m = probs.len();
+        let clamped_sum: f64 = probs.iter().map(|p| p.max(0.0)).sum();
+        // Vose's construction: scale weights to mean 1, split into
+        // under-/over-full columns, and pair each under-full column with
+        // an over-full donor.
+        let mut scaled: Vec<f64> = probs
+            .iter()
+            .map(|p| p.max(0.0) * m as f64 / clamped_sum)
+            .collect();
+        let mut alias = vec![0usize; m];
+        let mut cutoff = vec![1.0f64; m];
+        let mut small: Vec<usize> = Vec::with_capacity(m);
+        let mut large: Vec<usize> = Vec::with_capacity(m);
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            cutoff[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (either stack) are numerically 1.0 columns.
+        for &i in small.iter().chain(large.iter()) {
+            cutoff[i] = 1.0;
+        }
+        let mut counts = Self::new(n_qubits);
+        for _ in 0..shots {
+            // One draw per shot: the integer part picks the column, the
+            // fractional part flips the column/alias coin.
+            let x = rng.gen::<f64>() * m as f64;
+            let col = (x as usize).min(m - 1);
+            let frac = x - col as f64;
+            let idx = if frac < cutoff[col] { col } else { alias[col] };
+            counts.record(idx, 1);
+        }
+        counts
+    }
+
+    /// The historical CDF-binary-search sampler, kept as the reference
+    /// implementation for parity tests against the alias-method fast
+    /// path (the same role `hgp_sim::kernels::reference` plays for the
+    /// fused kernels). `O(n)` per shot; consumes one RNG draw per shot
+    /// like the fast path, but maps draws to outcomes differently, so
+    /// the two samplers produce different streams from the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Counts::sample_from_probabilities`].
+    pub fn sample_from_probabilities_reference<R: Rng + ?Sized>(
         probs: &[f64],
         shots: usize,
         n_qubits: usize,
@@ -251,6 +332,49 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(11);
         let c2 = Counts::sample_from_probabilities(&probs, 40_000, 2, &mut rng2);
         assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn alias_sampler_matches_reference_distribution() {
+        // The alias fast path and the CDF reference draw different
+        // streams but must agree statistically — same parity contract as
+        // kernels vs kernels::reference.
+        let probs = vec![0.05, 0.0, 0.25, 0.1, 0.3, 0.15, 0.05, 0.1];
+        let shots = 200_000;
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let fast = Counts::sample_from_probabilities(&probs, shots, 3, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let slow = Counts::sample_from_probabilities_reference(&probs, shots, 3, &mut rng_b);
+        assert_eq!(fast.total(), slow.total());
+        for (b, &p) in probs.iter().enumerate() {
+            assert!(
+                (fast.frequency(b) - slow.frequency(b)).abs() < 0.01,
+                "b={b}: alias {} vs reference {}",
+                fast.frequency(b),
+                slow.frequency(b)
+            );
+            assert!((fast.frequency(b) - p).abs() < 0.01, "b={b}");
+        }
+        // Impossible outcomes stay impossible in both.
+        assert_eq!(fast.count(1), 0);
+        assert_eq!(slow.count(1), 0);
+    }
+
+    #[test]
+    fn alias_sampler_handles_degenerate_distributions() {
+        // A single spike: every shot must land on it.
+        let mut probs = vec![0.0; 16];
+        probs[11] = 1.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Counts::sample_from_probabilities(&probs, 1000, 4, &mut rng);
+        assert_eq!(c.count(11), 1000);
+        // Slightly negative round-off entries are clamped like the
+        // reference path clamps them.
+        let probs = vec![0.5 + 1e-9, -1e-9, 0.25, 0.25];
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = Counts::sample_from_probabilities(&probs, 50_000, 2, &mut rng);
+        assert_eq!(c.count(1), 0);
+        assert!((c.frequency(0) - 0.5).abs() < 0.01);
     }
 
     #[test]

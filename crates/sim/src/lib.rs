@@ -37,6 +37,7 @@ pub mod backend;
 pub mod counts;
 pub mod density;
 pub mod kernels;
+pub mod seed;
 pub mod statevector;
 
 pub use backend::SimBackend;

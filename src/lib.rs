@@ -38,6 +38,7 @@ pub use hgp_mitigation as mitigation;
 pub use hgp_noise as noise;
 pub use hgp_optim as optim;
 pub use hgp_pulse as pulse;
+pub use hgp_serve as serve;
 pub use hgp_sim as sim;
 pub use hgp_transpile as transpile;
 
