@@ -30,9 +30,12 @@
 //! assert!(program.count_gates() > 0);
 //! ```
 
+use std::sync::Arc;
+
 use hgp_circuit::Circuit;
 use hgp_device::Backend;
 use hgp_math::pauli::{PauliString, PauliSum};
+use hgp_noise::NoiseModel;
 use hgp_sim::Counts;
 use hgp_transpile::sabre::choose_initial_layout;
 use hgp_transpile::Layout;
@@ -128,6 +131,11 @@ impl<'a> CircuitCompiler<'a> {
         };
         let (wire_circuit, final_layout, n_swaps) =
             route_in_region(circuit, self.backend, &region, &entry, &self.options)?;
+        // The compiled shape carries its noise model: channel parameters
+        // (T1/T2, gate errors, durations, readout) are resolved once per
+        // shape and cached with the program, so noisy dispatches — exact
+        // or trajectory — never rebuild them.
+        let noise = Arc::new(NoiseModel::from_backend(self.backend, &region));
         Ok(CompiledCircuit {
             key,
             region,
@@ -135,6 +143,7 @@ impl<'a> CircuitCompiler<'a> {
             final_layout,
             n_swaps,
             n_logical: n,
+            noise,
         })
     }
 }
@@ -155,6 +164,9 @@ pub struct CompiledCircuit {
     final_layout: Layout,
     n_swaps: usize,
     n_logical: usize,
+    /// The wire layout's noise parameters, built once at compile time
+    /// and shared with every executor of this shape.
+    noise: Arc<NoiseModel>,
 }
 
 impl CompiledCircuit {
@@ -199,10 +211,16 @@ impl CompiledCircuit {
         Program::from_circuit(&bound).expect("bound circuit converts")
     }
 
-    /// An executor over this compiled circuit's wire layout. `backend`
-    /// must be the one the circuit was compiled against.
+    /// The compiled shape's cached noise model (wire layout order).
+    pub fn noise_model(&self) -> &Arc<NoiseModel> {
+        &self.noise
+    }
+
+    /// An executor over this compiled circuit's wire layout, reusing the
+    /// noise model cached at compile time. `backend` must be the one the
+    /// circuit was compiled against.
     pub fn executor<'b>(&self, backend: &'b Backend) -> Executor<'b> {
-        Executor::new(backend, self.region.clone())
+        Executor::with_noise_model(backend, self.region.clone(), Arc::clone(&self.noise))
     }
 
     /// The wire hosting logical qubit `l` at circuit exit (after

@@ -6,6 +6,23 @@
 //! durations — this asymmetry is exactly the hybrid model's hardware
 //! advantage. Readout confusion is applied to the final distribution
 //! before sampling, so mitigation sees realistic statistics.
+//!
+//! Noise parameters come from a typed [`NoiseModel`] built once per
+//! (backend, layout) — or injected pre-built from a
+//! [`crate::compile::CompiledCircuit`], which caches the model with the
+//! compiled shape. The executor walks one ASAP schedule and feeds it to
+//! either consumer:
+//!
+//! - **exact** ([`Executor::run_on`]): density-matrix evolution,
+//!   `O(4^n)` per instruction — the engine of record for training,
+//! - **sampled** ([`Executor::trajectory_program`] /
+//!   [`Executor::sample_trajectories`] /
+//!   [`Executor::expectation_trajectories`]): the same schedule recorded
+//!   once and replayed as `O(2^n)` stochastic statevector trajectories
+//!   with [`hgp_sim::seed::stream_seed`]-derived per-trajectory seeds —
+//!   noisy QAOA at widths the density matrix cannot reach.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,11 +31,11 @@ use hgp_circuit::Gate;
 use hgp_device::Backend;
 use hgp_math::su2::zyz_decompose;
 use hgp_math::Matrix;
-use hgp_noise::durations::gate_duration_dt;
-use hgp_noise::{NoisySimulator, ReadoutModel};
+use hgp_noise::sink::{ExactSink, RecordSink, ScheduleSink};
+use hgp_noise::{NoiseModel, ReadoutModel};
 use hgp_pulse::propagator::{drive_propagator, virtual_z};
 use hgp_pulse::Waveform;
-use hgp_sim::{Counts, DensityMatrix, SimBackend};
+use hgp_sim::{Counts, DensityMatrix, SimBackend, TrajectoryEngine, TrajectoryProgram};
 
 use crate::program::{BlockKind, Program, ProgramOp};
 
@@ -29,26 +46,55 @@ pub struct Executor<'a> {
     /// `layout[i]` = physical qubit hosting logical qubit `i`.
     layout: Vec<usize>,
     readout: ReadoutModel,
+    /// The typed noise parameters of the layout (shareable across
+    /// executors of one compiled shape).
+    noise: Arc<NoiseModel>,
     /// Insert X-X dynamical-decoupling pairs into long idle windows
     /// (Fig. 3 lists DD among the compatible Step III techniques).
     dynamical_decoupling: bool,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor for a logical register laid out on `backend`.
+    /// Creates an executor for a logical register laid out on `backend`,
+    /// building the layout's [`NoiseModel`].
     ///
     /// # Panics
     ///
-    /// Panics if a layout entry is out of range.
+    /// Panics if a layout entry is out of range or repeated.
     pub fn new(backend: &'a Backend, layout: Vec<usize>) -> Self {
+        let noise = Arc::new(NoiseModel::from_backend(backend, &layout));
+        Self::with_noise_model(backend, layout, noise)
+    }
+
+    /// Creates an executor around a prebuilt noise model (the cached
+    /// artifact of a compiled shape, or a rescaled copy for zero-noise
+    /// extrapolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layout entry is out of range or the model width
+    /// disagrees with the layout.
+    pub fn with_noise_model(
+        backend: &'a Backend,
+        layout: Vec<usize>,
+        noise: Arc<NoiseModel>,
+    ) -> Self {
         for &p in &layout {
             assert!(p < backend.n_qubits(), "physical qubit {p} out of range");
         }
-        let readout = ReadoutModel::from_backend(backend, &layout);
+        assert_eq!(
+            noise.n_qubits(),
+            layout.len(),
+            "noise model width must match the layout"
+        );
+        // Readout comes from the model too, so an injected (cached or
+        // customized) model is authoritative for every noise parameter.
+        let readout = noise.readout();
         Self {
             backend,
             layout,
             readout,
+            noise,
             dynamical_decoupling: false,
         }
     }
@@ -76,6 +122,11 @@ impl<'a> Executor<'a> {
         &self.readout
     }
 
+    /// The typed noise model executions draw channels from.
+    pub fn noise_model(&self) -> &Arc<NoiseModel> {
+        &self.noise
+    }
+
     /// Runs a program, returning the noisy final state.
     ///
     /// # Panics
@@ -91,35 +142,56 @@ impl<'a> Executor<'a> {
     /// The engine of record for noisy training is [`DensityMatrix`];
     /// engines without channel support (statevector) host the same
     /// schedule on ideal hardware, where every noise channel
-    /// degenerates.
+    /// degenerates. For noisy statevector-scale execution use the
+    /// trajectory path instead.
     ///
     /// # Panics
     ///
     /// Panics if the program width disagrees with the layout or a gate
     /// spans a non-coupled physical pair.
     pub fn run_on<B: SimBackend>(&self, program: &Program) -> B {
+        let mut sink = ExactSink(B::init(program.n_qubits()));
+        self.walk_schedule(program, &mut sink);
+        sink.0
+    }
+
+    /// Records a program's noisy schedule — ideal-gate unitaries with
+    /// their coherent calibration errors, frame drift, idle decoherence,
+    /// gate error channels — as a [`TrajectoryProgram`] for stochastic
+    /// statevector execution. Built once, replayed per trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Executor::run`].
+    pub fn trajectory_program(&self, program: &Program) -> TrajectoryProgram {
+        let mut sink = RecordSink(TrajectoryProgram::new(program.n_qubits()));
+        self.walk_schedule(program, &mut sink);
+        sink.0
+    }
+
+    /// Walks the ASAP schedule once, emitting into `sink`. This is the
+    /// single source of execution order: the exact and trajectory paths
+    /// cannot drift apart.
+    fn walk_schedule<S: ScheduleSink>(&self, program: &Program, sink: &mut S) {
         assert_eq!(
             program.n_qubits(),
             self.layout.len(),
             "program width must match the layout"
         );
-        let noise = NoisySimulator::new(self.backend);
         let n = program.n_qubits();
-        let mut rho = B::init(n);
         let mut clock = vec![0u64; n];
         for op in program.ops() {
             let qubits = op.qubits().to_vec();
-            let phys: Vec<usize> = qubits.iter().map(|&q| self.layout[q]).collect();
-            let (duration, is_gate) = match op {
-                ProgramOp::Gate { gate, .. } => (gate_duration_dt(self.backend, gate, &phys), true),
-                ProgramOp::PulseBlock { duration, .. } => (*duration, false),
+            let duration = match op {
+                ProgramOp::Gate { gate, .. } => self.noise.gate_duration_dt(gate, &qubits),
+                ProgramOp::PulseBlock { duration, .. } => *duration,
             };
             // ASAP alignment with idle decoherence and frame drift.
             let start = qubits.iter().map(|&q| clock[q]).max().unwrap_or(0);
             for &q in &qubits {
                 let gap = start - clock[q];
                 if gap > 0 {
-                    self.idle_qubit(&noise, &mut rho, q, gap as u32);
+                    self.idle_qubit(sink, q, gap as u32);
                 }
             }
             // The applied unitary. Gate ops are executed with the
@@ -132,17 +204,17 @@ impl<'a> Executor<'a> {
                 ProgramOp::Gate { gate, qubits } => {
                     if gate.n_qubits() == 1 {
                         let m = self.actual_1q_unitary(gate, self.layout[qubits[0]], duration);
-                        rho.apply_unitary(&m, qubits);
+                        sink.unitary(&m, qubits);
                     } else {
                         // Fused kernel dispatch (RZZ/CZ cost layers are
                         // diagonal — the executor's hot path).
-                        rho.apply_gate(gate, qubits)
-                            .expect("program gates are bound");
+                        sink.gate(gate, qubits).expect("program gates are bound");
                         // Frame drift accumulated on both operands.
-                        for (&lq, &pq) in qubits.iter().zip(phys.iter()) {
-                            let drift = self.backend.qubit(pq).freq_offset * f64::from(duration);
+                        for &lq in qubits {
+                            let drift = self.backend.qubit(self.layout[lq]).freq_offset
+                                * f64::from(duration);
                             if drift != 0.0 {
-                                rho.apply_unitary(&virtual_z(drift), &[lq]);
+                                sink.unitary(&virtual_z(drift), &[lq]);
                             }
                         }
                     }
@@ -150,53 +222,54 @@ impl<'a> Executor<'a> {
                 ProgramOp::PulseBlock {
                     qubits, unitary, ..
                 } => {
-                    rho.apply_unitary(unitary, qubits);
+                    sink.unitary(unitary, qubits);
                 }
             }
             // Noise.
             for &q in &qubits {
-                noise.relax_qubit(&mut rho, q, self.layout[q], duration);
-            }
-            match op {
-                ProgramOp::Gate { gate, qubits } => {
-                    noise.apply_gate_error(&mut rho, gate.n_qubits(), qubits, &phys, duration);
+                if let Some(ch) = self.noise.idle_channel(q, duration) {
+                    sink.channel(ch, &[q]);
                 }
-                ProgramOp::PulseBlock { qubits, kind, .. } => match kind {
-                    BlockKind::Drive => {
-                        noise.apply_gate_error(&mut rho, 1, qubits, &phys, duration);
-                    }
-                    BlockKind::CrossResonance => {
-                        noise.apply_gate_error(&mut rho, 2, qubits, &phys, duration);
-                    }
-                    BlockKind::Virtual => {}
+            }
+            let error_arity = match op {
+                ProgramOp::Gate { gate, .. } => gate.n_qubits(),
+                ProgramOp::PulseBlock { kind, .. } => match kind {
+                    BlockKind::Drive => 1,
+                    BlockKind::CrossResonance => 2,
+                    BlockKind::Virtual => 0,
                 },
+            };
+            match error_arity {
+                1 => {
+                    if let Some(ch) = self.noise.gate_error_1q(qubits[0], duration) {
+                        sink.channel(ch, &[qubits[0]]);
+                    }
+                }
+                2 => {
+                    if let Some(ch) = self.noise.gate_error_2q(qubits[0], qubits[1], duration) {
+                        sink.channel(ch, &[qubits[0], qubits[1]]);
+                    }
+                }
+                _ => {}
             }
             for &q in &qubits {
                 clock[q] = start + u64::from(duration);
             }
-            let _ = is_gate;
         }
         // Simultaneous terminal measurement: idle early finishers.
         let end = clock.iter().copied().max().unwrap_or(0);
         for (q, &busy_until) in clock.iter().enumerate() {
             let gap = end - busy_until;
             if gap > 0 {
-                self.idle_qubit(&noise, &mut rho, q, gap as u32);
+                self.idle_qubit(sink, q, gap as u32);
             }
         }
-        rho
     }
 
     /// Idles a qubit for `duration_dt`: decoherence plus coherent frame
     /// drift, with an X-X dynamical-decoupling pair splitting long
     /// windows when enabled.
-    fn idle_qubit<B: SimBackend>(
-        &self,
-        noise: &NoisySimulator<'_>,
-        rho: &mut B,
-        logical: usize,
-        duration_dt: u32,
-    ) {
+    fn idle_qubit<S: ScheduleSink>(&self, sink: &mut S, logical: usize, duration_dt: u32) {
         let p1 = self.backend.pulse_1q_duration_dt();
         if self.dynamical_decoupling && duration_dt >= 4 * p1 {
             // idle(s1) - X - idle(s2) - X with s1 = s2: the drift of the
@@ -207,24 +280,32 @@ impl<'a> Executor<'a> {
             let phys = self.layout[logical];
             let x = self.actual_1q_unitary(&Gate::X, phys, p1);
             for seg in [s1, s2] {
-                noise.relax_qubit(rho, logical, phys, seg);
-                self.apply_idle_drift(rho, logical, seg);
-                rho.apply_unitary(&x, &[logical]);
-                noise.relax_qubit(rho, logical, phys, p1);
-                noise.apply_gate_error(rho, 1, &[logical], &[phys], p1);
+                if let Some(ch) = self.noise.idle_channel(logical, seg) {
+                    sink.channel(ch, &[logical]);
+                }
+                self.apply_idle_drift(sink, logical, seg);
+                sink.unitary(&x, &[logical]);
+                if let Some(ch) = self.noise.idle_channel(logical, p1) {
+                    sink.channel(ch, &[logical]);
+                }
+                if let Some(ch) = self.noise.gate_error_1q(logical, p1) {
+                    sink.channel(ch, &[logical]);
+                }
             }
         } else {
-            noise.relax_qubit(rho, logical, self.layout[logical], duration_dt);
-            self.apply_idle_drift(rho, logical, duration_dt);
+            if let Some(ch) = self.noise.idle_channel(logical, duration_dt) {
+                sink.channel(ch, &[logical]);
+            }
+            self.apply_idle_drift(sink, logical, duration_dt);
         }
     }
 
     /// Frame-frequency drift over an idle period (a Z rotation at the
     /// qubit's residual frequency offset).
-    fn apply_idle_drift<B: SimBackend>(&self, rho: &mut B, logical: usize, duration_dt: u32) {
+    fn apply_idle_drift<S: ScheduleSink>(&self, sink: &mut S, logical: usize, duration_dt: u32) {
         let offset = self.backend.qubit(self.layout[logical]).freq_offset;
         if offset != 0.0 {
-            rho.apply_unitary(&virtual_z(offset * f64::from(duration_dt)), &[logical]);
+            sink.unitary(&virtual_z(offset * f64::from(duration_dt)), &[logical]);
         }
     }
 
@@ -299,6 +380,47 @@ impl<'a> Executor<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         Counts::sample_from_probabilities(&probs, shots, rho.n_qubits(), &mut rng)
     }
+
+    /// Runs `shots` stochastic statevector trajectories of a program —
+    /// one measurement shot per trajectory, shot-level readout
+    /// confusion — at `O(2^n)` per trajectory instead of the `O(4^n)`
+    /// density-matrix cost, and embarrassingly parallel.
+    ///
+    /// Trajectory `i` draws all of its randomness from
+    /// `stream_seed(seed, i)`, so any parallel schedule is bit-identical
+    /// to the sequential loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots` is zero, or on the [`Executor::run`] contract.
+    pub fn sample_trajectories(&self, program: &Program, shots: usize, seed: u64) -> Counts {
+        let trajectories = self.trajectory_program(program);
+        TrajectoryEngine::new(shots, seed).sample_counts_with(&trajectories, |bits, rng| {
+            self.readout.corrupt_bits(bits, rng)
+        })
+    }
+
+    /// Estimates a noisy expectation value from `n_trajectories`
+    /// stochastic trajectories, returning `(mean, standard_error)`. The
+    /// mean converges to [`Executor::run`]'s density-matrix expectation
+    /// at the Monte-Carlo rate `O(1/sqrt(N))`; the standard error is the
+    /// caller's convergence handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trajectories` is zero, or on the [`Executor::run`]
+    /// contract.
+    pub fn expectation_trajectories(
+        &self,
+        program: &Program,
+        observable: &hgp_math::pauli::PauliSum,
+        n_trajectories: usize,
+        seed: u64,
+    ) -> (f64, f64) {
+        let trajectories = self.trajectory_program(program);
+        TrajectoryEngine::new(n_trajectories, seed)
+            .expectation_with_error(&trajectories, observable)
+    }
 }
 
 #[cfg(test)]
@@ -306,7 +428,9 @@ mod tests {
     use super::*;
     use crate::program::BlockKind;
     use hgp_circuit::{Circuit, Gate};
+    use hgp_math::pauli::{Pauli, PauliString, PauliSum};
     use hgp_math::Matrix;
+    use hgp_noise::NoisySimulator;
     use hgp_sim::StateVector;
 
     #[test]
@@ -470,5 +594,87 @@ mod tests {
         let rho = exec.run(&p);
         assert!((rho.fidelity_with_pure(&psi) - 1.0).abs() < 1e-10);
         let _ = Matrix::identity(1);
+    }
+
+    #[test]
+    fn trajectory_program_replays_the_exact_schedule() {
+        // apply_exact of the recorded schedule reproduces run() bit for
+        // bit — including pulse-backed 1q unitaries, frame drift, and
+        // every noise channel.
+        let backend = Backend::ibmq_toronto();
+        let exec = Executor::new(&backend, vec![0, 1]);
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).rzz(0, 1, 0.7).rx(1, 0.4);
+        let program = Program::from_circuit(&qc).unwrap();
+        let by_run = exec.run(&program);
+        let recorded = exec.trajectory_program(&program);
+        assert!(recorded.n_channels() > 0);
+        let mut by_recorded = DensityMatrix::init(2);
+        recorded.apply_exact(&mut by_recorded);
+        for i in 0..4 {
+            for j in 0..4 {
+                let (a, b) = (by_run.get(i, j), by_recorded.get(i, j));
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "({i},{j})");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_expectation_converges_to_density_matrix() {
+        let backend = Backend::ibmq_toronto();
+        let exec = Executor::new(&backend, vec![0, 1]);
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).rzz(0, 1, 0.7).rx(1, 0.4);
+        let program = Program::from_circuit(&qc).unwrap();
+        let zz = PauliSum::from_terms(vec![PauliString::new(
+            2,
+            vec![(0, Pauli::Z), (1, Pauli::Z)],
+            1.0,
+        )]);
+        let exact = SimBackend::expectation(&exec.run(&program), &zz);
+        let (mean, stderr) = exec.expectation_trajectories(&program, &zz, 4096, 23);
+        assert!(
+            (mean - exact).abs() < 4.0 * stderr.max(1e-3),
+            "mean {mean} vs exact {exact} (stderr {stderr})"
+        );
+    }
+
+    #[test]
+    fn trajectory_sampling_is_deterministic_and_readout_aware() {
+        let backend = Backend::ibmq_guadalupe();
+        let exec = Executor::new(&backend, vec![2, 3]);
+        let mut p = Program::new(2);
+        p.push_gate(Gate::X, &[0]).push_gate(Gate::X, &[1]);
+        let a = exec.sample_trajectories(&p, 2048, 5);
+        let b = exec.sample_trajectories(&p, 2048, 5);
+        let c = exec.sample_trajectories(&p, 2048, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // The state is ~|11>; shot-level readout confusion leaks weight
+        // out of it at roughly the calibrated rate.
+        let leak = 1.0 - a.frequency(0b11);
+        let expected = backend.qubit(2).readout_error + backend.qubit(3).readout_error;
+        assert!(
+            leak > 0.2 * expected && leak < 5.0 * expected + 0.02,
+            "leak {leak} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn injected_noise_model_overrides_the_backend() {
+        // An executor with a rescaled model produces strictly noisier
+        // states — the ZNE amplification path.
+        let backend = Backend::ibmq_toronto();
+        let layout = vec![0, 1];
+        let base = Executor::new(&backend, layout.clone());
+        let amplified =
+            Executor::with_noise_model(&backend, layout, Arc::new(base.noise_model().scaled(3.0)));
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).cx(0, 1);
+        let program = Program::from_circuit(&qc).unwrap();
+        let p1 = base.run(&program).purity();
+        let p3 = amplified.run(&program).purity();
+        assert!(p3 < p1, "amplified noise must lower purity: {p3} vs {p1}");
     }
 }

@@ -22,7 +22,9 @@ pub fn amplitude_damping(gamma: f64) -> Vec<Matrix> {
         &[c64(0.0, 0.0), c64(gamma.sqrt(), 0.0)],
         &[c64(0.0, 0.0), c64(0.0, 0.0)],
     ]);
-    vec![k0, k1]
+    let kraus = vec![k0, k1];
+    debug_assert!(is_cptp(&kraus, 1e-9), "amplitude_damping({gamma})");
+    kraus
 }
 
 /// Phase damping with dephasing probability `lambda`.
@@ -40,7 +42,9 @@ pub fn phase_damping(lambda: f64) -> Vec<Matrix> {
         &[c64(0.0, 0.0), c64(0.0, 0.0)],
         &[c64(0.0, 0.0), c64(lambda.sqrt(), 0.0)],
     ]);
-    vec![k0, k1]
+    let kraus = vec![k0, k1];
+    debug_assert!(is_cptp(&kraus, 1e-9), "phase_damping({lambda})");
+    kraus
 }
 
 /// Single-qubit depolarizing channel with error probability `p`
@@ -51,12 +55,14 @@ pub fn phase_damping(lambda: f64) -> Vec<Matrix> {
 /// Panics if `p` is outside `[0, 1]`.
 pub fn depolarizing(p: f64) -> Vec<Matrix> {
     assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
-    vec![
+    let kraus = vec![
         Matrix::identity(2).scale(c64((1.0 - 3.0 * p / 4.0).sqrt(), 0.0)),
         sigma_x().scale(c64((p / 4.0).sqrt(), 0.0)),
         sigma_y().scale(c64((p / 4.0).sqrt(), 0.0)),
         sigma_z().scale(c64((p / 4.0).sqrt(), 0.0)),
-    ]
+    ];
+    debug_assert!(is_cptp(&kraus, 1e-9), "depolarizing({p})");
+    kraus
 }
 
 /// Two-qubit depolarizing channel with error probability `p`
@@ -79,6 +85,7 @@ pub fn depolarizing_2q(p: f64) -> Vec<Matrix> {
             kraus.push(a.kron(b).scale(c64(weight, 0.0)));
         }
     }
+    debug_assert!(is_cptp(&kraus, 1e-9), "depolarizing_2q({p})");
     kraus
 }
 
@@ -111,7 +118,12 @@ pub fn thermal_relaxation(t1_us: f64, t2_us: f64, duration_us: f64) -> Vec<Matri
     // Pure dephasing rate beyond what T1 causes.
     let inv_tphi = (1.0 / t2_us - 1.0 / (2.0 * t1_us)).max(0.0);
     let lambda = 1.0 - (-duration_us * inv_tphi).exp();
-    compose(&amplitude_damping(gamma), &phase_damping(lambda))
+    let kraus = compose(&amplitude_damping(gamma), &phase_damping(lambda));
+    debug_assert!(
+        is_cptp(&kraus, 1e-9),
+        "thermal_relaxation({t1_us}, {t2_us}, {duration_us})"
+    );
+    kraus
 }
 
 /// Composes two channels: the Kraus set of "apply `first`, then `second`".

@@ -1,20 +1,40 @@
-//! Noise channels and calibration-derived noise models.
+//! The typed noise IR and calibration-derived noisy execution.
 //!
 //! Hardware noise enters the hybrid gate-pulse experiments in three ways,
 //! all modeled here:
 //!
-//! - **Decoherence** ([`channels::thermal_relaxation`]): amplitude damping
-//!   (T1) and dephasing (T2) scaled by instruction *duration* — the channel
-//!   through which the pulse-level model's shorter schedules pay off,
-//! - **Gate error** ([`channels::depolarizing`]): depolarizing noise with
-//!   the calibrated per-gate error rates (Table I),
+//! - **Decoherence** ([`NoiseChannel::ThermalRelaxation`]): amplitude
+//!   damping (T1) and dephasing (T2) scaled by instruction *duration* —
+//!   the channel through which the pulse-level model's shorter schedules
+//!   pay off,
+//! - **Gate error** ([`NoiseChannel::Depolarizing`] /
+//!   [`NoiseChannel::Depolarizing2q`]): depolarizing noise with the
+//!   calibrated per-gate error rates (Table I),
 //! - **Readout error** ([`readout::ReadoutModel`]): per-qubit assignment
-//!   confusion applied to measurement distributions — the error that M3
-//!   mitigates.
+//!   confusion applied to measurement distributions (exactly, via the
+//!   `O(n 2^n)` tensor-structured sweep) or to individual shots
+//!   ([`ReadoutModel::corrupt_bits`]) — the error that M3 mitigates.
 //!
-//! [`NoisySimulator`] ties these to a [`hgp_device::Backend`] and executes
-//! bound circuits on a density matrix with an ASAP schedule, applying idle
-//! decoherence to waiting qubits.
+//! Noise is a *value* here, not code scattered through a simulator:
+//!
+//! - [`model::NoiseChannel`] names one channel and owns both of its
+//!   applications — the exact Kraus set (density matrix) and the
+//!   stochastic trajectory form ([`hgp_sim::ChannelOp`]). Raw Kraus
+//!   constructors live in [`channels`] and are CPTP-validated in debug
+//!   builds.
+//! - [`model::NoiseModel`] is the compiled artifact: built once per
+//!   ([`hgp_device::Backend`], layout), it caches every channel
+//!   parameter (T1/T2, gate errors, durations, readout) and hands out
+//!   channels per `(qubit, duration)`. [`NoiseModel::scaled`] amplifies
+//!   it multiplicatively — zero-noise extrapolation folds the *model*
+//!   instead of folding gates.
+//! - [`NoisySimulator`] walks one ASAP schedule per circuit and feeds
+//!   it to either consumer: exact `O(4^n)` density-matrix evolution
+//!   ([`NoisySimulator::simulate`]), or a recorded
+//!   [`hgp_sim::TrajectoryProgram`]
+//!   ([`NoisySimulator::trajectory_program`]) that a
+//!   [`hgp_sim::TrajectoryEngine`] replays as `O(2^n)` stochastic
+//!   statevector trajectories — noisy simulation at statevector scale.
 //!
 //! # Example
 //!
@@ -22,21 +42,29 @@
 //! use hgp_circuit::Circuit;
 //! use hgp_device::Backend;
 //! use hgp_noise::NoisySimulator;
+//! use hgp_sim::TrajectoryEngine;
 //!
 //! let backend = Backend::ibmq_toronto();
 //! let mut bell = Circuit::new(2);
 //! bell.h(0).cx(0, 1);
 //! let sim = NoisySimulator::new(&backend);
+//! // Exact: the O(4^n) density matrix.
 //! let rho = sim.simulate(&bell, &[0, 1]).expect("bound circuit");
-//! // Noise leaves the state close to, but not exactly, the Bell state.
 //! assert!(rho.purity() < 1.0);
 //! assert!(rho.purity() > 0.9);
+//! // Sampled: O(2^n) trajectories of the same schedule.
+//! let program = sim.trajectory_program(&bell, &[0, 1]).expect("bound circuit");
+//! let counts = TrajectoryEngine::new(256, 7).sample_counts(&program);
+//! assert_eq!(counts.total(), 256);
 //! ```
 
 pub mod channels;
 pub mod durations;
+pub mod model;
 pub mod readout;
 pub mod simulator;
+pub mod sink;
 
+pub use model::{NoiseChannel, NoiseModel, PairNoise, QubitNoise};
 pub use readout::ReadoutModel;
 pub use simulator::NoisySimulator;

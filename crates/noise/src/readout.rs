@@ -83,10 +83,49 @@ impl ReadoutModel {
     /// Applies the confusion map to a true probability distribution,
     /// returning the observed distribution.
     ///
+    /// The full `2^n x 2^n` assignment matrix is never formed: its
+    /// tensor-product structure factors the action into `n` butterfly
+    /// sweeps — `O(n 2^n)` total. Each per-qubit sweep walks the pair
+    /// blocks directly (stride `2 bit`), touching every index exactly
+    /// once with no masking branch; the historical masked sweep is kept
+    /// as [`ReadoutModel::apply_to_probabilities_reference`] and parity
+    /// tests pin the two bit-for-bit (the per-pair arithmetic is
+    /// identical, only the iteration order of untouched indices
+    /// differs).
+    ///
     /// # Panics
     ///
     /// Panics if `probs.len() != 2^n`.
     pub fn apply_to_probabilities(&self, probs: &[f64]) -> Vec<f64> {
+        let n = self.qubits.len();
+        assert_eq!(probs.len(), 1 << n, "distribution length mismatch");
+        let mut p = probs.to_vec();
+        for (q, r) in self.qubits.iter().enumerate() {
+            let bit = 1usize << q;
+            let (keep0, leak0) = (1.0 - r.p01, r.p01);
+            let (keep1, leak1) = (1.0 - r.p10, r.p10);
+            let mut block = 0;
+            while block < p.len() {
+                for i in block..block + bit {
+                    let j = i + bit;
+                    let (p0, p1) = (p[i], p[j]);
+                    p[i] = keep0 * p0 + leak1 * p1;
+                    p[j] = leak0 * p0 + keep1 * p1;
+                }
+                block += bit << 1;
+            }
+        }
+        p
+    }
+
+    /// The historical masked per-qubit sweep, kept as the reference
+    /// implementation for parity tests against the strided fast path
+    /// (the `hgp_sim::kernels::reference` idiom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != 2^n`.
+    pub fn apply_to_probabilities_reference(&self, probs: &[f64]) -> Vec<f64> {
         let n = self.qubits.len();
         assert_eq!(probs.len(), 1 << n, "distribution length mismatch");
         let mut p = probs.to_vec();
@@ -104,6 +143,21 @@ impl ReadoutModel {
         p
     }
 
+    /// Flips each bit of one measured bitstring independently according
+    /// to the confusion probabilities — the shot-level noisy readout
+    /// (one RNG draw per qubit). This is the hook trajectory sampling
+    /// hands to `hgp_sim::TrajectoryEngine::sample_counts_with`.
+    pub fn corrupt_bits<R: Rng + ?Sized>(&self, bits: usize, rng: &mut R) -> usize {
+        let mut observed = bits;
+        for (q, r) in self.qubits.iter().enumerate() {
+            let flip_p = if (bits >> q) & 1 == 0 { r.p01 } else { r.p10 };
+            if rng.gen::<f64>() < flip_p {
+                observed ^= 1 << q;
+            }
+        }
+        observed
+    }
+
     /// Flips each bit of sampled counts independently according to the
     /// confusion probabilities (a shot-level noisy readout).
     pub fn corrupt_counts<R: Rng + ?Sized>(&self, counts: &Counts, rng: &mut R) -> Counts {
@@ -112,14 +166,7 @@ impl ReadoutModel {
         let mut out = Counts::new(n);
         for (bits, c) in counts.iter() {
             for _ in 0..c {
-                let mut observed = bits;
-                for (q, r) in self.qubits.iter().enumerate() {
-                    let flip_p = if (bits >> q) & 1 == 0 { r.p01 } else { r.p10 };
-                    if rng.gen::<f64>() < flip_p {
-                        observed ^= 1 << q;
-                    }
-                }
-                out.record(observed, 1);
+                out.record(self.corrupt_bits(bits, rng), 1);
             }
         }
         out
@@ -196,6 +243,57 @@ mod tests {
         let noisy = m.corrupt_counts(&truth, &mut rng);
         assert_eq!(noisy.total(), 40_000);
         assert!((noisy.frequency(1) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn strided_sweep_matches_reference_bit_for_bit() {
+        // Same pair arithmetic, same pair order: parity must be exact.
+        let m = ReadoutModel::new(vec![
+            QubitReadout {
+                p01: 0.02,
+                p10: 0.07,
+            },
+            QubitReadout {
+                p01: 0.05,
+                p10: 0.01,
+            },
+            QubitReadout {
+                p01: 0.11,
+                p10: 0.003,
+            },
+            QubitReadout { p01: 0.0, p10: 0.3 },
+        ]);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut probs: Vec<f64> = (0..16).map(|_| rng.gen::<f64>()).collect();
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        let fast = m.apply_to_probabilities(&probs);
+        let reference = m.apply_to_probabilities_reference(&probs);
+        for (a, b) in fast.iter().zip(reference.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_bits_matches_corrupt_counts_stream() {
+        // corrupt_counts is a fold over corrupt_bits: same RNG stream,
+        // same outcomes.
+        let m = ReadoutModel::uniform(3, 0.2);
+        let mut truth = Counts::new(3);
+        truth.record(0b101, 500);
+        truth.record(0b010, 300);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let by_counts = m.corrupt_counts(&truth, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut by_bits = Counts::new(3);
+        for (bits, c) in truth.iter() {
+            for _ in 0..c {
+                by_bits.record(m.corrupt_bits(bits, &mut rng_b), 1);
+            }
+        }
+        assert_eq!(by_counts, by_bits);
     }
 
     #[test]

@@ -1,22 +1,32 @@
-//! Noisy circuit execution on a density matrix.
+//! Noisy circuit execution over the typed noise IR.
 //!
-//! [`NoisySimulator`] executes a *logical* circuit (6-8 qubits for the
-//! paper's benchmarks) whose qubits are laid out on *physical* qubits of a
-//! backend. The density matrix stays `2^n`-dimensional in the logical
-//! width; only noise parameters are fetched from the physical qubits.
+//! [`NoisySimulator`] executes a *logical* circuit whose qubits are laid
+//! out on *physical* qubits of a backend. Noise parameters come from a
+//! [`NoiseModel`] built once per (backend, layout) — the per-gate Kraus
+//! construction that used to be inlined here now lives in the IR.
 //!
 //! The schedule is ASAP: each gate starts when its last operand becomes
 //! free; operands that wait accumulate idle thermal relaxation for the
 //! gap. After each gate, its operands suffer (a) thermal relaxation for
 //! the gate duration and (b) depolarizing noise at the calibrated error
 //! rate, scaled by how many calibrated pulses the gate expands to.
+//!
+//! One schedule, two consumers:
+//!
+//! - **exact**: [`NoisySimulator::simulate_on`] applies every channel's
+//!   full Kraus set to a [`DensityMatrix`] — `O(4^n)` per instruction,
+//!   bit-identical to the pre-IR implementation,
+//! - **sampled**: [`NoisySimulator::trajectory_program`] records the
+//!   same schedule as a [`TrajectoryProgram`], which a
+//!   [`hgp_sim::TrajectoryEngine`] replays as `O(2^n)` stochastic pure
+//!   statevector trajectories — noisy simulation at statevector scale.
 
 use hgp_circuit::{Circuit, Instruction};
-use hgp_device::{dt_to_us, Backend};
-use hgp_sim::{DensityMatrix, SimBackend};
+use hgp_device::Backend;
+use hgp_sim::{DensityMatrix, SimBackend, TrajectoryProgram};
 
-use crate::channels::{depolarizing, depolarizing_2q, thermal_relaxation};
-use crate::durations::gate_duration_dt;
+use crate::model::NoiseModel;
+use crate::sink::{ExactSink, RecordSink, ScheduleSink};
 
 /// Executes circuits with calibration-derived noise.
 ///
@@ -24,6 +34,83 @@ use crate::durations::gate_duration_dt;
 #[derive(Debug, Clone, Copy)]
 pub struct NoisySimulator<'a> {
     backend: &'a Backend,
+}
+
+/// Walks the ASAP schedule of `circuit` under `model`, emitting gates
+/// and channels into `sink` ([`crate::sink`]) in execution order.
+/// Returns `None` on the first unbound gate.
+fn walk_schedule<S: ScheduleSink>(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    sink: &mut S,
+) -> Option<()> {
+    let n = circuit.n_qubits();
+    assert_eq!(model.n_qubits(), n, "model width must match the circuit");
+    let mut clock = vec![0u64; n];
+    let relax = |sink: &mut S, q: usize, duration: u32| {
+        if let Some(ch) = model.idle_channel(q, duration) {
+            sink.channel(ch, &[q]);
+        }
+    };
+    for inst in circuit.instructions() {
+        match inst {
+            Instruction::Gate { gate, qubits } => {
+                let duration = model.gate_duration_dt(gate, qubits);
+                // Align operands: laggards idle (and decohere) until the
+                // gate can start.
+                let start = qubits.iter().map(|&q| clock[q]).max().unwrap_or(0);
+                for &q in qubits {
+                    let gap = start - clock[q];
+                    if gap > 0 {
+                        relax(sink, q, gap as u32);
+                    }
+                }
+                // The ideal gate (through the fused kernel dispatch)...
+                sink.gate(gate, qubits)?;
+                // ...followed by its noise.
+                for &q in qubits {
+                    relax(sink, q, duration);
+                }
+                match gate.n_qubits() {
+                    1 => {
+                        if let Some(ch) = model.gate_error_1q(qubits[0], duration) {
+                            sink.channel(ch, &[qubits[0]]);
+                        }
+                    }
+                    2 => {
+                        if let Some(ch) = model.gate_error_2q(qubits[0], qubits[1], duration) {
+                            sink.channel(ch, &[qubits[0], qubits[1]]);
+                        }
+                    }
+                    _ => {}
+                }
+                for &q in qubits {
+                    clock[q] = start + u64::from(duration);
+                }
+            }
+            Instruction::Barrier { qubits } => {
+                let sync = qubits.iter().map(|&q| clock[q]).max().unwrap_or(0);
+                for &q in qubits {
+                    let gap = sync - clock[q];
+                    if gap > 0 {
+                        relax(sink, q, gap as u32);
+                    }
+                    clock[q] = sync;
+                }
+            }
+            Instruction::Measure { .. } => {}
+        }
+    }
+    // All qubits are measured simultaneously at the end: idle the early
+    // finishers up to the global end time.
+    let end = clock.iter().copied().max().unwrap_or(0);
+    for (q, &busy_until) in clock.iter().enumerate() {
+        let gap = end - busy_until;
+        if gap > 0 {
+            relax(sink, q, gap as u32);
+        }
+    }
+    Some(())
 }
 
 impl<'a> NoisySimulator<'a> {
@@ -35,6 +122,13 @@ impl<'a> NoisySimulator<'a> {
     /// The backend noise parameters are drawn from.
     pub fn backend(&self) -> &Backend {
         self.backend
+    }
+
+    /// The noise model of a layout — build it once and reuse it across
+    /// [`NoisySimulator::simulate_with_model`] /
+    /// [`NoisySimulator::trajectory_program_with_model`] calls.
+    pub fn noise_model(&self, layout: &[usize]) -> NoiseModel {
+        NoiseModel::from_backend(self.backend, layout)
     }
 
     /// Runs a bound logical circuit with `layout[i]` giving the physical
@@ -57,8 +151,55 @@ impl<'a> NoisySimulator<'a> {
     /// engine: any [`SimBackend`] can host the schedule. Backends without
     /// channel support (statevector) work only when every noise channel
     /// degenerates to nothing — i.e. on ideal backends — and panic
-    /// otherwise; real noise needs [`DensityMatrix`].
+    /// otherwise; real noise needs [`DensityMatrix`] (exact) or the
+    /// trajectory path (sampled).
     pub fn simulate_on<B: SimBackend>(&self, circuit: &Circuit, layout: &[usize]) -> Option<B> {
+        self.check_layout(circuit, layout);
+        self.simulate_with_model(circuit, &self.noise_model(layout))
+    }
+
+    /// [`NoisySimulator::simulate_on`] against a prebuilt (possibly
+    /// rescaled) [`NoiseModel`] — the entry point for cached models and
+    /// for zero-noise extrapolation's amplified copies.
+    pub fn simulate_with_model<B: SimBackend>(
+        &self,
+        circuit: &Circuit,
+        model: &NoiseModel,
+    ) -> Option<B> {
+        let mut sink = ExactSink(B::init(circuit.n_qubits()));
+        walk_schedule(circuit, model, &mut sink)?;
+        Some(sink.0)
+    }
+
+    /// Records the noisy schedule of a bound circuit as a
+    /// [`TrajectoryProgram`] for stochastic statevector execution.
+    ///
+    /// Returns `None` if the circuit has unbound parameters.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`NoisySimulator::simulate`].
+    pub fn trajectory_program(
+        &self,
+        circuit: &Circuit,
+        layout: &[usize],
+    ) -> Option<TrajectoryProgram> {
+        self.check_layout(circuit, layout);
+        self.trajectory_program_with_model(circuit, &self.noise_model(layout))
+    }
+
+    /// [`NoisySimulator::trajectory_program`] against a prebuilt model.
+    pub fn trajectory_program_with_model(
+        &self,
+        circuit: &Circuit,
+        model: &NoiseModel,
+    ) -> Option<TrajectoryProgram> {
+        let mut sink = RecordSink(TrajectoryProgram::new(circuit.n_qubits()));
+        walk_schedule(circuit, model, &mut sink)?;
+        Some(sink.0)
+    }
+
+    fn check_layout(&self, circuit: &Circuit, layout: &[usize]) {
         assert_eq!(
             layout.len(),
             circuit.n_qubits(),
@@ -70,113 +211,6 @@ impl<'a> NoisySimulator<'a> {
                 "physical qubit {p} out of range"
             );
         }
-        let n = circuit.n_qubits();
-        let mut state = B::init(n);
-        let mut clock = vec![0u64; n];
-        for inst in circuit.instructions() {
-            match inst {
-                Instruction::Gate { gate, qubits } => {
-                    let phys: Vec<usize> = qubits.iter().map(|&q| layout[q]).collect();
-                    let duration = gate_duration_dt(self.backend, gate, &phys);
-                    // Align operands: laggards idle (and decohere) until the
-                    // gate can start.
-                    let start = qubits.iter().map(|&q| clock[q]).max().unwrap_or(0);
-                    for &q in qubits {
-                        let gap = start - clock[q];
-                        if gap > 0 {
-                            self.relax_qubit(&mut state, q, layout[q], gap as u32);
-                        }
-                    }
-                    // The ideal gate (through the fused kernel dispatch)...
-                    state.apply_gate(gate, qubits)?;
-                    // ...followed by its noise.
-                    for &q in qubits {
-                        self.relax_qubit(&mut state, q, layout[q], duration);
-                    }
-                    self.apply_gate_error(&mut state, gate.n_qubits(), qubits, &phys, duration);
-                    for &q in qubits {
-                        clock[q] = start + u64::from(duration);
-                    }
-                }
-                Instruction::Barrier { qubits } => {
-                    let sync = qubits.iter().map(|&q| clock[q]).max().unwrap_or(0);
-                    for &q in qubits {
-                        let gap = sync - clock[q];
-                        if gap > 0 {
-                            self.relax_qubit(&mut state, q, layout[q], gap as u32);
-                        }
-                        clock[q] = sync;
-                    }
-                }
-                Instruction::Measure { .. } => {}
-            }
-        }
-        // All qubits are measured simultaneously at the end: idle the early
-        // finishers up to the global end time.
-        let end = clock.iter().copied().max().unwrap_or(0);
-        for q in 0..n {
-            let gap = end - clock[q];
-            if gap > 0 {
-                self.relax_qubit(&mut state, q, layout[q], gap as u32);
-            }
-        }
-        Some(state)
-    }
-
-    /// Applies thermal relaxation to logical qubit `logical` (with physics
-    /// from physical qubit `physical`) for `duration_dt`.
-    pub fn relax_qubit<B: SimBackend>(
-        &self,
-        state: &mut B,
-        logical: usize,
-        physical: usize,
-        duration_dt: u32,
-    ) {
-        if duration_dt == 0 {
-            return;
-        }
-        let qp = self.backend.qubit(physical);
-        if !qp.t1_us.is_finite() && !qp.t2_us.is_finite() {
-            return;
-        }
-        let ch = thermal_relaxation(qp.t1_us, qp.t2_us, dt_to_us(duration_dt));
-        state.apply_kraus(&ch, &[logical]);
-    }
-
-    /// Applies depolarizing gate error after a gate of `duration_dt` on
-    /// the given logical/physical operands.
-    ///
-    /// Single-qubit error scales with pulse count (`duration / 160dt`);
-    /// two-qubit error scales with CX-equivalents.
-    pub fn apply_gate_error<B: SimBackend>(
-        &self,
-        state: &mut B,
-        arity: usize,
-        logical: &[usize],
-        physical: &[usize],
-        duration_dt: u32,
-    ) {
-        match arity {
-            1 => {
-                let qp = self.backend.qubit(physical[0]);
-                let pulses =
-                    f64::from(duration_dt) / f64::from(self.backend.pulse_1q_duration_dt());
-                let p = (qp.x_error * pulses).clamp(0.0, 1.0);
-                if p > 0.0 {
-                    state.apply_kraus(&depolarizing(p), &[logical[0]]);
-                }
-            }
-            2 => {
-                let e = self.backend.edge(physical[0], physical[1]);
-                let cx_dt = self.backend.cx_duration_dt(physical[0], physical[1]);
-                let cx_equiv = f64::from(duration_dt) / f64::from(cx_dt);
-                let p = (e.cx_error * cx_equiv).clamp(0.0, 1.0);
-                if p > 0.0 {
-                    state.apply_kraus(&depolarizing_2q(p), &[logical[0], logical[1]]);
-                }
-            }
-            _ => {}
-        }
     }
 }
 
@@ -184,7 +218,8 @@ impl<'a> NoisySimulator<'a> {
 mod tests {
     use super::*;
     use hgp_circuit::Circuit;
-    use hgp_sim::StateVector;
+    use hgp_math::pauli::{Pauli, PauliString, PauliSum};
+    use hgp_sim::{StateVector, TrajectoryEngine};
 
     #[test]
     fn ideal_backend_reproduces_pure_state() {
@@ -289,6 +324,65 @@ mod tests {
         qc.h(0).cx(0, 1).rzz(1, 2, 0.8).rx(0, 0.4).cx(1, 2);
         let rho = sim.simulate(&qc, &[1, 2, 3]).unwrap();
         assert!((rho.trace() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_program_mirrors_the_exact_schedule() {
+        // Applying the recorded program exactly reproduces simulate()
+        // bit for bit: both paths walk one schedule.
+        let backend = Backend::ibmq_toronto();
+        let sim = NoisySimulator::new(&backend);
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).rzz(1, 2, 0.8).rx(0, 0.4).cx(1, 2);
+        let layout = [0, 1, 2];
+        let by_simulate = sim.simulate(&qc, &layout).unwrap();
+        let program = sim.trajectory_program(&qc, &layout).unwrap();
+        assert!(program.n_channels() > 0, "noisy backend must emit channels");
+        let mut by_program = DensityMatrix::init(3);
+        program.apply_exact(&mut by_program);
+        for i in 0..8 {
+            for j in 0..8 {
+                let (a, b) = (by_simulate.get(i, j), by_program.get(i, j));
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "({i},{j})");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_mean_converges_to_the_density_matrix() {
+        // The tentpole contract: stochastic statevector trajectories
+        // estimate the exact noisy expectation.
+        let backend = Backend::ibmq_toronto();
+        let sim = NoisySimulator::new(&backend);
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).rzz(0, 1, 0.7).rx(1, 0.4);
+        let layout = [0, 1];
+        let zz = PauliSum::from_terms(vec![PauliString::new(
+            2,
+            vec![(0, Pauli::Z), (1, Pauli::Z)],
+            1.0,
+        )]);
+        let rho = sim.simulate(&qc, &layout).unwrap();
+        let exact = SimBackend::expectation(&rho, &zz);
+        let program = sim.trajectory_program(&qc, &layout).unwrap();
+        let engine = TrajectoryEngine::new(4096, 17);
+        let (mean, stderr) = engine.expectation_with_error(&program, &zz);
+        assert!(
+            (mean - exact).abs() < 4.0 * stderr.max(1e-3),
+            "mean {mean} vs exact {exact} (stderr {stderr})"
+        );
+    }
+
+    #[test]
+    fn unbound_circuit_yields_no_trajectory_program() {
+        let backend = Backend::ibmq_toronto();
+        let sim = NoisySimulator::new(&backend);
+        let mut qc = Circuit::new(1);
+        let p = qc.add_param();
+        qc.rx_param(0, p, 1.0);
+        assert!(sim.trajectory_program(&qc, &[0]).is_none());
+        assert!(sim.simulate(&qc, &[0]).is_none());
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Where schedule walkers send their instruction streams.
+//!
+//! Both noisy schedule walkers in the workspace —
+//! [`crate::NoisySimulator`] over logical circuits and
+//! `hgp_core::Executor` over hybrid programs — walk their ASAP schedule
+//! exactly once per invocation and emit gates, fixed unitaries, and
+//! [`NoiseChannel`]s into a [`ScheduleSink`]. The two provided sinks are
+//! the two noisy-execution semantics:
+//!
+//! - [`ExactSink`]: applies the stream to a [`SimBackend`] — channels as
+//!   their full Kraus sets (`O(4^n)` on a density matrix),
+//! - [`RecordSink`]: records the stream as a
+//!   [`TrajectoryProgram`] — channels in sampling form
+//!   ([`NoiseChannel::channel_op`]) for `O(2^n)` stochastic replay.
+//!
+//! One walker, one trait, two consumers: the exact and trajectory paths
+//! cannot drift apart, and a change to channel dispatch happens in one
+//! place.
+
+use hgp_circuit::Gate;
+use hgp_math::Matrix;
+use hgp_sim::{SimBackend, TrajectoryProgram};
+
+use crate::model::NoiseChannel;
+
+/// A consumer of a noisy instruction stream in execution order.
+pub trait ScheduleSink {
+    /// A bound gate (fused kernel dispatch). `None` propagates unbound
+    /// parameters to the walker.
+    fn gate(&mut self, gate: &Gate, qubits: &[usize]) -> Option<()>;
+
+    /// A fixed unitary (pulse physics, frame drift, pulse blocks).
+    fn unitary(&mut self, matrix: &Matrix, targets: &[usize]);
+
+    /// A noise channel from the model.
+    fn channel(&mut self, channel: NoiseChannel, targets: &[usize]);
+}
+
+/// Applies the schedule to a [`SimBackend`] — the exact path.
+pub struct ExactSink<B: SimBackend>(pub B);
+
+impl<B: SimBackend> ScheduleSink for ExactSink<B> {
+    fn gate(&mut self, gate: &Gate, qubits: &[usize]) -> Option<()> {
+        self.0.apply_gate(gate, qubits)
+    }
+
+    fn unitary(&mut self, matrix: &Matrix, targets: &[usize]) {
+        self.0.apply_unitary(matrix, targets);
+    }
+
+    fn channel(&mut self, channel: NoiseChannel, targets: &[usize]) {
+        self.0.apply_kraus(&channel.kraus_operators(), targets);
+    }
+}
+
+/// Records the schedule as a [`TrajectoryProgram`] — the sampled path.
+pub struct RecordSink(pub TrajectoryProgram);
+
+impl ScheduleSink for RecordSink {
+    fn gate(&mut self, gate: &Gate, qubits: &[usize]) -> Option<()> {
+        gate.matrix()?;
+        self.0.push_gate(*gate, qubits);
+        Some(())
+    }
+
+    fn unitary(&mut self, matrix: &Matrix, targets: &[usize]) {
+        self.0.push_unitary(matrix.clone(), targets);
+    }
+
+    fn channel(&mut self, channel: NoiseChannel, targets: &[usize]) {
+        self.0.push_channel(channel.channel_op(), targets);
+    }
+}

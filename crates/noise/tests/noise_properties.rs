@@ -1,0 +1,276 @@
+//! Property and convergence tests of the typed noise IR.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **CPTP everywhere**: every channel the IR can construct satisfies
+//!    the completeness relation across its full parameter space —
+//!    [`thermal_relaxation`] in particular over the whole physical
+//!    `T2 <= 2 T1` wedge including the clamp boundary, where the pure
+//!    dephasing rate `1/T2 - 1/(2 T1)` crosses zero.
+//! 2. **IR parity**: channels fetched through a [`NoiseModel`] are
+//!    bit-identical to the historical inline construction, and the
+//!    strided readout sweep is bit-identical to its `_reference`.
+//! 3. **Trajectory convergence and determinism**: the stochastic
+//!    statevector path estimates the density-matrix expectation within
+//!    statistical tolerance at a fixed seed, and parallel ensembles are
+//!    bit-identical to the sequential loop.
+
+use proptest::prelude::*;
+
+use hgp_circuit::Circuit;
+use hgp_device::Backend;
+use hgp_math::pauli::{Pauli, PauliString, PauliSum};
+use hgp_noise::channels::{
+    amplitude_damping, depolarizing, depolarizing_2q, is_cptp, phase_damping, thermal_relaxation,
+};
+use hgp_noise::{NoiseChannel, NoiseModel, NoisySimulator, ReadoutModel};
+use hgp_sim::{DensityMatrix, SimBackend, TrajectoryEngine};
+
+fn assert_matrices_bit_equal(a: &[hgp_math::Matrix], b: &[hgp_math::Matrix]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.rows(), y.rows());
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                assert_eq!(x[(r, c)].re.to_bits(), y[(r, c)].re.to_bits());
+                assert_eq!(x[(r, c)].im.to_bits(), y[(r, c)].im.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // --- CPTP across the parameter space -----------------------------
+
+    #[test]
+    fn thermal_relaxation_is_cptp_over_the_physical_wedge(
+        t1 in 0.05f64..2000.0,
+        // T2 anywhere in (0, 2 T1): `ratio -> 2.0` approaches the clamp
+        // boundary where pure dephasing vanishes (the boundary itself is
+        // pinned deterministically below).
+        ratio in 0.01f64..2.0,
+        duration in 0.0f64..5000.0,
+    ) {
+        let t2 = t1 * ratio;
+        let kraus = thermal_relaxation(t1, t2, duration);
+        prop_assert!(is_cptp(&kraus, 1e-9), "t1={t1} t2={t2} d={duration}");
+        // The IR wrapper builds the same (valid) channel.
+        let ch = NoiseChannel::ThermalRelaxation { t1_us: t1, t2_us: t2, duration_us: duration };
+        prop_assert!(is_cptp(&ch.kraus_operators(), 1e-9));
+    }
+
+    #[test]
+    fn damping_and_depolarizing_are_cptp(p in 0.0f64..1.0) {
+        prop_assert!(is_cptp(&amplitude_damping(p), 1e-12));
+        prop_assert!(is_cptp(&phase_damping(p), 1e-12));
+        prop_assert!(is_cptp(&depolarizing(p), 1e-12));
+        prop_assert!(is_cptp(&depolarizing_2q(p), 1e-12));
+    }
+
+    #[test]
+    fn pauli_channels_are_cptp(a in 0.0f64..1.0, b in 0.0f64..1.0, c in 0.0f64..1.0) {
+        // Normalize three free weights into a distribution with p_I >= 0.
+        let total = 1.0 + a + b + c;
+        let probs = [1.0 / total, a / total, b / total, c / total];
+        let ch = NoiseChannel::Pauli { probs };
+        prop_assert!(is_cptp(&ch.kraus_operators(), 1e-9));
+    }
+
+    #[test]
+    fn scaled_gate_error_stays_a_probability(scale in 0.0f64..50.0) {
+        // However hard ZNE amplifies, depolarizing rates stay in [0, 1].
+        let backend = Backend::ibmq_toronto();
+        let model = NoiseModel::from_backend(&backend, &[0, 1]).scaled(scale);
+        if let Some(NoiseChannel::Depolarizing { p }) = model.gate_error_1q(0, 320) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        if let Some(NoiseChannel::Depolarizing2q { p }) = model.gate_error_2q(0, 1, 1000) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        if let Some(ch) = model.idle_channel(0, 640) {
+            prop_assert!(is_cptp(&ch.kraus_operators(), 1e-9));
+        }
+    }
+
+    // --- readout parity ----------------------------------------------
+
+    #[test]
+    fn readout_sweep_matches_reference_on_random_distributions(
+        seed in 0u64..u64::MAX,
+        n in 1usize..7,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = ReadoutModel::new(
+            (0..n)
+                .map(|_| hgp_noise::readout::QubitReadout {
+                    p01: rng.gen_range(0.0..0.5),
+                    p10: rng.gen_range(0.0..0.5),
+                })
+                .collect(),
+        );
+        let mut probs: Vec<f64> = (0..1usize << n).map(|_| rng.gen::<f64>()).collect();
+        let total: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= total;
+        }
+        let fast = model.apply_to_probabilities(&probs);
+        let reference = model.apply_to_probabilities_reference(&probs);
+        for (a, b) in fast.iter().zip(reference.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+// --- clamp boundary, deterministically ------------------------------
+
+#[test]
+fn thermal_relaxation_at_the_exact_t2_boundary() {
+    // T2 = 2 T1 exactly: pure dephasing rate is 0 up to round-off, and
+    // the `.max(0.0)` clamp must absorb the negative round-off branch.
+    for t1 in [0.37, 1.0, 55.5, 980.0] {
+        let kraus = thermal_relaxation(t1, 2.0 * t1, 13.0);
+        assert!(is_cptp(&kraus, 1e-9), "t1={t1}");
+    }
+    // Just inside the 1e-9 assertion tolerance above the boundary.
+    let t1 = 10.0;
+    let kraus = thermal_relaxation(t1, 2.0 * t1 * (1.0 + 5e-10), 3.0);
+    assert!(is_cptp(&kraus, 1e-9));
+}
+
+#[test]
+#[should_panic(expected = "T2 must not exceed")]
+fn thermal_relaxation_beyond_the_boundary_still_panics() {
+    let _ = thermal_relaxation(10.0, 20.1, 1.0);
+}
+
+#[test]
+fn model_clamps_unphysical_backend_t2() {
+    // A model never hands thermal_relaxation an unphysical T2, even if
+    // calibration data is at (or numerically above) the boundary.
+    let backend = Backend::ibmq_toronto();
+    let model = NoiseModel::from_backend(&backend, &[0]);
+    assert!(model.qubit(0).t2_us <= 2.0 * model.qubit(0).t1_us);
+    let ch = model.idle_channel(0, 480).expect("noisy backend");
+    assert!(is_cptp(&ch.kraus_operators(), 1e-9));
+}
+
+// --- IR parity with the historical inline construction --------------
+
+#[test]
+fn model_channels_are_bit_identical_to_inline_kraus_lists() {
+    let backend = Backend::ibmq_guadalupe();
+    let layout = [1, 2, 3];
+    let model = NoiseModel::from_backend(&backend, &layout);
+    for (logical, &phys) in layout.iter().enumerate() {
+        let qp = backend.qubit(phys);
+        for duration in [1u32, 160, 320, 704, 2048] {
+            // Thermal relaxation.
+            let by_model = model
+                .idle_channel(logical, duration)
+                .expect("noisy backend")
+                .kraus_operators();
+            let inline = thermal_relaxation(qp.t1_us, qp.t2_us, hgp_device::dt_to_us(duration));
+            assert_matrices_bit_equal(&by_model, &inline);
+            // 1q depolarizing.
+            let pulses = f64::from(duration) / f64::from(backend.pulse_1q_duration_dt());
+            let p = (qp.x_error * pulses).clamp(0.0, 1.0);
+            if p > 0.0 {
+                let by_model = model
+                    .gate_error_1q(logical, duration)
+                    .expect("nonzero error")
+                    .kraus_operators();
+                assert_matrices_bit_equal(&by_model, &depolarizing(p));
+            }
+        }
+    }
+    // 2q depolarizing on a coupled pair.
+    let e = backend.edge(layout[0], layout[1]);
+    let cx_dt = backend.cx_duration_dt(layout[0], layout[1]);
+    for duration in [cx_dt, 2 * cx_dt, 3 * cx_dt / 2] {
+        let p = (e.cx_error * (f64::from(duration) / f64::from(cx_dt))).clamp(0.0, 1.0);
+        let by_model = model
+            .gate_error_2q(0, 1, duration)
+            .expect("nonzero error")
+            .kraus_operators();
+        assert_matrices_bit_equal(&by_model, &depolarizing_2q(p));
+    }
+}
+
+// --- trajectory convergence and determinism -------------------------
+
+fn noisy_qaoa_like(n: usize) -> Circuit {
+    let mut qc = Circuit::new(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    for q in 0..n - 1 {
+        qc.rzz(q, q + 1, 0.4);
+    }
+    for q in 0..n {
+        qc.rx(q, 0.8);
+    }
+    qc
+}
+
+fn zz_chain(n: usize) -> PauliSum {
+    PauliSum::from_terms(
+        (0..n - 1)
+            .map(|q| PauliString::new(n, vec![(q, Pauli::Z), (q + 1, Pauli::Z)], 1.0))
+            .collect(),
+    )
+}
+
+#[test]
+fn trajectory_mean_tracks_the_density_matrix_on_a_qaoa_layer() {
+    let backend = Backend::ibmq_guadalupe();
+    let sim = NoisySimulator::new(&backend);
+    let layout = [0, 1, 2, 3];
+    let qc = noisy_qaoa_like(4);
+    let obs = zz_chain(4);
+    let rho: DensityMatrix = sim.simulate(&qc, &layout).unwrap();
+    let exact = SimBackend::expectation(&rho, &obs);
+    let program = sim.trajectory_program(&qc, &layout).unwrap();
+    let (mean, stderr) = TrajectoryEngine::new(4096, 29).expectation_with_error(&program, &obs);
+    assert!(stderr > 0.0);
+    assert!(
+        (mean - exact).abs() < 4.0 * stderr.max(1e-3),
+        "mean {mean} vs exact {exact} (stderr {stderr})"
+    );
+}
+
+#[test]
+fn trajectory_ensembles_are_schedule_independent() {
+    // The engine may fan trajectories out over worker threads; every
+    // per-trajectory value must equal the sequential loop's, bit for
+    // bit, and reductions must be reproducible run to run.
+    let backend = Backend::ibmq_guadalupe();
+    let sim = NoisySimulator::new(&backend);
+    let layout = [0, 1, 2, 3];
+    let qc = noisy_qaoa_like(4);
+    let obs = zz_chain(4);
+    let program = sim.trajectory_program(&qc, &layout).unwrap();
+    let engine = TrajectoryEngine::new(128, 31);
+    let parallel = engine.expectations(&program, &obs);
+    let sequential: Vec<f64> = (0..128)
+        .map(|i| {
+            program
+                .run_trajectory(engine.trajectory_seed(i))
+                .expectation(&obs)
+        })
+        .collect();
+    for (a, b) in parallel.iter().zip(sequential.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(
+        engine.expectation(&program, &obs).to_bits(),
+        engine.expectation(&program, &obs).to_bits()
+    );
+    assert_eq!(
+        engine.sample_counts(&program),
+        engine.sample_counts(&program)
+    );
+}

@@ -57,6 +57,25 @@ pub enum JobSpec {
         /// The observable, width equal to the circuit.
         observable: PauliSum,
     },
+    /// Noisy sampled counts via stochastic statevector trajectories —
+    /// one `O(2^n)` trajectory (and one measurement shot, with
+    /// shot-level readout confusion) per shot instead of one `O(4^n)`
+    /// density-matrix run. The route to noisy sampling at widths the
+    /// density matrix cannot reach.
+    TrajectoryCounts {
+        /// Number of shots (= trajectories).
+        shots: usize,
+    },
+    /// Noisy expectation estimated as the mean of stochastic
+    /// statevector trajectories; converges to the [`JobSpec::Expectation`]
+    /// value at the Monte-Carlo rate, and the result carries its
+    /// standard error.
+    TrajectoryExpectation {
+        /// The observable, width equal to the circuit.
+        observable: PauliSum,
+        /// Ensemble size.
+        trajectories: usize,
+    },
 }
 
 /// One unit of work submitted to the service.
@@ -114,6 +133,17 @@ pub enum JobOutput {
     Expectation {
         /// `<observable>` on the noisy final state.
         value: f64,
+    },
+    /// Trajectory-sampled measurement outcomes, logical qubit order.
+    TrajectoryCounts(Counts),
+    /// The trajectory estimate of an expectation value.
+    TrajectoryExpectation {
+        /// Ensemble mean of `<observable>` over the trajectories.
+        value: f64,
+        /// Standard error of the mean (`sigma / sqrt(N)`).
+        std_error: f64,
+        /// Ensemble size the estimate was computed from.
+        trajectories: usize,
     },
 }
 

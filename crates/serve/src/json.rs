@@ -837,6 +837,18 @@ impl JsonCodec for JobSpec {
                 ("kind", Value::Str("expectation".into())),
                 ("observable", observable.to_json()),
             ]),
+            JobSpec::TrajectoryCounts { shots } => obj(vec![
+                ("kind", Value::Str("trajectory_counts".into())),
+                ("shots", Value::from_usize(*shots)),
+            ]),
+            JobSpec::TrajectoryExpectation {
+                observable,
+                trajectories,
+            } => obj(vec![
+                ("kind", Value::Str("trajectory_expectation".into())),
+                ("observable", observable.to_json()),
+                ("trajectories", Value::from_usize(*trajectories)),
+            ]),
         }
     }
 
@@ -849,6 +861,13 @@ impl JsonCodec for JobSpec {
             }),
             "expectation" => Ok(JobSpec::Expectation {
                 observable: PauliSum::from_json(value.get("observable")?)?,
+            }),
+            "trajectory_counts" => Ok(JobSpec::TrajectoryCounts {
+                shots: value.get("shots")?.as_usize()?,
+            }),
+            "trajectory_expectation" => Ok(JobSpec::TrajectoryExpectation {
+                observable: PauliSum::from_json(value.get("observable")?)?,
+                trajectories: value.get("trajectories")?.as_usize()?,
             }),
             other => Err(format!("unknown job kind {other:?}")),
         }
@@ -901,6 +920,20 @@ impl JsonCodec for JobOutput {
                 ("kind", Value::Str("expectation".into())),
                 ("value", Value::from_f64(*value)),
             ]),
+            JobOutput::TrajectoryCounts(counts) => obj(vec![
+                ("kind", Value::Str("trajectory_counts".into())),
+                ("counts", counts.to_json()),
+            ]),
+            JobOutput::TrajectoryExpectation {
+                value,
+                std_error,
+                trajectories,
+            } => obj(vec![
+                ("kind", Value::Str("trajectory_expectation".into())),
+                ("value", Value::from_f64(*value)),
+                ("std_error", Value::from_f64(*std_error)),
+                ("trajectories", Value::from_usize(*trajectories)),
+            ]),
         }
     }
 
@@ -916,6 +949,14 @@ impl JsonCodec for JobOutput {
             "counts" => Ok(JobOutput::Counts(Counts::from_json(value.get("counts")?)?)),
             "expectation" => Ok(JobOutput::Expectation {
                 value: value.get("value")?.as_f64()?,
+            }),
+            "trajectory_counts" => Ok(JobOutput::TrajectoryCounts(Counts::from_json(
+                value.get("counts")?,
+            )?)),
+            "trajectory_expectation" => Ok(JobOutput::TrajectoryExpectation {
+                value: value.get("value")?.as_f64()?,
+                std_error: value.get("std_error")?.as_f64()?,
+                trajectories: value.get("trajectories")?.as_usize()?,
             }),
             other => Err(format!("unknown output kind {other:?}")),
         }

@@ -9,7 +9,11 @@
 //!
 //! - [`job`]: serde-annotated, JSON-serializable [`JobRequest`] /
 //!   [`JobResult`] types covering statevector, density-matrix,
-//!   sampled-counts, and expectation-value workloads,
+//!   sampled-counts, and expectation-value workloads, plus the
+//!   stochastic-trajectory pair [`JobSpec::TrajectoryCounts`] /
+//!   [`JobSpec::TrajectoryExpectation`] — noisy results at `O(2^n)`
+//!   statevector cost per shot, the only serve path that reaches
+//!   12-20+ qubit noisy workloads,
 //! - [`cache`]: a structural-hash LRU [`ProgramCache`] of compiled
 //!   programs — transpilation happens once per circuit *shape*
 //!   ([`hgp_circuit::Circuit::structural_key`]), parameter binding at

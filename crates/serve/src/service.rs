@@ -203,12 +203,25 @@ impl<'a> Service<'a> {
                 "request {index}: expected {} parameter(s)",
                 request.circuit.n_params()
             );
-            if let JobSpec::Expectation { observable } = &request.spec {
-                assert_eq!(
-                    observable.n_qubits(),
-                    request.circuit.n_qubits(),
-                    "request {index}: observable width must match the circuit"
-                );
+            match &request.spec {
+                JobSpec::Expectation { observable }
+                | JobSpec::TrajectoryExpectation { observable, .. } => {
+                    assert_eq!(
+                        observable.n_qubits(),
+                        request.circuit.n_qubits(),
+                        "request {index}: observable width must match the circuit"
+                    );
+                }
+                _ => {}
+            }
+            match &request.spec {
+                JobSpec::TrajectoryCounts { shots: 0 } => {
+                    panic!("request {index}: trajectory sampling needs at least one shot")
+                }
+                JobSpec::TrajectoryExpectation {
+                    trajectories: 0, ..
+                } => panic!("request {index}: trajectory estimation needs at least one trajectory"),
+                _ => {}
             }
         }
 
@@ -397,6 +410,33 @@ fn execute_job(
             let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
             JobOutput::Expectation {
                 value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
+            }
+        }
+        JobSpec::TrajectoryCounts { shots } => {
+            let program = compiled.bind(&job.params);
+            // The executor reuses the noise model cached with the
+            // compiled shape; trajectory i draws its randomness from
+            // stream position (job seed, i).
+            let counts = compiled
+                .executor(backend)
+                .sample_trajectories(&program, *shots, job.seed);
+            JobOutput::TrajectoryCounts(compiled.decode_counts(&counts))
+        }
+        JobSpec::TrajectoryExpectation {
+            observable,
+            trajectories,
+        } => {
+            let program = compiled.bind(&job.params);
+            let (value, std_error) = compiled.executor(backend).expectation_trajectories(
+                &program,
+                &compiled.wire_observable(observable),
+                *trajectories,
+                job.seed,
+            );
+            JobOutput::TrajectoryExpectation {
+                value,
+                std_error,
+                trajectories: *trajectories,
             }
         }
     };

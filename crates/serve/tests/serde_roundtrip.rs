@@ -103,11 +103,18 @@ fn random_observable(rng: &mut StdRng, n: usize) -> PauliSum {
 }
 
 fn random_spec(rng: &mut StdRng, n: usize) -> JobSpec {
-    match rng.gen_range(0u32..4) {
+    match rng.gen_range(0u32..6) {
         0 => JobSpec::StateVector,
         1 => JobSpec::DensityMatrix,
         2 => JobSpec::Counts {
             shots: rng.gen_range(1usize..100_000),
+        },
+        3 => JobSpec::TrajectoryCounts {
+            shots: rng.gen_range(1usize..100_000),
+        },
+        4 => JobSpec::TrajectoryExpectation {
+            observable: random_observable(rng, n),
+            trajectories: rng.gen_range(1usize..10_000),
         },
         _ => JobSpec::Expectation {
             observable: random_observable(rng, n),
@@ -132,7 +139,7 @@ fn random_request(rng: &mut StdRng) -> JobRequest {
 
 fn random_output(rng: &mut StdRng) -> JobOutput {
     let n = rng.gen_range(1usize..4);
-    match rng.gen_range(0u32..4) {
+    match rng.gen_range(0u32..6) {
         0 => JobOutput::StateVector {
             probabilities: (0..1 << n).map(|_| rng.gen_range(0.0..1.0)).collect(),
         },
@@ -141,6 +148,12 @@ fn random_output(rng: &mut StdRng) -> JobOutput {
             purity: rng.gen_range(0.0..1.0),
         },
         2 => JobOutput::Counts(random_counts(rng)),
+        3 => JobOutput::TrajectoryCounts(random_counts(rng)),
+        4 => JobOutput::TrajectoryExpectation {
+            value: rng.gen_range(-100.0..100.0),
+            std_error: rng.gen_range(0.0..1.0),
+            trajectories: rng.gen_range(1usize..10_000),
+        },
         _ => JobOutput::Expectation {
             value: rng.gen_range(-100.0..100.0),
         },

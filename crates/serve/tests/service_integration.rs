@@ -88,6 +88,136 @@ fn served_counts_are_bit_identical_to_sequential_executor_runs() {
 }
 
 #[test]
+fn served_trajectory_jobs_are_bit_identical_to_sequential_executor_runs() {
+    // The trajectory job kinds run through the same admission/seed
+    // contract: a served TrajectoryCounts/TrajectoryExpectation job is
+    // bit-identical to hand-driving the executor's trajectory mode with
+    // the job's derived seed.
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task1_three_regular_6();
+    let circuit = qaoa_circuit(&graph, 1);
+    let observable = cost_hamiltonian(&graph);
+    let layout = vec![0, 1, 2, 3, 4, 5];
+    let points = qaoa_points(4);
+    let shots = 128;
+    let base_seed = 7;
+
+    // Sequential reference.
+    let compiler = CircuitCompiler::new(&backend, layout.clone());
+    let compiled = compiler.compile(&circuit).unwrap();
+    let exec = compiled.executor(&backend);
+    let reference: Vec<(Counts, (f64, f64))> = points
+        .iter()
+        .enumerate()
+        .map(|(i, params)| {
+            let program = compiled.bind(params);
+            // Interleaved submission below: counts jobs take even
+            // stream positions, expectation jobs odd ones.
+            let counts_seed = stream_seed(base_seed, 2 * i as u64);
+            let expect_seed = stream_seed(base_seed, 2 * i as u64 + 1);
+            let counts =
+                compiled.decode_counts(&exec.sample_trajectories(&program, shots, counts_seed));
+            let estimate = exec.expectation_trajectories(
+                &program,
+                &compiled.wire_observable(&observable),
+                shots,
+                expect_seed,
+            );
+            (counts, estimate)
+        })
+        .collect();
+
+    let mut service = Service::new(
+        &backend,
+        ServeConfig::new(layout)
+            .with_workers(4)
+            .with_base_seed(base_seed),
+    );
+    let mut requests = Vec::new();
+    for x in &points {
+        requests.push(JobRequest::new(
+            circuit.clone(),
+            x.clone(),
+            JobSpec::TrajectoryCounts { shots },
+        ));
+        requests.push(JobRequest::new(
+            circuit.clone(),
+            x.clone(),
+            JobSpec::TrajectoryExpectation {
+                observable: observable.clone(),
+                trajectories: shots,
+            },
+        ));
+    }
+    let results = service.run_batch(requests);
+    assert_eq!(results.len(), 2 * points.len());
+    for (i, (expected_counts, (expected_value, expected_err))) in reference.iter().enumerate() {
+        match &results[2 * i].output {
+            JobOutput::TrajectoryCounts(counts) => assert_eq!(counts, expected_counts),
+            other => panic!("expected trajectory counts, got {other:?}"),
+        }
+        match &results[2 * i + 1].output {
+            JobOutput::TrajectoryExpectation {
+                value,
+                std_error,
+                trajectories,
+            } => {
+                assert_eq!(value.to_bits(), expected_value.to_bits());
+                assert_eq!(std_error.to_bits(), expected_err.to_bits());
+                assert_eq!(*trajectories, shots);
+            }
+            other => panic!("expected trajectory expectation, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trajectory_expectation_converges_to_the_density_matrix_job() {
+    // Same circuit, same observable: the trajectory estimate agrees
+    // with the exact density-matrix expectation within a few standard
+    // errors.
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task1_three_regular_6();
+    let circuit = qaoa_circuit(&graph, 1);
+    let observable = cost_hamiltonian(&graph);
+    let params = vec![0.35, 0.25];
+    let mut service = Service::new(&backend, ServeConfig::new(vec![0, 1, 2, 3, 4, 5]));
+    let results = service.run_batch(vec![
+        JobRequest::new(
+            circuit.clone(),
+            params.clone(),
+            JobSpec::Expectation {
+                observable: observable.clone(),
+            },
+        ),
+        JobRequest::new(
+            circuit,
+            params,
+            JobSpec::TrajectoryExpectation {
+                observable,
+                trajectories: 2048,
+            },
+        ),
+    ]);
+    let exact = match &results[0].output {
+        JobOutput::Expectation { value } => *value,
+        other => panic!("expected expectation, got {other:?}"),
+    };
+    match &results[1].output {
+        JobOutput::TrajectoryExpectation {
+            value, std_error, ..
+        } => {
+            assert!(*std_error > 0.0);
+            assert!(
+                (value - exact).abs() < 5.0 * std_error.max(1e-3),
+                "trajectory {value} vs exact {exact} (stderr {std_error})"
+            );
+        }
+        other => panic!("expected trajectory expectation, got {other:?}"),
+    }
+}
+
+#[test]
 fn results_are_invariant_under_worker_count_and_batch_split() {
     let backend = Backend::ibmq_guadalupe();
     let graph = instances::task2_random_6();

@@ -15,6 +15,12 @@
 //! stride-based dense 1q/2q kernels, and rayon-parallel amplitude
 //! chunking above [`kernels::PAR_QUBIT_THRESHOLD`] qubits.
 //!
+//! A third execution mode lives in [`trajectory`]: noisy simulation as
+//! an ensemble of stochastic *pure-state* trajectories
+//! ([`TrajectoryEngine`] over a [`TrajectoryProgram`]), `O(2^n)` per
+//! instruction per trajectory instead of the density matrix's `O(4^n)`,
+//! with deterministic per-trajectory seeds ([`seed::stream_seed`]).
+//!
 //! Measurement statistics come out as [`Counts`] — multisets of observed
 //! bitstrings — which downstream crates feed to error mitigation and cost
 //! aggregation.
@@ -39,8 +45,10 @@ pub mod density;
 pub mod kernels;
 pub mod seed;
 pub mod statevector;
+pub mod trajectory;
 
 pub use backend::SimBackend;
 pub use counts::Counts;
 pub use density::DensityMatrix;
 pub use statevector::StateVector;
+pub use trajectory::{ChannelOp, TrajectoryEngine, TrajectoryOp, TrajectoryProgram};

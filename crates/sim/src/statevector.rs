@@ -189,6 +189,72 @@ impl StateVector {
         kernels::apply_dense_1q(&mut self.amps, target, op);
     }
 
+    /// The squared norm `||K psi||^2` the state would have after applying
+    /// the (not necessarily unitary) operator `op` to `targets`, without
+    /// modifying the state.
+    ///
+    /// This is the branch weight the quantum-trajectory sampler uses to
+    /// pick a Kraus branch: for a CPTP channel `{K_k}` the weights
+    /// `||K_k psi||^2` sum to 1 on a normalized state.
+    ///
+    /// `targets[0]` is the most-significant bit of the operator's index,
+    /// matching [`StateVector::apply_operator`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or out-of-range/duplicate targets.
+    pub fn branch_weight(&self, op: &Matrix, targets: &[usize]) -> f64 {
+        let k = targets.len();
+        assert_eq!(op.rows(), 1 << k, "operator dimension mismatch");
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < self.n_qubits, "target out of range");
+            assert!(!targets[..i].contains(&t), "targets must differ");
+        }
+        let masks: Vec<usize> = targets.iter().map(|&t| 1usize << t).collect();
+        let all_mask: usize = masks.iter().sum();
+        let block = 1usize << k;
+        let mut idx = vec![0usize; block];
+        let mut total = 0.0;
+        for base in 0..self.amps.len() {
+            if base & all_mask != 0 {
+                continue;
+            }
+            // Block indices: bits of `r` map MSB-first onto targets.
+            for (r, slot) in idx.iter_mut().enumerate() {
+                let mut i = base;
+                for (pos, &m) in masks.iter().enumerate() {
+                    if (r >> (k - 1 - pos)) & 1 == 1 {
+                        i |= m;
+                    }
+                }
+                *slot = i;
+            }
+            for r in 0..block {
+                let mut acc = Complex64::ZERO;
+                for (c, &ci) in idx.iter().enumerate() {
+                    acc = op[(r, c)].mul_add(self.amps[ci], acc);
+                }
+                total += acc.norm_sqr();
+            }
+        }
+        total
+    }
+
+    /// Rescales the amplitudes to unit norm (used after applying a
+    /// non-unitary Kraus branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is (numerically) the zero vector.
+    pub fn renormalize(&mut self) {
+        let norm = self.norm_sqr().sqrt();
+        assert!(norm > 1e-300, "cannot renormalize a zero state");
+        let inv = 1.0 / norm;
+        for a in &mut self.amps {
+            *a = a.scale(inv);
+        }
+    }
+
     /// Probability of observing basis state `b`.
     #[inline]
     pub fn probability(&self, b: usize) -> f64 {

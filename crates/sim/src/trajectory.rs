@@ -1,0 +1,726 @@
+//! Stochastic quantum-trajectory execution.
+//!
+//! The density-matrix engine pays `O(4^n)` per instruction, capping
+//! noisy simulation at ~13 qubits. Quantum trajectories (Monte-Carlo
+//! wave functions) unravel the same master equation into an ensemble of
+//! *pure* states: each trajectory draws one Kraus branch per channel —
+//! branch `k` with probability `||K_k psi||^2` — and renormalizes, so a
+//! single trajectory costs `O(2^n)` per instruction and the ensemble
+//! mean of any observable converges to the density-matrix value. 256
+//! trajectories of a 12-qubit circuit are far cheaper than one
+//! density-matrix run, and they are embarrassingly parallel.
+//!
+//! The module separates three concerns:
+//!
+//! - [`ChannelOp`]: one noise channel in both of its applications — the
+//!   exact Kraus set (`rho -> sum_k K_k rho K_k†`, used by
+//!   [`TrajectoryProgram::apply_exact`]) and the sampling strategy
+//!   (state-independent branch draws for mixed-unitary channels like
+//!   depolarizing; state-dependent branch weights for general channels
+//!   like amplitude damping),
+//! - [`TrajectoryProgram`]: a bound, layout-resolved instruction stream
+//!   of gates, fixed unitaries, and channels — the cacheable artifact a
+//!   noise-aware compiler produces once per (shape, noise model),
+//! - [`TrajectoryEngine`]: runs `N` trajectories with per-trajectory
+//!   seeds derived via [`crate::seed::stream_seed`], so **any parallel
+//!   schedule is bit-identical to the sequential loop** — trajectory
+//!   `i`'s entire randomness is a pure function of `(base_seed, i)`.
+//!
+//! # Example
+//!
+//! ```
+//! use hgp_math::{c64, Matrix};
+//! use hgp_sim::trajectory::{ChannelOp, TrajectoryEngine, TrajectoryProgram};
+//! use hgp_sim::{DensityMatrix, SimBackend};
+//! use hgp_circuit::Gate;
+//! use hgp_math::pauli::{Pauli, PauliString, PauliSum};
+//!
+//! // H, then an 80% dephasing channel on the same qubit.
+//! let kraus = vec![
+//!     Matrix::identity(2).scale(c64(0.2f64.sqrt(), 0.0)),
+//!     hgp_math::pauli::sigma_z().scale(c64(0.8f64.sqrt(), 0.0)),
+//! ];
+//! let mut program = TrajectoryProgram::new(1);
+//! program.push_gate(Gate::H, &[0]);
+//! program.push_channel(ChannelOp::general(kraus), &[0]);
+//!
+//! let x = PauliSum::from_terms(vec![PauliString::new(1, vec![(0, Pauli::X)], 1.0)]);
+//! // Exact (density-matrix) reference ...
+//! let mut rho = DensityMatrix::init(1);
+//! program.apply_exact(&mut rho);
+//! let exact = SimBackend::expectation(&rho, &x);
+//! // ... and the trajectory ensemble converge to the same value.
+//! let mean = TrajectoryEngine::new(4096, 7).expectation(&program, &x);
+//! assert!((mean - exact).abs() < 0.05);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use hgp_circuit::Gate;
+use hgp_math::pauli::PauliSum;
+use hgp_math::{Complex64, Matrix};
+
+use crate::backend::SimBackend;
+use crate::counts::Counts;
+use crate::seed::stream_seed;
+use crate::statevector::StateVector;
+
+/// `true` when `m` is exactly the identity (bitwise `1.0`/`0.0`
+/// entries, as the standard channel constructors produce).
+fn is_exact_identity(m: &Matrix) -> bool {
+    let n = m.rows();
+    if m.cols() != n {
+        return false;
+    }
+    for r in 0..n {
+        for c in 0..n {
+            let want = if r == c {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
+            let got = m[(r, c)];
+            if got.re != want.re || got.im != want.im {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// State-independent sampling data of a mixed-unitary channel.
+#[derive(Debug, Clone)]
+struct MixedUnitary {
+    /// Branch probabilities (sum to 1).
+    probs: Vec<f64>,
+    /// Unit-norm branch unitaries.
+    unitaries: Vec<Matrix>,
+    /// Branches whose unitary is exactly the identity (skipped — the
+    /// dominant case for weak depolarizing noise, where almost every
+    /// draw is a no-op).
+    identity: Vec<bool>,
+}
+
+/// One noise channel, carrying both its exact and its sampled
+/// application. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ChannelOp {
+    /// The CPTP Kraus set (`sum_k K_k† K_k = I`) — the exact
+    /// density-matrix semantics.
+    kraus: Vec<Matrix>,
+    /// Present for mixed-unitary channels: branch draws do not need the
+    /// state.
+    mixed: Option<MixedUnitary>,
+}
+
+impl ChannelOp {
+    /// A general channel: trajectory branches are drawn with the
+    /// state-dependent weights `||K_k psi||^2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kraus` is empty or the operators are not square and
+    /// equally sized.
+    pub fn general(kraus: Vec<Matrix>) -> Self {
+        assert!(!kraus.is_empty(), "channel needs at least one operator");
+        let dim = kraus[0].rows();
+        assert!(dim.is_power_of_two() && dim >= 2, "operator dimension");
+        for k in &kraus {
+            assert!(
+                k.rows() == dim && k.cols() == dim,
+                "Kraus operators must share one square dimension"
+            );
+        }
+        Self { kraus, mixed: None }
+    }
+
+    /// A mixed-unitary channel (`rho -> sum_k p_k U_k rho U_k†`):
+    /// trajectory branches are drawn with the fixed probabilities
+    /// `probs`, which is both cheaper (no weight sweep) and exact —
+    /// Pauli and depolarizing channels are of this form.
+    ///
+    /// `kraus` is the exact set (`sqrt(p_k) U_k`, in whatever
+    /// construction the caller's exact path is pinned to);
+    /// `probs`/`unitaries` are the sampling view of the same channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree, `probs` has negative entries or does
+    /// not sum to 1 within `1e-9`, or `kraus` fails the
+    /// [`ChannelOp::general`] checks.
+    pub fn mixed_unitary(kraus: Vec<Matrix>, probs: Vec<f64>, unitaries: Vec<Matrix>) -> Self {
+        let base = Self::general(kraus);
+        assert_eq!(probs.len(), unitaries.len(), "one probability per branch");
+        assert!(!probs.is_empty(), "channel needs at least one branch");
+        let sum: f64 = probs.iter().sum();
+        assert!(
+            probs.iter().all(|&p| p >= 0.0) && (sum - 1.0).abs() < 1e-9,
+            "branch probabilities must form a distribution (sum {sum})"
+        );
+        let identity = unitaries.iter().map(is_exact_identity).collect();
+        Self {
+            mixed: Some(MixedUnitary {
+                probs,
+                unitaries,
+                identity,
+            }),
+            ..base
+        }
+    }
+
+    /// The exact Kraus operators.
+    pub fn kraus(&self) -> &[Matrix] {
+        &self.kraus
+    }
+
+    /// Number of qubits the channel acts on.
+    pub fn n_qubits(&self) -> usize {
+        self.kraus[0].rows().trailing_zeros() as usize
+    }
+
+    /// Whether branch draws are state-independent (mixed unitary).
+    pub fn is_mixed_unitary(&self) -> bool {
+        self.mixed.is_some()
+    }
+
+    /// Draws one branch and applies it to the pure state, renormalizing
+    /// where the branch is non-unitary. Consumes exactly one RNG draw
+    /// regardless of the branch taken, so downstream draws stay aligned
+    /// across trajectories.
+    pub fn apply_sampled<R: Rng + ?Sized>(
+        &self,
+        psi: &mut StateVector,
+        targets: &[usize],
+        rng: &mut R,
+    ) {
+        if let Some(mix) = &self.mixed {
+            let r: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut pick = mix.probs.len() - 1;
+            for (k, &p) in mix.probs.iter().enumerate() {
+                acc += p;
+                if r < acc {
+                    pick = k;
+                    break;
+                }
+            }
+            if !mix.identity[pick] {
+                psi.apply_operator(&mix.unitaries[pick], targets);
+            }
+            return;
+        }
+        // State-dependent branch weights w_k = ||K_k psi||^2; CPTP
+        // guarantees they sum to 1 on a normalized state.
+        let weights: Vec<f64> = self
+            .kraus
+            .iter()
+            .map(|k| psi.branch_weight(k, targets))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 1e-12, "channel annihilated the state");
+        let r: f64 = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
+        let mut pick = weights.len() - 1;
+        for (k, &w) in weights.iter().enumerate() {
+            acc += w;
+            if r < acc {
+                pick = k;
+                break;
+            }
+        }
+        psi.apply_operator(&self.kraus[pick], targets);
+        psi.renormalize();
+    }
+}
+
+/// One instruction of a [`TrajectoryProgram`].
+#[derive(Debug, Clone)]
+pub enum TrajectoryOp {
+    /// A bound gate, dispatched through the fused kernels.
+    Gate {
+        /// The gate (parameters bound).
+        gate: Gate,
+        /// Logical operands.
+        qubits: Vec<usize>,
+    },
+    /// A fixed unitary (pulse-backed gate physics, frame drift, ...).
+    Unitary {
+        /// The `2^k x 2^k` unitary.
+        matrix: Matrix,
+        /// Targets, `targets[0]` = most-significant operator bit.
+        targets: Vec<usize>,
+    },
+    /// A noise channel.
+    Channel {
+        /// The channel in both applications.
+        channel: ChannelOp,
+        /// Targets, `targets[0]` = most-significant operator bit.
+        targets: Vec<usize>,
+    },
+}
+
+/// A bound noisy instruction stream: the compiled artifact trajectories
+/// replay. Built once per (circuit shape, noise model, binding); each
+/// trajectory is then a single pass over `ops`.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryProgram {
+    n_qubits: usize,
+    ops: Vec<TrajectoryOp>,
+}
+
+impl TrajectoryProgram {
+    /// An empty program over `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(n_qubits > 0, "program needs at least one qubit");
+        Self {
+            n_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The instruction stream.
+    pub fn ops(&self) -> &[TrajectoryOp] {
+        &self.ops
+    }
+
+    /// Number of noise channels in the stream.
+    pub fn n_channels(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TrajectoryOp::Channel { .. }))
+            .count()
+    }
+
+    /// Appends a bound gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate has unbound parameters or operands are out of
+    /// range.
+    pub fn push_gate(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        assert!(
+            gate.matrix().is_some(),
+            "trajectory programs take bound gates only"
+        );
+        for &q in qubits {
+            assert!(q < self.n_qubits, "operand out of range");
+        }
+        self.ops.push(TrajectoryOp::Gate {
+            gate,
+            qubits: qubits.to_vec(),
+        });
+        self
+    }
+
+    /// Appends a fixed unitary.
+    pub fn push_unitary(&mut self, matrix: Matrix, targets: &[usize]) -> &mut Self {
+        assert_eq!(matrix.rows(), 1 << targets.len(), "dimension mismatch");
+        for &q in targets {
+            assert!(q < self.n_qubits, "target out of range");
+        }
+        self.ops.push(TrajectoryOp::Unitary {
+            matrix,
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Appends a noise channel.
+    pub fn push_channel(&mut self, channel: ChannelOp, targets: &[usize]) -> &mut Self {
+        assert_eq!(channel.n_qubits(), targets.len(), "channel arity mismatch");
+        for &q in targets {
+            assert!(q < self.n_qubits, "target out of range");
+        }
+        self.ops.push(TrajectoryOp::Channel {
+            channel,
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Runs one trajectory from `|0...0>` with an explicit RNG (the RNG
+    /// is also what a caller continues using for measurement draws, so
+    /// a trajectory's full randomness stays a function of its seed).
+    pub fn run_with_rng<R: Rng + ?Sized>(&self, rng: &mut R) -> StateVector {
+        let mut psi = StateVector::zero_state(self.n_qubits);
+        for op in &self.ops {
+            match op {
+                TrajectoryOp::Gate { gate, qubits } => {
+                    psi.apply_gate(gate, qubits)
+                        .expect("trajectory programs are bound");
+                }
+                TrajectoryOp::Unitary { matrix, targets } => {
+                    psi.apply_operator(matrix, targets);
+                }
+                TrajectoryOp::Channel { channel, targets } => {
+                    channel.apply_sampled(&mut psi, targets, rng);
+                }
+            }
+        }
+        psi
+    }
+
+    /// Runs one seeded trajectory from `|0...0>`.
+    pub fn run_trajectory(&self, seed: u64) -> StateVector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.run_with_rng(&mut rng)
+    }
+
+    /// Applies the program *exactly* to any engine: gates through the
+    /// fused dispatch, unitaries as unitaries, channels as their full
+    /// Kraus sets. On [`crate::DensityMatrix`] this is the reference
+    /// semantics trajectories converge to; engines without channel
+    /// support panic on genuine (multi-operator) channels.
+    pub fn apply_exact<B: SimBackend>(&self, state: &mut B) {
+        assert_eq!(state.n_qubits(), self.n_qubits, "width mismatch");
+        for op in &self.ops {
+            match op {
+                TrajectoryOp::Gate { gate, qubits } => {
+                    state
+                        .apply_gate(gate, qubits)
+                        .expect("trajectory programs are bound");
+                }
+                TrajectoryOp::Unitary { matrix, targets } => {
+                    state.apply_unitary(matrix, targets);
+                }
+                TrajectoryOp::Channel { channel, targets } => {
+                    state.apply_kraus(channel.kraus(), targets);
+                }
+            }
+        }
+    }
+}
+
+/// Runs ensembles of stochastic trajectories with deterministic
+/// per-trajectory seeds. See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectoryEngine {
+    n_trajectories: usize,
+    base_seed: u64,
+}
+
+impl TrajectoryEngine {
+    /// An engine running `n_trajectories` trajectories rooted at
+    /// `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trajectories` is zero.
+    pub fn new(n_trajectories: usize, base_seed: u64) -> Self {
+        assert!(n_trajectories > 0, "need at least one trajectory");
+        Self {
+            n_trajectories,
+            base_seed,
+        }
+    }
+
+    /// Ensemble size.
+    pub fn n_trajectories(&self) -> usize {
+        self.n_trajectories
+    }
+
+    /// The seed stream's base.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The seed of trajectory `index` — a pure function of
+    /// `(base_seed, index)`, which is what makes every schedule
+    /// bit-identical to the sequential loop.
+    ///
+    /// The base is finalized through a SplitMix64 mixer *before* the
+    /// stream derivation: ensembles rooted at nearby bases (consecutive
+    /// serve job ids, say) would otherwise share almost all of their
+    /// trajectory seeds — `base + i` and `(base + 1) + (i - 1)` collide
+    /// — and their aggregated statistics would be spuriously identical.
+    pub fn trajectory_seed(&self, index: usize) -> u64 {
+        stream_seed(mix64(self.base_seed), index as u64)
+    }
+
+    /// Per-trajectory expectation values, in trajectory order.
+    pub fn expectations(&self, program: &TrajectoryProgram, observable: &PauliSum) -> Vec<f64> {
+        (0..self.n_trajectories)
+            .into_par_iter()
+            .map(|i| {
+                program
+                    .run_trajectory(self.trajectory_seed(i))
+                    .expectation(observable)
+            })
+            .collect()
+    }
+
+    /// Ensemble-mean expectation (the trajectory estimate of the
+    /// density-matrix value). Summed in trajectory order, so the result
+    /// is bit-identical however the trajectories were scheduled.
+    pub fn expectation(&self, program: &TrajectoryProgram, observable: &PauliSum) -> f64 {
+        let values = self.expectations(program, observable);
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    /// Ensemble mean plus its standard error
+    /// (`sigma / sqrt(N)`, the Monte-Carlo convergence scale).
+    pub fn expectation_with_error(
+        &self,
+        program: &TrajectoryProgram,
+        observable: &PauliSum,
+    ) -> (f64, f64) {
+        let values = self.expectations(program, observable);
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        if values.len() < 2 {
+            return (mean, 0.0);
+        }
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+        (mean, (var / n).sqrt())
+    }
+
+    /// One computational-basis measurement shot per trajectory
+    /// (`n_trajectories` shots total), drawn with the trajectory's own
+    /// RNG.
+    pub fn sample_counts(&self, program: &TrajectoryProgram) -> Counts {
+        self.sample_counts_with(program, |bits, _| bits)
+    }
+
+    /// [`TrajectoryEngine::sample_counts`] with a post-measurement hook
+    /// `corrupt(bits, rng) -> bits` applied to every shot with the
+    /// trajectory's RNG — how shot-level readout confusion enters
+    /// without this crate knowing about readout models.
+    pub fn sample_counts_with<F>(&self, program: &TrajectoryProgram, corrupt: F) -> Counts
+    where
+        F: Fn(usize, &mut StdRng) -> usize + Sync,
+    {
+        let outcomes: Vec<usize> = (0..self.n_trajectories)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(self.trajectory_seed(i));
+                let psi = program.run_with_rng(&mut rng);
+                let bits = draw_outcome(&psi, &mut rng);
+                corrupt(bits, &mut rng)
+            })
+            .collect();
+        let mut counts = Counts::new(program.n_qubits());
+        for bits in outcomes {
+            counts.record(bits, 1);
+        }
+        counts
+    }
+}
+
+/// The SplitMix64 finalizer: a bijective avalanche mixer separating
+/// nearby ensemble bases into unrelated seed streams.
+fn mix64(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws one basis state from `|psi|^2` (renormalized against the tiny
+/// drift repeated branch renormalizations accumulate).
+fn draw_outcome<R: Rng + ?Sized>(psi: &StateVector, rng: &mut R) -> usize {
+    let target = rng.gen::<f64>() * psi.norm_sqr();
+    let mut acc = 0.0;
+    for (b, a) in psi.amplitudes().iter().enumerate() {
+        acc += a.norm_sqr();
+        if target < acc {
+            return b;
+        }
+    }
+    psi.amplitudes().len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DensityMatrix;
+    use hgp_math::c64;
+    use hgp_math::pauli::{sigma_x, sigma_y, sigma_z, Pauli, PauliString, PauliSum};
+
+    fn z(n: usize, q: usize) -> PauliSum {
+        PauliSum::from_terms(vec![PauliString::new(n, vec![(q, Pauli::Z)], 1.0)])
+    }
+
+    fn depolarizing_op(p: f64) -> ChannelOp {
+        let kraus = vec![
+            Matrix::identity(2).scale(c64((1.0 - 3.0 * p / 4.0).sqrt(), 0.0)),
+            sigma_x().scale(c64((p / 4.0).sqrt(), 0.0)),
+            sigma_y().scale(c64((p / 4.0).sqrt(), 0.0)),
+            sigma_z().scale(c64((p / 4.0).sqrt(), 0.0)),
+        ];
+        let unitaries = vec![Matrix::identity(2), sigma_x(), sigma_y(), sigma_z()];
+        let probs = vec![1.0 - 3.0 * p / 4.0, p / 4.0, p / 4.0, p / 4.0];
+        ChannelOp::mixed_unitary(kraus, probs, unitaries)
+    }
+
+    fn amplitude_damping_op(gamma: f64) -> ChannelOp {
+        let k0 = Matrix::from_rows(&[
+            &[c64(1.0, 0.0), c64(0.0, 0.0)],
+            &[c64(0.0, 0.0), c64((1.0 - gamma).sqrt(), 0.0)],
+        ]);
+        let k1 = Matrix::from_rows(&[
+            &[c64(0.0, 0.0), c64(gamma.sqrt(), 0.0)],
+            &[c64(0.0, 0.0), c64(0.0, 0.0)],
+        ]);
+        ChannelOp::general(vec![k0, k1])
+    }
+
+    #[test]
+    fn branch_weight_matches_direct_norm() {
+        let mut psi = StateVector::zero_state(3);
+        psi.apply_gate(&Gate::H, &[0]).unwrap();
+        psi.apply_gate(&Gate::CX, &[0, 2]).unwrap();
+        let k = sigma_x().scale(c64(0.3f64.sqrt(), 0.0));
+        let w = psi.branch_weight(&k, &[2]);
+        let mut applied = psi.clone();
+        applied.apply_operator(&k, &[2]);
+        assert!((w - applied.norm_sqr()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mixed_unitary_skips_identity_branches() {
+        let op = depolarizing_op(0.0);
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Gate::H, &[0]).unwrap();
+        let before = psi.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            op.apply_sampled(&mut psi, &[0], &mut rng);
+        }
+        assert_eq!(psi, before, "p = 0 channel must be a bitwise no-op");
+    }
+
+    #[test]
+    fn full_depolarizing_trajectories_mix_the_state() {
+        // p = 1 on |0>: ensemble Z expectation approaches 0.
+        let mut program = TrajectoryProgram::new(1);
+        program.push_channel(depolarizing_op(1.0), &[0]);
+        let mean = TrajectoryEngine::new(8192, 5).expectation(&program, &z(1, 0));
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn amplitude_damping_trajectories_converge_to_exact() {
+        // H then AD(0.35): state-dependent branches.
+        let gamma = 0.35;
+        let mut program = TrajectoryProgram::new(1);
+        program.push_gate(Gate::H, &[0]);
+        program.push_channel(amplitude_damping_op(gamma), &[0]);
+        let mut rho = DensityMatrix::init(1);
+        program.apply_exact(&mut rho);
+        let exact = SimBackend::expectation(&rho, &z(1, 0));
+        let engine = TrajectoryEngine::new(8192, 11);
+        let (mean, stderr) = engine.expectation_with_error(&program, &z(1, 0));
+        assert!(
+            (mean - exact).abs() < 4.0 * stderr.max(1e-3),
+            "mean {mean} vs exact {exact} (stderr {stderr})"
+        );
+    }
+
+    #[test]
+    fn exact_application_matches_manual_density_evolution() {
+        let mut program = TrajectoryProgram::new(2);
+        program.push_gate(Gate::H, &[0]);
+        program.push_gate(Gate::CX, &[0, 1]);
+        program.push_channel(amplitude_damping_op(0.2), &[1]);
+        let mut by_program = DensityMatrix::init(2);
+        program.apply_exact(&mut by_program);
+        let mut manual = DensityMatrix::zero_state(2);
+        manual.apply_gate(&Gate::H, &[0]).unwrap();
+        manual.apply_gate(&Gate::CX, &[0, 1]).unwrap();
+        manual.apply_kraus(amplitude_damping_op(0.2).kraus(), &[1]);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((by_program.get(i, j) - manual.get(i, j)).norm() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ensemble_is_bit_identical_to_sequential() {
+        let mut program = TrajectoryProgram::new(2);
+        program.push_gate(Gate::H, &[0]);
+        program.push_channel(depolarizing_op(0.3), &[0]);
+        program.push_gate(Gate::CX, &[0, 1]);
+        program.push_channel(amplitude_damping_op(0.15), &[1]);
+        let engine = TrajectoryEngine::new(64, 42);
+        let obs = z(2, 1);
+        // The engine (which may fan out over rayon workers) ...
+        let by_engine = engine.expectations(&program, &obs);
+        // ... against an explicit sequential loop over the same seeds.
+        let sequential: Vec<f64> = (0..64)
+            .map(|i| {
+                program
+                    .run_trajectory(engine.trajectory_seed(i))
+                    .expectation(&obs)
+            })
+            .collect();
+        assert_eq!(by_engine.len(), sequential.len());
+        for (a, b) in by_engine.iter().zip(sequential.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the scalar reductions are reproducible.
+        assert_eq!(
+            engine.expectation(&program, &obs).to_bits(),
+            engine.expectation(&program, &obs).to_bits()
+        );
+        assert_eq!(
+            engine.sample_counts(&program),
+            engine.sample_counts(&program)
+        );
+    }
+
+    #[test]
+    fn nearby_bases_give_disjoint_seed_ensembles() {
+        // Consecutive serve jobs get consecutive base seeds; their
+        // trajectory ensembles must not overlap.
+        let a = TrajectoryEngine::new(256, 5);
+        let b = TrajectoryEngine::new(256, 6);
+        let seeds_a: std::collections::BTreeSet<u64> =
+            (0..256).map(|i| a.trajectory_seed(i)).collect();
+        let seeds_b: std::collections::BTreeSet<u64> =
+            (0..256).map(|i| b.trajectory_seed(i)).collect();
+        assert_eq!(seeds_a.len(), 256);
+        assert_eq!(seeds_a.intersection(&seeds_b).count(), 0);
+    }
+
+    #[test]
+    fn counts_respect_the_sampled_distribution() {
+        // Bell pair, no noise: half 00, half 11, nothing else.
+        let mut program = TrajectoryProgram::new(2);
+        program.push_gate(Gate::H, &[0]);
+        program.push_gate(Gate::CX, &[0, 1]);
+        let counts = TrajectoryEngine::new(4096, 3).sample_counts(&program);
+        assert_eq!(counts.total(), 4096);
+        assert_eq!(counts.count(0b01), 0);
+        assert_eq!(counts.count(0b10), 0);
+        assert!((counts.frequency(0b00) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn corrupt_hook_sees_every_shot() {
+        let program = TrajectoryProgram::new(1);
+        let counts = TrajectoryEngine::new(100, 9).sample_counts_with(&program, |bits, _| bits ^ 1);
+        assert_eq!(counts.count(1), 100, "every |0> shot flipped to 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn unbound_gate_is_rejected() {
+        let mut program = TrajectoryProgram::new(1);
+        program.push_gate(
+            Gate::Rx(hgp_circuit::Param::Free {
+                id: hgp_circuit::ParamId(0),
+                scale: 1.0,
+                offset: 0.0,
+            }),
+            &[0],
+        );
+    }
+}
