@@ -6,6 +6,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use hgp_math::fnv::Fnv1a;
 use hgp_math::Matrix;
 
 use crate::gate::Gate;
@@ -406,48 +407,21 @@ impl Circuit {
     /// should therefore submit the parametrized circuit plus a binding,
     /// not pre-bound circuits.
     pub fn structural_key(&self) -> u64 {
-        /// FNV-1a 64-bit accumulator.
-        struct Fnv(u64);
-        impl Fnv {
-            fn new() -> Self {
-                Fnv(0xCBF2_9CE4_8422_2325)
-            }
-            fn byte(&mut self, b: u8) {
-                self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            fn u64(&mut self, v: u64) {
-                for b in v.to_le_bytes() {
-                    self.byte(b);
+        fn param(h: &mut Fnv1a, p: &Param) {
+            match *p {
+                Param::Bound(v) => {
+                    h.byte(0);
+                    h.f64(v);
                 }
-            }
-            fn usize(&mut self, v: usize) {
-                self.u64(v as u64);
-            }
-            fn f64(&mut self, v: f64) {
-                self.u64(v.to_bits());
-            }
-            fn str(&mut self, s: &str) {
-                self.usize(s.len());
-                for b in s.bytes() {
-                    self.byte(b);
-                }
-            }
-            fn param(&mut self, p: &Param) {
-                match *p {
-                    Param::Bound(v) => {
-                        self.byte(0);
-                        self.f64(v);
-                    }
-                    Param::Free { id, scale, offset } => {
-                        self.byte(1);
-                        self.usize(id.0);
-                        self.f64(scale);
-                        self.f64(offset);
-                    }
+                Param::Free { id, scale, offset } => {
+                    h.byte(1);
+                    h.usize(id.0);
+                    h.f64(scale);
+                    h.f64(offset);
                 }
             }
         }
-        let mut h = Fnv::new();
+        let mut h = Fnv1a::new();
         h.usize(self.n_qubits);
         h.usize(self.n_params);
         h.usize(self.instructions.len());
@@ -457,7 +431,7 @@ impl Circuit {
                     h.byte(0);
                     h.str(gate.name());
                     for p in gate.params() {
-                        h.param(&p);
+                        param(&mut h, &p);
                     }
                     h.usize(qubits.len());
                     for &q in qubits {
@@ -478,7 +452,7 @@ impl Circuit {
                 }
             }
         }
-        h.0
+        h.finish()
     }
 
     /// Returns a copy with every qubit index `q` replaced by `layout[q]`.

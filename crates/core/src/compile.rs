@@ -1,22 +1,45 @@
-//! The compile/execute split: transpile once per circuit *shape*, bind
+//! The compile/execute split: transpile once per program *shape*, bind
 //! parameters at dispatch.
 //!
 //! The paper's workloads — and any production QAOA service — evaluate
-//! one circuit shape at thousands of parameter points. Hand-driving
+//! one program shape at thousands of parameter points. Hand-driving
 //! [`Executor`] repeats the expensive shape work (cancellation, SABRE
 //! placement, routing) on every call even though only the bound angles
-//! change. This module factors that work into a cacheable artifact:
+//! change. This module factors that work into cacheable artifacts, one
+//! per program family:
 //!
-//! - [`CircuitCompiler`] runs the shape work once, producing
-//! - [`CompiledCircuit`], which binds a parameter vector into an
-//!   executable [`Program`] in `O(gates)` and knows how to decode
-//!   measured wire statistics back to logical qubits.
+//! - [`CircuitCompiler::compile`] runs the circuit shape work once,
+//!   producing a [`CompiledCircuit`], which binds a parameter vector
+//!   into an executable [`Program`] in `O(gates)` and knows how to
+//!   decode measured wire statistics back to logical qubits;
+//! - [`CircuitCompiler::compile_hybrid`] does the same for hybrid
+//!   gate-pulse QAOA shapes ([`HybridShape`]: graph, depth, mixer
+//!   duration, pass options), producing a [`CompiledProgram`] — the
+//!   paper's central abstraction as a served artifact. The shape step
+//!   routes every Hamiltonian layer with chained layouts, resolves the
+//!   per-wire mixer pulse calibration (Rabi rate, amplitude
+//!   miscalibration, frame offset, envelope area), and builds the
+//!   layout's noise model; [`CompiledProgram::bind`] then substitutes
+//!   QAOA angles and per-qubit pulse trims per dispatch, integrating
+//!   each mixer drive pulse from the cached calibration —
+//!   bit-identical to [`crate::models::HybridModel::build`], which
+//!   delegates here.
 //!
-//! The compiled artifact is keyed by [`Circuit::structural_key`], which
-//! is what `hgp_serve`'s compiled-program cache indexes on.
+//! Compiled artifacts are keyed by [`Circuit::structural_key`] /
+//! [`HybridShape::structural_key`] (hybrid keys fold in a leading
+//! domain tag, keeping them apart from the untagged circuit encoding),
+//! which is what `hgp_serve`'s compiled-program cache indexes on.
+//! Both artifacts carry their layout's `Arc<NoiseModel>`, so noisy
+//! dispatches — exact density walks or `O(2^n)`-per-shot stochastic
+//! trajectories — never rebuild channel parameters.
+//!
+//! Everything reachable from request-derived data returns typed errors
+//! rather than panicking: a malformed shape (empty graph, invalid mixer
+//! duration, disconnected region) must fail its job, never a serving
+//! worker.
 //!
 //! ```
-//! use hgp_core::compile::CircuitCompiler;
+//! use hgp_core::compile::{CircuitCompiler, HybridShape};
 //! use hgp_core::qaoa::qaoa_circuit;
 //! use hgp_device::Backend;
 //! use hgp_graph::instances;
@@ -28,21 +51,35 @@
 //! // Binding is cheap; do it once per parameter point.
 //! let program = compiled.bind(&[0.35, 0.25]);
 //! assert!(program.count_gates() > 0);
+//!
+//! // The hybrid analogue: gate Hamiltonian layers + native mixer
+//! // pulses, compiled once, bound per point.
+//! let shape = HybridShape::new(graph, 1);
+//! let hybrid = compiler.compile_hybrid(&shape).expect("compiles");
+//! let program = hybrid.bind(&vec![0.0; hybrid.n_params()]);
+//! assert!(program.count_pulse_blocks() > 0);
 //! ```
 
 use std::sync::Arc;
 
 use hgp_circuit::Circuit;
 use hgp_device::Backend;
+use hgp_graph::Graph;
 use hgp_math::pauli::{PauliString, PauliSum};
 use hgp_noise::NoiseModel;
+use hgp_pulse::propagator::drive_propagator;
+use hgp_pulse::Waveform;
 use hgp_sim::Counts;
 use hgp_transpile::sabre::choose_initial_layout;
 use hgp_transpile::Layout;
 
 use crate::executor::Executor;
-use crate::models::{region_coupling, route_in_region, GateModelOptions};
-use crate::program::Program;
+use crate::models::{
+    route_in_region, try_region_coupling, GateModelOptions, FREQ_SHIFT_HW_BOUND,
+    FREQ_TRIM_AUTHORITY_RAD, MIXER_AMP_BOUND, PHASE_TRIM_BOUND,
+};
+use crate::program::{BlockKind, Program};
+use crate::qaoa::append_hamiltonian_layer;
 
 /// Compiles logical circuits into a fixed physical region, once per
 /// shape.
@@ -104,12 +141,10 @@ impl<'a> CircuitCompiler<'a> {
     ///
     /// # Errors
     ///
-    /// Returns an error if the circuit is wider than the region.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the first `n` region qubits induce a disconnected
-    /// subgraph (routing inside it would deadlock).
+    /// Returns an error — never panics — if the circuit is wider than
+    /// the region or its first `n` region qubits induce a disconnected
+    /// subgraph (routing inside it would deadlock): a request-derived
+    /// circuit must fail its job, not the serving thread.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit, String> {
         let n = circuit.n_qubits();
         if n > self.region.len() {
@@ -123,7 +158,7 @@ impl<'a> CircuitCompiler<'a> {
         // Entry placement + the shared shape pipeline (cancellation,
         // routing, cancellation) — the exact sequence `GateModel` runs,
         // so compiled shapes stay in lockstep with model-built circuits.
-        let sub = region_coupling(self.backend, &region);
+        let sub = try_region_coupling(self.backend, &region)?;
         let entry = if self.options.sabre_iterations > 0 {
             choose_initial_layout(circuit, &sub, self.options.sabre_iterations)
         } else {
@@ -142,6 +177,95 @@ impl<'a> CircuitCompiler<'a> {
             circuit: wire_circuit,
             final_layout,
             n_swaps,
+            n_logical: n,
+            noise,
+        })
+    }
+
+    /// Runs the hybrid shape work — per-layer Hamiltonian routing,
+    /// mixer pulse-block calibration, noise-model construction — once
+    /// per [`HybridShape`], producing a [`CompiledProgram`] whose
+    /// [`CompiledProgram::bind`] substitutes QAOA angles and pulse trims
+    /// in `O(gates + qubits)` per dispatch.
+    ///
+    /// The shape carries its own [`GateModelOptions`] (they are part of
+    /// its structural identity), so this compiler's
+    /// [`CircuitCompiler::with_options`] setting is ignored here.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error — never panics — on any malformed
+    /// request-derived shape: an empty or oversized graph, zero layers,
+    /// an invalid mixer duration, or a region whose first `n` qubits
+    /// induce a disconnected subgraph.
+    pub fn compile_hybrid(&self, shape: &HybridShape) -> Result<CompiledProgram, String> {
+        shape.validate()?;
+        let n = shape.graph().n_nodes();
+        if n > self.region.len() {
+            return Err(format!(
+                "hybrid program has {n} qubits but the region only {}",
+                self.region.len()
+            ));
+        }
+        let region: Vec<usize> = self.region[..n].to_vec();
+        let options = shape.options();
+        let sub = try_region_coupling(self.backend, &region)?;
+        // Entry placement from a Hamiltonian-layer probe, then per-layer
+        // routing with chained layouts — the exact sequence
+        // `HybridModel` has always run, so compiled shapes stay in
+        // lockstep with model-built programs (bit-for-bit).
+        let mut current = if options.sabre_iterations > 0 {
+            let mut probe = Circuit::new(n);
+            let gamma = probe.add_param();
+            append_hamiltonian_layer(&mut probe, shape.graph(), gamma);
+            choose_initial_layout(&probe, &sub, options.sabre_iterations)
+        } else {
+            Layout::trivial(n, n)
+        };
+        let mut layers = Vec::with_capacity(shape.p());
+        for layer in 0..shape.p() {
+            let mut qc = Circuit::new(n);
+            let gamma = qc.add_param();
+            if layer == 0 {
+                // The initial |+> wall belongs to the first layer's gate
+                // part (state preparation stays at the gate level).
+                for q in 0..n {
+                    qc.h(q);
+                }
+            }
+            append_hamiltonian_layer(&mut qc, shape.graph(), gamma);
+            let (circuit, out_layout, _n_swaps) =
+                route_in_region(&qc, self.backend, &region, &current, &options)?;
+            let wires = (0..n).map(|l| out_layout.physical(l)).collect();
+            layers.push(CompiledPulseLayer { circuit, wires });
+            current = out_layout;
+        }
+        // Mixer pulse-block calibration, resolved once per shape (the
+        // same per-qubit Rabi calibration `PulseLibrary` applies to the
+        // backend's own gate pulses): binding only has to scale the
+        // commanded angle by the cached rate and integrate the envelope.
+        let wire_drive = region
+            .iter()
+            .map(|&p| {
+                let qp = self.backend.qubit(p);
+                DriveCalibration {
+                    strength: qp.drive_strength,
+                    amp_error: qp.amp_error,
+                    freq_offset: qp.freq_offset,
+                }
+            })
+            .collect();
+        let mixer_waveform = Waveform::gaussian(shape.mixer_duration_dt());
+        let noise = Arc::new(NoiseModel::from_backend(self.backend, &region));
+        Ok(CompiledProgram {
+            key: shape.structural_key(),
+            shape: shape.clone(),
+            region,
+            layers,
+            final_layout: current,
+            mixer_area: mixer_waveform.area(),
+            mixer_waveform,
+            wire_drive,
             n_logical: n,
             noise,
         })
@@ -284,9 +408,397 @@ impl CompiledCircuit {
     }
 }
 
+/// The compile-time identity of a hybrid gate-pulse QAOA program: the
+/// problem graph, the QAOA depth, the mixer pulse duration, and the
+/// gate-level pass configuration.
+///
+/// A shape is to [`CompiledProgram`] what a parametrized [`Circuit`] is
+/// to [`CompiledCircuit`]: the cacheable unit. Every parameter binding
+/// (QAOA angles plus per-qubit pulse trims) of one shape shares one
+/// compiled artifact, keyed by [`HybridShape::structural_key`].
+///
+/// Construction never validates (shapes cross the serve wire, where
+/// malformed values must fail a *job*); [`CircuitCompiler::compile_hybrid`]
+/// returns typed errors for invalid shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridShape {
+    graph: Graph,
+    p: usize,
+    mixer_duration_dt: u32,
+    options: GateModelOptions,
+}
+
+impl HybridShape {
+    /// A hybrid shape with the raw 320 dt mixer duration and raw
+    /// (unoptimized) gate passes.
+    pub fn new(graph: Graph, p: usize) -> Self {
+        Self {
+            graph,
+            p,
+            mixer_duration_dt: 320,
+            options: GateModelOptions::raw(),
+        }
+    }
+
+    /// Overrides the mixer pulse duration (Step I's knob). Validity
+    /// (positive multiple of 32 dt) is checked at compile time.
+    pub fn with_mixer_duration(mut self, duration_dt: u32) -> Self {
+        self.mixer_duration_dt = duration_dt;
+        self
+    }
+
+    /// Overrides the gate-level pass configuration.
+    pub fn with_options(mut self, options: GateModelOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The problem instance.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// QAOA depth.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Mixer pulse duration, `dt`.
+    pub fn mixer_duration_dt(&self) -> u32 {
+        self.mixer_duration_dt
+    }
+
+    /// The gate-level pass configuration.
+    pub fn options(&self) -> GateModelOptions {
+        self.options
+    }
+
+    /// Number of logical qubits (= graph nodes).
+    pub fn n_qubits(&self) -> usize {
+        self.graph.n_nodes()
+    }
+
+    /// Parameters per QAOA layer: `gamma`, the shared mixer angle
+    /// `theta`, and `(phase, freq)` per qubit.
+    pub fn params_per_layer(&self) -> usize {
+        2usize.saturating_add(self.n_qubits().saturating_mul(2))
+    }
+
+    /// Total trainable parameters a binding must supply.
+    ///
+    /// Saturating: a wire-decoded shape with an absurd depth must
+    /// produce a huge-but-honest count for the validation layer to
+    /// reject, never wrap around to a small one (which would let the
+    /// request past validation and into an unbounded compile loop).
+    pub fn n_params(&self) -> usize {
+        self.p.saturating_mul(self.params_per_layer())
+    }
+
+    /// Indices of the core (algorithmic) parameters — per layer, `gamma`
+    /// and the shared mixer angle `theta` — for the two-stage
+    /// coarse-gate / fine-pulse-trim training protocol.
+    pub fn coarse_param_ids(&self) -> Vec<usize> {
+        let per_layer = self.params_per_layer();
+        (0..self.p)
+            .flat_map(|l| [l * per_layer, l * per_layer + 1])
+            .collect()
+    }
+
+    /// The largest QAOA depth a served shape may declare. Far above any
+    /// workload this simulator can evaluate, but small enough that a
+    /// wire-supplied depth can never turn the per-layer compile loop
+    /// into a denial of service.
+    pub const MAX_P: usize = 64;
+    /// The largest graph a served shape may declare (the `O(4^n)` exact
+    /// walk is already out of reach well below this).
+    pub const MAX_QUBITS: usize = 28;
+    /// The longest mixer pulse a served shape may declare, `dt`
+    /// (binding integrates one SU(2) step per dt per qubit per layer).
+    pub const MAX_MIXER_DURATION_DT: u32 = 1 << 16;
+
+    /// Structural sanity of the shape itself (backend-independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty or oversized graph, a zero or
+    /// absurd layer count, or a mixer duration that is not a positive
+    /// multiple of 32 dt within [`HybridShape::MAX_MIXER_DURATION_DT`].
+    /// Every bound exists so that request-derived shapes are rejected
+    /// with a typed error *before* any superlinear compile work runs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.graph.n_nodes() == 0 {
+            return Err("hybrid shape needs at least one qubit".to_string());
+        }
+        if self.graph.n_nodes() > Self::MAX_QUBITS {
+            return Err(format!(
+                "hybrid shape has {} qubits (max {})",
+                self.graph.n_nodes(),
+                Self::MAX_QUBITS
+            ));
+        }
+        if self.p == 0 {
+            return Err("hybrid shape needs at least one QAOA layer".to_string());
+        }
+        if self.p > Self::MAX_P {
+            return Err(format!(
+                "hybrid shape has {} QAOA layers (max {})",
+                self.p,
+                Self::MAX_P
+            ));
+        }
+        if self.mixer_duration_dt == 0
+            || !self.mixer_duration_dt.is_multiple_of(32)
+            || self.mixer_duration_dt > Self::MAX_MIXER_DURATION_DT
+        {
+            return Err(format!(
+                "mixer duration must be a positive multiple of 32 dt at most {} (got {})",
+                Self::MAX_MIXER_DURATION_DT,
+                self.mixer_duration_dt
+            ));
+        }
+        Ok(())
+    }
+
+    /// A canonical FNV-1a hash of the shape — the compiled-program
+    /// cache key, playing [`Circuit::structural_key`]'s role for hybrid
+    /// jobs. Distinct graphs, depths, durations, or pass configurations
+    /// hash distinctly; a leading domain tag keeps hybrid keys apart
+    /// from the untagged circuit-key encoding.
+    pub fn structural_key(&self) -> u64 {
+        let mut h = hgp_math::fnv::Fnv1a::new();
+        h.byte(b'H');
+        h.usize(self.graph.n_nodes());
+        h.usize(self.graph.n_edges());
+        for e in self.graph.edges() {
+            h.usize(e.u);
+            h.usize(e.v);
+            h.f64(e.weight);
+        }
+        h.usize(self.p);
+        h.u64(u64::from(self.mixer_duration_dt));
+        h.byte(u8::from(self.options.cancellation));
+        h.usize(self.options.sabre_iterations);
+        h.finish()
+    }
+}
+
+/// One QAOA layer of a compiled hybrid shape: the routed
+/// Hamiltonian-layer circuit (one free `gamma`) and the region wire each
+/// logical qubit sits on when the mixer pulses play.
+#[derive(Debug, Clone)]
+struct CompiledPulseLayer {
+    circuit: Circuit,
+    wires: Vec<usize>,
+}
+
+/// Per-wire drive calibration, copied from the backend at compile time
+/// so binding never touches the device tables.
+#[derive(Debug, Clone, Copy)]
+struct DriveCalibration {
+    strength: f64,
+    amp_error: f64,
+    freq_offset: f64,
+}
+
+/// A hybrid gate-pulse shape after compilation: Hamiltonian layers
+/// routed onto region wires (still parametrized over `gamma`), mixer
+/// pulse calibration resolved per wire, noise model built — ready for
+/// per-dispatch binding.
+///
+/// [`CompiledProgram::bind`] substitutes a full parameter vector
+/// (`[gamma, theta, phase_0, f_0, ...]` per layer, the
+/// [`crate::models::HybridModel`] layout) into an executable hybrid
+/// [`Program`]: gate layers bind `gamma` in `O(gates)`; each mixer
+/// pulse block integrates its drive propagator from the cached
+/// calibration. The result is bit-identical to
+/// [`crate::models::HybridModel::build`] — the model delegates to this
+/// artifact — so served hybrid jobs replay model-driven runs exactly.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    key: u64,
+    shape: HybridShape,
+    region: Vec<usize>,
+    layers: Vec<CompiledPulseLayer>,
+    final_layout: Layout,
+    mixer_area: f64,
+    mixer_waveform: Waveform,
+    wire_drive: Vec<DriveCalibration>,
+    n_logical: usize,
+    /// The wire layout's noise parameters, built once at compile time
+    /// and shared with every executor of this shape.
+    noise: Arc<NoiseModel>,
+}
+
+impl CompiledProgram {
+    /// The source shape's [`HybridShape::structural_key`] — the cache
+    /// key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The shape this program was compiled from.
+    pub fn shape(&self) -> &HybridShape {
+        &self.shape
+    }
+
+    /// Number of logical qubits (equals the wire count).
+    pub fn n_qubits(&self) -> usize {
+        self.n_logical
+    }
+
+    /// Number of parameters a dispatch must bind.
+    pub fn n_params(&self) -> usize {
+        self.shape.n_params()
+    }
+
+    /// Physical qubit of each wire.
+    pub fn region(&self) -> &[usize] {
+        &self.region
+    }
+
+    /// Mixer pulse duration, `dt`.
+    pub fn mixer_duration_dt(&self) -> u32 {
+        self.shape.mixer_duration_dt()
+    }
+
+    /// The mixer pulse envelope at the compiled duration.
+    pub fn mixer_waveform(&self) -> Waveform {
+        self.mixer_waveform
+    }
+
+    /// The drive amplitude that reproduces `RX(theta)` at the compiled
+    /// mixer duration on region wire `wire` (initialization helper).
+    pub fn amp_for_angle(&self, wire: usize, theta: f64) -> f64 {
+        theta / (self.wire_drive[wire].strength * self.mixer_area)
+    }
+
+    /// Rebuilds this artifact at a different mixer duration (Step I's
+    /// binary search). Routing is duration-independent and reused; only
+    /// the mixer waveform, its cached area, and the cache key change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_dt` is not a positive multiple of 32 dt.
+    pub fn with_mixer_duration(mut self, duration_dt: u32) -> Self {
+        assert!(
+            duration_dt > 0 && duration_dt.is_multiple_of(32),
+            "mixer duration must be a positive multiple of 32 dt"
+        );
+        self.shape = self.shape.clone().with_mixer_duration(duration_dt);
+        self.mixer_waveform = Waveform::gaussian(duration_dt);
+        self.mixer_area = self.mixer_waveform.area();
+        self.key = self.shape.structural_key();
+        self
+    }
+
+    /// Binds a parameter vector (`[gamma, theta, phase_0, f_0, ...]` per
+    /// layer) into an executable hybrid program over region wires — the
+    /// per-dispatch step.
+    ///
+    /// Gate layers execute with `gamma` bound; each qubit's mixer pulse
+    /// is integrated from the commanded shared angle `theta` (clamped to
+    /// the hardware amplitude bound) with its per-qubit phase and
+    /// frequency trims, through the *true* pulse physics: calibration
+    /// error and frame offset act on the pulse exactly as on gate-level
+    /// pulses, but here the trims can cancel them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.n_params()`.
+    pub fn bind(&self, params: &[f64]) -> Program {
+        assert_eq!(params.len(), self.n_params(), "parameter count");
+        let mut program = Program::new(self.region.len());
+        let per_layer = self.shape.params_per_layer();
+        let duration = self.shape.mixer_duration_dt();
+        for (layer_idx, layer) in self.layers.iter().enumerate() {
+            let chunk = &params[layer_idx * per_layer..(layer_idx + 1) * per_layer];
+            let gamma = chunk[0];
+            let theta = chunk[1];
+            let bound = layer.circuit.bind(&[gamma]);
+            program.append(&Program::from_circuit(&bound).expect("bound layer"));
+            let freq_bound =
+                (FREQ_TRIM_AUTHORITY_RAD / f64::from(duration)).min(FREQ_SHIFT_HW_BOUND);
+            for l in 0..self.n_logical {
+                let phase = chunk[2 + 2 * l].clamp(-PHASE_TRIM_BOUND, PHASE_TRIM_BOUND);
+                // The raw parameter is a *fraction* of the allowed trim,
+                // so the same physical pulse has the same parameter value
+                // at every duration (Step I changes durations
+                // mid-pipeline).
+                let freq_param = (2.0 * chunk[2 + 2 * l + 1]).clamp(-1.0, 1.0) * freq_bound;
+                let wire = layer.wires[l];
+                let cal = self.wire_drive[wire];
+                let amp_cmd = self
+                    .amp_for_angle(wire, theta)
+                    .clamp(-MIXER_AMP_BOUND, MIXER_AMP_BOUND);
+                let unitary = drive_propagator(
+                    &self.mixer_waveform,
+                    amp_cmd * (1.0 + cal.amp_error),
+                    phase,
+                    freq_param + cal.freq_offset,
+                    cal.strength,
+                );
+                program.push_pulse_block(&[wire], unitary, duration, BlockKind::Drive);
+            }
+        }
+        program
+    }
+
+    /// The compiled shape's cached noise model (wire layout order).
+    pub fn noise_model(&self) -> &Arc<NoiseModel> {
+        &self.noise
+    }
+
+    /// An executor over this compiled program's wire layout, reusing the
+    /// noise model cached at compile time. `backend` must be the one the
+    /// shape was compiled against.
+    pub fn executor<'b>(&self, backend: &'b Backend) -> Executor<'b> {
+        Executor::with_noise_model(backend, self.region.clone(), Arc::clone(&self.noise))
+    }
+
+    /// The wire hosting logical qubit `l` when measurement happens
+    /// (after routing's final permutation).
+    pub fn exit_wire(&self, l: usize) -> usize {
+        self.final_layout.physical(l)
+    }
+
+    /// Maps measured wire counts back to logical-qubit counts.
+    pub fn decode_counts(&self, counts: &Counts) -> Counts {
+        let map: Vec<usize> = (0..self.n_logical).map(|l| self.exit_wire(l)).collect();
+        counts.remapped(&map, self.n_logical)
+    }
+
+    /// Rewrites an observable over logical qubits into wire indices, so
+    /// it can be evaluated directly on the executed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observable width disagrees with the program.
+    pub fn wire_observable(&self, observable: &PauliSum) -> PauliSum {
+        assert_eq!(
+            observable.n_qubits(),
+            self.n_logical,
+            "observable width must match the program"
+        );
+        let terms = observable
+            .terms()
+            .iter()
+            .map(|t| {
+                let factors = t
+                    .factors()
+                    .iter()
+                    .map(|&(q, p)| (self.exit_wire(q), p))
+                    .collect();
+                PauliString::new(self.n_logical, factors, t.coeff())
+            })
+            .collect();
+        PauliSum::from_terms(terms)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::models::VqaModel;
     use crate::qaoa::{cost_hamiltonian, qaoa_circuit};
     use hgp_graph::instances;
     use hgp_sim::{SimBackend, StateVector};
@@ -370,5 +882,156 @@ mod tests {
         let compiler = CircuitCompiler::new(&backend, vec![0, 1, 2]);
         let wide = qaoa_circuit(&instances::task1_three_regular_6(), 1);
         assert!(compiler.compile(&wide).is_err());
+    }
+
+    #[test]
+    fn disconnected_region_prefix_is_a_circuit_compile_error() {
+        // Guadalupe does not couple (0, 15): a 2-qubit circuit routed
+        // into that prefix must fail with a typed error, not panic the
+        // (serving) thread that compiles it.
+        let backend = Backend::ibmq_guadalupe();
+        let compiler = CircuitCompiler::new(&backend, vec![0, 15, 1]);
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        let err = compiler.compile(&qc).unwrap_err();
+        assert!(err.contains("disconnected"), "{err}");
+        // The full region is fine for a 3-qubit circuit (0-1 couple and
+        // 1 bridges to nothing here, so expect the same typed error,
+        // never a panic).
+        let mut wide = Circuit::new(3);
+        wide.h(0);
+        assert!(compiler.compile(&wide).is_err());
+    }
+
+    #[test]
+    fn absurd_shape_bounds_are_rejected_before_compile_work() {
+        let graph = instances::task1_three_regular_6();
+        // A wire-supplied depth far past the bound must fail validation
+        // (and n_params must saturate rather than wrap to a small value
+        // that would sneak the request past parameter-count checks).
+        let absurd = HybridShape::new(graph.clone(), usize::MAX / 8);
+        assert!(absurd.n_params() >= usize::MAX / 8);
+        let err = absurd.validate().unwrap_err();
+        assert!(err.contains("layers"), "{err}");
+        assert!(HybridShape::new(graph.clone(), HybridShape::MAX_P + 1)
+            .validate()
+            .is_err());
+        assert!(HybridShape::new(graph.clone(), HybridShape::MAX_P)
+            .validate()
+            .is_ok());
+        // Oversized graphs and absurd durations are equally typed.
+        let wide = Graph::new(HybridShape::MAX_QUBITS + 1);
+        assert!(HybridShape::new(wide, 1).validate().is_err());
+        assert!(HybridShape::new(graph, 1)
+            .with_mixer_duration(HybridShape::MAX_MIXER_DURATION_DT + 32)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn hybrid_shape_key_is_stable_and_discriminating() {
+        let graph = instances::task1_three_regular_6();
+        let base = HybridShape::new(graph.clone(), 1);
+        assert_eq!(
+            base.structural_key(),
+            HybridShape::new(graph.clone(), 1).structural_key()
+        );
+        // Depth, duration, options, and graph all participate.
+        assert_ne!(
+            base.structural_key(),
+            HybridShape::new(graph.clone(), 2).structural_key()
+        );
+        assert_ne!(
+            base.structural_key(),
+            base.clone().with_mixer_duration(128).structural_key()
+        );
+        assert_ne!(
+            base.structural_key(),
+            base.clone()
+                .with_options(GateModelOptions::optimized())
+                .structural_key()
+        );
+        assert_ne!(
+            base.structural_key(),
+            HybridShape::new(instances::task2_random_6(), 1).structural_key()
+        );
+    }
+
+    #[test]
+    fn compiled_program_bind_is_bit_identical_to_the_hybrid_model() {
+        // The serve path (compile_hybrid + bind) and the model path
+        // (HybridModel::build) must produce literally the same program:
+        // every gate binding and every pulse-block unitary bit for bit.
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let region = vec![1, 2, 3, 4, 5, 7];
+        let model = crate::models::HybridModel::with_options(
+            &backend,
+            &graph,
+            2,
+            region.clone(),
+            GateModelOptions::optimized(),
+        )
+        .unwrap();
+        let shape = HybridShape::new(graph, 2).with_options(GateModelOptions::optimized());
+        let compiled = CircuitCompiler::new(&backend, region)
+            .compile_hybrid(&shape)
+            .unwrap();
+        assert_eq!(compiled.n_params(), model.n_params());
+        let mut params = model.initial_params();
+        // Perturb the trims so the pulse path is exercised non-trivially.
+        for (i, p) in params.iter_mut().enumerate() {
+            *p += 0.01 * (i as f64 + 1.0);
+        }
+        let a = model.build(&params);
+        let b = compiled.bind(&params);
+        assert_eq!(a.structural_key(), b.structural_key());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compiled_program_duration_change_rekeys_without_rerouting() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let shape = HybridShape::new(graph, 1);
+        let compiled = CircuitCompiler::new(&backend, vec![1, 2, 3, 4, 5, 7])
+            .compile_hybrid(&shape)
+            .unwrap();
+        let shorter = compiled.clone().with_mixer_duration(128);
+        assert_ne!(compiled.key(), shorter.key());
+        assert_eq!(
+            shorter.key(),
+            shape.with_mixer_duration(128).structural_key()
+        );
+        assert_eq!(shorter.mixer_duration_dt(), 128);
+        let program = shorter.bind(&vec![0.0; shorter.n_params()]);
+        assert_eq!(program.pulse_duration_dt(), 6 * 128);
+    }
+
+    #[test]
+    fn malformed_hybrid_shapes_are_typed_errors() {
+        let backend = Backend::ibmq_guadalupe();
+        let compiler = CircuitCompiler::new(&backend, vec![0, 1, 2, 3, 4, 5]);
+        let graph = instances::task1_three_regular_6();
+        // Invalid mixer duration (not a multiple of 32).
+        let err = compiler
+            .compile_hybrid(&HybridShape::new(graph.clone(), 1).with_mixer_duration(100))
+            .unwrap_err();
+        assert!(err.contains("multiple of 32"), "{err}");
+        // Zero layers.
+        assert!(compiler
+            .compile_hybrid(&HybridShape::new(graph.clone(), 0))
+            .is_err());
+        // Wider than the region.
+        let wide = hgp_graph::generators::random_regular(8, 3, 1);
+        assert!(compiler.compile_hybrid(&HybridShape::new(wide, 1)).is_err());
+        // Disconnected region prefix: guadalupe qubits 0 and 15 share no
+        // coupler, so a 2-node graph on region [0, 15] cannot route.
+        let pair = Graph::from_edges(2, &[(0, 1)]);
+        let disconnected = CircuitCompiler::new(&backend, vec![0, 15]);
+        let err = disconnected
+            .compile_hybrid(&HybridShape::new(pair, 1))
+            .unwrap_err();
+        assert!(err.contains("disconnected"), "{err}");
     }
 }

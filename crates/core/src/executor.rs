@@ -621,6 +621,63 @@ mod tests {
     }
 
     #[test]
+    fn trajectory_program_replays_pulse_blocks_exactly() {
+        // The hybrid path of the walker: pulse blocks enter the recorded
+        // schedule as unitary ops with their duration-scaled noise
+        // channels, and apply_exact reproduces run() bit for bit.
+        let backend = Backend::ibmq_toronto();
+        let graph = hgp_graph::instances::task1_three_regular_6();
+        let region = vec![1, 2, 3, 4, 5, 7];
+        let model = crate::models::HybridModel::new(&backend, &graph, 1, region).unwrap();
+        let mut params = crate::models::VqaModel::initial_params(&model);
+        for (i, p) in params.iter_mut().enumerate() {
+            *p += 0.02 * (i as f64 + 1.0);
+        }
+        let program = crate::models::VqaModel::build(&model, &params);
+        assert!(program.count_pulse_blocks() > 0, "mixer must be pulses");
+        let exec = Executor::new(&backend, crate::models::VqaModel::layout(&model).to_vec());
+        let by_run = exec.run(&program);
+        let recorded = exec.trajectory_program(&program);
+        assert!(recorded.n_channels() > 0);
+        let mut by_recorded = DensityMatrix::init(program.n_qubits());
+        recorded.apply_exact(&mut by_recorded);
+        let dim = 1 << program.n_qubits();
+        for i in 0..dim {
+            for j in 0..dim {
+                let (a, b) = (by_run.get(i, j), by_recorded.get(i, j));
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "({i},{j})");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_expectation_converges_for_pulse_block_programs() {
+        // Monte-Carlo trajectories of a hybrid gate-pulse program
+        // converge to its exact density-matrix expectation — the
+        // contract that makes the served hybrid trajectory kinds a
+        // faithful O(2^n) substitute for the O(4^n) exact path.
+        let backend = Backend::ibmq_toronto();
+        let graph = hgp_graph::instances::task1_three_regular_6();
+        let region = vec![1, 2, 3, 4, 5, 7];
+        let model = crate::models::HybridModel::new(&backend, &graph, 1, region).unwrap();
+        let params = crate::models::VqaModel::initial_params(&model);
+        let program = crate::models::VqaModel::build(&model, &params);
+        let exec = Executor::new(&backend, crate::models::VqaModel::layout(&model).to_vec());
+        let zz = PauliSum::from_terms(vec![PauliString::new(
+            6,
+            vec![(0, Pauli::Z), (1, Pauli::Z)],
+            1.0,
+        )]);
+        let exact = SimBackend::expectation(&exec.run(&program), &zz);
+        let (mean, stderr) = exec.expectation_trajectories(&program, &zz, 3000, 11);
+        assert!(
+            (mean - exact).abs() < 4.0 * stderr.max(1e-3),
+            "mean {mean} vs exact {exact} (stderr {stderr})"
+        );
+    }
+
+    #[test]
     fn trajectory_expectation_converges_to_density_matrix() {
         let backend = Backend::ibmq_toronto();
         let exec = Executor::new(&backend, vec![0, 1]);

@@ -8,18 +8,16 @@
 //! the paper). The mixer pulse duration is a compile-time knob, binary
 //! searched by Step I ([`crate::duration_search`]).
 
-use hgp_circuit::{Circuit, ParamId};
 use hgp_device::Backend;
 use hgp_graph::Graph;
-use hgp_pulse::propagator::drive_propagator;
 use hgp_pulse::Waveform;
 use hgp_sim::Counts;
-use hgp_transpile::Layout;
 
-use crate::models::gate::{route_in_region, GateModelOptions};
+use crate::compile::{CircuitCompiler, CompiledProgram, HybridShape};
+use crate::models::gate::GateModelOptions;
 use crate::models::VqaModel;
-use crate::program::{BlockKind, Program};
-use crate::qaoa::{append_hamiltonian_layer, initial_point};
+use crate::program::Program;
+use crate::qaoa::initial_point;
 
 /// Hardware bound on the sustained mixer drive amplitude.
 pub const MIXER_AMP_BOUND: f64 = 0.3;
@@ -47,15 +45,6 @@ pub const FREQ_SHIFT_HW_BOUND: f64 = 0.14;
 /// unbounded it turns the ansatz into a free-axis mixer, a materially
 /// stronger algorithm than the QAOA family the paper evaluates.
 pub const PHASE_TRIM_BOUND: f64 = 0.25;
-
-/// One QAOA layer's gate part, routed inside the region.
-#[derive(Debug, Clone)]
-struct LayerPart {
-    /// Routed Hamiltonian-layer circuit with one free param (`gamma`).
-    circuit: Circuit,
-    /// Region wire of each logical qubit when the mixer plays.
-    wires: Vec<usize>,
-}
 
 /// The hybrid gate-pulse QAOA model.
 ///
@@ -90,14 +79,10 @@ struct LayerPart {
 #[derive(Debug, Clone)]
 pub struct HybridModel<'a> {
     backend: &'a Backend,
-    region: Vec<usize>,
-    layers: Vec<LayerPart>,
-    final_layout: Layout,
-    mixer_duration: u32,
-    n_logical: usize,
-    p: usize,
-    options: GateModelOptions,
-    graph: Graph,
+    /// The shape artifact everything delegates to — the same type the
+    /// serve layer caches, so model-driven and served hybrid runs are
+    /// one code path ([`crate::compile::CompiledProgram`]).
+    compiled: CompiledProgram,
 }
 
 impl<'a> HybridModel<'a> {
@@ -119,6 +104,11 @@ impl<'a> HybridModel<'a> {
     /// Builds the hybrid model with explicit gate-level options (the
     /// paper's GO configuration uses [`GateModelOptions::optimized`]).
     ///
+    /// The shape work — per-layer Hamiltonian routing with chained
+    /// layouts, mixer pulse calibration — is
+    /// [`CircuitCompiler::compile_hybrid`]; the model is a thin view
+    /// over the resulting [`CompiledProgram`].
+    ///
     /// # Errors
     ///
     /// Returns an error if the region size mismatches the graph.
@@ -137,63 +127,37 @@ impl<'a> HybridModel<'a> {
             ));
         }
         assert!(p > 0, "need at least one QAOA layer");
-        // Route each Hamiltonian layer separately, chaining layouts so the
-        // mixer pulses always land on the right wires. Under the GO
-        // configuration, SABRE picks the first layer's placement inside
-        // the region (as for the gate model).
-        let mut layers = Vec::with_capacity(p);
-        let mut current = if options.sabre_iterations > 0 {
-            let mut probe = Circuit::new(n);
-            let gamma = probe.add_param();
-            append_hamiltonian_layer(&mut probe, graph, gamma);
-            let sub = crate::models::region::region_coupling(backend, &region);
-            hgp_transpile::sabre::choose_initial_layout(&probe, &sub, options.sabre_iterations)
-        } else {
-            Layout::trivial(n, n)
-        };
-        for layer in 0..p {
-            let mut qc = Circuit::new(n);
-            let gamma = qc.add_param();
-            debug_assert_eq!(gamma, ParamId(0));
-            if layer == 0 {
-                // The initial |+> wall belongs to the first layer's gate
-                // part (state preparation stays at the gate level, Fig. 1).
-                for q in 0..n {
-                    qc.h(q);
-                }
-            }
-            append_hamiltonian_layer(&mut qc, graph, gamma);
-            let (circuit, out_layout, _n_swaps) =
-                route_in_region(&qc, backend, &region, &current, &options)?;
-            let wires = (0..n).map(|l| out_layout.physical(l)).collect();
-            layers.push(LayerPart { circuit, wires });
-            current = out_layout;
-        }
-        Ok(Self {
-            backend,
-            region,
-            layers,
-            final_layout: current,
-            mixer_duration: 320,
-            n_logical: n,
-            p,
-            options,
-            graph: graph.clone(),
-        })
+        let shape = HybridShape::new(graph.clone(), p).with_options(options);
+        let compiled = CircuitCompiler::new(backend, region).compile_hybrid(&shape)?;
+        Ok(Self { backend, compiled })
+    }
+
+    /// Wraps an already-compiled hybrid program (e.g. one pulled from
+    /// the serve cache) as a trainable model. `backend` must be the one
+    /// the shape was compiled against.
+    pub fn from_compiled(backend: &'a Backend, compiled: CompiledProgram) -> Self {
+        Self { backend, compiled }
+    }
+
+    /// The underlying compiled artifact.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// Consumes the model, yielding its compiled artifact.
+    pub fn into_compiled(self) -> CompiledProgram {
+        self.compiled
     }
 
     /// Sets the mixer pulse duration (Step I's knob). Must be a positive
-    /// multiple of 32 dt per the Gaussian waveform constraint.
+    /// multiple of 32 dt per the Gaussian waveform constraint. Routing
+    /// is reused; only the mixer waveform recompiles.
     ///
     /// # Panics
     ///
     /// Panics on an invalid duration.
     pub fn with_mixer_duration(mut self, duration_dt: u32) -> Self {
-        assert!(
-            duration_dt > 0 && duration_dt.is_multiple_of(32),
-            "mixer duration must be a positive multiple of 32 dt"
-        );
-        self.mixer_duration = duration_dt;
+        self.compiled = self.compiled.with_mixer_duration(duration_dt);
         self
     }
 
@@ -205,12 +169,12 @@ impl<'a> HybridModel<'a> {
 
     /// The gate-level options the gate part was compiled with.
     pub fn options(&self) -> GateModelOptions {
-        self.options
+        self.compiled.shape().options()
     }
 
     /// The problem instance.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.compiled.shape().graph()
     }
 
     /// The backend.
@@ -220,35 +184,34 @@ impl<'a> HybridModel<'a> {
 
     /// QAOA depth.
     pub fn p(&self) -> usize {
-        self.p
+        self.compiled.shape().p()
     }
 
     /// The mixer waveform at the current duration.
     pub fn mixer_waveform(&self) -> Waveform {
-        Waveform::gaussian(self.mixer_duration)
+        self.compiled.mixer_waveform()
     }
 
     /// Number of parameters per layer: `gamma`, the shared mixer angle
     /// `theta`, and `(phase, freq)` per qubit.
     pub fn params_per_layer(&self) -> usize {
-        2 + 2 * self.n_logical
+        self.compiled.shape().params_per_layer()
     }
 
     /// The drive amplitude that reproduces `RX(theta)` at the current
     /// mixer duration on region wire `wire` (used for initialization).
     pub fn amp_for_angle(&self, wire: usize, theta: f64) -> f64 {
-        let strength = self.backend.qubit(self.region[wire]).drive_strength;
-        theta / (strength * self.mixer_waveform().area())
+        self.compiled.amp_for_angle(wire, theta)
     }
 
     /// Expands a gate-level `[gamma_1, beta_1, ...]` point into this
     /// model's parameter vector (`theta = 2 beta`, trims zero).
     fn params_from_gate_point(&self, point: &[f64]) -> Vec<f64> {
         let mut params = Vec::with_capacity(self.n_params());
-        for layer in 0..self.p {
+        for layer in 0..self.p() {
             params.push(point[2 * layer]);
             params.push(2.0 * point[2 * layer + 1]);
-            for _ in 0..self.n_logical {
+            for _ in 0..self.n_qubits() {
                 params.push(0.0); // phase
                 params.push(0.0); // frequency-shift scale
             }
@@ -263,85 +226,49 @@ impl VqaModel for HybridModel<'_> {
     }
 
     fn n_qubits(&self) -> usize {
-        self.n_logical
+        self.compiled.n_qubits()
     }
 
     fn region_size(&self) -> usize {
-        self.region.len()
+        self.compiled.region().len()
     }
 
     fn n_params(&self) -> usize {
-        self.p * self.params_per_layer()
+        self.compiled.n_params()
     }
 
     fn initial_params(&self) -> Vec<f64> {
         // gamma from the standard schedule; mixer pulses initialized at
         // the gate-level equivalent RX(2 beta) — "initialized from the
         // gate-level circuit".
-        self.params_from_gate_point(&initial_point(self.p))
+        self.params_from_gate_point(&initial_point(self.p()))
     }
 
     fn initial_param_candidates(&self) -> Vec<Vec<f64>> {
-        crate::qaoa::initial_candidates(self.p)
+        crate::qaoa::initial_candidates(self.p())
             .iter()
             .map(|point| self.params_from_gate_point(point))
             .collect()
     }
 
     fn build(&self, params: &[f64]) -> Program {
-        assert_eq!(params.len(), self.n_params(), "parameter count");
-        let mut program = Program::new(self.region.len());
-        let waveform = self.mixer_waveform();
-        let per_layer = self.params_per_layer();
-        for (layer_idx, layer) in self.layers.iter().enumerate() {
-            let chunk = &params[layer_idx * per_layer..(layer_idx + 1) * per_layer];
-            let gamma = chunk[0];
-            let theta = chunk[1];
-            let bound = layer.circuit.bind(&[gamma]);
-            program.append(&Program::from_circuit(&bound).expect("bound layer"));
-            let freq_bound =
-                (FREQ_TRIM_AUTHORITY_RAD / f64::from(self.mixer_duration)).min(FREQ_SHIFT_HW_BOUND);
-            for l in 0..self.n_logical {
-                let phase = chunk[2 + 2 * l].clamp(-PHASE_TRIM_BOUND, PHASE_TRIM_BOUND);
-                // The raw parameter is a *fraction* of the allowed trim, so
-                // the same physical pulse has the same parameter value at
-                // every duration (Step I changes durations mid-pipeline).
-                let freq_param = (2.0 * chunk[2 + 2 * l + 1]).clamp(-1.0, 1.0) * freq_bound;
-                let wire = layer.wires[l];
-                let qp = self.backend.qubit(self.region[wire]);
-                // Commanded amplitude, then the *true* physics: amplitude
-                // miscalibration and residual frame offset act on the
-                // pulse exactly as on the gate model's pulses — but here
-                // the trainable parameters can cancel them.
-                let amp_cmd = self
-                    .amp_for_angle(wire, theta)
-                    .clamp(-MIXER_AMP_BOUND, MIXER_AMP_BOUND);
-                let unitary = drive_propagator(
-                    &waveform,
-                    amp_cmd * (1.0 + qp.amp_error),
-                    phase,
-                    freq_param + qp.freq_offset,
-                    qp.drive_strength,
-                );
-                program.push_pulse_block(&[wire], unitary, self.mixer_duration, BlockKind::Drive);
-            }
-        }
-        program
+        // Commanded amplitudes, then the *true* physics: amplitude
+        // miscalibration and residual frame offset act on the pulse
+        // exactly as on the gate model's pulses — but here the trainable
+        // parameters can cancel them. See `CompiledProgram::bind`.
+        self.compiled.bind(params)
     }
 
     fn layout(&self) -> &[usize] {
-        &self.region
+        self.compiled.region()
     }
 
     fn interpret_counts(&self, counts: &Counts) -> Counts {
-        let map: Vec<usize> = (0..self.n_logical)
-            .map(|l| self.final_layout.physical(l))
-            .collect();
-        counts.remapped(&map, self.n_logical)
+        self.compiled.decode_counts(counts)
     }
 
     fn mixer_duration_dt(&self) -> u32 {
-        self.mixer_duration
+        self.compiled.mixer_duration_dt()
     }
 
     fn coarse_param_ids(&self) -> Option<Vec<usize>> {
@@ -349,12 +276,7 @@ impl VqaModel for HybridModel<'_> {
         // gate-level QAOA's (gamma, beta) pair. Coarse-stage training over
         // these dimensions is the gate model's own optimization, so the
         // hybrid never loses to its gate-level sub-model.
-        let per_layer = self.params_per_layer();
-        Some(
-            (0..self.p)
-                .flat_map(|l| [l * per_layer, l * per_layer + 1])
-                .collect(),
-        )
+        Some(self.compiled.shape().coarse_param_ids())
     }
 }
 

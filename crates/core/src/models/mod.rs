@@ -17,9 +17,11 @@ mod region;
 
 pub(crate) use gate::route_in_region;
 pub use gate::{GateModel, GateModelOptions};
-pub use hybrid::HybridModel;
+pub use hybrid::{
+    HybridModel, FREQ_SHIFT_HW_BOUND, FREQ_TRIM_AUTHORITY_RAD, MIXER_AMP_BOUND, PHASE_TRIM_BOUND,
+};
 pub use pulse::PulseModel;
-pub use region::{default_region, region_coupling};
+pub use region::{default_region, region_coupling, try_region_coupling};
 
 use crate::program::Program;
 

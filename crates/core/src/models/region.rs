@@ -53,6 +53,18 @@ pub fn default_region(backend: &Backend, n: usize) -> Vec<usize> {
 /// Panics if the induced subgraph is disconnected (routing inside it
 /// would deadlock).
 pub fn region_coupling(backend: &Backend, region: &[usize]) -> CouplingMap {
+    try_region_coupling(backend, region).expect("connected region")
+}
+
+/// Non-panicking form of [`region_coupling`], for regions derived from
+/// request data: a disconnected region must fail its job, not the
+/// thread.
+///
+/// # Errors
+///
+/// Returns an error naming the region if the induced subgraph is
+/// disconnected.
+pub fn try_region_coupling(backend: &Backend, region: &[usize]) -> Result<CouplingMap, String> {
     let coupling = backend.coupling_map();
     let mut edges = Vec::new();
     for (i, &p) in region.iter().enumerate() {
@@ -63,11 +75,10 @@ pub fn region_coupling(backend: &Backend, region: &[usize]) -> CouplingMap {
         }
     }
     let sub = CouplingMap::new(region.len(), &edges);
-    assert!(
-        sub.is_connected(),
-        "region {region:?} induces a disconnected subgraph"
-    );
-    sub
+    if !sub.is_connected() {
+        return Err(format!("region {region:?} induces a disconnected subgraph"));
+    }
+    Ok(sub)
 }
 
 #[cfg(test)]

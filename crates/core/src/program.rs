@@ -180,6 +180,73 @@ impl Program {
             .filter(|op| matches!(op, ProgramOp::Gate { .. }))
             .count()
     }
+
+    /// A canonical FNV-1a hash of the program's full structure — the
+    /// hybrid analogue of [`hgp_circuit::Circuit::structural_key`].
+    ///
+    /// Two programs share a key exactly when they are the same
+    /// instruction stream: same width, same ops in the same order, gate
+    /// parameters and pulse-block unitaries compared bit-for-bit
+    /// (`f64::to_bits`), pulse durations and block kinds included. This
+    /// is the identity under which executed artifacts (recorded
+    /// trajectory schedules, served results) can be replayed or deduped.
+    ///
+    /// Note the asymmetry with the circuit key: a [`Program`] is always
+    /// fully bound, so every parameter binding hashes distinctly — the
+    /// *shape*-level key that stays stable across bindings lives on the
+    /// pre-bound artifact ([`crate::compile::HybridShape::structural_key`]
+    /// and [`hgp_circuit::Circuit::structural_key`]).
+    pub fn structural_key(&self) -> u64 {
+        let mut h = hgp_math::fnv::Fnv1a::new();
+        // Domain tag: keeps program keys disjoint from circuit keys even
+        // for contrived colliding contents.
+        h.byte(b'P');
+        h.usize(self.n_qubits);
+        h.usize(self.ops.len());
+        for op in &self.ops {
+            match op {
+                ProgramOp::Gate { gate, qubits } => {
+                    h.byte(0);
+                    h.str(gate.name());
+                    for p in gate.params() {
+                        // Program gates are bound by construction.
+                        h.u64(p.value().map_or(u64::MAX, f64::to_bits));
+                    }
+                    h.usize(qubits.len());
+                    for &q in qubits {
+                        h.usize(q);
+                    }
+                }
+                ProgramOp::PulseBlock {
+                    qubits,
+                    unitary,
+                    duration,
+                    kind,
+                } => {
+                    h.byte(1);
+                    h.byte(match kind {
+                        BlockKind::Drive => 0,
+                        BlockKind::CrossResonance => 1,
+                        BlockKind::Virtual => 2,
+                    });
+                    h.u64(u64::from(*duration));
+                    h.usize(qubits.len());
+                    for &q in qubits {
+                        h.usize(q);
+                    }
+                    h.usize(unitary.rows());
+                    for i in 0..unitary.rows() {
+                        for j in 0..unitary.cols() {
+                            let v = unitary[(i, j)];
+                            h.f64(v.re);
+                            h.f64(v.im);
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -220,5 +287,48 @@ mod tests {
     fn wrong_block_dimension_panics() {
         let mut p = Program::new(2);
         p.push_pulse_block(&[0, 1], Matrix::identity(2), 100, BlockKind::Drive);
+    }
+
+    #[test]
+    fn structural_key_is_stable_and_discriminating() {
+        let build = |theta: f64, duration: u32| {
+            let mut p = Program::new(2);
+            p.push_gate(Gate::H, &[0])
+                .push_gate(Gate::Rz(Param::bound(theta)), &[1])
+                .push_pulse_block(&[0], Matrix::identity(2), duration, BlockKind::Drive);
+            p
+        };
+        // Identical construction => identical key.
+        assert_eq!(
+            build(0.4, 320).structural_key(),
+            build(0.4, 320).structural_key()
+        );
+        // Any bound angle, duration, kind, or operand change re-keys.
+        assert_ne!(
+            build(0.4, 320).structural_key(),
+            build(0.5, 320).structural_key()
+        );
+        assert_ne!(
+            build(0.4, 320).structural_key(),
+            build(0.4, 288).structural_key()
+        );
+        let mut a = Program::new(2);
+        a.push_pulse_block(&[0], Matrix::identity(2), 320, BlockKind::Drive);
+        let mut b = Program::new(2);
+        b.push_pulse_block(&[1], Matrix::identity(2), 320, BlockKind::Drive);
+        let mut c = Program::new(2);
+        c.push_pulse_block(&[0], Matrix::identity(2), 320, BlockKind::Virtual);
+        assert_ne!(a.structural_key(), b.structural_key());
+        assert_ne!(a.structural_key(), c.structural_key());
+        // A different unitary payload re-keys too.
+        let mut d = Program::new(2);
+        d.push_pulse_block(&[0], Gate::X.matrix().unwrap(), 320, BlockKind::Drive);
+        assert_ne!(a.structural_key(), d.structural_key());
+        // Program keys stay disjoint from the circuit keyspace for the
+        // same gate content.
+        let mut qc = Circuit::new(2);
+        qc.h(0).rz(1, 0.4);
+        let p = Program::from_circuit(&qc).unwrap();
+        assert_ne!(p.structural_key(), qc.structural_key());
     }
 }

@@ -16,7 +16,9 @@
 
 use hgp_graph::Graph;
 use hgp_mitigation::M3Mitigator;
-use hgp_optim::{parameter_shift_gradient_batch, Cobyla, STANDARD_SHIFT};
+use hgp_optim::{
+    parameter_shift_gradient_batch, BatchObjective, Cobyla, OptimizeResult, STANDARD_SHIFT,
+};
 use hgp_sim::seed::stream_seed;
 use rayon::prelude::*;
 
@@ -120,6 +122,95 @@ fn evaluate_probe(
     -evaluator.cost(&logical) / c_max
 }
 
+/// Two-stage (coarse-then-fine) COBYLA minimization over an arbitrary
+/// batch objective — the training loop's optimizer core, factored out
+/// so the same protocol can run over *any* evaluation engine: the local
+/// parallel executor ([`train`] wraps it) or a serving layer
+/// (`hgp_serve::Service::hybrid_expectation_batch` is exactly this
+/// objective shape).
+///
+/// Protocol:
+///
+/// 1. probe every `candidates` starting point in one batch and start
+///    from the best,
+/// 2. when `coarse_ids` is given, optimize only those dimensions first
+///    (the algorithmic parameters — QAOA's `gamma`/`theta`), the full
+///    step budget, from the winning candidate,
+/// 3. refine the full vector from the coarse optimum, the full step
+///    budget again.
+///
+/// "`max_evals` iterations" counts optimization steps; COBYLA's simplex
+/// initialization (`dim + 1` evaluations) is granted on top per stage,
+/// so models of different parameter counts get the same number of
+/// *steps*. The returned result's `history` is the merged best-so-far
+/// curve and `n_evals` counts every objective evaluation, candidate
+/// probes included.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or a coarse id is out of range.
+pub fn minimize_two_stage(
+    objective: &mut dyn BatchObjective,
+    candidates: &[Vec<f64>],
+    coarse_ids: Option<&[usize]>,
+    max_evals: usize,
+) -> OptimizeResult {
+    assert!(!candidates.is_empty(), "need at least one starting point");
+    let scores = objective.eval_batch(candidates);
+    let mut x0 = scores
+        .iter()
+        .zip(candidates.iter())
+        .min_by(|a, b| a.0.partial_cmp(b.0).expect("finite cost"))
+        .map(|(_, c)| c.clone())
+        .expect("non-empty candidates");
+    let n_params = x0.len();
+    let mut coarse_history: Vec<f64> = Vec::new();
+    let mut coarse_evals = candidates.len();
+    if let Some(core) = coarse_ids {
+        // Hierarchical training: spend part of the budget on the core
+        // (algorithmic) parameters alone, then refine everything.
+        // Each stage gets the full step budget: the coarse stage is the
+        // cheap low-dimensional search (the gate model's own problem), the
+        // fine stage refines the pulse trims from its optimum.
+        for &id in core {
+            assert!(id < n_params, "coarse id {id} out of range");
+        }
+        let base = x0.clone();
+        let mut core_objective = |xcs: &[Vec<f64>]| -> Vec<f64> {
+            let fulls: Vec<Vec<f64>> = xcs
+                .iter()
+                .map(|xc| {
+                    let mut full = base.clone();
+                    for (i, &id) in core.iter().enumerate() {
+                        full[id] = xc[i];
+                    }
+                    full
+                })
+                .collect();
+            objective.eval_batch(&fulls)
+        };
+        let xc0: Vec<f64> = core.iter().map(|&id| x0[id]).collect();
+        let coarse =
+            Cobyla::new(max_evals + core.len() + 1).minimize_batch(&mut core_objective, &xc0);
+        for (i, &id) in core.iter().enumerate() {
+            x0[id] = coarse.x[i];
+        }
+        coarse_history = coarse.history;
+        coarse_evals += coarse.n_evals;
+    }
+    let optimizer = Cobyla::new(max_evals + n_params + 1);
+    let mut result = optimizer.minimize_batch(objective, &x0);
+    result.n_evals += coarse_evals;
+    if !coarse_history.is_empty() {
+        // Merge the stages' best-so-far curves.
+        let mut merged = coarse_history;
+        let floor = merged.last().copied().unwrap_or(f64::INFINITY);
+        merged.extend(result.history.iter().map(|&v| v.min(floor)));
+        result.history = merged;
+    }
+    result
+}
+
 /// Trains a model on a Max-Cut instance.
 ///
 /// # Panics
@@ -146,63 +237,16 @@ pub fn train(model: &dyn VqaModel, graph: &Graph, config: &TrainConfig) -> Train
             })
             .collect()
     };
-    // "Maximum iteration 50" counts optimization steps; COBYLA's simplex
-    // initialization (n+1 evaluations) is granted on top, so models of
-    // different parameter counts get the same number of *steps*.
     // Probe the candidate starts — one parallel batch — and begin from
     // the best (the standard counter to QAOA's multimodal landscape;
     // every model gets the same protocol).
     let candidates = model.initial_param_candidates();
-    let scores = batch_objective(&candidates);
-    let mut x0 = scores
-        .iter()
-        .zip(candidates.iter())
-        .min_by(|a, b| a.0.partial_cmp(b.0).expect("finite cost"))
-        .map(|(_, c)| c.clone())
-        .unwrap_or_else(|| model.initial_params());
-    let mut coarse_history: Vec<f64> = Vec::new();
-    let mut coarse_evals = candidates.len();
-    let fine_budget = config.max_evals;
-    if let Some(core) = model.coarse_param_ids() {
-        // Hierarchical training: spend part of the budget on the core
-        // (algorithmic) parameters alone, then refine everything.
-        // Each stage gets the full step budget: the coarse stage is the
-        // cheap low-dimensional search (the gate model's own problem), the
-        // fine stage refines the pulse trims from its optimum.
-        let coarse_budget = config.max_evals;
-        let base = x0.clone();
-        let mut core_objective = |xcs: &[Vec<f64>]| -> Vec<f64> {
-            let fulls: Vec<Vec<f64>> = xcs
-                .iter()
-                .map(|xc| {
-                    let mut full = base.clone();
-                    for (i, &id) in core.iter().enumerate() {
-                        full[id] = xc[i];
-                    }
-                    full
-                })
-                .collect();
-            batch_objective(&fulls)
-        };
-        let xc0: Vec<f64> = core.iter().map(|&id| x0[id]).collect();
-        let coarse =
-            Cobyla::new(coarse_budget + core.len() + 1).minimize_batch(&mut core_objective, &xc0);
-        for (i, &id) in core.iter().enumerate() {
-            x0[id] = coarse.x[i];
-        }
-        coarse_history = coarse.history;
-        coarse_evals += coarse.n_evals;
-    }
-    let optimizer = Cobyla::new(fine_budget + model.n_params() + 1);
-    let mut result = optimizer.minimize_batch(&mut batch_objective, &x0);
-    result.n_evals += coarse_evals;
-    if !coarse_history.is_empty() {
-        // Merge the stages' best-so-far curves.
-        let mut merged = coarse_history;
-        let floor = merged.last().copied().unwrap_or(f64::INFINITY);
-        merged.extend(result.history.iter().map(|&v| v.min(floor)));
-        result.history = merged;
-    }
+    let result = minimize_two_stage(
+        &mut batch_objective,
+        &candidates,
+        model.coarse_param_ids().as_deref(),
+        config.max_evals,
+    );
     // Final high-shot evaluation at the best parameters.
     let program = model.build(&result.x);
     let rho = exec.run(&program);

@@ -223,10 +223,16 @@ impl Backend {
     ///
     /// Panics if `(u, v)` is not a coupler.
     pub fn edge(&self, u: usize, v: usize) -> &TwoQubitParams {
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.edges
-            .get(&key)
+        self.try_edge(u, v)
             .unwrap_or_else(|| panic!("({u}, {v}) is not a coupler of {}", self.name))
+    }
+
+    /// Per-edge parameters (order-insensitive), `None` for non-coupled
+    /// pairs — the accessor for request-derived pairs that must fail a
+    /// job rather than a thread.
+    pub fn try_edge(&self, u: usize, v: usize) -> Option<&TwoQubitParams> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.get(&key)
     }
 
     /// Duration of a calibrated X or SX pulse, in `dt`.

@@ -1,0 +1,110 @@
+//! The workspace's canonical structural hasher (FNV-1a, 64 bit).
+//!
+//! Every structural cache key in the workspace —
+//! `hgp_circuit::Circuit::structural_key`,
+//! `hgp_core::Program::structural_key`,
+//! `hgp_core::compile::HybridShape::structural_key` — folds its
+//! canonical byte encoding through this one accumulator, so the
+//! encoding primitives (little-endian words, bit-exact `f64`,
+//! length-prefixed strings) are defined exactly once.
+
+/// FNV-1a 64-bit accumulator.
+///
+/// ```
+/// use hgp_math::fnv::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.str("rzz");
+/// h.f64(0.25);
+/// assert_ne!(h.finish(), Fnv1a::new().finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// A fresh accumulator at the FNV offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Folds one byte.
+    pub fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    /// Folds a `u64` as 8 little-endian bytes.
+    pub fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Folds a `usize` (as `u64`).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Folds an `f64` bit-exactly (`to_bits`; `-0.0 != 0.0`, every NaN
+    /// payload distinct — structural identity, not numeric equality).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Folds a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        let hash = |s: &str| {
+            let mut h = Fnv1a::new();
+            for b in s.bytes() {
+                h.byte(b);
+            }
+            h.finish()
+        };
+        assert_eq!(hash(""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(hash("a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(hash("foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn encoding_primitives_discriminate() {
+        let key = |f: &dyn Fn(&mut Fnv1a)| {
+            let mut h = Fnv1a::new();
+            f(&mut h);
+            h.finish()
+        };
+        assert_ne!(key(&|h| h.f64(0.0)), key(&|h| h.f64(-0.0)));
+        assert_ne!(key(&|h| h.str("ab")), key(&|h| h.str("a")));
+        // Length prefixing keeps concatenations apart.
+        assert_ne!(
+            key(&|h| {
+                h.str("a");
+                h.str("bc");
+            }),
+            key(&|h| {
+                h.str("ab");
+                h.str("c");
+            })
+        );
+    }
+}

@@ -27,6 +27,7 @@
 pub mod complex;
 pub mod eigen;
 pub mod expm;
+pub mod fnv;
 pub mod matrix;
 pub mod pauli;
 pub mod su2;

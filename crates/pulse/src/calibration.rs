@@ -81,7 +81,7 @@ impl<'a> PulseLibrary<'a> {
     pub fn x_propagator(&self, q: usize) -> Matrix {
         let mut s = Schedule::new();
         s.play(Channel::Drive(q), self.x_pulse(q));
-        schedule_unitary(&s, self.backend, &[q])
+        schedule_unitary(&s, self.backend, &[q]).expect("calibrated schedule is well-formed")
     }
 
     /// Calibrated CR half-pulse amplitude on the `(control, target)`
@@ -344,7 +344,8 @@ impl<'a> PulseLibrary<'a> {
                 angle: beta + FRAC_PI_2,
             },
         );
-        let got = schedule_unitary(&single, self.backend, &[q]);
+        let got =
+            schedule_unitary(&single, self.backend, &[q]).expect("calibrated schedule compiles");
         if got.approx_eq_up_to_phase(u, 1e-7) {
             single
         } else {
@@ -408,7 +409,7 @@ mod tests {
         for theta in [0.3, -1.2, PI, 2.7] {
             let s = lib.rx_schedule(2, theta);
             assert_eq!(s.duration(), 320, "RX must cost two pulses");
-            let u = schedule_unitary(&s, &b, &[2]);
+            let u = schedule_unitary(&s, &b, &[2]).unwrap();
             let expect = Gate::Rx(Param::bound(theta)).matrix().unwrap();
             assert!(
                 u.approx_eq_up_to_phase(&expect, 1e-7),
@@ -423,7 +424,7 @@ mod tests {
         let lib = PulseLibrary::new(&b);
         let s = lib.gate_schedule(&Gate::H, &[1]).unwrap();
         assert_eq!(s.duration(), 160);
-        let u = schedule_unitary(&s, &b, &[1]);
+        let u = schedule_unitary(&s, &b, &[1]).unwrap();
         assert!(u.approx_eq_up_to_phase(&Gate::H.matrix().unwrap(), 1e-7));
     }
 
@@ -432,7 +433,7 @@ mod tests {
         let b = backend();
         let lib = PulseLibrary::new(&b);
         let s = lib.cx_schedule(0, 1);
-        let u = schedule_unitary(&s, &b, &[0, 1]);
+        let u = schedule_unitary(&s, &b, &[0, 1]).unwrap();
         let expect = Gate::CX.matrix().unwrap().embed(2, &[0, 1]);
         assert!(
             u.approx_eq_up_to_phase(&expect, 1e-6),
@@ -448,7 +449,7 @@ mod tests {
         let lib = PulseLibrary::new(&b);
         for theta in [0.4, -1.1, FRAC_PI_2] {
             let s = lib.rzx_schedule(0, 1, theta);
-            let u = schedule_unitary(&s, &b, &[0, 1]);
+            let u = schedule_unitary(&s, &b, &[0, 1]).unwrap();
             let expect = Gate::Rzx(Param::bound(theta))
                 .matrix()
                 .unwrap()
@@ -464,7 +465,7 @@ mod tests {
         let mut qc = Circuit::new(2);
         qc.rzz(0, 1, 0.9);
         let s = lib.circuit_to_schedule(&qc).unwrap();
-        let u = schedule_unitary(&s, &b, &[0, 1]);
+        let u = schedule_unitary(&s, &b, &[0, 1]).unwrap();
         let expect = Gate::Rzz(Param::bound(0.9))
             .matrix()
             .unwrap()
@@ -479,7 +480,7 @@ mod tests {
         let mut qc = Circuit::new(2);
         qc.h(0).cx(0, 1);
         let s = lib.circuit_to_schedule(&qc).unwrap();
-        let u = schedule_unitary(&s, &b, &[0, 1]);
+        let u = schedule_unitary(&s, &b, &[0, 1]).unwrap();
         let expect = qc.unitary().unwrap();
         assert!(u.approx_eq_up_to_phase(&expect, 1e-6));
     }

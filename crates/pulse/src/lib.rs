@@ -37,5 +37,6 @@ pub mod schedule;
 pub mod waveform;
 
 pub use channel::Channel;
+pub use propagator::PulseError;
 pub use schedule::{PlayedPulse, PulseSpec, Schedule};
 pub use waveform::Waveform;

@@ -9,6 +9,8 @@
 //! workspace satisfies by construction ([`crate::Schedule::play_at`]
 //! rejects overlaps on shared qubits).
 
+use std::fmt;
+
 use hgp_math::su2::{drive_step, exp_i_pauli};
 use hgp_math::{Complex64, Matrix};
 
@@ -17,6 +19,64 @@ use hgp_device::{Backend, TwoQubitParams};
 use crate::channel::Channel;
 use crate::schedule::{PulseSpec, Schedule};
 use crate::waveform::Waveform;
+
+/// A malformed pulse schedule, detected at compile time.
+///
+/// Schedules reaching the compiler from a request boundary (a served
+/// job, a deserialized program) must fail *their job*, never the worker
+/// thread executing it — so every structural violation is a typed error
+/// rather than a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PulseError {
+    /// A pulse spec was played on a channel of the wrong family (e.g. a
+    /// cross-resonance pulse on a drive channel).
+    ChannelMismatch {
+        /// The offending channel.
+        channel: Channel,
+        /// A short description of the pulse kind.
+        pulse: &'static str,
+    },
+    /// A channel names a physical qubit the backend does not have.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// Number of qubits on the backend.
+        n_qubits: usize,
+    },
+    /// A control channel names a pair the backend does not couple.
+    NotCoupled {
+        /// The driven qubit.
+        control: usize,
+        /// The target-frequency qubit.
+        target: usize,
+    },
+    /// A block touches a physical qubit outside the requested layout.
+    QubitNotInLayout {
+        /// The physical qubit missing from the layout.
+        qubit: usize,
+    },
+}
+
+impl fmt::Display for PulseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PulseError::ChannelMismatch { channel, pulse } => {
+                write!(f, "{pulse} pulse cannot play on channel {channel}")
+            }
+            PulseError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "physical qubit {qubit} out of range ({n_qubits} qubits)")
+            }
+            PulseError::NotCoupled { control, target } => {
+                write!(f, "qubits ({control}, {target}) are not coupled")
+            }
+            PulseError::QubitNotInLayout { qubit } => {
+                write!(f, "physical qubit {qubit} not in layout")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PulseError {}
 
 /// A compiled unitary block of a schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,12 +182,24 @@ pub fn virtual_z(angle: f64) -> Matrix {
 /// Compiles a schedule into time-ordered unitary blocks on physical
 /// qubits of `backend`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a [`PulseSpec::CrossResonance`] is played on a non-control
-/// channel, a [`PulseSpec::Drive`] on a control channel, or a control
-/// channel names a non-coupled pair.
-pub fn compile_schedule(schedule: &Schedule, backend: &Backend) -> Vec<Block> {
+/// Returns a [`PulseError`] if a [`PulseSpec::CrossResonance`] is played
+/// on a non-control channel, a [`PulseSpec::Drive`] on a control
+/// channel, a channel names a qubit the backend lacks, or a control
+/// channel names a non-coupled pair. A schedule crossing the serve
+/// boundary must fail its job, not the worker thread.
+pub fn compile_schedule(schedule: &Schedule, backend: &Backend) -> Result<Vec<Block>, PulseError> {
+    let check_qubit = |q: usize| -> Result<usize, PulseError> {
+        if q < backend.n_qubits() {
+            Ok(q)
+        } else {
+            Err(PulseError::QubitOutOfRange {
+                qubit: q,
+                n_qubits: backend.n_qubits(),
+            })
+        }
+    };
     let mut blocks: Vec<Block> = Vec::with_capacity(schedule.items().len());
     for item in schedule.items() {
         let block = match (&item.pulse, &item.channel) {
@@ -140,7 +212,7 @@ pub fn compile_schedule(schedule: &Schedule, backend: &Backend) -> Vec<Block> {
                 },
                 Channel::Drive(q),
             ) => Block {
-                qubits: vec![*q],
+                qubits: vec![check_qubit(*q)?],
                 unitary: drive_propagator(
                     waveform,
                     *amp,
@@ -159,7 +231,14 @@ pub fn compile_schedule(schedule: &Schedule, backend: &Backend) -> Vec<Block> {
                 },
                 Channel::Control { control, target },
             ) => {
-                let edge = backend.edge(*control, *target);
+                check_qubit(*control)?;
+                check_qubit(*target)?;
+                let edge = backend
+                    .try_edge(*control, *target)
+                    .ok_or(PulseError::NotCoupled {
+                        control: *control,
+                        target: *target,
+                    })?;
                 Block {
                     qubits: vec![*control, *target],
                     unitary: cr_propagator(
@@ -174,13 +253,16 @@ pub fn compile_schedule(schedule: &Schedule, backend: &Backend) -> Vec<Block> {
                 }
             }
             (PulseSpec::VirtualZ { angle }, Channel::Drive(q)) => Block {
-                qubits: vec![*q],
+                qubits: vec![check_qubit(*q)?],
                 unitary: virtual_z(*angle),
                 start: item.start,
                 duration: 0,
             },
             (pulse, channel) => {
-                panic!("pulse {pulse:?} cannot play on channel {channel}")
+                return Err(PulseError::ChannelMismatch {
+                    channel: *channel,
+                    pulse: pulse.kind_name(),
+                })
             }
         };
         blocks.push(block);
@@ -188,7 +270,7 @@ pub fn compile_schedule(schedule: &Schedule, backend: &Backend) -> Vec<Block> {
     // Stable sort by start time keeps same-start insertion order, which is
     // safe because same-start blocks act on disjoint qubits.
     blocks.sort_by_key(|b| b.start);
-    blocks
+    Ok(blocks)
 }
 
 /// Full schedule unitary over the logical register defined by `layout`
@@ -197,14 +279,19 @@ pub fn compile_schedule(schedule: &Schedule, backend: &Backend) -> Vec<Block> {
 /// Intended for small registers (tests, calibration); the noisy executor
 /// applies blocks incrementally instead.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a block touches a physical qubit outside `layout`.
-pub fn schedule_unitary(schedule: &Schedule, backend: &Backend, layout: &[usize]) -> Matrix {
+/// Returns a [`PulseError`] if the schedule fails [`compile_schedule`]
+/// or a block touches a physical qubit outside `layout`.
+pub fn schedule_unitary(
+    schedule: &Schedule,
+    backend: &Backend,
+    layout: &[usize],
+) -> Result<Matrix, PulseError> {
     let n = layout.len();
     let dim = 1usize << n;
     let mut u = Matrix::identity(dim);
-    for block in compile_schedule(schedule, backend) {
+    for block in compile_schedule(schedule, backend)? {
         let logical: Vec<usize> = block
             .qubits
             .iter()
@@ -212,13 +299,13 @@ pub fn schedule_unitary(schedule: &Schedule, backend: &Backend, layout: &[usize]
                 layout
                     .iter()
                     .position(|&l| l == *pq)
-                    .unwrap_or_else(|| panic!("physical qubit {pq} not in layout"))
+                    .ok_or(PulseError::QubitNotInLayout { qubit: *pq })
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let full = block.unitary.embed(n, &logical);
         u = full.matmul(&u);
     }
-    u
+    Ok(u)
 }
 
 #[cfg(test)]
@@ -364,7 +451,7 @@ mod tests {
                 freq_shift: 0.0,
             },
         );
-        let blocks = compile_schedule(&s, &backend);
+        let blocks = compile_schedule(&s, &backend).unwrap();
         assert_eq!(blocks.len(), 2);
         assert!(blocks[0].start <= blocks[1].start);
         assert_eq!(blocks[0].qubits, vec![1]);
@@ -389,13 +476,15 @@ mod tests {
                 },
             );
         }
-        let u = schedule_unitary(&s, &backend, &[0]);
+        let u = schedule_unitary(&s, &backend, &[0]).unwrap();
         assert!(u.approx_eq_up_to_phase(&Gate::X.matrix().unwrap(), 1e-9));
     }
 
     #[test]
-    #[should_panic(expected = "cannot play")]
-    fn mismatched_pulse_channel_panics() {
+    fn mismatched_pulse_channel_is_an_error() {
+        // A malformed schedule must produce a typed error, never a
+        // panic: in a served deployment a panic kills the worker thread
+        // instead of failing the one bad job.
         let backend = Backend::ideal(2);
         let mut s = Schedule::new();
         s.play(
@@ -406,6 +495,86 @@ mod tests {
                 phase: 0.0,
             },
         );
-        let _ = compile_schedule(&s, &backend);
+        let err = compile_schedule(&s, &backend).unwrap_err();
+        assert_eq!(
+            err,
+            PulseError::ChannelMismatch {
+                channel: Channel::Drive(0),
+                pulse: "cross-resonance",
+            }
+        );
+        assert!(err.to_string().contains("cannot play"));
+    }
+
+    #[test]
+    fn drive_on_control_channel_is_an_error() {
+        let backend = Backend::ideal(2);
+        let mut s = Schedule::new();
+        s.play(
+            Channel::Control {
+                control: 0,
+                target: 1,
+            },
+            PulseSpec::Drive {
+                waveform: Waveform::gaussian(160),
+                amp: 0.1,
+                phase: 0.0,
+                freq_shift: 0.0,
+            },
+        );
+        assert!(matches!(
+            compile_schedule(&s, &backend),
+            Err(PulseError::ChannelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_coupled_control_channel_is_an_error() {
+        // Guadalupe's heavy-hex map does not couple (0, 15).
+        let backend = Backend::ibmq_guadalupe();
+        let mut s = Schedule::new();
+        s.play(
+            Channel::Control {
+                control: 0,
+                target: 15,
+            },
+            PulseSpec::CrossResonance {
+                waveform: Waveform::gaussian_square(256, 128),
+                amp: 0.1,
+                phase: 0.0,
+            },
+        );
+        assert_eq!(
+            compile_schedule(&s, &backend),
+            Err(PulseError::NotCoupled {
+                control: 0,
+                target: 15
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_qubit_is_an_error() {
+        let backend = Backend::ideal(2);
+        let mut s = Schedule::new();
+        s.play(Channel::Drive(9), PulseSpec::VirtualZ { angle: 0.3 });
+        assert_eq!(
+            compile_schedule(&s, &backend),
+            Err(PulseError::QubitOutOfRange {
+                qubit: 9,
+                n_qubits: 2
+            })
+        );
+    }
+
+    #[test]
+    fn qubit_outside_layout_is_an_error() {
+        let backend = Backend::ideal(2);
+        let mut s = Schedule::new();
+        s.play(Channel::Drive(1), PulseSpec::VirtualZ { angle: 0.3 });
+        assert_eq!(
+            schedule_unitary(&s, &backend, &[0]),
+            Err(PulseError::QubitNotInLayout { qubit: 1 })
+        );
     }
 }

@@ -48,6 +48,15 @@ impl PulseSpec {
             PulseSpec::VirtualZ { .. } => 0,
         }
     }
+
+    /// Short name of the pulse family (for error messages).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PulseSpec::Drive { .. } => "drive",
+            PulseSpec::CrossResonance { .. } => "cross-resonance",
+            PulseSpec::VirtualZ { .. } => "virtual-z",
+        }
+    }
 }
 
 /// One pulse placed on a channel at an absolute start time.

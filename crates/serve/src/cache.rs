@@ -1,14 +1,50 @@
 //! The compiled-program cache.
 //!
-//! Keyed by [`hgp_circuit::Circuit::structural_key`]: one entry per
-//! circuit *shape*, shared by every parameter binding of that shape.
-//! Entries are [`Arc`]s so in-flight batches keep their program alive
-//! even if the entry is evicted mid-run.
+//! Keyed by [`hgp_circuit::Circuit::structural_key`] /
+//! [`hgp_core::compile::HybridShape::structural_key`] (hybrid keys fold
+//! in a leading domain tag, keeping them apart from the untagged
+//! circuit encoding): one entry per program *shape*, shared
+//! by every parameter binding of that shape. Circuit and hybrid
+//! gate-pulse artifacts share one LRU budget — a serving host trades
+//! them off against each other like any other shapes. Entries hold
+//! [`Arc`]s so in-flight batches keep their program alive even if the
+//! entry is evicted mid-run.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use hgp_core::compile::CompiledCircuit;
+use hgp_core::compile::{CompiledCircuit, CompiledProgram};
+
+/// A cached compiled artifact of either program family.
+#[derive(Debug, Clone)]
+pub enum CompiledArtifact {
+    /// A transpiled circuit shape.
+    Circuit(Arc<CompiledCircuit>),
+    /// A compiled hybrid gate-pulse shape.
+    Hybrid(Arc<CompiledProgram>),
+}
+
+impl CompiledArtifact {
+    /// The structural cache key.
+    pub fn key(&self) -> u64 {
+        match self {
+            CompiledArtifact::Circuit(c) => c.key(),
+            CompiledArtifact::Hybrid(p) => p.key(),
+        }
+    }
+}
+
+impl From<Arc<CompiledCircuit>> for CompiledArtifact {
+    fn from(c: Arc<CompiledCircuit>) -> Self {
+        CompiledArtifact::Circuit(c)
+    }
+}
+
+impl From<Arc<CompiledProgram>> for CompiledArtifact {
+    fn from(p: Arc<CompiledProgram>) -> Self {
+        CompiledArtifact::Hybrid(p)
+    }
+}
 
 /// A least-recently-used cache of compiled programs.
 ///
@@ -20,7 +56,7 @@ use hgp_core::compile::CompiledCircuit;
 pub struct ProgramCache {
     capacity: usize,
     clock: u64,
-    entries: HashMap<u64, (Arc<CompiledCircuit>, u64)>,
+    entries: HashMap<u64, (CompiledArtifact, u64)>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -45,13 +81,13 @@ impl ProgramCache {
     }
 
     /// Looks up a shape, refreshing its recency. Counts a hit or miss.
-    pub fn get(&mut self, key: u64) -> Option<Arc<CompiledCircuit>> {
+    pub fn get(&mut self, key: u64) -> Option<CompiledArtifact> {
         self.clock += 1;
         match self.entries.get_mut(&key) {
             Some((compiled, used)) => {
                 *used = self.clock;
                 self.hits += 1;
-                Some(Arc::clone(compiled))
+                Some(compiled.clone())
             }
             None => {
                 self.misses += 1;
@@ -62,7 +98,8 @@ impl ProgramCache {
 
     /// Inserts a freshly compiled shape, evicting the least recently
     /// used entry when full. Inserting an existing key refreshes it.
-    pub fn insert(&mut self, compiled: Arc<CompiledCircuit>) {
+    pub fn insert(&mut self, compiled: impl Into<CompiledArtifact>) {
+        let compiled = compiled.into();
         self.clock += 1;
         let key = compiled.key();
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {

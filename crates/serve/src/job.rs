@@ -1,9 +1,12 @@
 //! Job and result types — the service's wire format.
 //!
-//! A [`JobRequest`] names a (possibly parametrized) logical circuit, the
-//! parameter binding for this evaluation, and what to compute
-//! ([`JobSpec`]). The service answers with a [`JobResult`] carrying the
-//! [`JobOutput`] plus provenance: the job id, the sampling seed actually
+//! A [`JobRequest`] names a program ([`JobProgram`]: a possibly
+//! parametrized logical circuit, or a hybrid gate-pulse
+//! [`HybridShape`]), the parameter binding for this evaluation, and what
+//! to compute ([`JobSpec`]). The service answers with a [`JobResult`]
+//! carrying either the [`JobOutput`] or a typed per-job [`JobError`] —
+//! a malformed request fails *its* job, never the batch or a worker
+//! thread — plus provenance: the job id, the sampling seed actually
 //! used, whether the compiled program came from the cache, and the
 //! execution latency.
 //!
@@ -12,9 +15,12 @@
 //! annotations, so swapping a real serde backend in later is a
 //! manifest-only change.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use hgp_circuit::Circuit;
+use hgp_core::compile::HybridShape;
 use hgp_math::pauli::PauliSum;
 use hgp_sim::Counts;
 
@@ -30,6 +36,56 @@ pub struct JobId(pub u64);
 impl std::fmt::Display for JobId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "job-{}", self.0)
+    }
+}
+
+/// The program a job executes.
+///
+/// Both families participate in the same structural-hash compiled cache
+/// and the same id/seed stream; they differ only in what the compile
+/// step produces (a routed wire circuit vs a hybrid gate-pulse
+/// artifact) and which [`JobSpec`]s apply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobProgram {
+    /// A (possibly parametrized) logical circuit. Submit the
+    /// *parametrized* circuit (not a pre-bound copy) so repeated shapes
+    /// share one compiled program. Pairs with the circuit
+    /// [`JobSpec`] kinds.
+    Circuit(Circuit),
+    /// A hybrid gate-pulse QAOA shape (graph, depth, mixer duration,
+    /// pass options); parameters are the
+    /// [`hgp_core::models::HybridModel`] layout
+    /// `[gamma, theta, phase_0, f_0, ...]` per layer. Pairs with the
+    /// `Hybrid*` [`JobSpec`] kinds.
+    Hybrid(HybridShape),
+}
+
+impl JobProgram {
+    /// The shape's cache key ([`Circuit::structural_key`] /
+    /// [`HybridShape::structural_key`]; hybrid keys carry a leading
+    /// domain tag that keeps them apart from the untagged circuit
+    /// encoding).
+    pub fn structural_key(&self) -> u64 {
+        match self {
+            JobProgram::Circuit(circuit) => circuit.structural_key(),
+            JobProgram::Hybrid(shape) => shape.structural_key(),
+        }
+    }
+
+    /// Number of logical qubits.
+    pub fn n_qubits(&self) -> usize {
+        match self {
+            JobProgram::Circuit(circuit) => circuit.n_qubits(),
+            JobProgram::Hybrid(shape) => shape.n_qubits(),
+        }
+    }
+
+    /// Number of parameters a dispatch must bind.
+    pub fn n_params(&self) -> usize {
+        match self {
+            JobProgram::Circuit(circuit) => circuit.n_params(),
+            JobProgram::Hybrid(shape) => shape.n_params(),
+        }
     }
 }
 
@@ -76,16 +132,59 @@ pub enum JobSpec {
         /// Ensemble size.
         trajectories: usize,
     },
+    /// Noisy execution of a bound hybrid gate-pulse program
+    /// ([`JobProgram::Hybrid`]) plus `shots` sampled measurement
+    /// outcomes with readout confusion, decoded to logical qubit order —
+    /// the hybrid analogue of [`JobSpec::Counts`].
+    HybridCounts {
+        /// Number of measurement shots.
+        shots: usize,
+    },
+    /// Expectation value of an observable (over logical qubits) on the
+    /// noisy final state of a bound hybrid program. Deterministic — no
+    /// sampling. The hybrid analogue of [`JobSpec::Expectation`].
+    HybridExpectation {
+        /// The observable, width equal to the hybrid shape's graph.
+        observable: PauliSum,
+    },
+    /// Hybrid sampled counts via stochastic statevector trajectories:
+    /// pulse blocks enter the recorded schedule as unitary ops with
+    /// duration-scaled noise channels, one `O(2^n)` trajectory per shot.
+    HybridTrajectoryCounts {
+        /// Number of shots (= trajectories).
+        shots: usize,
+    },
+    /// Hybrid noisy expectation estimated from stochastic trajectories,
+    /// with its standard error.
+    HybridTrajectoryExpectation {
+        /// The observable, width equal to the hybrid shape's graph.
+        observable: PauliSum,
+        /// Ensemble size.
+        trajectories: usize,
+    },
+}
+
+impl JobSpec {
+    /// Whether this spec executes a hybrid gate-pulse program (and thus
+    /// requires a [`JobProgram::Hybrid`] payload).
+    pub fn is_hybrid(&self) -> bool {
+        matches!(
+            self,
+            JobSpec::HybridCounts { .. }
+                | JobSpec::HybridExpectation { .. }
+                | JobSpec::HybridTrajectoryCounts { .. }
+                | JobSpec::HybridTrajectoryExpectation { .. }
+        )
+    }
 }
 
 /// One unit of work submitted to the service.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobRequest {
-    /// The logical circuit. Submit the *parametrized* circuit (not a
-    /// pre-bound copy) so repeated shapes share one compiled program.
-    pub circuit: Circuit,
-    /// Binding for the circuit's free parameters
-    /// (`len == circuit.n_params()`).
+    /// The program to execute (a circuit or a hybrid shape).
+    pub program: JobProgram,
+    /// Binding for the program's free parameters
+    /// (`len == program.n_params()`).
     pub params: Vec<f64>,
     /// What to compute.
     pub spec: JobSpec,
@@ -95,10 +194,20 @@ pub struct JobRequest {
 }
 
 impl JobRequest {
-    /// A request with the default derived seed.
+    /// A circuit request with the default derived seed.
     pub fn new(circuit: Circuit, params: Vec<f64>, spec: JobSpec) -> Self {
         Self {
-            circuit,
+            program: JobProgram::Circuit(circuit),
+            params,
+            spec,
+            seed: None,
+        }
+    }
+
+    /// A hybrid gate-pulse request with the default derived seed.
+    pub fn hybrid(shape: HybridShape, params: Vec<f64>, spec: JobSpec) -> Self {
+        Self {
+            program: JobProgram::Hybrid(shape),
             params,
             spec,
             seed: None,
@@ -111,6 +220,77 @@ impl JobRequest {
         self
     }
 }
+
+/// The stage at which a job failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStage {
+    /// Request validation (parameter counts, observable widths, shot
+    /// counts, spec/program pairing) — before any execution.
+    Validate,
+    /// Shape compilation (routing, pulse-block compilation, layout).
+    Compile,
+    /// Execution on a worker.
+    Execute,
+}
+
+impl fmt::Display for JobStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobStage::Validate => write!(f, "validate"),
+            JobStage::Compile => write!(f, "compile"),
+            JobStage::Execute => write!(f, "execute"),
+        }
+    }
+}
+
+/// A typed per-job failure.
+///
+/// Jobs fail *individually*: a poisoned request in a batch produces one
+/// `JobError` result while every other job runs to completion, and the
+/// id/seed stream advances exactly as if the job had succeeded — so a
+/// retried batch with the bad job fixed reproduces the good jobs bit
+/// for bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobError {
+    /// Where the job failed.
+    pub stage: JobStage,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl JobError {
+    /// A validation-stage error.
+    pub fn validate(message: impl Into<String>) -> Self {
+        Self {
+            stage: JobStage::Validate,
+            message: message.into(),
+        }
+    }
+
+    /// A compile-stage error.
+    pub fn compile(message: impl Into<String>) -> Self {
+        Self {
+            stage: JobStage::Compile,
+            message: message.into(),
+        }
+    }
+
+    /// An execute-stage error.
+    pub fn execute(message: impl Into<String>) -> Self {
+        Self {
+            stage: JobStage::Execute,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// The computed payload of a finished job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -147,20 +327,41 @@ pub enum JobOutput {
     },
 }
 
-/// A finished job: payload plus provenance.
+/// A finished job: payload (or typed failure) plus provenance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobResult {
     /// The job's id (submission order).
     pub id: JobId,
     /// The sampling seed used (derived or explicit). Recorded even for
-    /// deterministic specs, so any result can be replayed.
+    /// deterministic specs and failed jobs, so any result can be
+    /// replayed.
     pub seed: u64,
     /// Whether the compiled program was already cached when this job's
     /// batch started (false exactly for jobs of a shape compiled for
-    /// this batch).
+    /// this batch, and for jobs that failed before compilation).
     pub cache_hit: bool,
-    /// Wall-clock execution time of this job on its worker.
+    /// Wall-clock execution time of this job on its worker (0 for jobs
+    /// rejected at validation).
     pub elapsed_ns: u64,
-    /// The payload.
-    pub output: JobOutput,
+    /// The payload, or the typed failure.
+    pub output: Result<JobOutput, JobError>,
+}
+
+impl JobResult {
+    /// The successful payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the job error) if the job failed.
+    pub fn unwrap_output(&self) -> &JobOutput {
+        match &self.output {
+            Ok(output) => output,
+            Err(e) => panic!("{}: {e}", self.id),
+        }
+    }
+
+    /// The failure, if the job failed.
+    pub fn error(&self) -> Option<&JobError> {
+        self.output.as_ref().err()
+    }
 }

@@ -33,10 +33,15 @@
 use std::fmt;
 
 use hgp_circuit::{Circuit, Gate, Instruction, Param, ParamId};
+use hgp_core::compile::HybridShape;
+use hgp_core::models::GateModelOptions;
+use hgp_graph::Graph;
 use hgp_math::pauli::{Pauli, PauliString, PauliSum};
 use hgp_sim::Counts;
 
-use crate::job::{JobId, JobOutput, JobRequest, JobResult, JobSpec};
+use crate::job::{
+    JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec, JobStage,
+};
 
 /// A JSON document.
 ///
@@ -814,6 +819,155 @@ impl JsonCodec for PauliSum {
     }
 }
 
+impl JsonCodec for Graph {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("n_nodes", Value::from_usize(self.n_nodes())),
+            (
+                "edges",
+                Value::Arr(
+                    self.edges()
+                        .iter()
+                        .map(|e| {
+                            Value::Arr(vec![
+                                Value::from_usize(e.u),
+                                Value::from_usize(e.v),
+                                Value::from_f64(e.weight),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let n_nodes = value.get("n_nodes")?.as_usize()?;
+        // Bound the width at parse time: the duplicate-edge checks below
+        // are quadratic in the edge count, so an unbounded wire-supplied
+        // graph could pin the parsing thread long before the shape-level
+        // qubit bound (`HybridShape::MAX_QUBITS`) runs. 64 nodes is well
+        // past anything the simulators can evaluate.
+        if n_nodes > 64 {
+            return Err(format!("graph has {n_nodes} nodes (wire format max 64)"));
+        }
+        let mut graph = Graph::new(n_nodes);
+        for edge in value.get("edges")?.as_arr()? {
+            let parts = edge.as_arr()?;
+            if parts.len() != 3 {
+                return Err("edges are [u, v, weight] triples".to_string());
+            }
+            let u = parts[0].as_usize()?;
+            let v = parts[1].as_usize()?;
+            // Pre-validate everything Graph::add_edge would panic on —
+            // wire input must produce errors, not panics.
+            if u == v {
+                return Err(format!("self-loop on node {u}"));
+            }
+            if u >= n_nodes || v >= n_nodes {
+                return Err(format!("edge ({u}, {v}) out of range"));
+            }
+            if graph.has_edge(u, v) {
+                return Err(format!("duplicate edge ({u}, {v})"));
+            }
+            graph.add_edge(u, v, parts[2].as_f64()?);
+        }
+        Ok(graph)
+    }
+}
+
+impl JsonCodec for GateModelOptions {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("cancellation", Value::Bool(self.cancellation)),
+            ("sabre_iterations", Value::from_usize(self.sabre_iterations)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        Ok(GateModelOptions {
+            cancellation: value.get("cancellation")?.as_bool()?,
+            sabre_iterations: value.get("sabre_iterations")?.as_usize()?,
+        })
+    }
+}
+
+impl JsonCodec for HybridShape {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("graph", self.graph().to_json()),
+            ("p", Value::from_usize(self.p())),
+            (
+                "mixer_duration_dt",
+                Value::from_u64(u64::from(self.mixer_duration_dt())),
+            ),
+            ("options", self.options().to_json()),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let graph = Graph::from_json(value.get("graph")?)?;
+        let p = value.get("p")?.as_usize()?;
+        let duration = u32::try_from(value.get("mixer_duration_dt")?.as_u64()?)
+            .map_err(|e| format!("bad mixer duration: {e}"))?;
+        let options = GateModelOptions::from_json(value.get("options")?)?;
+        Ok(HybridShape::new(graph, p)
+            .with_mixer_duration(duration)
+            .with_options(options))
+    }
+}
+
+impl JsonCodec for JobProgram {
+    fn to_json(&self) -> Value {
+        match self {
+            JobProgram::Circuit(circuit) => obj(vec![("circuit", circuit.to_json())]),
+            JobProgram::Hybrid(shape) => obj(vec![("hybrid", shape.to_json())]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        // Exactly one program key: an ambiguous body (e.g. two request
+        // templates merged by a client bug) must be a parse error, not
+        // a silent preference.
+        match (value.opt("circuit")?, value.opt("hybrid")?) {
+            (Some(c), None) => Ok(JobProgram::Circuit(Circuit::from_json(c)?)),
+            (None, Some(h)) => Ok(JobProgram::Hybrid(HybridShape::from_json(h)?)),
+            _ => Err("program must have exactly one of \"circuit\"/\"hybrid\"".to_string()),
+        }
+    }
+}
+
+impl JsonCodec for JobStage {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        match value.as_str()? {
+            "validate" => Ok(JobStage::Validate),
+            "compile" => Ok(JobStage::Compile),
+            "execute" => Ok(JobStage::Execute),
+            other => Err(format!("unknown job stage {other:?}")),
+        }
+    }
+}
+
+impl JsonCodec for JobError {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("stage", self.stage.to_json()),
+            ("message", Value::Str(self.message.clone())),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        Ok(JobError {
+            stage: JobStage::from_json(value.get("stage")?)?,
+            message: value.get("message")?.as_str()?.to_string(),
+        })
+    }
+}
+
 impl JsonCodec for JobId {
     fn to_json(&self) -> Value {
         Value::from_u64(self.0)
@@ -849,6 +1003,26 @@ impl JsonCodec for JobSpec {
                 ("observable", observable.to_json()),
                 ("trajectories", Value::from_usize(*trajectories)),
             ]),
+            JobSpec::HybridCounts { shots } => obj(vec![
+                ("kind", Value::Str("hybrid_counts".into())),
+                ("shots", Value::from_usize(*shots)),
+            ]),
+            JobSpec::HybridExpectation { observable } => obj(vec![
+                ("kind", Value::Str("hybrid_expectation".into())),
+                ("observable", observable.to_json()),
+            ]),
+            JobSpec::HybridTrajectoryCounts { shots } => obj(vec![
+                ("kind", Value::Str("hybrid_trajectory_counts".into())),
+                ("shots", Value::from_usize(*shots)),
+            ]),
+            JobSpec::HybridTrajectoryExpectation {
+                observable,
+                trajectories,
+            } => obj(vec![
+                ("kind", Value::Str("hybrid_trajectory_expectation".into())),
+                ("observable", observable.to_json()),
+                ("trajectories", Value::from_usize(*trajectories)),
+            ]),
         }
     }
 
@@ -869,6 +1043,19 @@ impl JsonCodec for JobSpec {
                 observable: PauliSum::from_json(value.get("observable")?)?,
                 trajectories: value.get("trajectories")?.as_usize()?,
             }),
+            "hybrid_counts" => Ok(JobSpec::HybridCounts {
+                shots: value.get("shots")?.as_usize()?,
+            }),
+            "hybrid_expectation" => Ok(JobSpec::HybridExpectation {
+                observable: PauliSum::from_json(value.get("observable")?)?,
+            }),
+            "hybrid_trajectory_counts" => Ok(JobSpec::HybridTrajectoryCounts {
+                shots: value.get("shots")?.as_usize()?,
+            }),
+            "hybrid_trajectory_expectation" => Ok(JobSpec::HybridTrajectoryExpectation {
+                observable: PauliSum::from_json(value.get("observable")?)?,
+                trajectories: value.get("trajectories")?.as_usize()?,
+            }),
             other => Err(format!("unknown job kind {other:?}")),
         }
     }
@@ -876,8 +1063,15 @@ impl JsonCodec for JobSpec {
 
 impl JsonCodec for JobRequest {
     fn to_json(&self) -> Value {
+        // The program is flattened into the request object ("circuit"
+        // or "hybrid" key), keeping circuit requests byte-compatible
+        // with the pre-hybrid wire format.
+        let program_member = match &self.program {
+            JobProgram::Circuit(circuit) => ("circuit", circuit.to_json()),
+            JobProgram::Hybrid(shape) => ("hybrid", shape.to_json()),
+        };
         let mut members = vec![
-            ("circuit", self.circuit.to_json()),
+            program_member,
             ("params", f64_arr(&self.params)),
             ("spec", self.spec.to_json()),
         ];
@@ -889,7 +1083,7 @@ impl JsonCodec for JobRequest {
 
     fn from_json(value: &Value) -> Result<Self, String> {
         Ok(JobRequest {
-            circuit: Circuit::from_json(value.get("circuit")?)?,
+            program: JobProgram::from_json(value)?,
             params: f64_vec(value.get("params")?)?,
             spec: JobSpec::from_json(value.get("spec")?)?,
             seed: value.opt("seed")?.map(Value::as_u64).transpose()?,
@@ -965,22 +1159,31 @@ impl JsonCodec for JobOutput {
 
 impl JsonCodec for JobResult {
     fn to_json(&self) -> Value {
+        let payload = match &self.output {
+            Ok(output) => ("output", output.to_json()),
+            Err(error) => ("error", error.to_json()),
+        };
         obj(vec![
             ("id", self.id.to_json()),
             ("seed", Value::from_u64(self.seed)),
             ("cache_hit", Value::Bool(self.cache_hit)),
             ("elapsed_ns", Value::from_u64(self.elapsed_ns)),
-            ("output", self.output.to_json()),
+            payload,
         ])
     }
 
     fn from_json(value: &Value) -> Result<Self, String> {
+        let output = match (value.opt("output")?, value.opt("error")?) {
+            (Some(output), None) => Ok(JobOutput::from_json(output)?),
+            (None, Some(error)) => Err(JobError::from_json(error)?),
+            _ => return Err("result must have exactly one of \"output\"/\"error\"".to_string()),
+        };
         Ok(JobResult {
             id: JobId::from_json(value.get("id")?)?,
             seed: value.get("seed")?.as_u64()?,
             cache_hit: value.get("cache_hit")?.as_bool()?,
             elapsed_ns: value.get("elapsed_ns")?.as_u64()?,
-            output: JobOutput::from_json(value.get("output")?)?,
+            output,
         })
     }
 }
@@ -1032,6 +1235,30 @@ mod tests {
             let text = Value::from_f64(v).to_string();
             let back: f64 = Value::parse(&text).unwrap().as_f64().unwrap();
             assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {text}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_program_payloads_are_rejected() {
+        // Both program keys present: must be a parse error, never a
+        // silent preference for one of them.
+        let both = r#"{"circuit":{"n_qubits":1,"n_params":0,"instructions":[]},
+            "hybrid":{"graph":{"n_nodes":2,"edges":[[0,1,1.0]]},"p":1,
+                      "mixer_duration_dt":320,
+                      "options":{"cancellation":false,"sabre_iterations":0}},
+            "params":[],"spec":{"kind":"statevector"}}"#;
+        let err = JobRequest::from_json_str(both).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        // Malformed graphs are parse errors too (never panics), and an
+        // absurd wire-supplied width is rejected before the quadratic
+        // edge validation can run.
+        for bad in [
+            r#"{"n_nodes":2,"edges":[[0,0,1.0]]}"#,
+            r#"{"n_nodes":2,"edges":[[0,5,1.0]]}"#,
+            r#"{"n_nodes":2,"edges":[[0,1,1.0],[1,0,2.0]]}"#,
+            r#"{"n_nodes":100000,"edges":[]}"#,
+        ] {
+            assert!(Graph::from_json_str(bad).is_err(), "accepted {bad}");
         }
     }
 

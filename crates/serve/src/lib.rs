@@ -64,7 +64,7 @@ pub mod json;
 pub mod metrics;
 pub mod service;
 
-pub use cache::ProgramCache;
-pub use job::{JobId, JobOutput, JobRequest, JobResult, JobSpec};
+pub use cache::{CompiledArtifact, ProgramCache};
+pub use job::{JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec, JobStage};
 pub use metrics::ServeMetrics;
 pub use service::{ServeConfig, Service};

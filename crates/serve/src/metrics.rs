@@ -12,6 +12,9 @@ use std::fmt;
 pub struct ServeMetrics {
     /// Jobs finished.
     pub jobs_completed: u64,
+    /// Jobs answered with a typed [`crate::JobError`] (a subset of
+    /// `jobs_completed`; failed jobs still consume stream positions).
+    pub jobs_failed: u64,
     /// `run_batch` calls served.
     pub batches: u64,
     /// Shape groups dispatched (one per distinct structural key per
@@ -63,9 +66,10 @@ impl fmt::Display for ServeMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} jobs in {} batches | {:.0} jobs/s | mean latency {:.1} us | \
+            "{} jobs ({} failed) in {} batches | {:.0} jobs/s | mean latency {:.1} us | \
              cache {}/{} hits ({:.0}%) | compile {:.2} ms",
             self.jobs_completed,
+            self.jobs_failed,
             self.batches,
             self.throughput_jobs_per_sec(),
             self.mean_job_latency_ns() / 1e3,
@@ -85,6 +89,7 @@ mod tests {
     fn derived_rates() {
         let m = ServeMetrics {
             jobs_completed: 100,
+            jobs_failed: 0,
             batches: 2,
             shape_groups: 3,
             cache_hits: 2,

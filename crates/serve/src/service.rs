@@ -8,20 +8,29 @@
 //!    [`JobId`] and a sampling seed derived from the service's base seed
 //!    and that id ([`hgp_sim::seed::stream_seed`]), unless the request
 //!    pinned one. Seeds are therefore a pure function of submission
-//!    order, never of worker scheduling.
-//! 2. **Compile** — jobs are grouped by
-//!    [`Circuit::structural_key`]; each distinct shape is looked up in
-//!    the LRU [`ProgramCache`] and compiled on miss
+//!    order, never of worker scheduling. Requests that fail validation
+//!    (bad parameter counts, mismatched observables, zero shot counts,
+//!    a hybrid spec on a circuit payload) are answered with a
+//!    [`JobError`] — they still consume their stream position, so the
+//!    surviving jobs of the batch are bit-identical to a batch without
+//!    the poisoned entry *replaced by any other single job*.
+//! 2. **Compile** — jobs are grouped by structural key
+//!    ([`Circuit::structural_key`] for circuit programs,
+//!    [`hgp_core::compile::HybridShape::structural_key`] for hybrid
+//!    gate-pulse programs); each distinct shape is looked up in the LRU
+//!    [`ProgramCache`] and compiled on miss
 //!    ([`hgp_core::compile::CircuitCompiler`] — cancellation, SABRE
-//!    placement, routing), once, no matter how many jobs share it.
+//!    placement, routing; for hybrid shapes also per-layer layout
+//!    chaining and mixer pulse calibration), once, no matter how many
+//!    jobs share it. A shape that fails to compile (e.g. a malformed
+//!    pulse schedule) fails exactly the jobs of that shape, with a
+//!    compile-stage [`JobError`].
 //! 3. **Dispatch** — every shape group is chunked across the worker
 //!    pool (std threads + mpsc channels). A chunk carries its shared
-//!    `Arc<CompiledCircuit>`; workers bind each job's parameters
-//!    (`O(gates)`) and execute. This is the same batch-evaluation shape
-//!    as `hgp_optim`'s `BatchObjective`: one compiled artifact, a slice
-//!    of parameter points, independent evaluations
-//!    ([`Service::expectation_batch`] packages it as exactly that
-//!    closure).
+//!    compiled artifact; workers bind each job's parameters and execute.
+//!    Execution is wrapped in a panic boundary: any residual panic on
+//!    request-derived data becomes an execute-stage [`JobError`] instead
+//!    of killing the worker.
 //! 4. **Collection** — results return over a channel and are reordered
 //!    by submission index; metrics accumulate.
 //!
@@ -29,22 +38,24 @@
 //! seed)` and all three are fixed at admission, **any concurrent
 //! schedule is bit-identical to sequential execution** — the
 //! integration suite pins this against hand-driven
-//! [`Executor`](hgp_core::executor::Executor) runs.
+//! [`Executor`](hgp_core::executor::Executor) runs for circuit and
+//! hybrid programs alike.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use hgp_circuit::Circuit;
-use hgp_core::compile::{CircuitCompiler, CompiledCircuit};
+use hgp_core::compile::{CircuitCompiler, HybridShape};
 use hgp_core::models::GateModelOptions;
 use hgp_device::Backend;
 use hgp_math::pauli::PauliSum;
 use hgp_sim::seed::stream_seed;
 use hgp_sim::{DensityMatrix, SimBackend, StateVector};
 
-use crate::cache::ProgramCache;
-use crate::job::{JobId, JobOutput, JobRequest, JobResult, JobSpec};
+use crate::cache::{CompiledArtifact, ProgramCache};
+use crate::job::{JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec};
 use crate::metrics::ServeMetrics;
 
 /// Service configuration.
@@ -61,7 +72,8 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Base seed of the service's evaluation stream.
     pub base_seed: u64,
-    /// Transpilation passes applied once per shape.
+    /// Transpilation passes applied once per circuit shape (hybrid
+    /// shapes carry their own pass configuration).
     pub compile_options: GateModelOptions,
 }
 
@@ -105,7 +117,7 @@ impl ServeConfig {
         self
     }
 
-    /// Overrides the compilation passes.
+    /// Overrides the compilation passes for circuit shapes.
     pub fn with_compile_options(mut self, options: GateModelOptions) -> Self {
         self.compile_options = options;
         self
@@ -121,10 +133,23 @@ struct PreparedJob {
     spec: JobSpec,
 }
 
+impl PreparedJob {
+    /// A result shell for a job that never reached a worker.
+    fn failed(&self, error: JobError) -> JobResult {
+        JobResult {
+            id: self.id,
+            seed: self.seed,
+            cache_hit: false,
+            elapsed_ns: 0,
+            output: Err(error),
+        }
+    }
+}
+
 /// One unit of worker work: a chunk of same-shape jobs plus their
 /// shared compiled program.
 struct WorkUnit {
-    compiled: Arc<CompiledCircuit>,
+    compiled: CompiledArtifact,
     cache_hit: bool,
     jobs: Vec<PreparedJob>,
 }
@@ -179,15 +204,91 @@ impl<'a> Service<'a> {
         &self.cache
     }
 
+    /// Validates one request against its own declared shape. Runs at
+    /// admission, before any execution; failures become validate-stage
+    /// job errors, never panics.
+    fn validate(request: &JobRequest) -> Result<(), JobError> {
+        if request.params.len() != request.program.n_params() {
+            return Err(JobError::validate(format!(
+                "expected {} parameter(s), got {}",
+                request.program.n_params(),
+                request.params.len()
+            )));
+        }
+        let is_hybrid_program = matches!(request.program, JobProgram::Hybrid(_));
+        if request.spec.is_hybrid() != is_hybrid_program {
+            return Err(JobError::validate(if is_hybrid_program {
+                "hybrid programs require a Hybrid* job spec"
+            } else {
+                "circuit programs cannot run under a Hybrid* job spec"
+            }));
+        }
+        let observable = match &request.spec {
+            JobSpec::Expectation { observable }
+            | JobSpec::TrajectoryExpectation { observable, .. }
+            | JobSpec::HybridExpectation { observable }
+            | JobSpec::HybridTrajectoryExpectation { observable, .. } => Some(observable),
+            _ => None,
+        };
+        if let Some(observable) = observable {
+            if observable.n_qubits() != request.program.n_qubits() {
+                return Err(JobError::validate(format!(
+                    "observable width {} must match the program width {}",
+                    observable.n_qubits(),
+                    request.program.n_qubits()
+                )));
+            }
+        }
+        match &request.spec {
+            JobSpec::Counts { shots: 0 } | JobSpec::HybridCounts { shots: 0 } => {
+                return Err(JobError::validate("sampling needs at least one shot"));
+            }
+            JobSpec::TrajectoryCounts { shots: 0 }
+            | JobSpec::HybridTrajectoryCounts { shots: 0 } => {
+                return Err(JobError::validate(
+                    "trajectory sampling needs at least one shot",
+                ));
+            }
+            JobSpec::TrajectoryExpectation {
+                trajectories: 0, ..
+            }
+            | JobSpec::HybridTrajectoryExpectation {
+                trajectories: 0, ..
+            } => {
+                return Err(JobError::validate(
+                    "trajectory estimation needs at least one trajectory",
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Compiles one shape group's program (cache miss path).
+    fn compile_program(&mut self, program: &JobProgram) -> Result<CompiledArtifact, JobError> {
+        let compiler = CircuitCompiler::new(self.backend, self.config.layout.clone())
+            .with_options(self.config.compile_options);
+        let t0 = Instant::now();
+        let artifact = match program {
+            JobProgram::Circuit(circuit) => compiler
+                .compile(circuit)
+                .map(|c| CompiledArtifact::Circuit(Arc::new(c))),
+            JobProgram::Hybrid(shape) => compiler
+                .compile_hybrid(shape)
+                .map(|p| CompiledArtifact::Hybrid(Arc::new(p))),
+        }
+        .map_err(JobError::compile)?;
+        self.metrics.compile_ns += t0.elapsed().as_nanos() as u64;
+        Ok(artifact)
+    }
+
     /// Serves one batch of jobs, returning results in submission order.
     ///
-    /// # Panics
-    ///
-    /// Panics on malformed requests: a circuit wider than the layout, a
-    /// parameter vector whose length disagrees with the circuit, or an
-    /// expectation observable of the wrong width. Validation is atomic
-    /// — it runs for the whole batch *before* any job id is assigned,
-    /// so a rejected batch never advances the seed stream.
+    /// Malformed requests — wrong parameter counts, mismatched
+    /// observables, spec/program family mismatches, uncompilable shapes
+    /// — fail **individually** with a typed [`JobError`]; the rest of
+    /// the batch executes normally. Every admitted job (failed or not)
+    /// consumes one position of the id/seed stream.
     pub fn run_batch(&mut self, requests: Vec<JobRequest>) -> Vec<JobResult> {
         if requests.is_empty() {
             return Vec::new();
@@ -195,40 +296,10 @@ impl<'a> Service<'a> {
         let wall = Instant::now();
         let n_jobs = requests.len();
 
-        // 0. Validate everything before touching the id/seed stream.
-        for (index, request) in requests.iter().enumerate() {
-            assert_eq!(
-                request.params.len(),
-                request.circuit.n_params(),
-                "request {index}: expected {} parameter(s)",
-                request.circuit.n_params()
-            );
-            match &request.spec {
-                JobSpec::Expectation { observable }
-                | JobSpec::TrajectoryExpectation { observable, .. } => {
-                    assert_eq!(
-                        observable.n_qubits(),
-                        request.circuit.n_qubits(),
-                        "request {index}: observable width must match the circuit"
-                    );
-                }
-                _ => {}
-            }
-            match &request.spec {
-                JobSpec::TrajectoryCounts { shots: 0 } => {
-                    panic!("request {index}: trajectory sampling needs at least one shot")
-                }
-                JobSpec::TrajectoryExpectation {
-                    trajectories: 0, ..
-                } => panic!("request {index}: trajectory estimation needs at least one trajectory"),
-                _ => {}
-            }
-        }
-
-        // 1. Admission: fix ids and seeds by submission order.
-        let compiler = CircuitCompiler::new(self.backend, self.config.layout.clone())
-            .with_options(self.config.compile_options);
-        let mut groups: Vec<(u64, &Circuit, Vec<PreparedJob>)> = Vec::new();
+        // 1. Admission: fix ids and seeds by submission order; peel off
+        // requests that fail validation.
+        let mut rejected: Vec<(usize, JobResult)> = Vec::new();
+        let mut groups: Vec<(u64, &JobProgram, Vec<PreparedJob>)> = Vec::new();
         for (index, request) in requests.iter().enumerate() {
             let id = JobId(self.next_job);
             self.next_job += 1;
@@ -242,30 +313,37 @@ impl<'a> Service<'a> {
                 params: request.params.clone(),
                 spec: request.spec.clone(),
             };
-            let key = request.circuit.structural_key();
+            if let Err(error) = Self::validate(request) {
+                rejected.push((index, job.failed(error)));
+                continue;
+            }
+            let key = request.program.structural_key();
             match groups.iter_mut().find(|(k, _, _)| *k == key) {
                 Some((_, _, jobs)) => jobs.push(job),
-                None => groups.push((key, &request.circuit, vec![job])),
+                None => groups.push((key, &request.program, vec![job])),
             }
         }
 
-        // 2. Compile each distinct shape once (cache hit or miss).
+        // 2. Compile each distinct shape once (cache hit or miss); a
+        // compile failure fails its whole group, one error per job.
         self.metrics.shape_groups += groups.len() as u64;
         let mut units: Vec<WorkUnit> = Vec::new();
-        for (key, circuit, jobs) in groups {
+        for (key, program, jobs) in groups {
             let (compiled, cache_hit) = match self.cache.get(key) {
                 Some(compiled) => (compiled, true),
-                None => {
-                    let t0 = Instant::now();
-                    let compiled = Arc::new(
-                        compiler
-                            .compile(circuit)
-                            .unwrap_or_else(|e| panic!("compile failed: {e}")),
-                    );
-                    self.metrics.compile_ns += t0.elapsed().as_nanos() as u64;
-                    self.cache.insert(Arc::clone(&compiled));
-                    (compiled, false)
-                }
+                None => match self.compile_program(program) {
+                    Ok(compiled) => {
+                        self.cache.insert(compiled.clone());
+                        (compiled, false)
+                    }
+                    Err(error) => {
+                        for job in jobs {
+                            let failed = job.failed(error.clone());
+                            rejected.push((job.index, failed));
+                        }
+                        continue;
+                    }
+                },
             };
             // 3a. Chunk the group across the pool so one hot shape does
             // not serialize on a single worker.
@@ -274,7 +352,7 @@ impl<'a> Service<'a> {
             while !jobs.is_empty() {
                 let rest = jobs.split_off(chunk.min(jobs.len()));
                 units.push(WorkUnit {
-                    compiled: Arc::clone(&compiled),
+                    compiled: compiled.clone(),
                     cache_hit,
                     jobs,
                 });
@@ -311,8 +389,12 @@ impl<'a> Service<'a> {
                 });
             }
             drop(result_tx);
-            // 4. Collect and reorder.
+            // 4. Collect and reorder (rejected jobs fill their slots
+            // directly).
             let mut slots: Vec<Option<JobResult>> = (0..n_jobs).map(|_| None).collect();
+            for (index, result) in rejected {
+                slots[index] = Some(result);
+            }
             for (index, result) in result_rx {
                 self.metrics.exec_ns += result.elapsed_ns;
                 slots[index] = Some(result);
@@ -321,6 +403,7 @@ impl<'a> Service<'a> {
                 .into_iter()
                 .map(|r| r.expect("every job reports exactly once"))
                 .collect();
+            self.metrics.jobs_failed += results.iter().filter(|r| r.output.is_err()).count() as u64;
             self.metrics.jobs_completed += n_jobs as u64;
             self.metrics.batches += 1;
             self.metrics.wall_ns += wall.elapsed().as_nanos() as u64;
@@ -345,6 +428,11 @@ impl<'a> Service<'a> {
     ///     |xs: &[Vec<f64>]| service.expectation_batch(&circuit, &observable, xs);
     /// let result = Cobyla::new(60).minimize_batch(&mut objective, &x0);
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job fails (an optimization driver is programmer
+    /// infrastructure, not a request boundary).
     pub fn expectation_batch(
         &mut self,
         circuit: &Circuit,
@@ -365,86 +453,188 @@ impl<'a> Service<'a> {
             .collect();
         self.run_batch(requests)
             .into_iter()
-            .map(|r| match r.output {
-                JobOutput::Expectation { value } => value,
+            .map(|r| match r.unwrap_output() {
+                JobOutput::Expectation { value } => *value,
                 other => unreachable!("expectation job produced {other:?}"),
+            })
+            .collect()
+    }
+
+    /// The hybrid counterpart of [`Service::expectation_batch`]:
+    /// evaluates `observable` on the hybrid gate-pulse `shape` at a
+    /// slice of full parameter points (`[gamma, theta, phase_0, f_0,
+    /// ...]` per layer). One compiled hybrid program serves every point
+    /// — this is the entry the two-stage (coarse gate / fine pulse-trim)
+    /// training loop drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job fails.
+    pub fn hybrid_expectation_batch(
+        &mut self,
+        shape: &HybridShape,
+        observable: &PauliSum,
+        points: &[Vec<f64>],
+    ) -> Vec<f64> {
+        let requests = points
+            .iter()
+            .map(|x| {
+                JobRequest::hybrid(
+                    shape.clone(),
+                    x.clone(),
+                    JobSpec::HybridExpectation {
+                        observable: observable.clone(),
+                    },
+                )
+            })
+            .collect();
+        self.run_batch(requests)
+            .into_iter()
+            .map(|r| match r.unwrap_output() {
+                JobOutput::Expectation { value } => *value,
+                other => unreachable!("hybrid expectation job produced {other:?}"),
             })
             .collect()
     }
 }
 
 /// Executes one job against its compiled shape. Pure in `(compiled,
-/// params, seed)` — the determinism contract lives here.
+/// params, seed)` — the determinism contract lives here. The panic
+/// boundary converts any residual panic on request-derived data into an
+/// execute-stage [`JobError`]: a bad job must never take its worker
+/// thread down.
 fn execute_job(
     backend: &Backend,
-    compiled: &CompiledCircuit,
+    compiled: &CompiledArtifact,
     cache_hit: bool,
     job: PreparedJob,
 ) -> JobResult {
     let t0 = Instant::now();
-    let output = match &job.spec {
-        JobSpec::StateVector => {
-            let wire = StateVector::execute(&compiled.circuit().bind(&job.params))
-                .expect("compiled circuits bind fully");
-            JobOutput::StateVector {
-                probabilities: compiled.decode_probabilities(&wire.probabilities()),
-            }
-        }
-        JobSpec::DensityMatrix => {
-            let program = compiled.bind(&job.params);
-            let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
-            JobOutput::DensityMatrix {
-                probabilities: compiled.decode_probabilities(&rho.probabilities()),
-                purity: rho.purity(),
-            }
-        }
-        JobSpec::Counts { shots } => {
-            let program = compiled.bind(&job.params);
-            let counts = compiled
-                .executor(backend)
-                .sample(&program, *shots, job.seed);
-            JobOutput::Counts(compiled.decode_counts(&counts))
-        }
-        JobSpec::Expectation { observable } => {
-            let program = compiled.bind(&job.params);
-            let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
-            JobOutput::Expectation {
-                value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
-            }
-        }
-        JobSpec::TrajectoryCounts { shots } => {
-            let program = compiled.bind(&job.params);
-            // The executor reuses the noise model cached with the
-            // compiled shape; trajectory i draws its randomness from
-            // stream position (job seed, i).
-            let counts = compiled
-                .executor(backend)
-                .sample_trajectories(&program, *shots, job.seed);
-            JobOutput::TrajectoryCounts(compiled.decode_counts(&counts))
-        }
-        JobSpec::TrajectoryExpectation {
-            observable,
-            trajectories,
-        } => {
-            let program = compiled.bind(&job.params);
-            let (value, std_error) = compiled.executor(backend).expectation_trajectories(
-                &program,
-                &compiled.wire_observable(observable),
-                *trajectories,
-                job.seed,
-            );
-            JobOutput::TrajectoryExpectation {
-                value,
-                std_error,
-                trajectories: *trajectories,
-            }
-        }
-    };
+    let output = catch_unwind(AssertUnwindSafe(|| execute_spec(backend, compiled, &job)))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            Err(JobError::execute(message))
+        });
     JobResult {
         id: job.id,
         seed: job.seed,
         cache_hit,
         elapsed_ns: t0.elapsed().as_nanos() as u64,
         output,
+    }
+}
+
+/// The spec dispatch of [`execute_job`].
+fn execute_spec(
+    backend: &Backend,
+    compiled: &CompiledArtifact,
+    job: &PreparedJob,
+) -> Result<JobOutput, JobError> {
+    match (compiled, &job.spec) {
+        (CompiledArtifact::Circuit(compiled), spec) if !spec.is_hybrid() => match spec {
+            JobSpec::StateVector => {
+                let wire = StateVector::execute(&compiled.circuit().bind(&job.params))
+                    .expect("compiled circuits bind fully");
+                Ok(JobOutput::StateVector {
+                    probabilities: compiled.decode_probabilities(&wire.probabilities()),
+                })
+            }
+            JobSpec::DensityMatrix => {
+                let program = compiled.bind(&job.params);
+                let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
+                Ok(JobOutput::DensityMatrix {
+                    probabilities: compiled.decode_probabilities(&rho.probabilities()),
+                    purity: rho.purity(),
+                })
+            }
+            JobSpec::Counts { shots } => {
+                let program = compiled.bind(&job.params);
+                let counts = compiled
+                    .executor(backend)
+                    .sample(&program, *shots, job.seed);
+                Ok(JobOutput::Counts(compiled.decode_counts(&counts)))
+            }
+            JobSpec::Expectation { observable } => {
+                let program = compiled.bind(&job.params);
+                let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
+                Ok(JobOutput::Expectation {
+                    value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
+                })
+            }
+            JobSpec::TrajectoryCounts { shots } => {
+                let program = compiled.bind(&job.params);
+                // The executor reuses the noise model cached with the
+                // compiled shape; trajectory i draws its randomness from
+                // stream position (job seed, i).
+                let counts = compiled
+                    .executor(backend)
+                    .sample_trajectories(&program, *shots, job.seed);
+                Ok(JobOutput::TrajectoryCounts(compiled.decode_counts(&counts)))
+            }
+            JobSpec::TrajectoryExpectation {
+                observable,
+                trajectories,
+            } => {
+                let program = compiled.bind(&job.params);
+                let (value, std_error) = compiled.executor(backend).expectation_trajectories(
+                    &program,
+                    &compiled.wire_observable(observable),
+                    *trajectories,
+                    job.seed,
+                );
+                Ok(JobOutput::TrajectoryExpectation {
+                    value,
+                    std_error,
+                    trajectories: *trajectories,
+                })
+            }
+            _ => unreachable!("validated spec/program pairing"),
+        },
+        (CompiledArtifact::Hybrid(compiled), spec) => match spec {
+            JobSpec::HybridCounts { shots } => {
+                let program = compiled.bind(&job.params);
+                let counts = compiled
+                    .executor(backend)
+                    .sample(&program, *shots, job.seed);
+                Ok(JobOutput::Counts(compiled.decode_counts(&counts)))
+            }
+            JobSpec::HybridExpectation { observable } => {
+                let program = compiled.bind(&job.params);
+                let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
+                Ok(JobOutput::Expectation {
+                    value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
+                })
+            }
+            JobSpec::HybridTrajectoryCounts { shots } => {
+                let program = compiled.bind(&job.params);
+                let counts = compiled
+                    .executor(backend)
+                    .sample_trajectories(&program, *shots, job.seed);
+                Ok(JobOutput::TrajectoryCounts(compiled.decode_counts(&counts)))
+            }
+            JobSpec::HybridTrajectoryExpectation {
+                observable,
+                trajectories,
+            } => {
+                let program = compiled.bind(&job.params);
+                let (value, std_error) = compiled.executor(backend).expectation_trajectories(
+                    &program,
+                    &compiled.wire_observable(observable),
+                    *trajectories,
+                    job.seed,
+                );
+                Ok(JobOutput::TrajectoryExpectation {
+                    value,
+                    std_error,
+                    trajectories: *trajectories,
+                })
+            }
+            _ => unreachable!("validated spec/program pairing"),
+        },
+        _ => unreachable!("validated spec/program pairing"),
     }
 }

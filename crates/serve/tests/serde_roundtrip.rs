@@ -8,9 +8,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use hgp_circuit::{Circuit, Gate, Param, ParamId};
+use hgp_core::compile::HybridShape;
+use hgp_core::models::GateModelOptions;
+use hgp_graph::Graph;
 use hgp_math::pauli::{Pauli, PauliString, PauliSum};
 use hgp_serve::json::JsonCodec;
-use hgp_serve::{JobId, JobOutput, JobRequest, JobResult, JobSpec};
+use hgp_serve::{JobError, JobId, JobOutput, JobRequest, JobResult, JobSpec, JobStage};
 use hgp_sim::Counts;
 
 /// A random (possibly parametrized) circuit drawn from the full gate
@@ -122,19 +125,89 @@ fn random_spec(rng: &mut StdRng, n: usize) -> JobSpec {
     }
 }
 
+fn random_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(2usize..7);
+    let mut graph = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(0.5) {
+                graph.add_edge(u, v, rng.gen_range(-2.0..2.0));
+            }
+        }
+    }
+    graph
+}
+
+fn random_hybrid_shape(rng: &mut StdRng) -> HybridShape {
+    let graph = random_graph(rng);
+    let options = GateModelOptions {
+        cancellation: rng.gen_bool(0.5),
+        sabre_iterations: rng.gen_range(0usize..4),
+    };
+    HybridShape::new(graph, rng.gen_range(1usize..4))
+        .with_mixer_duration(32 * rng.gen_range(1u32..12))
+        .with_options(options)
+}
+
+fn random_hybrid_spec(rng: &mut StdRng, n: usize) -> JobSpec {
+    match rng.gen_range(0u32..4) {
+        0 => JobSpec::HybridCounts {
+            shots: rng.gen_range(1usize..100_000),
+        },
+        1 => JobSpec::HybridTrajectoryCounts {
+            shots: rng.gen_range(1usize..100_000),
+        },
+        2 => JobSpec::HybridTrajectoryExpectation {
+            observable: random_observable(rng, n),
+            trajectories: rng.gen_range(1usize..10_000),
+        },
+        _ => JobSpec::HybridExpectation {
+            observable: random_observable(rng, n),
+        },
+    }
+}
+
 fn random_request(rng: &mut StdRng) -> JobRequest {
-    let circuit = random_circuit(rng);
-    let n = circuit.n_qubits();
-    let params: Vec<f64> = (0..circuit.n_params())
-        .map(|_| rng.gen_range(-7.0..7.0))
-        .collect();
-    let mut request = JobRequest::new(circuit, params, random_spec(rng, n));
+    let mut request = if rng.gen_bool(0.5) {
+        let circuit = random_circuit(rng);
+        let n = circuit.n_qubits();
+        let params: Vec<f64> = (0..circuit.n_params())
+            .map(|_| rng.gen_range(-7.0..7.0))
+            .collect();
+        JobRequest::new(circuit, params, random_spec(rng, n))
+    } else {
+        let shape = random_hybrid_shape(rng);
+        let n = shape.n_qubits();
+        let params: Vec<f64> = (0..shape.n_params())
+            .map(|_| rng.gen_range(-7.0..7.0))
+            .collect();
+        JobRequest::hybrid(shape, params, random_hybrid_spec(rng, n))
+    };
     if rng.gen_bool(0.5) {
         // Full u64 range: seeds above 2^53 must survive (they would not
         // through an f64 number path).
         request = request.with_seed(rng.gen());
     }
     request
+}
+
+fn random_outcome(rng: &mut StdRng) -> Result<JobOutput, JobError> {
+    if rng.gen_bool(0.25) {
+        let stage = match rng.gen_range(0u32..3) {
+            0 => JobStage::Validate,
+            1 => JobStage::Compile,
+            _ => JobStage::Execute,
+        };
+        Err(JobError {
+            stage,
+            message: format!(
+                "failure #{} with \"quotes\" and \n newlines",
+                rng.gen::<u32>()
+            ),
+        })
+    } else {
+        Ok(random_output(rng))
+    }
 }
 
 fn random_output(rng: &mut StdRng) -> JobOutput {
@@ -196,9 +269,20 @@ proptest! {
             seed: rng.gen(),
             cache_hit: rng.gen_bool(0.5),
             elapsed_ns: rng.gen(),
-            output: random_output(&mut rng),
+            output: random_outcome(&mut rng),
         };
         prop_assert_eq!(JobResult::from_json_str(&result.to_json_string()).unwrap(), result);
+    }
+
+    #[test]
+    fn hybrid_shape_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = random_hybrid_shape(&mut rng);
+        let back = HybridShape::from_json_str(&shape.to_json_string()).unwrap();
+        // Structural equality implies cache-key equality: the wire
+        // format preserves the serve layer's shape identity.
+        prop_assert_eq!(back.structural_key(), shape.structural_key());
+        prop_assert_eq!(back, shape);
     }
 
     #[test]

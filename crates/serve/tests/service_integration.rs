@@ -80,7 +80,7 @@ fn served_counts_are_bit_identical_to_sequential_executor_runs() {
 
     assert_eq!(results.len(), reference.len());
     for (result, expected) in results.iter().zip(&reference) {
-        match &result.output {
+        match result.unwrap_output() {
             JobOutput::Counts(counts) => assert_eq!(counts, expected, "{}", result.id),
             other => panic!("expected counts, got {other:?}"),
         }
@@ -152,11 +152,11 @@ fn served_trajectory_jobs_are_bit_identical_to_sequential_executor_runs() {
     let results = service.run_batch(requests);
     assert_eq!(results.len(), 2 * points.len());
     for (i, (expected_counts, (expected_value, expected_err))) in reference.iter().enumerate() {
-        match &results[2 * i].output {
+        match results[2 * i].unwrap_output() {
             JobOutput::TrajectoryCounts(counts) => assert_eq!(counts, expected_counts),
             other => panic!("expected trajectory counts, got {other:?}"),
         }
-        match &results[2 * i + 1].output {
+        match results[2 * i + 1].unwrap_output() {
             JobOutput::TrajectoryExpectation {
                 value,
                 std_error,
@@ -199,11 +199,11 @@ fn trajectory_expectation_converges_to_the_density_matrix_job() {
             },
         ),
     ]);
-    let exact = match &results[0].output {
+    let exact = match results[0].unwrap_output() {
         JobOutput::Expectation { value } => *value,
         other => panic!("expected expectation, got {other:?}"),
     };
-    match &results[1].output {
+    match results[1].unwrap_output() {
         JobOutput::TrajectoryExpectation {
             value, std_error, ..
         } => {
@@ -322,7 +322,12 @@ fn mixed_specs_share_one_compiled_shape() {
     assert_eq!(service.metrics().shape_groups, 1);
 
     let (ideal, noisy, counts, expectation) = match &results[..] {
-        [r1, r2, r3, r4] => (&r1.output, &r2.output, &r3.output, &r4.output),
+        [r1, r2, r3, r4] => (
+            r1.unwrap_output(),
+            r2.unwrap_output(),
+            r3.unwrap_output(),
+            r4.unwrap_output(),
+        ),
         _ => panic!("four results"),
     };
     let JobOutput::StateVector {
@@ -358,6 +363,24 @@ fn mixed_specs_share_one_compiled_shape() {
         .map(|b| observable.eval_diagonal(b))
         .fold(f64::MIN, f64::max);
     assert!(*value > 0.0 && *value <= c_max + 1e-9);
+}
+
+#[test]
+fn disconnected_layout_prefix_fails_the_circuit_job_not_the_batch() {
+    // Guadalupe does not couple (0, 15): a 2-qubit circuit lands on the
+    // disconnected layout prefix [0, 15] and must fail with a typed
+    // compile-stage error, while a 3-qubit batchmate (whose prefix
+    // [0, 15, 1] is still disconnected) also fails typed — and a
+    // well-laid-out service keeps working afterwards.
+    let backend = Backend::ibmq_guadalupe();
+    let mut service = Service::new(&backend, ServeConfig::new(vec![0, 15, 1]).with_workers(2));
+    let mut bell = Circuit::new(2);
+    bell.h(0).cx(0, 1);
+    let results = service.run_batch(vec![JobRequest::new(bell, vec![], JobSpec::StateVector)]);
+    let error = results[0].error().expect("disconnected prefix fails");
+    assert_eq!(error.stage, hgp_serve::JobStage::Compile);
+    assert!(error.message.contains("disconnected"), "{error}");
+    assert_eq!(service.metrics().jobs_failed, 1);
 }
 
 #[test]

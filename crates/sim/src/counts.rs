@@ -48,13 +48,18 @@ impl Counts {
     /// statistical parity tests; the two draw different (equally
     /// deterministic) streams from the same RNG.
     ///
-    /// Negative entries (round-off from mitigation pipelines) are
-    /// clamped to zero, as in the reference path.
+    /// Quasi-probability inputs are *sanitized*, not asserted on:
+    /// negative entries (round-off from mitigation pipelines) and
+    /// non-finite entries are clamped to zero, and the vector is
+    /// renormalized by the clamped sum — readout-corrupted or ZNE-folded
+    /// vectors legitimately drift away from unit sum at 20+ qubits, and
+    /// a drifted vector must degrade a sample, never kill the sampling
+    /// thread. A fully degenerate vector (every entry clamped away)
+    /// falls back to the uniform distribution.
     ///
     /// # Panics
     ///
-    /// Panics if `probs.len() != 2^n_qubits` or probabilities are grossly
-    /// unnormalized (sum deviating from 1 by more than `1e-6`).
+    /// Panics if `probs.len() != 2^n_qubits`.
     pub fn sample_from_probabilities<R: Rng + ?Sized>(
         probs: &[f64],
         shots: usize,
@@ -62,20 +67,23 @@ impl Counts {
         rng: &mut R,
     ) -> Self {
         assert_eq!(probs.len(), 1 << n_qubits, "probability vector length");
-        let sum: f64 = probs.iter().sum();
-        assert!(
-            (sum - 1.0).abs() < 1e-6,
-            "probabilities must sum to 1 (got {sum})"
-        );
         let m = probs.len();
-        let clamped_sum: f64 = probs.iter().map(|p| p.max(0.0)).sum();
+        let clamp = |p: f64| if p.is_finite() { p.max(0.0) } else { 0.0 };
+        let clamped_sum: f64 = probs.iter().map(|&p| clamp(p)).sum();
         // Vose's construction: scale weights to mean 1, split into
         // under-/over-full columns, and pair each under-full column with
-        // an over-full donor.
-        let mut scaled: Vec<f64> = probs
-            .iter()
-            .map(|p| p.max(0.0) * m as f64 / clamped_sum)
-            .collect();
+        // an over-full donor. An all-clamped vector would turn the scale
+        // factor into 0/0 and poison the whole alias table with NaNs;
+        // uniform weights are the only unbiased reading of "no valid
+        // probability mass survived".
+        let mut scaled: Vec<f64> = if clamped_sum > 0.0 {
+            probs
+                .iter()
+                .map(|&p| clamp(p) * m as f64 / clamped_sum)
+                .collect()
+        } else {
+            vec![1.0; m]
+        };
         let mut alias = vec![0usize; m];
         let mut cutoff = vec![1.0f64; m];
         let mut small: Vec<usize> = Vec::with_capacity(m);
@@ -120,10 +128,12 @@ impl Counts {
     /// fused kernels). `O(n)` per shot; consumes one RNG draw per shot
     /// like the fast path, but maps draws to outcomes differently, so
     /// the two samplers produce different streams from the same seed.
+    /// Inputs are sanitized exactly like the fast path: clamp, then
+    /// renormalize, with a uniform fallback for degenerate vectors.
     ///
     /// # Panics
     ///
-    /// Same contract as [`Counts::sample_from_probabilities`].
+    /// Panics if `probs.len() != 2^n_qubits`.
     pub fn sample_from_probabilities_reference<R: Rng + ?Sized>(
         probs: &[f64],
         shots: usize,
@@ -131,17 +141,20 @@ impl Counts {
         rng: &mut R,
     ) -> Self {
         assert_eq!(probs.len(), 1 << n_qubits, "probability vector length");
-        let sum: f64 = probs.iter().sum();
-        assert!(
-            (sum - 1.0).abs() < 1e-6,
-            "probabilities must sum to 1 (got {sum})"
-        );
+        let clamp = |p: f64| if p.is_finite() { p.max(0.0) } else { 0.0 };
         // Cumulative distribution + binary search per shot.
         let mut cdf = Vec::with_capacity(probs.len());
         let mut acc = 0.0;
         for &p in probs {
-            acc += p.max(0.0);
+            acc += clamp(p);
             cdf.push(acc);
+        }
+        if acc <= 0.0 {
+            // Degenerate vector: same uniform fallback as the alias path.
+            acc = probs.len() as f64;
+            for (i, c) in cdf.iter_mut().enumerate() {
+                *c = (i + 1) as f64;
+            }
         }
         let mut counts = Self::new(n_qubits);
         for _ in 0..shots {
@@ -375,6 +388,79 @@ mod tests {
         let c = Counts::sample_from_probabilities(&probs, 50_000, 2, &mut rng);
         assert_eq!(c.count(1), 0);
         assert!((c.frequency(0) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn all_clamped_vector_samples_uniformly_in_both_paths() {
+        // Every entry negative (a maximally corrupted mitigation output):
+        // the historical code built a 0/0 alias table (NaN cutoffs) and
+        // the reference path collapsed onto state 0. Both must now fall
+        // back to the uniform distribution instead.
+        let probs = vec![-0.25; 8];
+        let shots = 80_000;
+        let mut rng = StdRng::seed_from_u64(17);
+        let fast = Counts::sample_from_probabilities(&probs, shots, 3, &mut rng);
+        let mut rng = StdRng::seed_from_u64(17);
+        let slow = Counts::sample_from_probabilities_reference(&probs, shots, 3, &mut rng);
+        assert_eq!(fast.total(), shots as u64);
+        assert_eq!(slow.total(), shots as u64);
+        for b in 0..8 {
+            assert!((fast.frequency(b) - 0.125).abs() < 0.01, "fast b={b}");
+            assert!((slow.frequency(b) - 0.125).abs() < 0.01, "slow b={b}");
+        }
+        // All-zero (e.g. an empty quasi-distribution) behaves the same.
+        let mut rng = StdRng::seed_from_u64(18);
+        let zero = Counts::sample_from_probabilities(&[0.0; 4], 40_000, 2, &mut rng);
+        for b in 0..4 {
+            assert!((zero.frequency(b) - 0.25).abs() < 0.02, "b={b}");
+        }
+    }
+
+    #[test]
+    fn near_degenerate_vectors_match_the_cdf_reference() {
+        // A vector whose surviving mass is tiny (1e-12) after clamping:
+        // renormalization must recover the conditional distribution, and
+        // the alias fast path must agree with the CDF reference — the
+        // parity contract on the degenerate edge.
+        let probs = vec![3e-13, -0.4, 0.0, 1e-13, -1e-9, 0.0, 6e-13, 0.0];
+        let shots = 200_000;
+        let mut rng = StdRng::seed_from_u64(23);
+        let fast = Counts::sample_from_probabilities(&probs, shots, 3, &mut rng);
+        let mut rng = StdRng::seed_from_u64(23);
+        let slow = Counts::sample_from_probabilities_reference(&probs, shots, 3, &mut rng);
+        let expected = [0.3, 0.0, 0.0, 0.1, 0.0, 0.0, 0.6, 0.0];
+        for (b, &p) in expected.iter().enumerate() {
+            assert!((fast.frequency(b) - p).abs() < 0.01, "fast b={b}");
+            assert!((slow.frequency(b) - p).abs() < 0.01, "slow b={b}");
+        }
+        // Clamped-away states stay impossible in both paths.
+        for b in [1, 2, 4, 5, 7] {
+            assert_eq!(fast.count(b), 0);
+            assert_eq!(slow.count(b), 0);
+        }
+    }
+
+    #[test]
+    fn drifted_sums_are_renormalized_not_rejected() {
+        // ZNE-folded / readout-corrupted vectors drift past the old 1e-6
+        // assertion at scale; sampling must renormalize instead of
+        // asserting.
+        for drift in [0.98, 1.0 + 3e-4, 1.07] {
+            let probs: Vec<f64> = [0.1, 0.2, 0.3, 0.4].iter().map(|p| p * drift).collect();
+            let mut rng = StdRng::seed_from_u64(31);
+            let c = Counts::sample_from_probabilities(&probs, 60_000, 2, &mut rng);
+            assert_eq!(c.total(), 60_000);
+            for (b, p) in [0.1, 0.2, 0.3, 0.4].iter().enumerate() {
+                assert!((c.frequency(b) - p).abs() < 0.01, "drift {drift}, b={b}");
+            }
+        }
+        // Non-finite entries are clamped away rather than poisoning the
+        // table.
+        let probs = vec![f64::NAN, 0.5, f64::INFINITY, 0.5];
+        let mut rng = StdRng::seed_from_u64(37);
+        let c = Counts::sample_from_probabilities(&probs, 40_000, 2, &mut rng);
+        assert_eq!(c.count(0) + c.count(2), 0);
+        assert!((c.frequency(1) - 0.5).abs() < 0.01);
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn main() {
     for (i, (x, r)) in grid.iter().zip(&results).enumerate() {
         let JobOutput::TrajectoryExpectation {
             value, std_error, ..
-        } = &r.output
+        } = r.unwrap_output()
         else {
             panic!("expected a trajectory expectation");
         };
@@ -100,7 +100,7 @@ fn main() {
         JobSpec::TrajectoryCounts { shots: 512 },
     ));
     assert!(counts_result.cache_hit, "second batch must ride the cache");
-    let JobOutput::TrajectoryCounts(counts) = &counts_result.output else {
+    let JobOutput::TrajectoryCounts(counts) = counts_result.unwrap_output() else {
         panic!("expected trajectory counts");
     };
     let mode = counts.iter().max_by_key(|&(_, c)| c).expect("nonempty");

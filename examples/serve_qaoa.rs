@@ -79,7 +79,7 @@ fn main() {
     let (best_point, best_value) = results[grid.len()..]
         .iter()
         .zip(&grid)
-        .map(|(r, x)| match &r.output {
+        .map(|(r, x)| match r.unwrap_output() {
             JobOutput::Expectation { value } => (x, *value),
             other => panic!("expected expectation, got {other:?}"),
         })
@@ -100,7 +100,7 @@ fn main() {
     let program = compiled.bind(&grid[0]);
     let seed = stream_seed(service.config().base_seed, results[0].id.0);
     let by_hand = compiled.decode_counts(&exec.sample(&program, shots, seed));
-    match &results[0].output {
+    match results[0].unwrap_output() {
         JobOutput::Counts(counts) => {
             assert_eq!(counts, &by_hand, "served != sequential");
             println!(

@@ -47,7 +47,7 @@ fn pulse_lowering_preserves_distribution_on_small_circuit() {
     qc.h(0).cx(0, 1).rzz(1, 2, 0.6).rx(2, 1.1).cx(2, 0);
     let lib = PulseLibrary::new(&backend);
     let schedule = lib.circuit_to_schedule(&qc).expect("coupled");
-    let u = schedule_unitary(&schedule, &backend, &[0, 1, 2]);
+    let u = schedule_unitary(&schedule, &backend, &[0, 1, 2]).expect("well-formed");
     let ideal = qc.unitary().expect("bound");
     assert!(
         u.approx_eq_up_to_phase(&ideal, 1e-6),
