@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the op-fused trajectory replay subsystem.
+//!
+//! These back the acceptance bar recorded in `BENCH_replay.json`:
+//!
+//! - **per-shot replay vs the reference engine**: a 12-qubit noisy QAOA
+//!   expectation from 256 stochastic trajectories, run (a) on the
+//!   compiled [`ReplayProgram`] tape via [`ReplayEngine`] and (b) on the
+//!   recorded [`TrajectoryProgram`] via the reference
+//!   [`TrajectoryEngine`]. Both paths are pinned bit-identical by
+//!   `crates/sim/tests/replay_parity.rs`; the replay path must be
+//!   **>= 3x** faster per shot (it removes per-shot statevector
+//!   allocation, per-op matrix derivation, the generic branch-weight
+//!   block machinery, and the per-shot re-evaluation of the diagonal
+//!   observable),
+//! - **template bind vs the full schedule walk**: the per-dispatch cost
+//!   of producing an executable replay tape from a parameter binding —
+//!   `CompiledCircuit::bind_replay` (clone the compile-time tape,
+//!   substitute the parametric slots) vs bind + ASAP walk + tape
+//!   compile (the path it replaces, ~0.5 ms/job of pure re-derivation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hgp_core::compile::CircuitCompiler;
+use hgp_core::qaoa::{cost_hamiltonian, qaoa_circuit};
+use hgp_device::Backend;
+use hgp_graph::generators;
+use hgp_sim::{ReplayEngine, ReplayProgram, TrajectoryEngine};
+
+/// A 12-qubit path in `ibmq_guadalupe`'s heavy-hex coupling map (the
+/// same region the noise benches compile into).
+const LAYOUT_12Q: [usize; 12] = [0, 1, 2, 3, 5, 8, 11, 14, 13, 12, 10, 7];
+
+const SHOTS: usize = 256;
+const PARAMS: [f64; 2] = [0.35, 0.25];
+
+/// 256 trajectories of the noisy 12q QAOA layer on the compiled replay
+/// tape (template-bound outside the loop — the serving hot path).
+fn bench_replay_per_shot(c: &mut Criterion) {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = generators::random_regular(12, 3, 7);
+    let compiled = CircuitCompiler::new(&backend, LAYOUT_12Q.to_vec())
+        .compile(&qaoa_circuit(&graph, 1))
+        .expect("12q shape compiles");
+    let exec = compiled.executor(&backend);
+    let obs = compiled.wire_observable(&cost_hamiltonian(&graph));
+    let replay = compiled.bind_replay(&exec, &PARAMS);
+    // A single 256-shot run takes seconds at 12 qubits; a local
+    // small-sample Criterion bounds the bench's wall clock (the group's
+    // shared config cannot shrink per target).
+    let mut slow = Criterion::default().sample_size(5);
+    slow.bench_function("replay_expectation_12q_256shots", |b| {
+        b.iter(|| ReplayEngine::new(SHOTS, 11).expectation(black_box(&replay), &obs))
+    });
+    let _ = c;
+}
+
+/// The same 256 trajectories on the recorded program via the reference
+/// engine — the per-shot path replay replaces (bit-identical results).
+fn bench_trajectory_per_shot(c: &mut Criterion) {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = generators::random_regular(12, 3, 7);
+    let compiled = CircuitCompiler::new(&backend, LAYOUT_12Q.to_vec())
+        .compile(&qaoa_circuit(&graph, 1))
+        .expect("12q shape compiles");
+    let exec = compiled.executor(&backend);
+    let obs = compiled.wire_observable(&cost_hamiltonian(&graph));
+    let recorded = exec.trajectory_program(&compiled.bind(&PARAMS));
+    let mut slow = Criterion::default().sample_size(3);
+    slow.bench_function("trajectory_expectation_12q_256shots", |b| {
+        b.iter(|| TrajectoryEngine::new(SHOTS, 11).expectation(black_box(&recorded), &obs))
+    });
+    let _ = c;
+}
+
+/// Producing an executable tape per dispatch: template substitution vs
+/// the full bind + schedule walk + tape compile it replaces.
+fn bench_bind_paths(c: &mut Criterion) {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = generators::random_regular(12, 3, 7);
+    let compiled = CircuitCompiler::new(&backend, LAYOUT_12Q.to_vec())
+        .compile(&qaoa_circuit(&graph, 1))
+        .expect("12q shape compiles");
+    let exec = compiled.executor(&backend);
+    c.bench_function("replay_template_bind_12q", |b| {
+        b.iter(|| compiled.bind_replay(&exec, black_box(&PARAMS)))
+    });
+    c.bench_function("replay_schedule_walk_12q", |b| {
+        b.iter(|| {
+            ReplayProgram::compile(&exec.trajectory_program(&compiled.bind(black_box(&PARAMS))))
+        })
+    });
+}
+
+criterion_group!(
+    replay,
+    bench_replay_per_shot,
+    bench_trajectory_per_shot,
+    bench_bind_paths
+);
+criterion_main!(replay);

@@ -33,6 +33,20 @@
 //! dispatches — exact density walks or `O(2^n)`-per-shot stochastic
 //! trajectories — never rebuild channel parameters.
 //!
+//! Both artifacts also carry a
+//! [`TrajectoryTemplate`](crate::template::TrajectoryTemplate): the
+//! noisy ASAP schedule recorded **once per shape** (lazily, on the
+//! first trajectory bind, so non-trajectory workloads never pay it)
+//! into an op-fused [`hgp_sim::ReplayProgram`] tape with parametric
+//! slots. [`CompiledCircuit::bind_replay`] /
+//! [`CompiledProgram::bind_replay`] substitute a binding's parametric
+//! entries (bound-angle diagonals, pulse-backed parametric 1q gates,
+//! mixer pulse blocks) into the cached tape — no per-dispatch schedule
+//! walk, no channel rebuild — bit-identical to recording the bound
+//! program from scratch, which is also the fallback taken for
+//! executors whose physics deviate from the recording (dynamical
+//! decoupling, ZNE-scaled noise models).
+//!
 //! Everything reachable from request-derived data returns typed errors
 //! rather than panicking: a malformed shape (empty graph, invalid mixer
 //! duration, disconnected region) must fail its job, never a serving
@@ -60,18 +74,21 @@
 //! assert!(program.count_pulse_blocks() > 0);
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use hgp_circuit::Circuit;
 use hgp_device::Backend;
 use hgp_graph::Graph;
 use hgp_math::pauli::{PauliString, PauliSum};
+use hgp_math::Matrix;
 use hgp_noise::NoiseModel;
 use hgp_pulse::propagator::drive_propagator;
 use hgp_pulse::Waveform;
 use hgp_sim::Counts;
 use hgp_transpile::sabre::choose_initial_layout;
 use hgp_transpile::Layout;
+
+use hgp_sim::ReplayProgram;
 
 use crate::executor::Executor;
 use crate::models::{
@@ -80,6 +97,9 @@ use crate::models::{
 };
 use crate::program::{BlockKind, Program};
 use crate::qaoa::append_hamiltonian_layer;
+use crate::template::{
+    parametric_gate_specs, ParamScope, SlotValue, TemplateSlot, TrajectoryTemplate,
+};
 
 /// Compiles logical circuits into a fixed physical region, once per
 /// shape.
@@ -179,6 +199,8 @@ impl<'a> CircuitCompiler<'a> {
             n_swaps,
             n_logical: n,
             noise,
+            backend: self.backend.clone(),
+            template: OnceLock::new(),
         })
     }
 
@@ -268,6 +290,8 @@ impl<'a> CircuitCompiler<'a> {
             wire_drive,
             n_logical: n,
             noise,
+            backend: self.backend.clone(),
+            template: OnceLock::new(),
         })
     }
 }
@@ -291,6 +315,16 @@ pub struct CompiledCircuit {
     /// The wire layout's noise parameters, built once at compile time
     /// and shared with every executor of this shape.
     noise: Arc<NoiseModel>,
+    /// The backend this shape was compiled against — the identity
+    /// [`CompiledCircuit::bind_replay`] checks before trusting the
+    /// recorded template's fixed-gate pulse physics.
+    backend: Backend,
+    /// The shape-constant trajectory schedule (channel structure, idle
+    /// windows, fixed-gate pulse unitaries) with parametric slots —
+    /// recorded lazily on the first trajectory bind, so shapes serving
+    /// only exact/sampled jobs never pay the recording, then substituted
+    /// per dispatch by [`CompiledCircuit::bind_replay`].
+    template: OnceLock<TrajectoryTemplate>,
 }
 
 impl CompiledCircuit {
@@ -333,6 +367,56 @@ impl CompiledCircuit {
     pub fn bind(&self, params: &[f64]) -> Program {
         let bound = self.circuit.bind(params);
         Program::from_circuit(&bound).expect("bound circuit converts")
+    }
+
+    /// The shape-constant trajectory schedule template, if a trajectory
+    /// bind has recorded it yet (recording is lazy).
+    pub fn replay_template(&self) -> Option<&TrajectoryTemplate> {
+        self.template.get()
+    }
+
+    /// Whether `exec` matches the recorded template's physics: templates
+    /// are recorded against this artifact's own backend and noise model
+    /// with no dynamical decoupling, so an executor that deviates (a
+    /// different or recalibrated backend, a scaled ZNE model, DD
+    /// enabled) must take the full walk instead.
+    fn template_compatible(&self, exec: &Executor) -> bool {
+        !exec.uses_dynamical_decoupling()
+            && Arc::ptr_eq(exec.noise_model(), &self.noise)
+            && *exec.backend() == self.backend
+    }
+
+    /// Binds a parameter vector straight into an executable replay tape
+    /// — the trajectory-path analogue of [`CompiledCircuit::bind`] that
+    /// skips the per-dispatch schedule walk entirely: the template's
+    /// recorded tape (walked lazily, once per shape) is cloned (channel
+    /// tables shared) and only the parametric entries (bound-angle
+    /// diagonals, pulse-backed parametric 1q gates) are recomputed.
+    ///
+    /// Bit-identical to `exec.replay_program(&self.bind(params))` —
+    /// which is also the path taken when `exec` does not match the
+    /// template's physics (dynamical decoupling enabled, or a noise
+    /// model other than this shape's cached one, e.g. a ZNE-scaled
+    /// copy). `exec` must be an executor over this circuit's wire layout
+    /// (see [`CompiledCircuit::executor`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.n_params()`.
+    pub fn bind_replay(&self, exec: &Executor, params: &[f64]) -> ReplayProgram {
+        assert_eq!(params.len(), self.n_params(), "parameter count");
+        if !self.template_compatible(exec) {
+            return exec.replay_program(&self.bind(params));
+        }
+        let template = self.template.get_or_init(|| {
+            let reference =
+                Program::from_circuit(&self.circuit.bind(&vec![0.0; self.circuit.n_params()]))
+                    .expect("bound circuit converts");
+            let (specs, _ops) =
+                parametric_gate_specs(&self.noise, &self.circuit, ParamScope::Full, 0);
+            TrajectoryTemplate::record(exec, &reference, specs)
+        });
+        template.bind_with(|spec| spec.eval(exec, params))
     }
 
     /// The compiled shape's cached noise model (wire layout order).
@@ -627,6 +711,16 @@ pub struct CompiledProgram {
     /// The wire layout's noise parameters, built once at compile time
     /// and shared with every executor of this shape.
     noise: Arc<NoiseModel>,
+    /// The backend this shape was compiled against — the identity
+    /// [`CompiledProgram::bind_replay`] checks before trusting the
+    /// recorded template's fixed-gate pulse physics.
+    backend: Backend,
+    /// The shape-constant trajectory schedule with parametric slots
+    /// (bound-`gamma` diagonals, mixer pulse blocks) — recorded lazily
+    /// on the first trajectory bind (the schedule is duration-dependent,
+    /// so [`CompiledProgram::with_mixer_duration`] resets it and the
+    /// next bind re-records).
+    template: OnceLock<TrajectoryTemplate>,
 }
 
 impl CompiledProgram {
@@ -688,7 +782,90 @@ impl CompiledProgram {
         self.mixer_waveform = Waveform::gaussian(duration_dt);
         self.mixer_area = self.mixer_waveform.area();
         self.key = self.shape.structural_key();
+        // The recorded schedule is duration-dependent (pulse-block
+        // spans, idle windows, channel exposures): reset it so the next
+        // trajectory bind re-records at the new duration.
+        self.template = OnceLock::new();
         self
+    }
+
+    /// Records the shape-constant schedule at a reference binding and
+    /// resolves the parametric slots: each layer circuit's free `gamma`
+    /// gates plus every mixer pulse block.
+    fn build_template(&self, exec: &Executor) -> TrajectoryTemplate {
+        let reference = self.bind(&vec![0.0; self.n_params()]);
+        let per_layer = self.shape.params_per_layer();
+        let mut specs = Vec::new();
+        let mut op_base = 0usize;
+        for (layer_idx, layer) in self.layers.iter().enumerate() {
+            let (layer_specs, n_ops) = parametric_gate_specs(
+                &self.noise,
+                &layer.circuit,
+                ParamScope::Single(layer_idx * per_layer),
+                op_base,
+            );
+            specs.extend(layer_specs);
+            op_base += n_ops;
+            for logical in 0..self.n_logical {
+                specs.push((
+                    op_base,
+                    TemplateSlot::Mixer {
+                        layer: layer_idx,
+                        logical,
+                    },
+                ));
+                op_base += 1;
+            }
+        }
+        TrajectoryTemplate::record(exec, &reference, specs)
+    }
+
+    /// The shape-constant trajectory schedule template, if a trajectory
+    /// bind has recorded it yet (recording is lazy).
+    pub fn replay_template(&self) -> Option<&TrajectoryTemplate> {
+        self.template.get()
+    }
+
+    /// Whether `exec` matches the recorded template's physics (no
+    /// dynamical decoupling, this shape's own cached noise model and
+    /// compile-time backend).
+    fn template_compatible(&self, exec: &Executor) -> bool {
+        !exec.uses_dynamical_decoupling()
+            && Arc::ptr_eq(exec.noise_model(), &self.noise)
+            && *exec.backend() == self.backend
+    }
+
+    /// Binds a parameter vector straight into an executable replay tape
+    /// — the trajectory-path analogue of [`CompiledProgram::bind`]. The
+    /// per-dispatch work is exactly the parametric entries: bound-`gamma`
+    /// diagonals re-derive their phases and mixer pulse blocks
+    /// re-integrate their drive propagators from the cached calibration;
+    /// the ASAP walk, idle analysis, channel tables, and fixed-gate pulse
+    /// physics are reused from the recording (walked lazily, once per
+    /// shape and mixer duration).
+    ///
+    /// Bit-identical to `exec.replay_program(&self.bind(params))` —
+    /// which is also the path taken when `exec` does not match the
+    /// template's physics (dynamical decoupling enabled, or a noise
+    /// model other than this shape's cached one, e.g. a ZNE-scaled
+    /// copy). `exec` must be an executor over this program's wire layout
+    /// (see [`CompiledProgram::executor`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.n_params()`.
+    pub fn bind_replay(&self, exec: &Executor, params: &[f64]) -> ReplayProgram {
+        assert_eq!(params.len(), self.n_params(), "parameter count");
+        if !self.template_compatible(exec) {
+            return exec.replay_program(&self.bind(params));
+        }
+        let template = self.template.get_or_init(|| self.build_template(exec));
+        template.bind_with(|spec| match spec {
+            TemplateSlot::Mixer { layer, logical } => {
+                SlotValue::Unitary(self.mixer_unitary(*layer, *logical, params).1)
+            }
+            gate_slot => gate_slot.eval(exec, params),
+        })
     }
 
     /// Binds a parameter vector (`[gamma, theta, phase_0, f_0, ...]` per
@@ -711,36 +888,45 @@ impl CompiledProgram {
         let per_layer = self.shape.params_per_layer();
         let duration = self.shape.mixer_duration_dt();
         for (layer_idx, layer) in self.layers.iter().enumerate() {
-            let chunk = &params[layer_idx * per_layer..(layer_idx + 1) * per_layer];
-            let gamma = chunk[0];
-            let theta = chunk[1];
+            let gamma = params[layer_idx * per_layer];
             let bound = layer.circuit.bind(&[gamma]);
             program.append(&Program::from_circuit(&bound).expect("bound layer"));
-            let freq_bound =
-                (FREQ_TRIM_AUTHORITY_RAD / f64::from(duration)).min(FREQ_SHIFT_HW_BOUND);
             for l in 0..self.n_logical {
-                let phase = chunk[2 + 2 * l].clamp(-PHASE_TRIM_BOUND, PHASE_TRIM_BOUND);
-                // The raw parameter is a *fraction* of the allowed trim,
-                // so the same physical pulse has the same parameter value
-                // at every duration (Step I changes durations
-                // mid-pipeline).
-                let freq_param = (2.0 * chunk[2 + 2 * l + 1]).clamp(-1.0, 1.0) * freq_bound;
-                let wire = layer.wires[l];
-                let cal = self.wire_drive[wire];
-                let amp_cmd = self
-                    .amp_for_angle(wire, theta)
-                    .clamp(-MIXER_AMP_BOUND, MIXER_AMP_BOUND);
-                let unitary = drive_propagator(
-                    &self.mixer_waveform,
-                    amp_cmd * (1.0 + cal.amp_error),
-                    phase,
-                    freq_param + cal.freq_offset,
-                    cal.strength,
-                );
+                let (wire, unitary) = self.mixer_unitary(layer_idx, l, params);
                 program.push_pulse_block(&[wire], unitary, duration, BlockKind::Drive);
             }
         }
         program
+    }
+
+    /// Integrates one mixer pulse block from the cached calibration: the
+    /// region wire it plays on and its drive-propagator unitary. Shared
+    /// by [`CompiledProgram::bind`] and the schedule template's slot
+    /// substitution, so the two paths are bit-identical by construction.
+    fn mixer_unitary(&self, layer_idx: usize, l: usize, params: &[f64]) -> (usize, Matrix) {
+        let per_layer = self.shape.params_per_layer();
+        let duration = self.shape.mixer_duration_dt();
+        let chunk = &params[layer_idx * per_layer..(layer_idx + 1) * per_layer];
+        let theta = chunk[1];
+        let freq_bound = (FREQ_TRIM_AUTHORITY_RAD / f64::from(duration)).min(FREQ_SHIFT_HW_BOUND);
+        let phase = chunk[2 + 2 * l].clamp(-PHASE_TRIM_BOUND, PHASE_TRIM_BOUND);
+        // The raw parameter is a *fraction* of the allowed trim, so the
+        // same physical pulse has the same parameter value at every
+        // duration (Step I changes durations mid-pipeline).
+        let freq_param = (2.0 * chunk[2 + 2 * l + 1]).clamp(-1.0, 1.0) * freq_bound;
+        let wire = self.layers[layer_idx].wires[l];
+        let cal = self.wire_drive[wire];
+        let amp_cmd = self
+            .amp_for_angle(wire, theta)
+            .clamp(-MIXER_AMP_BOUND, MIXER_AMP_BOUND);
+        let unitary = drive_propagator(
+            &self.mixer_waveform,
+            amp_cmd * (1.0 + cal.amp_error),
+            phase,
+            freq_param + cal.freq_offset,
+            cal.strength,
+        );
+        (wire, unitary)
     }
 
     /// The compiled shape's cached noise model (wire layout order).
@@ -987,6 +1173,114 @@ mod tests {
         let b = compiled.bind(&params);
         assert_eq!(a.structural_key(), b.structural_key());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn circuit_bind_replay_is_bit_identical_to_the_full_schedule_walk() {
+        // The dispatch-invariant template substitutes bound-gamma
+        // diagonals and pulse-backed RX slots; the result must be
+        // indistinguishable — bit for bit — from binding, re-walking the
+        // ASAP schedule, and compiling the tape per dispatch, and from
+        // the reference TrajectoryEngine over the recorded program.
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let compiler = CircuitCompiler::new(&backend, vec![1, 2, 3, 4, 5, 7]);
+        let compiled = compiler.compile(&qaoa_circuit(&graph, 2)).unwrap();
+        // Recording is lazy: compile alone pays nothing.
+        assert!(compiled.replay_template().is_none());
+        let exec = compiled.executor(&backend);
+        let obs = compiled.wire_observable(&cost_hamiltonian(&graph));
+        for params in [
+            [0.35, 0.25, -0.8, 1.1],
+            [0.0, 0.0, 0.0, 0.0],
+            [1.9, -2.4, 0.3, 0.7],
+        ] {
+            let by_template = compiled.bind_replay(&exec, &params);
+            let program = compiled.bind(&params);
+            let by_walk = exec.replay_program(&program);
+            let recorded = exec.trajectory_program(&program);
+            let fast = hgp_sim::ReplayEngine::new(48, 9);
+            let reference = hgp_sim::TrajectoryEngine::new(48, 9);
+            let a = fast.expectations(&by_template, &obs);
+            let b = fast.expectations(&by_walk, &obs);
+            let c = reference.expectations(&recorded, &obs);
+            for ((x, y), z) in a.iter().zip(b.iter()).zip(c.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "template vs walk, {params:?}");
+                assert_eq!(x.to_bits(), z.to_bits(), "template vs engine, {params:?}");
+            }
+            assert_eq!(
+                fast.sample_counts(&by_template),
+                reference.sample_counts(&recorded),
+                "{params:?}"
+            );
+        }
+        assert!(compiled.replay_template().expect("recorded").n_slots() > 0);
+
+        // An executor whose physics deviate from the recording — DD
+        // enabled, a ZNE-scaled noise model, or a different backend
+        // (which reuses the cached noise Arc, so the pointer check alone
+        // would not catch it) — must not ride the template: bind_replay
+        // takes the full walk and stays bit-identical to that executor's
+        // own path.
+        let other_backend = Backend::ibmq_guadalupe();
+        let params = [0.35, 0.25, -0.8, 1.1];
+        for deviant in [
+            compiled.executor(&backend).with_dynamical_decoupling(),
+            Executor::with_noise_model(
+                &backend,
+                compiled.region().to_vec(),
+                Arc::new(compiled.noise_model().scaled(2.0)),
+            ),
+            compiled.executor(&other_backend),
+        ] {
+            let by_bind = compiled.bind_replay(&deviant, &params);
+            let by_walk = deviant.replay_program(&compiled.bind(&params));
+            let fast = hgp_sim::ReplayEngine::new(24, 7);
+            let a = fast.expectations(&by_bind, &obs);
+            let b = fast.expectations(&by_walk, &obs);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "deviant executor fallback");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_bind_replay_is_bit_identical_and_survives_invalidation() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let shape = HybridShape::new(graph.clone(), 2).with_options(GateModelOptions::optimized());
+        let compiled = CircuitCompiler::new(&backend, vec![1, 2, 3, 4, 5, 7])
+            .compile_hybrid(&shape)
+            .unwrap();
+        assert!(compiled.replay_template().is_none(), "recording is lazy");
+        let exec = compiled.executor(&backend);
+        let obs = compiled.wire_observable(&cost_hamiltonian(&graph));
+        let mut params = vec![0.0; compiled.n_params()];
+        for (i, p) in params.iter_mut().enumerate() {
+            *p = 0.03 * (i as f64 + 1.0) - 0.4;
+        }
+        let check = |compiled: &CompiledProgram, tag: &str| {
+            let by_template = compiled.bind_replay(&exec, &params);
+            let by_walk = exec.replay_program(&compiled.bind(&params));
+            let fast = hgp_sim::ReplayEngine::new(32, 5);
+            let a = fast.expectations(&by_template, &obs);
+            let b = fast.expectations(&by_walk, &obs);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{tag}");
+            }
+        };
+        check(&compiled, "fresh");
+        // The first bind recorded the template: every layer binds its
+        // gamma gates and n mixer blocks.
+        let template = compiled.replay_template().expect("recorded on first bind");
+        assert!(template.n_slots() >= 2 * compiled.n_qubits());
+        // Re-keying the duration resets the (duration-dependent)
+        // template; the next bind re-records at the new duration,
+        // bit-identically to the full walk.
+        let shorter = compiled.clone().with_mixer_duration(128);
+        assert!(shorter.replay_template().is_none());
+        check(&shorter, "re-keyed");
+        assert!(shorter.replay_template().is_some(), "re-recorded");
     }
 
     #[test]

@@ -20,7 +20,14 @@
 //!   [`Executor::expectation_trajectories`]): the same schedule recorded
 //!   once and replayed as `O(2^n)` stochastic statevector trajectories
 //!   with [`hgp_sim::seed::stream_seed`]-derived per-trajectory seeds —
-//!   noisy QAOA at widths the density matrix cannot reach.
+//!   noisy QAOA at widths the density matrix cannot reach. The
+//!   trajectory entry points execute on the op-fused
+//!   [`hgp_sim::ReplayEngine`] ([`Executor::replay_program`] compiles
+//!   the recording into a flat tape), pinned bit-identical to the
+//!   reference [`hgp_sim::TrajectoryEngine`]; serving callers skip the
+//!   per-dispatch recording entirely via the compiled artifacts'
+//!   schedule templates ([`Executor::sample_replay`] /
+//!   [`Executor::expectation_replay`]).
 
 use std::sync::Arc;
 
@@ -35,7 +42,7 @@ use hgp_noise::sink::{ExactSink, RecordSink, ScheduleSink};
 use hgp_noise::{NoiseModel, ReadoutModel};
 use hgp_pulse::propagator::{drive_propagator, virtual_z};
 use hgp_pulse::Waveform;
-use hgp_sim::{Counts, DensityMatrix, SimBackend, TrajectoryEngine, TrajectoryProgram};
+use hgp_sim::{Counts, DensityMatrix, ReplayEngine, ReplayProgram, SimBackend, TrajectoryProgram};
 
 use crate::program::{BlockKind, Program, ProgramOp};
 
@@ -127,6 +134,13 @@ impl<'a> Executor<'a> {
         &self.noise
     }
 
+    /// Whether idle windows receive X-X dynamical-decoupling pairs —
+    /// schedule templates are recorded without them, so template binds
+    /// must detect a DD executor and fall back to the full walk.
+    pub(crate) fn uses_dynamical_decoupling(&self) -> bool {
+        self.dynamical_decoupling
+    }
+
     /// Runs a program, returning the noisy final state.
     ///
     /// # Panics
@@ -169,6 +183,20 @@ impl<'a> Executor<'a> {
         sink.0
     }
 
+    /// [`Executor::trajectory_program`] compiled into the replay tape —
+    /// the per-shot fast path ([`hgp_sim::ReplayEngine`] over it is
+    /// bit-identical to [`hgp_sim::TrajectoryEngine`] over the
+    /// recording).
+    pub fn replay_program(&self, program: &Program) -> ReplayProgram {
+        ReplayProgram::compile(&self.trajectory_program(program))
+    }
+
+    /// Walks the ASAP schedule into an arbitrary sink — the entry point
+    /// schedule-template recording uses (same walk, instrumented sink).
+    pub(crate) fn walk_with_sink<S: ScheduleSink>(&self, program: &Program, sink: &mut S) {
+        self.walk_schedule(program, sink);
+    }
+
     /// Walks the ASAP schedule once, emitting into `sink`. This is the
     /// single source of execution order: the exact and trajectory paths
     /// cannot drift apart.
@@ -180,7 +208,7 @@ impl<'a> Executor<'a> {
         );
         let n = program.n_qubits();
         let mut clock = vec![0u64; n];
-        for op in program.ops() {
+        for (op_index, op) in program.ops().iter().enumerate() {
             let qubits = op.qubits().to_vec();
             let duration = match op {
                 ProgramOp::Gate { gate, .. } => self.noise.gate_duration_dt(gate, &qubits),
@@ -200,6 +228,7 @@ impl<'a> Executor<'a> {
             // gate-level user cannot see or correct, while pulse-level
             // models compile their own blocks against the same true
             // physics and can train them away (paper §IV-A).
+            sink.begin_applied(op_index);
             match op {
                 ProgramOp::Gate { gate, qubits } => {
                     if gate.n_qubits() == 1 {
@@ -318,7 +347,7 @@ impl<'a> Executor<'a> {
     /// are exact frame changes. This keeps the physics identical across
     /// abstraction levels — the only asymmetry is *who can train against
     /// it*.
-    fn actual_1q_unitary(&self, gate: &Gate, phys: usize, duration: u32) -> Matrix {
+    pub(crate) fn actual_1q_unitary(&self, gate: &Gate, phys: usize, duration: u32) -> Matrix {
         use std::f64::consts::{FRAC_PI_2, PI};
         let ideal = gate.matrix().expect("program gates are bound");
         if duration == 0 {
@@ -394,10 +423,19 @@ impl<'a> Executor<'a> {
     ///
     /// Panics if `shots` is zero, or on the [`Executor::run`] contract.
     pub fn sample_trajectories(&self, program: &Program, shots: usize, seed: u64) -> Counts {
-        let trajectories = self.trajectory_program(program);
-        TrajectoryEngine::new(shots, seed).sample_counts_with(&trajectories, |bits, rng| {
-            self.readout.corrupt_bits(bits, rng)
-        })
+        self.sample_replay(&self.replay_program(program), shots, seed)
+    }
+
+    /// [`Executor::sample_trajectories`] over an already-compiled replay
+    /// tape — the serving path, where the tape comes from a schedule
+    /// template and the per-job record/compile step disappears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots` is zero.
+    pub fn sample_replay(&self, replay: &ReplayProgram, shots: usize, seed: u64) -> Counts {
+        ReplayEngine::new(shots, seed)
+            .sample_counts_with(replay, |bits, rng| self.readout.corrupt_bits(bits, rng))
     }
 
     /// Estimates a noisy expectation value from `n_trajectories`
@@ -417,9 +455,28 @@ impl<'a> Executor<'a> {
         n_trajectories: usize,
         seed: u64,
     ) -> (f64, f64) {
-        let trajectories = self.trajectory_program(program);
-        TrajectoryEngine::new(n_trajectories, seed)
-            .expectation_with_error(&trajectories, observable)
+        self.expectation_replay(
+            &self.replay_program(program),
+            observable,
+            n_trajectories,
+            seed,
+        )
+    }
+
+    /// [`Executor::expectation_trajectories`] over an already-compiled
+    /// replay tape (see [`Executor::sample_replay`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trajectories` is zero.
+    pub fn expectation_replay(
+        &self,
+        replay: &ReplayProgram,
+        observable: &hgp_math::pauli::PauliSum,
+        n_trajectories: usize,
+        seed: u64,
+    ) -> (f64, f64) {
+        ReplayEngine::new(n_trajectories, seed).expectation_with_error(replay, observable)
     }
 }
 
@@ -695,6 +752,34 @@ mod tests {
             (mean - exact).abs() < 4.0 * stderr.max(1e-3),
             "mean {mean} vs exact {exact} (stderr {stderr})"
         );
+    }
+
+    #[test]
+    fn replay_routing_is_bit_identical_to_the_trajectory_engine() {
+        // The executor's trajectory entry points now run on the replay
+        // engine; the reference TrajectoryEngine over the recorded
+        // schedule must agree bit for bit — counts, means, errors.
+        use hgp_sim::TrajectoryEngine;
+        let backend = Backend::ibmq_toronto();
+        let exec = Executor::new(&backend, vec![0, 1]);
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).rzz(0, 1, 0.7).rx(1, 0.4);
+        let program = Program::from_circuit(&qc).unwrap();
+        let recorded = exec.trajectory_program(&program);
+        let zz = PauliSum::from_terms(vec![PauliString::new(
+            2,
+            vec![(0, Pauli::Z), (1, Pauli::Z)],
+            1.0,
+        )]);
+        let by_replay = exec.expectation_trajectories(&program, &zz, 256, 3);
+        let by_engine = TrajectoryEngine::new(256, 3).expectation_with_error(&recorded, &zz);
+        assert_eq!(by_replay.0.to_bits(), by_engine.0.to_bits());
+        assert_eq!(by_replay.1.to_bits(), by_engine.1.to_bits());
+        let counts = exec.sample_trajectories(&program, 512, 9);
+        let reference = TrajectoryEngine::new(512, 9).sample_counts_with(&recorded, |bits, rng| {
+            exec.readout().corrupt_bits(bits, rng)
+        });
+        assert_eq!(counts, reference);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod models;
 pub mod pipeline;
 pub mod program;
 pub mod qaoa;
+pub mod template;
 pub mod training;
 
 /// Convenient re-exports for application code.

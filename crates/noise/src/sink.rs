@@ -34,6 +34,15 @@ pub trait ScheduleSink {
 
     /// A noise channel from the model.
     fn channel(&mut self, channel: NoiseChannel, targets: &[usize]);
+
+    /// Announces that the *next* emitted gate/unitary is the applied
+    /// operation of source program op `op_index` (idle decoherence,
+    /// frame drift, and error channels arrive outside these markers).
+    /// Schedule-template recorders use this to locate parametric slots
+    /// in the recorded stream; plain sinks ignore it.
+    fn begin_applied(&mut self, op_index: usize) {
+        let _ = op_index;
+    }
 }
 
 /// Applies the schedule to a [`SimBackend`] — the exact path.

@@ -5,9 +5,15 @@ use std::fmt;
 /// Cumulative counters over a service's lifetime.
 ///
 /// `wall_ns` accumulates end-to-end [`crate::Service::run_batch`] time
-/// (compile + dispatch + execution + collection), while `exec_ns` sums
-/// per-job worker time; with `workers > 1` on a multi-core host,
-/// `exec_ns` exceeding `wall_ns` is the parallel speedup made visible.
+/// (compile + dispatch + execution + collection), while the per-job
+/// worker time is split into stages — `bind_ns` (parameter
+/// substitution into the cached shape) and `exec_ns` (the simulation
+/// itself) — next to the per-shape `compile_ns` and the admission-time
+/// `validate_ns`. The split is what tells a cache-hit-heavy trajectory
+/// batch (large `exec_ns`, tiny `bind_ns`, no `compile_ns`) apart from
+/// an actual cache-miss storm, which aggregate latency alone conflates.
+/// With `workers > 1` on a multi-core host, `bind_ns + exec_ns`
+/// exceeding `wall_ns` is the parallel speedup made visible.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeMetrics {
     /// Jobs finished.
@@ -24,9 +30,15 @@ pub struct ServeMetrics {
     pub cache_hits: u64,
     /// Compiled-program cache misses (each one paid a compilation).
     pub cache_misses: u64,
-    /// Time spent compiling shapes.
+    /// Time spent validating requests at admission (per job).
+    pub validate_ns: u64,
+    /// Time spent compiling shapes (per cache miss, not per job).
     pub compile_ns: u64,
-    /// Summed per-job execution time across workers.
+    /// Summed per-job parameter-binding time across workers: program
+    /// binds, and for trajectory jobs the schedule-template
+    /// substitution.
+    pub bind_ns: u64,
+    /// Summed per-job execution time across workers (binding excluded).
     pub exec_ns: u64,
     /// Summed end-to-end batch wall time.
     pub wall_ns: u64,
@@ -42,12 +54,21 @@ impl ServeMetrics {
         }
     }
 
-    /// Mean per-job execution latency, nanoseconds.
+    /// Mean per-job worker latency (bind + execute), nanoseconds.
     pub fn mean_job_latency_ns(&self) -> f64 {
         if self.jobs_completed == 0 {
             0.0
         } else {
-            self.exec_ns as f64 / self.jobs_completed as f64
+            (self.bind_ns + self.exec_ns) as f64 / self.jobs_completed as f64
+        }
+    }
+
+    /// Mean per-job parameter-binding latency, nanoseconds.
+    pub fn mean_bind_latency_ns(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.bind_ns as f64 / self.jobs_completed as f64
         }
     }
 
@@ -66,17 +87,22 @@ impl fmt::Display for ServeMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} jobs ({} failed) in {} batches | {:.0} jobs/s | mean latency {:.1} us | \
-             cache {}/{} hits ({:.0}%) | compile {:.2} ms",
+            "{} jobs ({} failed) in {} batches | {:.0} jobs/s | mean latency {:.1} us \
+             (bind {:.1} us) | cache {}/{} hits ({:.0}%) | stages: validate {:.2} ms, \
+             compile {:.2} ms, bind {:.2} ms, execute {:.2} ms",
             self.jobs_completed,
             self.jobs_failed,
             self.batches,
             self.throughput_jobs_per_sec(),
             self.mean_job_latency_ns() / 1e3,
+            self.mean_bind_latency_ns() / 1e3,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
             100.0 * self.cache_hit_rate(),
+            self.validate_ns as f64 / 1e6,
             self.compile_ns as f64 / 1e6,
+            self.bind_ns as f64 / 1e6,
+            self.exec_ns as f64 / 1e6,
         )
     }
 }
@@ -94,12 +120,16 @@ mod tests {
             shape_groups: 3,
             cache_hits: 2,
             cache_misses: 1,
+            validate_ns: 1_000_000,
             compile_ns: 5_000_000,
-            exec_ns: 200_000_000,
+            bind_ns: 50_000_000,
+            exec_ns: 150_000_000,
             wall_ns: 1_000_000_000,
         };
         assert!((m.throughput_jobs_per_sec() - 100.0).abs() < 1e-9);
+        // Mean latency covers both worker stages: bind + execute.
         assert!((m.mean_job_latency_ns() - 2_000_000.0).abs() < 1e-9);
+        assert!((m.mean_bind_latency_ns() - 500_000.0).abs() < 1e-9);
         assert!((m.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert!(!m.to_string().is_empty());
     }
@@ -109,6 +139,7 @@ mod tests {
         let m = ServeMetrics::default();
         assert_eq!(m.throughput_jobs_per_sec(), 0.0);
         assert_eq!(m.mean_job_latency_ns(), 0.0);
+        assert_eq!(m.mean_bind_latency_ns(), 0.0);
         assert_eq!(m.cache_hit_rate(), 0.0);
     }
 }

@@ -28,11 +28,19 @@
 //! 3. **Dispatch** — every shape group is chunked across the worker
 //!    pool (std threads + mpsc channels). A chunk carries its shared
 //!    compiled artifact; workers bind each job's parameters and execute.
-//!    Execution is wrapped in a panic boundary: any residual panic on
-//!    request-derived data becomes an execute-stage [`JobError`] instead
-//!    of killing the worker.
+//!    The four trajectory kinds bind through the artifact's
+//!    **schedule template** (`bind_replay`): the ASAP walk, idle
+//!    analysis, and channel tables recorded once per shape (on its
+//!    first trajectory bind) are reused, only the parametric entries
+//!    (bound-angle diagonals, mixer pulse blocks) are substituted, and
+//!    the shots run on the op-fused
+//!    [`hgp_sim::ReplayEngine`] — bit-identical to the reference
+//!    trajectory engine. Execution is wrapped in a panic boundary: any
+//!    residual panic on request-derived data becomes an execute-stage
+//!    [`JobError`] instead of killing the worker.
 //! 4. **Collection** — results return over a channel and are reordered
-//!    by submission index; metrics accumulate.
+//!    by submission index; metrics accumulate per stage
+//!    (validate/compile/bind/execute — see [`ServeMetrics`]).
 //!
 //! Because a job's output depends only on `(compiled shape, params,
 //! seed)` and all three are fixed at admission, **any concurrent
@@ -313,7 +321,10 @@ impl<'a> Service<'a> {
                 params: request.params.clone(),
                 spec: request.spec.clone(),
             };
-            if let Err(error) = Self::validate(request) {
+            let t_validate = Instant::now();
+            let validation = Self::validate(request);
+            self.metrics.validate_ns += t_validate.elapsed().as_nanos() as u64;
+            if let Err(error) = validation {
                 rejected.push((index, job.failed(error)));
                 continue;
             }
@@ -370,7 +381,7 @@ impl<'a> Service<'a> {
         }
         drop(unit_tx);
         let unit_rx = Arc::new(Mutex::new(unit_rx));
-        let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult)>();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult, u64)>();
         let backend = self.backend;
         let workers = self.config.workers.min(n_jobs).max(1);
         std::thread::scope(|scope| {
@@ -383,8 +394,11 @@ impl<'a> Service<'a> {
                     let Ok(unit) = unit else { break };
                     for job in unit.jobs {
                         let index = job.index;
-                        let result = execute_job(backend, &unit.compiled, unit.cache_hit, job);
-                        result_tx.send((index, result)).expect("collector alive");
+                        let (result, bind_ns) =
+                            execute_job(backend, &unit.compiled, unit.cache_hit, job);
+                        result_tx
+                            .send((index, result, bind_ns))
+                            .expect("collector alive");
                     }
                 });
             }
@@ -395,8 +409,9 @@ impl<'a> Service<'a> {
             for (index, result) in rejected {
                 slots[index] = Some(result);
             }
-            for (index, result) in result_rx {
-                self.metrics.exec_ns += result.elapsed_ns;
+            for (index, result, bind_ns) in result_rx {
+                self.metrics.bind_ns += bind_ns;
+                self.metrics.exec_ns += result.elapsed_ns.saturating_sub(bind_ns);
                 slots[index] = Some(result);
             }
             let results: Vec<JobResult> = slots
@@ -498,53 +513,75 @@ impl<'a> Service<'a> {
     }
 }
 
-/// Executes one job against its compiled shape. Pure in `(compiled,
-/// params, seed)` — the determinism contract lives here. The panic
-/// boundary converts any residual panic on request-derived data into an
-/// execute-stage [`JobError`]: a bad job must never take its worker
-/// thread down.
+/// Times the bind stage of a job, accumulating into `acc`.
+fn timed_bind<T>(acc: &mut u64, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    *acc += t0.elapsed().as_nanos() as u64;
+    out
+}
+
+/// Executes one job against its compiled shape, returning the result and
+/// the job's bind-stage nanoseconds. Pure in `(compiled, params, seed)`
+/// — the determinism contract lives here. The panic boundary converts
+/// any residual panic on request-derived data into an execute-stage
+/// [`JobError`]: a bad job must never take its worker thread down.
 fn execute_job(
     backend: &Backend,
     compiled: &CompiledArtifact,
     cache_hit: bool,
     job: PreparedJob,
-) -> JobResult {
+) -> (JobResult, u64) {
     let t0 = Instant::now();
-    let output = catch_unwind(AssertUnwindSafe(|| execute_spec(backend, compiled, &job)))
-        .unwrap_or_else(|payload| {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "worker panicked".to_string());
-            Err(JobError::execute(message))
-        });
-    JobResult {
+    let mut bind_ns = 0u64;
+    let output = catch_unwind(AssertUnwindSafe(|| {
+        execute_spec(backend, compiled, &job, &mut bind_ns)
+    }))
+    .unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "worker panicked".to_string());
+        Err(JobError::execute(message))
+    });
+    let result = JobResult {
         id: job.id,
         seed: job.seed,
         cache_hit,
         elapsed_ns: t0.elapsed().as_nanos() as u64,
         output,
-    }
+    };
+    (result, bind_ns)
 }
 
-/// The spec dispatch of [`execute_job`].
+/// The spec dispatch of [`execute_job`]. Binds are timed into `bind_ns`
+/// so the metrics can split per-job worker time into bind vs execute.
+///
+/// The four trajectory kinds ride the schedule-template path:
+/// [`hgp_core::compile::CompiledCircuit::bind_replay`] /
+/// [`hgp_core::compile::CompiledProgram::bind_replay`] substitute the
+/// job's parameters into the tape recorded at compile time — no
+/// per-dispatch schedule walk — and the replay engine runs the shots
+/// with zero per-shot allocation, bit-identical to the reference
+/// trajectory engine.
 fn execute_spec(
     backend: &Backend,
     compiled: &CompiledArtifact,
     job: &PreparedJob,
+    bind_ns: &mut u64,
 ) -> Result<JobOutput, JobError> {
     match (compiled, &job.spec) {
         (CompiledArtifact::Circuit(compiled), spec) if !spec.is_hybrid() => match spec {
             JobSpec::StateVector => {
-                let wire = StateVector::execute(&compiled.circuit().bind(&job.params))
-                    .expect("compiled circuits bind fully");
+                let bound = timed_bind(bind_ns, || compiled.circuit().bind(&job.params));
+                let wire = StateVector::execute(&bound).expect("compiled circuits bind fully");
                 Ok(JobOutput::StateVector {
                     probabilities: compiled.decode_probabilities(&wire.probabilities()),
                 })
             }
             JobSpec::DensityMatrix => {
-                let program = compiled.bind(&job.params);
+                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
                 let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
                 Ok(JobOutput::DensityMatrix {
                     probabilities: compiled.decode_probabilities(&rho.probabilities()),
@@ -552,36 +589,36 @@ fn execute_spec(
                 })
             }
             JobSpec::Counts { shots } => {
-                let program = compiled.bind(&job.params);
+                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
                 let counts = compiled
                     .executor(backend)
                     .sample(&program, *shots, job.seed);
                 Ok(JobOutput::Counts(compiled.decode_counts(&counts)))
             }
             JobSpec::Expectation { observable } => {
-                let program = compiled.bind(&job.params);
+                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
                 let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
                 Ok(JobOutput::Expectation {
                     value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
                 })
             }
             JobSpec::TrajectoryCounts { shots } => {
-                let program = compiled.bind(&job.params);
-                // The executor reuses the noise model cached with the
-                // compiled shape; trajectory i draws its randomness from
-                // stream position (job seed, i).
-                let counts = compiled
-                    .executor(backend)
-                    .sample_trajectories(&program, *shots, job.seed);
+                // Template path: substitute params into the schedule
+                // recorded at compile time; trajectory i draws its
+                // randomness from stream position (job seed, i).
+                let exec = compiled.executor(backend);
+                let replay = timed_bind(bind_ns, || compiled.bind_replay(&exec, &job.params));
+                let counts = exec.sample_replay(&replay, *shots, job.seed);
                 Ok(JobOutput::TrajectoryCounts(compiled.decode_counts(&counts)))
             }
             JobSpec::TrajectoryExpectation {
                 observable,
                 trajectories,
             } => {
-                let program = compiled.bind(&job.params);
-                let (value, std_error) = compiled.executor(backend).expectation_trajectories(
-                    &program,
+                let exec = compiled.executor(backend);
+                let replay = timed_bind(bind_ns, || compiled.bind_replay(&exec, &job.params));
+                let (value, std_error) = exec.expectation_replay(
+                    &replay,
                     &compiled.wire_observable(observable),
                     *trajectories,
                     job.seed,
@@ -596,33 +633,33 @@ fn execute_spec(
         },
         (CompiledArtifact::Hybrid(compiled), spec) => match spec {
             JobSpec::HybridCounts { shots } => {
-                let program = compiled.bind(&job.params);
+                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
                 let counts = compiled
                     .executor(backend)
                     .sample(&program, *shots, job.seed);
                 Ok(JobOutput::Counts(compiled.decode_counts(&counts)))
             }
             JobSpec::HybridExpectation { observable } => {
-                let program = compiled.bind(&job.params);
+                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
                 let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
                 Ok(JobOutput::Expectation {
                     value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
                 })
             }
             JobSpec::HybridTrajectoryCounts { shots } => {
-                let program = compiled.bind(&job.params);
-                let counts = compiled
-                    .executor(backend)
-                    .sample_trajectories(&program, *shots, job.seed);
+                let exec = compiled.executor(backend);
+                let replay = timed_bind(bind_ns, || compiled.bind_replay(&exec, &job.params));
+                let counts = exec.sample_replay(&replay, *shots, job.seed);
                 Ok(JobOutput::TrajectoryCounts(compiled.decode_counts(&counts)))
             }
             JobSpec::HybridTrajectoryExpectation {
                 observable,
                 trajectories,
             } => {
-                let program = compiled.bind(&job.params);
-                let (value, std_error) = compiled.executor(backend).expectation_trajectories(
-                    &program,
+                let exec = compiled.executor(backend);
+                let replay = timed_bind(bind_ns, || compiled.bind_replay(&exec, &job.params));
+                let (value, std_error) = exec.expectation_replay(
+                    &replay,
                     &compiled.wire_observable(observable),
                     *trajectories,
                     job.seed,

@@ -189,6 +189,108 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case compiles one hybrid shape (cached after the first
+    // batch) and runs a few hundred 6-qubit trajectories per job.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The replay-path determinism contract, fuzzed: served trajectory
+    /// jobs ride the compile-time schedule template and the op-fused
+    /// replay engine, and must stay bit-identical to the *reference*
+    /// `TrajectoryEngine` over the executor-recorded program of the same
+    /// binding — for any worker count, batch split, base seed, and
+    /// parameter jitter.
+    #[test]
+    fn served_trajectory_jobs_ride_the_template_bit_identically(
+        workers in 1usize..6,
+        split in 1usize..4,
+        base_seed in 0u64..1_000_000,
+        jitter in -0.2f64..0.2,
+    ) {
+        let backend = Backend::ibmq_toronto();
+        let shape = shape6(1);
+        let observable = cost_hamiltonian(shape.graph());
+        let trajectories = 192;
+        let shots = 160;
+        let points: Vec<Vec<f64>> = (0..4)
+            .map(|i| {
+                let mut x = hybrid_point(&shape, i);
+                for v in &mut x {
+                    *v += jitter;
+                }
+                x
+            })
+            .collect();
+
+        let mut service = Service::new(
+            &backend,
+            ServeConfig::new(LAYOUT6.to_vec())
+                .with_workers(workers)
+                .with_base_seed(base_seed),
+        );
+        let mk = |xs: &[Vec<f64>], offset: usize| -> Vec<JobRequest> {
+            xs.iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    let spec = if (offset + i).is_multiple_of(2) {
+                        JobSpec::HybridTrajectoryExpectation {
+                            observable: observable.clone(),
+                            trajectories,
+                        }
+                    } else {
+                        JobSpec::HybridTrajectoryCounts { shots }
+                    };
+                    JobRequest::hybrid(shape.clone(), x.clone(), spec)
+                })
+                .collect()
+        };
+        let cut = split.min(points.len());
+        let mut results = service.run_batch(mk(&points[..cut], 0));
+        results.extend(service.run_batch(mk(&points[cut..], cut)));
+
+        // Reference: hand-driven TrajectoryEngine over the recorded
+        // schedule of each binding, at the service's stream seeds.
+        let model = HybridModel::with_options(
+            &backend,
+            shape.graph(),
+            1,
+            LAYOUT6.to_vec(),
+            shape.options(),
+        )
+        .unwrap();
+        let exec = model.compiled().executor(&backend);
+        let wire_obs = model.compiled().wire_observable(&observable);
+        for (i, (result, x)) in results.iter().zip(points.iter()).enumerate() {
+            let recorded = exec.trajectory_program(&model.build(x));
+            let seed = stream_seed(base_seed, i as u64);
+            match result.unwrap_output() {
+                JobOutput::TrajectoryExpectation { value, std_error, .. } => {
+                    let reference = hgp_sim::TrajectoryEngine::new(trajectories, seed)
+                        .expectation_with_error(&recorded, &wire_obs);
+                    prop_assert_eq!(value.to_bits(), reference.0.to_bits());
+                    prop_assert_eq!(std_error.to_bits(), reference.1.to_bits());
+                }
+                JobOutput::TrajectoryCounts(counts) => {
+                    let reference = hgp_sim::TrajectoryEngine::new(shots, seed)
+                        .sample_counts_with(&recorded, |bits, rng| {
+                            exec.readout().corrupt_bits(bits, rng)
+                        });
+                    prop_assert_eq!(counts, &model.interpret_counts(&reference));
+                }
+                other => prop_assert!(false, "unexpected output {other:?}"),
+            }
+        }
+        // The whole fuzz case rode one compiled shape (and therefore one
+        // recorded template).
+        prop_assert_eq!(service.metrics().cache_misses, 1);
+        // The stage split is populated: trajectory-heavy batches show
+        // bind time well below execute time instead of masquerading as
+        // compile misses.
+        prop_assert!(service.metrics().bind_ns > 0);
+        prop_assert!(service.metrics().exec_ns > service.metrics().bind_ns);
+    }
+}
+
 #[test]
 fn served_hybrid_trajectories_are_bit_identical_and_converge() {
     let backend = Backend::ibmq_toronto();

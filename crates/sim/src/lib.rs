@@ -20,6 +20,12 @@
 //! ([`TrajectoryEngine`] over a [`TrajectoryProgram`]), `O(2^n)` per
 //! instruction per trajectory instead of the density matrix's `O(4^n)`,
 //! with deterministic per-trajectory seeds ([`seed::stream_seed`]).
+//! Its production hot path is [`replay`]: recorded trajectory programs
+//! compile once into a flat [`ReplayProgram`] tape (fused diagonal runs,
+//! resolved matrices, precompiled channel sampling tables) that
+//! [`ReplayEngine`] replays with zero per-shot allocation or dispatch —
+//! pinned **bit-identical** to the trajectory engine, which stays as the
+//! reference implementation.
 //!
 //! Measurement statistics come out as [`Counts`] — multisets of observed
 //! bitstrings — which downstream crates feed to error mitigation and cost
@@ -43,6 +49,7 @@ pub mod backend;
 pub mod counts;
 pub mod density;
 pub mod kernels;
+pub mod replay;
 pub mod seed;
 pub mod statevector;
 pub mod trajectory;
@@ -50,5 +57,6 @@ pub mod trajectory;
 pub use backend::SimBackend;
 pub use counts::Counts;
 pub use density::DensityMatrix;
+pub use replay::{ReplayEngine, ReplayProgram, ReplayScratch, ReplaySlot};
 pub use statevector::StateVector;
 pub use trajectory::{ChannelOp, TrajectoryEngine, TrajectoryOp, TrajectoryProgram};

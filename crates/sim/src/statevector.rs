@@ -87,6 +87,23 @@ impl StateVector {
         &self.amps
     }
 
+    /// Raw amplitude access for the replay engine, which drives the
+    /// kernels directly over a reused scratch state.
+    #[inline]
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
+    /// Resets the state to `|0...0>` in place (the replay engine's
+    /// per-trajectory reset — same values as [`StateVector::zero_state`],
+    /// no allocation).
+    pub(crate) fn reset_zero(&mut self) {
+        for a in &mut self.amps {
+            *a = Complex64::ZERO;
+        }
+        self.amps[0] = Complex64::ONE;
+    }
+
     /// Applies a bound circuit's gates in order, fusing maximal runs of
     /// consecutive diagonal gates (a QAOA cost layer is one such run)
     /// into single sweeps over the amplitudes.

@@ -90,17 +90,46 @@ fn is_exact_identity(m: &Matrix) -> bool {
     true
 }
 
+/// Tolerance under which a general channel's `K_0` counts as a scalar
+/// multiple of the identity, enabling the identity-branch skip (see
+/// [`ChannelOp::skips_identity_k0`]).
+const K0_IDENTITY_TOL: f64 = 1e-12;
+
+/// `true` when `m = c * I` for the scalar `c = m[0][0]`, entrywise
+/// within `tol`, with `|c|` large enough that branch-0 draws are not
+/// vanishing-probability events (skipping a near-annihilating branch
+/// would replace a renormalization that matters).
+fn is_identity_multiple(m: &Matrix, tol: f64) -> bool {
+    let n = m.rows();
+    if m.cols() != n {
+        return false;
+    }
+    let c = m[(0, 0)];
+    if c.norm() < 0.5 {
+        return false;
+    }
+    for r in 0..n {
+        for col in 0..n {
+            let want = if r == col { c } else { Complex64::ZERO };
+            if (m[(r, col)] - want).norm() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// State-independent sampling data of a mixed-unitary channel.
 #[derive(Debug, Clone)]
-struct MixedUnitary {
+pub(crate) struct MixedUnitary {
     /// Branch probabilities (sum to 1).
-    probs: Vec<f64>,
+    pub(crate) probs: Vec<f64>,
     /// Unit-norm branch unitaries.
-    unitaries: Vec<Matrix>,
+    pub(crate) unitaries: Vec<Matrix>,
     /// Branches whose unitary is exactly the identity (skipped — the
     /// dominant case for weak depolarizing noise, where almost every
     /// draw is a no-op).
-    identity: Vec<bool>,
+    pub(crate) identity: Vec<bool>,
 }
 
 /// One noise channel, carrying both its exact and its sampled
@@ -113,11 +142,21 @@ pub struct ChannelOp {
     /// Present for mixed-unitary channels: branch draws do not need the
     /// state.
     mixed: Option<MixedUnitary>,
+    /// General channels whose `K_0` is a scalar multiple of the identity
+    /// (within [`K0_IDENTITY_TOL`]) skip the branch-0 application and
+    /// renormalization: `c * I` followed by renormalization changes the
+    /// state only by a global phase, which no observable — branch
+    /// weights, probabilities, expectations — can see.
+    k0_identity: bool,
 }
 
 impl ChannelOp {
     /// A general channel: trajectory branches are drawn with the
     /// state-dependent weights `||K_k psi||^2`.
+    ///
+    /// When `K_0` is a scalar multiple of the identity (within
+    /// `1e-12`), branch-0 draws skip the application and
+    /// renormalization entirely — see [`ChannelOp::skips_identity_k0`].
     ///
     /// # Panics
     ///
@@ -133,7 +172,15 @@ impl ChannelOp {
                 "Kraus operators must share one square dimension"
             );
         }
-        Self { kraus, mixed: None }
+        // A single-operator "channel" is a closed evolution whose one
+        // branch must always apply; the skip is for genuine channels
+        // where branch 0 is the dominant no-op.
+        let k0_identity = kraus.len() > 1 && is_identity_multiple(&kraus[0], K0_IDENTITY_TOL);
+        Self {
+            kraus,
+            mixed: None,
+            k0_identity,
+        }
     }
 
     /// A mixed-unitary channel (`rho -> sum_k p_k U_k rho U_k†`):
@@ -173,6 +220,27 @@ impl ChannelOp {
     /// The exact Kraus operators.
     pub fn kraus(&self) -> &[Matrix] {
         &self.kraus
+    }
+
+    /// Whether branch-0 draws of this *general* channel are skipped
+    /// because `K_0` is a scalar multiple of the identity (within
+    /// `1e-12`).
+    ///
+    /// Applying `c * I` and renormalizing maps `psi -> (c/|c|) psi` — a
+    /// global phase, invisible to every downstream consumer (branch
+    /// weights, measurement draws, expectations). Skipping both steps is
+    /// therefore exact at the distribution level and removes two full
+    /// state sweeps from the dominant branch of weak noise. Always
+    /// `false` for mixed-unitary channels (they have their own per-branch
+    /// identity skip) and single-operator sets.
+    pub fn skips_identity_k0(&self) -> bool {
+        self.mixed.is_none() && self.k0_identity
+    }
+
+    /// The sampling view of a mixed-unitary channel, for the replay
+    /// compiler.
+    pub(crate) fn mixed_parts(&self) -> Option<&MixedUnitary> {
+        self.mixed.as_ref()
     }
 
     /// Number of qubits the channel acts on.
@@ -229,6 +297,11 @@ impl ChannelOp {
                 pick = k;
                 break;
             }
+        }
+        if pick == 0 && self.k0_identity {
+            // K_0 = c * I: application + renormalization would only
+            // change the global phase. Skip both state sweeps.
+            return;
         }
         psi.apply_operator(&self.kraus[pick], targets);
         psi.renormalize();
@@ -514,8 +587,9 @@ impl TrajectoryEngine {
 }
 
 /// The SplitMix64 finalizer: a bijective avalanche mixer separating
-/// nearby ensemble bases into unrelated seed streams.
-fn mix64(z: u64) -> u64 {
+/// nearby ensemble bases into unrelated seed streams. Shared with the
+/// replay engine, whose seed stream must be bit-compatible.
+pub(crate) fn mix64(z: u64) -> u64 {
     let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -523,8 +597,9 @@ fn mix64(z: u64) -> u64 {
 }
 
 /// Draws one basis state from `|psi|^2` (renormalized against the tiny
-/// drift repeated branch renormalizations accumulate).
-fn draw_outcome<R: Rng + ?Sized>(psi: &StateVector, rng: &mut R) -> usize {
+/// drift repeated branch renormalizations accumulate). Shared with the
+/// replay engine, whose measurement draws must be bit-compatible.
+pub(crate) fn draw_outcome<R: Rng + ?Sized>(psi: &StateVector, rng: &mut R) -> usize {
     let target = rng.gen::<f64>() * psi.norm_sqr();
     let mut acc = 0.0;
     for (b, a) in psi.amplitudes().iter().enumerate() {
@@ -594,6 +669,79 @@ mod tests {
             op.apply_sampled(&mut psi, &[0], &mut rng);
         }
         assert_eq!(psi, before, "p = 0 channel must be a bitwise no-op");
+    }
+
+    /// A general (non-mixed-unitary) channel whose `K_0` is an exact
+    /// scalar multiple of the identity: `sqrt(1-p) I` plus a damping-like
+    /// remainder, deliberately *not* registered as mixed-unitary.
+    fn general_identity_k0_op(p: f64) -> ChannelOp {
+        let k0 = Matrix::identity(2).scale(c64((1.0 - p).sqrt(), 0.0));
+        let k1 = sigma_x().scale(c64(p.sqrt(), 0.0));
+        ChannelOp::general(vec![k0, k1])
+    }
+
+    #[test]
+    fn general_identity_k0_is_detected_and_damping_is_not() {
+        assert!(general_identity_k0_op(0.2).skips_identity_k0());
+        // K_0 of amplitude damping is diag(1, sqrt(1-gamma)) — not a
+        // multiple of the identity.
+        assert!(!amplitude_damping_op(0.2).skips_identity_k0());
+        // Mixed-unitary channels use their own per-branch skip.
+        assert!(!depolarizing_op(0.2).skips_identity_k0());
+        // A complex global phase on K_0 still counts (phases are
+        // unobservable after renormalization).
+        let phased = vec![
+            Matrix::identity(2).scale(Complex64::cis(0.7).scale(0.8f64.sqrt())),
+            sigma_x().scale(c64(0.2f64.sqrt(), 0.0)),
+        ];
+        assert!(ChannelOp::general(phased).skips_identity_k0());
+        // Single-operator sets never skip.
+        assert!(!ChannelOp::general(vec![Matrix::identity(2)]).skips_identity_k0());
+    }
+
+    #[test]
+    fn general_identity_skip_matches_the_unskipped_path() {
+        // Parity against the unskipped application: run the same seeds
+        // through (a) the channel with the skip and (b) a channel forced
+        // down the apply+renormalize path by an off-tolerance K_0
+        // perturbation too small to change any branch pick. Every
+        // observable statistic must agree to renormalization round-off.
+        let p = 0.3;
+        let skipping = general_identity_k0_op(p);
+        assert!(skipping.skips_identity_k0());
+        let eps = 1e-9; // far above the 1e-12 identity tolerance
+        let k0 = Matrix::from_rows(&[
+            &[c64((1.0 - p).sqrt(), 0.0), c64(0.0, 0.0)],
+            &[c64(0.0, 0.0), c64((1.0 - p).sqrt() + eps, 0.0)],
+        ]);
+        let k1 = sigma_x().scale(c64(p.sqrt(), 0.0));
+        let unskipped = ChannelOp::general(vec![k0, k1]);
+        assert!(!unskipped.skips_identity_k0());
+
+        let obs = z(1, 0);
+        let mut with_skip = TrajectoryProgram::new(1);
+        with_skip.push_gate(Gate::H, &[0]);
+        with_skip.push_channel(skipping, &[0]);
+        let mut without = TrajectoryProgram::new(1);
+        without.push_gate(Gate::H, &[0]);
+        without.push_channel(unskipped, &[0]);
+        let engine = TrajectoryEngine::new(512, 17);
+        let a = engine.expectations(&with_skip, &obs);
+        let b = engine.expectations(&without, &obs);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+        // And the exact (density-matrix) semantics of the skipping
+        // channel are untouched — the skip is a sampling-path detail.
+        let mut rho = DensityMatrix::init(1);
+        with_skip.apply_exact(&mut rho);
+        let engine = TrajectoryEngine::new(8192, 23);
+        let (mean, stderr) = engine.expectation_with_error(&with_skip, &obs);
+        let exact = SimBackend::expectation(&rho, &obs);
+        assert!(
+            (mean - exact).abs() < 4.0 * stderr.max(1e-3),
+            "mean {mean} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Property suite pinning the replay path to the reference
+//! [`TrajectoryEngine`], bit for bit: for random programs (diagonal
+//! runs, dense gates, fixed unitaries, mixed-unitary and general
+//! channels), random ensemble seeds, and random ensemble sizes, the
+//! compiled [`ReplayProgram`] must reproduce every per-trajectory
+//! expectation and every sampled count exactly — same seed stream, same
+//! branch choices, same floating-point results.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hgp_circuit::{Gate, Param};
+use hgp_math::pauli::{sigma_x, sigma_y, sigma_z, Pauli, PauliString, PauliSum};
+use hgp_math::{c64, Matrix};
+use hgp_sim::{ChannelOp, ReplayEngine, ReplayProgram, TrajectoryEngine, TrajectoryProgram};
+
+fn depolarizing_op(p: f64) -> ChannelOp {
+    let kraus = vec![
+        Matrix::identity(2).scale(c64((1.0 - 3.0 * p / 4.0).sqrt(), 0.0)),
+        sigma_x().scale(c64((p / 4.0).sqrt(), 0.0)),
+        sigma_y().scale(c64((p / 4.0).sqrt(), 0.0)),
+        sigma_z().scale(c64((p / 4.0).sqrt(), 0.0)),
+    ];
+    let unitaries = vec![Matrix::identity(2), sigma_x(), sigma_y(), sigma_z()];
+    let probs = vec![1.0 - 3.0 * p / 4.0, p / 4.0, p / 4.0, p / 4.0];
+    ChannelOp::mixed_unitary(kraus, probs, unitaries)
+}
+
+fn amplitude_damping_op(gamma: f64) -> ChannelOp {
+    let k0 = Matrix::from_rows(&[
+        &[c64(1.0, 0.0), c64(0.0, 0.0)],
+        &[c64(0.0, 0.0), c64((1.0 - gamma).sqrt(), 0.0)],
+    ]);
+    let k1 = Matrix::from_rows(&[
+        &[c64(0.0, 0.0), c64(gamma.sqrt(), 0.0)],
+        &[c64(0.0, 0.0), c64(0.0, 0.0)],
+    ]);
+    ChannelOp::general(vec![k0, k1])
+}
+
+/// A general channel whose `K_0` is an exact identity multiple — the
+/// K0-skip path must agree between the two engines too.
+fn identity_k0_op(p: f64) -> ChannelOp {
+    let k0 = Matrix::identity(2).scale(c64((1.0 - p).sqrt(), 0.0));
+    let k1 = sigma_x().scale(c64(p.sqrt(), 0.0));
+    ChannelOp::general(vec![k0, k1])
+}
+
+/// A random trajectory program drawn from `shape_seed`: mixes fused
+/// diagonal runs, dense gates, raw unitaries, and all three channel
+/// sampling families.
+fn random_program(n: usize, n_ops: usize, shape_seed: u64) -> TrajectoryProgram {
+    let mut rng = StdRng::seed_from_u64(shape_seed);
+    let mut program = TrajectoryProgram::new(n);
+    for _ in 0..n_ops {
+        let q = rng.gen_range(0usize..n);
+        let q2 = if n > 1 {
+            let mut other = rng.gen_range(0usize..n);
+            while other == q {
+                other = rng.gen_range(0usize..n);
+            }
+            other
+        } else {
+            q
+        };
+        let angle = rng.gen_range(-3.0f64..3.0);
+        match rng.gen_range(0u64..9) {
+            0 => {
+                program.push_gate(Gate::H, &[q]);
+            }
+            1 => {
+                program.push_gate(Gate::Rz(Param::bound(angle)), &[q]);
+            }
+            2 if n > 1 => {
+                program.push_gate(Gate::Rzz(Param::bound(angle)), &[q, q2]);
+            }
+            3 if n > 1 => {
+                program.push_gate(Gate::CX, &[q, q2]);
+            }
+            4 if n > 1 => {
+                program.push_gate(Gate::CZ, &[q, q2]);
+            }
+            5 => {
+                program.push_unitary(Gate::Rx(Param::bound(angle)).matrix().unwrap(), &[q]);
+            }
+            6 => {
+                program.push_channel(depolarizing_op(rng.gen_range(0.0f64..0.6)), &[q]);
+            }
+            7 => {
+                program.push_channel(amplitude_damping_op(rng.gen_range(0.01f64..0.5)), &[q]);
+            }
+            _ => {
+                program.push_channel(identity_k0_op(rng.gen_range(0.01f64..0.4)), &[q]);
+            }
+        }
+    }
+    program
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replay_expectations_match_bitwise(
+        n in 1usize..5,
+        n_ops in 1usize..16,
+        shape_seed in 0u64..1_000_000,
+        ensemble_seed in 0u64..1_000_000,
+        trajectories in 1usize..40,
+    ) {
+        let program = random_program(n, n_ops, shape_seed);
+        let replay = ReplayProgram::compile(&program);
+        let obs = PauliSum::from_terms(vec![
+            PauliString::new(n, vec![(0, Pauli::Z)], 1.0),
+            PauliString::new(n, vec![(n - 1, Pauli::Z)], -0.5),
+        ]);
+        let reference = TrajectoryEngine::new(trajectories, ensemble_seed);
+        let fast = ReplayEngine::new(trajectories, ensemble_seed);
+        let a = reference.expectations(&program, &obs);
+        let b = fast.expectations(&replay, &obs);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let (m1, e1) = reference.expectation_with_error(&program, &obs);
+        let (m2, e2) = fast.expectation_with_error(&replay, &obs);
+        prop_assert_eq!(m1.to_bits(), m2.to_bits());
+        prop_assert_eq!(e1.to_bits(), e2.to_bits());
+    }
+
+    #[test]
+    fn replay_counts_match_bitwise(
+        n in 1usize..5,
+        n_ops in 1usize..16,
+        shape_seed in 0u64..1_000_000,
+        ensemble_seed in 0u64..1_000_000,
+        shots in 1usize..96,
+    ) {
+        let program = random_program(n, n_ops, shape_seed);
+        let replay = ReplayProgram::compile(&program);
+        let reference = TrajectoryEngine::new(shots, ensemble_seed);
+        let fast = ReplayEngine::new(shots, ensemble_seed);
+        prop_assert_eq!(
+            reference.sample_counts(&program),
+            fast.sample_counts(&replay)
+        );
+        // Shot-level corruption consumes the same RNG tail.
+        let corrupt = |bits: usize, rng: &mut StdRng| {
+            if rng.gen::<f64>() < 0.1 { bits ^ 1 } else { bits }
+        };
+        prop_assert_eq!(
+            reference.sample_counts_with(&program, corrupt),
+            fast.sample_counts_with(&replay, corrupt)
+        );
+    }
+
+    #[test]
+    fn replay_non_diagonal_observables_match_bitwise(
+        n in 2usize..4,
+        n_ops in 1usize..12,
+        shape_seed in 0u64..1_000_000,
+        ensemble_seed in 0u64..1_000_000,
+    ) {
+        let program = random_program(n, n_ops, shape_seed);
+        let replay = ReplayProgram::compile(&program);
+        let obs = PauliSum::from_terms(vec![
+            PauliString::new(n, vec![(0, Pauli::X)], 0.8),
+            PauliString::new(n, vec![(1, Pauli::Y), (0, Pauli::Z)], -0.3),
+        ]);
+        let a = TrajectoryEngine::new(16, ensemble_seed).expectations(&program, &obs);
+        let b = ReplayEngine::new(16, ensemble_seed).expectations(&replay, &obs);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
