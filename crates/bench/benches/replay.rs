@@ -54,6 +54,35 @@ fn bench_replay_per_shot(c: &mut Criterion) {
     let _ = c;
 }
 
+/// The same 256 trajectories through the batched SoA shot-block path —
+/// bit-identical to the scalar replay loop (pinned by
+/// `crates/sim/tests/replay_batch_parity.rs`), amortizing tape decode,
+/// matrix loads, and channel-table reads across the resident shots of
+/// each cache-sized block. Must be **>= 2x** faster per shot than the
+/// scalar `replay_expectation_12q_256shots` entry. Also emits the
+/// machine metadata line (`meta:replay`) the checked-in baseline's
+/// `host`/`workload` fields are filled from.
+fn bench_replay_batched_per_shot(c: &mut Criterion) {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = generators::random_regular(12, 3, 7);
+    let compiled = CircuitCompiler::new(&backend, LAYOUT_12Q.to_vec())
+        .compile(&qaoa_circuit(&graph, 1))
+        .expect("12q shape compiles");
+    let exec = compiled.executor(&backend);
+    let obs = compiled.wire_observable(&cost_hamiltonian(&graph));
+    let replay = compiled.bind_replay(&exec, &PARAMS);
+    let engine = ReplayEngine::new(SHOTS, 11);
+    hgp_bench::emit_bench_meta("meta:replay", engine.block_size_for(&replay));
+    // More samples than the scalar entry: the batched path's shorter
+    // iterations leave its median more exposed to scheduler noise on
+    // shared hosts, and the derived speedup divides by this median.
+    let mut slow = Criterion::default().sample_size(9);
+    slow.bench_function("replay_batched_expectation_12q_256shots", |b| {
+        b.iter(|| engine.expectation_batched(black_box(&replay), &obs))
+    });
+    let _ = c;
+}
+
 /// The same 256 trajectories on the recorded program via the reference
 /// engine — the per-shot path replay replaces (bit-identical results).
 fn bench_trajectory_per_shot(c: &mut Criterion) {
@@ -94,6 +123,7 @@ fn bench_bind_paths(c: &mut Criterion) {
 criterion_group!(
     replay,
     bench_replay_per_shot,
+    bench_replay_batched_per_shot,
     bench_trajectory_per_shot,
     bench_bind_paths
 );

@@ -23,7 +23,9 @@
 //!   noisy QAOA at widths the density matrix cannot reach. The
 //!   trajectory entry points execute on the op-fused
 //!   [`hgp_sim::ReplayEngine`] ([`Executor::replay_program`] compiles
-//!   the recording into a flat tape), pinned bit-identical to the
+//!   the recording into a flat tape) in its batched-shot mode —
+//!   cache-sized [`hgp_sim::ReplayBatch`] SoA blocks swept op-major —
+//!   pinned bit-identical to both the scalar replay loop and the
 //!   reference [`hgp_sim::TrajectoryEngine`]; serving callers skip the
 //!   per-dispatch recording entirely via the compiled artifacts'
 //!   schedule templates ([`Executor::sample_replay`] /
@@ -428,14 +430,17 @@ impl<'a> Executor<'a> {
 
     /// [`Executor::sample_trajectories`] over an already-compiled replay
     /// tape — the serving path, where the tape comes from a schedule
-    /// template and the per-job record/compile step disappears.
+    /// template and the per-job record/compile step disappears. Runs the
+    /// batched SoA shot-block path (bit-identical to the scalar replay
+    /// loop for every block size; the scalar engine stays as the pinned
+    /// reference).
     ///
     /// # Panics
     ///
     /// Panics if `shots` is zero.
     pub fn sample_replay(&self, replay: &ReplayProgram, shots: usize, seed: u64) -> Counts {
         ReplayEngine::new(shots, seed)
-            .sample_counts_with(replay, |bits, rng| self.readout.corrupt_bits(bits, rng))
+            .sample_counts_with_batched(replay, |bits, rng| self.readout.corrupt_bits(bits, rng))
     }
 
     /// Estimates a noisy expectation value from `n_trajectories`
@@ -464,7 +469,8 @@ impl<'a> Executor<'a> {
     }
 
     /// [`Executor::expectation_trajectories`] over an already-compiled
-    /// replay tape (see [`Executor::sample_replay`]).
+    /// replay tape (see [`Executor::sample_replay`]); batched shot-block
+    /// execution, bit-identical to the scalar replay loop.
     ///
     /// # Panics
     ///
@@ -476,7 +482,7 @@ impl<'a> Executor<'a> {
         n_trajectories: usize,
         seed: u64,
     ) -> (f64, f64) {
-        ReplayEngine::new(n_trajectories, seed).expectation_with_error(replay, observable)
+        ReplayEngine::new(n_trajectories, seed).expectation_with_error_batched(replay, observable)
     }
 }
 

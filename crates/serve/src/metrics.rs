@@ -42,6 +42,12 @@ pub struct ServeMetrics {
     pub exec_ns: u64,
     /// Summed end-to-end batch wall time.
     pub wall_ns: u64,
+    /// Stochastic trajectory shots finished by successful jobs (the
+    /// four trajectory job kinds report their shot or trajectory count;
+    /// other kinds contribute zero). This is the work unit the batched
+    /// replay engine optimizes, so shots/second — not jobs/second — is
+    /// the number to watch when tuning trajectory serving.
+    pub shots_executed: u64,
 }
 
 impl ServeMetrics {
@@ -72,6 +78,30 @@ impl ServeMetrics {
         }
     }
 
+    /// Trajectory shot throughput over the service's lifetime,
+    /// shots/second.
+    pub fn shots_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.shots_executed as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Mean worker execution time per trajectory shot, nanoseconds.
+    ///
+    /// `exec_ns` sums over every job kind, so read this on
+    /// trajectory-dominated workloads (where non-trajectory execution
+    /// time is negligible) — the serving benches and the replay
+    /// acceptance bar both use it that way.
+    pub fn mean_shot_exec_ns(&self) -> f64 {
+        if self.shots_executed == 0 {
+            0.0
+        } else {
+            self.exec_ns as f64 / self.shots_executed as f64
+        }
+    }
+
     /// Fraction of shape lookups served from the cache.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -89,7 +119,8 @@ impl fmt::Display for ServeMetrics {
             f,
             "{} jobs ({} failed) in {} batches | {:.0} jobs/s | mean latency {:.1} us \
              (bind {:.1} us) | cache {}/{} hits ({:.0}%) | stages: validate {:.2} ms, \
-             compile {:.2} ms, bind {:.2} ms, execute {:.2} ms",
+             compile {:.2} ms, bind {:.2} ms, execute {:.2} ms | {} shots, {:.0} shots/s, \
+             {:.2} us/shot exec",
             self.jobs_completed,
             self.jobs_failed,
             self.batches,
@@ -103,6 +134,9 @@ impl fmt::Display for ServeMetrics {
             self.compile_ns as f64 / 1e6,
             self.bind_ns as f64 / 1e6,
             self.exec_ns as f64 / 1e6,
+            self.shots_executed,
+            self.shots_per_sec(),
+            self.mean_shot_exec_ns() / 1e3,
         )
     }
 }
@@ -125,12 +159,16 @@ mod tests {
             bind_ns: 50_000_000,
             exec_ns: 150_000_000,
             wall_ns: 1_000_000_000,
+            shots_executed: 25_000,
         };
         assert!((m.throughput_jobs_per_sec() - 100.0).abs() < 1e-9);
         // Mean latency covers both worker stages: bind + execute.
         assert!((m.mean_job_latency_ns() - 2_000_000.0).abs() < 1e-9);
         assert!((m.mean_bind_latency_ns() - 500_000.0).abs() < 1e-9);
         assert!((m.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.shots_per_sec() - 25_000.0).abs() < 1e-9);
+        // 150 ms of execution over 25k shots: 6 us per shot.
+        assert!((m.mean_shot_exec_ns() - 6_000.0).abs() < 1e-9);
         assert!(!m.to_string().is_empty());
     }
 
@@ -141,5 +179,7 @@ mod tests {
         assert_eq!(m.mean_job_latency_ns(), 0.0);
         assert_eq!(m.mean_bind_latency_ns(), 0.0);
         assert_eq!(m.cache_hit_rate(), 0.0);
+        assert_eq!(m.shots_per_sec(), 0.0);
+        assert_eq!(m.mean_shot_exec_ns(), 0.0);
     }
 }

@@ -381,7 +381,7 @@ impl<'a> Service<'a> {
         }
         drop(unit_tx);
         let unit_rx = Arc::new(Mutex::new(unit_rx));
-        let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult, u64)>();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult, u64, u64)>();
         let backend = self.backend;
         let workers = self.config.workers.min(n_jobs).max(1);
         std::thread::scope(|scope| {
@@ -394,10 +394,11 @@ impl<'a> Service<'a> {
                     let Ok(unit) = unit else { break };
                     for job in unit.jobs {
                         let index = job.index;
+                        let shots = trajectory_shots(&job.spec);
                         let (result, bind_ns) =
                             execute_job(backend, &unit.compiled, unit.cache_hit, job);
                         result_tx
-                            .send((index, result, bind_ns))
+                            .send((index, result, bind_ns, shots))
                             .expect("collector alive");
                     }
                 });
@@ -409,9 +410,12 @@ impl<'a> Service<'a> {
             for (index, result) in rejected {
                 slots[index] = Some(result);
             }
-            for (index, result, bind_ns) in result_rx {
+            for (index, result, bind_ns, shots) in result_rx {
                 self.metrics.bind_ns += bind_ns;
                 self.metrics.exec_ns += result.elapsed_ns.saturating_sub(bind_ns);
+                if result.output.is_ok() {
+                    self.metrics.shots_executed += shots;
+                }
                 slots[index] = Some(result);
             }
             let results: Vec<JobResult> = slots
@@ -526,6 +530,22 @@ fn timed_bind<T>(acc: &mut u64, f: impl FnOnce() -> T) -> T {
 /// — the determinism contract lives here. The panic boundary converts
 /// any residual panic on request-derived data into an execute-stage
 /// [`JobError`]: a bad job must never take its worker thread down.
+/// Stochastic shots a spec runs on the trajectory replay path — the
+/// unit of the shots-executed metric. Counts jobs, not side effects:
+/// expectation kinds execute one trajectory per requested sample, so
+/// their trajectory count *is* their shot count. Non-trajectory kinds
+/// (statevector, density matrix, exact sampling) report zero.
+fn trajectory_shots(spec: &JobSpec) -> u64 {
+    match spec {
+        JobSpec::TrajectoryCounts { shots } | JobSpec::HybridTrajectoryCounts { shots } => {
+            *shots as u64
+        }
+        JobSpec::TrajectoryExpectation { trajectories, .. }
+        | JobSpec::HybridTrajectoryExpectation { trajectories, .. } => *trajectories as u64,
+        _ => 0,
+    }
+}
+
 fn execute_job(
     backend: &Backend,
     compiled: &CompiledArtifact,

@@ -288,6 +288,17 @@ proptest! {
         // compile misses.
         prop_assert!(service.metrics().bind_ns > 0);
         prop_assert!(service.metrics().exec_ns > service.metrics().bind_ns);
+        // Shot accounting: two of the four points ran expectation jobs
+        // (192 trajectories each), two ran counts jobs (160 shots each),
+        // regardless of how the batches were split or parallelized.
+        let even = points.len().div_ceil(2);
+        let odd = points.len() - even;
+        prop_assert_eq!(
+            service.metrics().shots_executed,
+            (even * trajectories + odd * shots) as u64
+        );
+        prop_assert!(service.metrics().shots_per_sec() > 0.0);
+        prop_assert!(service.metrics().mean_shot_exec_ns() > 0.0);
     }
 }
 

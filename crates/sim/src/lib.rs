@@ -25,7 +25,9 @@
 //! resolved matrices, precompiled channel sampling tables) that
 //! [`ReplayEngine`] replays with zero per-shot allocation or dispatch —
 //! pinned **bit-identical** to the trajectory engine, which stays as the
-//! reference implementation.
+//! reference implementation. Ensembles run through the batched-shot mode
+//! by default ([`ReplayBatch`]: cache-sized SoA shot blocks swept
+//! op-major, bit-identical to the scalar loop for every block size).
 //!
 //! Measurement statistics come out as [`Counts`] — multisets of observed
 //! bitstrings — which downstream crates feed to error mitigation and cost
@@ -57,6 +59,6 @@ pub mod trajectory;
 pub use backend::SimBackend;
 pub use counts::Counts;
 pub use density::DensityMatrix;
-pub use replay::{ReplayEngine, ReplayProgram, ReplayScratch, ReplaySlot};
+pub use replay::{ReplayBatch, ReplayEngine, ReplayProgram, ReplayScratch, ReplaySlot};
 pub use statevector::StateVector;
 pub use trajectory::{ChannelOp, TrajectoryEngine, TrajectoryOp, TrajectoryProgram};

@@ -40,6 +40,21 @@
 //! this across random programs; the serve-layer suites pin it end to
 //! end.
 //!
+//! # Batched-shot mode
+//!
+//! The scalar per-shot loop above still decodes the whole tape once per
+//! trajectory. The [`batch`] submodule inverts that loop nest: a
+//! [`ReplayBatch`] holds a cache-sized block of shots in one
+//! structure-of-arrays arena and replays the tape *op-major* — each tape
+//! entry sweeps every resident shot before the next is decoded. The
+//! [`ReplayEngine::expectations_batched`] /
+//! [`ReplayEngine::sample_counts_batched`] entry points partition the
+//! ensemble into such blocks (deterministic boundaries, per-block
+//! arenas) and are bit-identical to their scalar counterparts for every
+//! block size, split, worker count, and seed — the scalar engine stays
+//! as the pinned reference. See the [`batch`] module docs for the layout
+//! and divergence-masking design.
+//!
 //! # Example
 //!
 //! ```
@@ -76,6 +91,10 @@ use crate::kernels::{self, DiagOp};
 use crate::seed::stream_seed;
 use crate::statevector::StateVector;
 use crate::trajectory::{draw_outcome, mix64, ChannelOp, TrajectoryOp, TrajectoryProgram};
+
+pub mod batch;
+
+pub use batch::ReplayBatch;
 
 /// One instruction of a compiled replay tape.
 #[derive(Debug, Clone)]
@@ -643,6 +662,9 @@ impl ReplayScratch {
 pub struct ReplayEngine {
     n_trajectories: usize,
     base_seed: u64,
+    /// Shot-block override for the batched path; `None` sizes blocks by
+    /// state width ([`batch::default_block_size`]).
+    block_size: Option<usize>,
 }
 
 impl ReplayEngine {
@@ -657,7 +679,30 @@ impl ReplayEngine {
         Self {
             n_trajectories,
             base_seed,
+            block_size: None,
         }
+    }
+
+    /// Overrides the batched path's shots-per-block. Every block size
+    /// produces bit-identical results (blocks are pure partitions of the
+    /// per-trajectory seed stream); the default sizes one block's arena
+    /// for cache residency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots_per_block` is zero.
+    pub fn with_block_size(mut self, shots_per_block: usize) -> Self {
+        assert!(shots_per_block > 0, "need at least one shot per block");
+        self.block_size = Some(shots_per_block);
+        self
+    }
+
+    /// The shot-block size the batched entry points will use for
+    /// `program`.
+    pub fn block_size_for(&self, program: &ReplayProgram) -> usize {
+        self.block_size
+            .unwrap_or_else(|| batch::default_block_size(program.n_qubits()))
+            .min(self.n_trajectories)
     }
 
     /// Ensemble size.
@@ -790,6 +835,127 @@ impl ReplayEngine {
             program.run_into(scratch, &mut rng);
             let bits = draw_outcome(&scratch.psi, &mut rng);
             corrupt(bits, &mut rng)
+        });
+        let mut counts = Counts::new(program.n_qubits());
+        for bits in outcomes {
+            counts.record(bits, 1);
+        }
+        counts
+    }
+
+    /// Maps every shot block through `f`, returning per-shot results in
+    /// trajectory order. The ensemble splits at fixed multiples of the
+    /// block size — boundaries are a pure function of `(n_trajectories,
+    /// block size)`, independent of worker count — and the blocks fan
+    /// out over the shared rayon pool, one [`ReplayBatch`] arena each.
+    /// Per-shot purity (each shot's result depends only on `(program,
+    /// base_seed, index)`) makes every such partition bit-identical to
+    /// the sequential scalar loop.
+    fn map_shot_blocks<T, F>(&self, program: &ReplayProgram, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut ReplayBatch, usize) -> Vec<T> + Sync,
+    {
+        let n = self.n_trajectories;
+        let block = self.block_size_for(program);
+        // One arena per worker, reused across that worker's blocks —
+        // `ReplayBatch::run` re-seeds and re-zeroes everything a block
+        // reads, so reuse only skips the allocation and its page
+        // faults. A ragged final block (different shot count, so a
+        // different SoA stride) rebuilds once.
+        let blocks: Vec<Vec<T>> = (0..n.div_ceil(block))
+            .into_par_iter()
+            .map_init(
+                || None,
+                |cache: &mut Option<ReplayBatch>, w| {
+                    let lo = w * block;
+                    let hi = (lo + block).min(n);
+                    let shots = match cache {
+                        Some(b) if b.n_shots() == hi - lo => b,
+                        _ => cache.insert(ReplayBatch::for_program(program, hi - lo)),
+                    };
+                    f(shots, lo)
+                },
+            )
+            .collect();
+        blocks.into_iter().flatten().collect()
+    }
+
+    /// Per-trajectory expectation values through the batched SoA path —
+    /// bit-identical to [`ReplayEngine::expectations`] (and therefore to
+    /// the reference [`crate::TrajectoryEngine`]) for every block size.
+    pub fn expectations_batched(&self, program: &ReplayProgram, observable: &PauliSum) -> Vec<f64> {
+        assert_eq!(
+            observable.n_qubits(),
+            program.n_qubits(),
+            "observable width must match the program"
+        );
+        let table: Option<Vec<f64>> = observable.is_diagonal().then(|| {
+            (0..1usize << program.n_qubits())
+                .map(|b| observable.eval_diagonal(b))
+                .collect()
+        });
+        self.map_shot_blocks(program, |shots, lo| {
+            let seeds: Vec<u64> = (0..shots.n_shots())
+                .map(|s| self.trajectory_seed(lo + s))
+                .collect();
+            shots.run(program, &seeds);
+            match &table {
+                Some(diag) => shots.diagonal_expectations(diag),
+                None => (0..shots.n_shots())
+                    .map(|s| shots.shot_expectation(s, observable))
+                    .collect(),
+            }
+        })
+    }
+
+    /// Ensemble-mean expectation through the batched path, bit-identical
+    /// to [`ReplayEngine::expectation`].
+    pub fn expectation_batched(&self, program: &ReplayProgram, observable: &PauliSum) -> f64 {
+        let values = self.expectations_batched(program, observable);
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    /// Ensemble mean plus its standard error through the batched path,
+    /// bit-identical to [`ReplayEngine::expectation_with_error`].
+    pub fn expectation_with_error_batched(
+        &self,
+        program: &ReplayProgram,
+        observable: &PauliSum,
+    ) -> (f64, f64) {
+        let values = self.expectations_batched(program, observable);
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        if values.len() < 2 {
+            return (mean, 0.0);
+        }
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+        (mean, (var / n).sqrt())
+    }
+
+    /// One computational-basis shot per trajectory through the batched
+    /// path, bit-identical to [`ReplayEngine::sample_counts`].
+    pub fn sample_counts_batched(&self, program: &ReplayProgram) -> Counts {
+        self.sample_counts_with_batched(program, |bits, _| bits)
+    }
+
+    /// [`ReplayEngine::sample_counts_with`]'s batched counterpart: the
+    /// corruption hook sees each shot's RNG exactly where the scalar
+    /// engine leaves it (after the outcome draw).
+    pub fn sample_counts_with_batched<F>(&self, program: &ReplayProgram, corrupt: F) -> Counts
+    where
+        F: Fn(usize, &mut StdRng) -> usize + Sync,
+    {
+        let outcomes: Vec<usize> = self.map_shot_blocks(program, |shots, lo| {
+            let seeds: Vec<u64> = (0..shots.n_shots())
+                .map(|s| self.trajectory_seed(lo + s))
+                .collect();
+            shots.run(program, &seeds);
+            let bits = shots.draw_outcomes();
+            bits.into_iter()
+                .enumerate()
+                .map(|(s, b)| corrupt(b, shots.rng_mut(s)))
+                .collect()
         });
         let mut counts = Counts::new(program.n_qubits());
         for bits in outcomes {
@@ -956,6 +1122,64 @@ mod tests {
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn batched_replay_is_bit_identical_across_block_sizes() {
+        let program = mixed_program();
+        let replay = ReplayProgram::compile(&program);
+        let obs = zz(3, 0, 2);
+        let engine = ReplayEngine::new(97, 13);
+        let scalar = engine.expectations(&replay, &obs);
+        // Sizes that divide the ensemble, sizes that don't, a single-shot
+        // block, one block for everything, and the width-derived default.
+        for block in [1usize, 2, 3, 16, 64, 97, 200] {
+            let batched = engine
+                .with_block_size(block)
+                .expectations_batched(&replay, &obs);
+            assert_eq!(scalar.len(), batched.len());
+            for (a, b) in scalar.iter().zip(batched.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "block size {block}");
+            }
+        }
+        let batched = engine.expectations_batched(&replay, &obs);
+        for (a, b) in scalar.iter().zip(batched.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_counts_and_errors_match_scalar_bitwise() {
+        let program = mixed_program();
+        let replay = ReplayProgram::compile(&program);
+        let corrupt = |bits: usize, rng: &mut StdRng| {
+            if rng.gen::<f64>() < 0.1 {
+                bits ^ 0b011
+            } else {
+                bits
+            }
+        };
+        let scalar = ReplayEngine::new(193, 21).sample_counts_with(&replay, corrupt);
+        for block in [1usize, 5, 32, 193] {
+            let batched = ReplayEngine::new(193, 21)
+                .with_block_size(block)
+                .sample_counts_with_batched(&replay, corrupt);
+            assert_eq!(scalar, batched, "block size {block}");
+        }
+        assert_eq!(
+            ReplayEngine::new(64, 3).sample_counts(&replay),
+            ReplayEngine::new(64, 3).sample_counts_batched(&replay)
+        );
+        let obs = PauliSum::from_terms(vec![
+            PauliString::new(3, vec![(0, Pauli::X), (2, Pauli::Z)], 0.5),
+            PauliString::new(3, vec![(1, Pauli::Y)], 1.5),
+        ]);
+        let a = ReplayEngine::new(33, 2).expectation_with_error(&replay, &obs);
+        let b = ReplayEngine::new(33, 2)
+            .with_block_size(4)
+            .expectation_with_error_batched(&replay, &obs);
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
     }
 
     #[test]

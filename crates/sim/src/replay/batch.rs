@@ -1,0 +1,1332 @@
+//! Batched-shot replay: lockstep SoA trajectory ensembles over the op
+//! tape.
+//!
+//! The scalar [`super::ReplayEngine`] loop runs one trajectory at a
+//! time: every shot of an ensemble decodes the same tape, reloads the
+//! same resolved matrices, and re-reads the same channel sampling
+//! tables. [`ReplayBatch`] inverts the loop nest — **op-major instead of
+//! shot-major**: `S` statevectors live in one structure-of-arrays arena
+//! and each tape entry sweeps all `S` resident shots before the next
+//! entry is decoded. Tape decode, matrix loads, diagonal factor
+//! lookups, and channel-table reads are paid once per op per *block*
+//! instead of once per op per *shot*, and the innermost loops run over
+//! `S` contiguous lanes with loop-invariant coefficients — the shape the
+//! auto-vectorizer wants.
+//!
+//! # Layout: amplitude-major split re/im planes
+//!
+//! The arena stores the real and imaginary parts of amplitude `b` of
+//! shot `s` at `re[b * S + s]` / `im[b * S + s]` — amplitude-major
+//! across shots, with the two components in separate planes. Two
+//! alternatives lose:
+//!
+//! - **shot-major** (`S` contiguous full statevectors) degenerates to
+//!   the scalar loop with shared decode — every kernel still walks one
+//!   shot's amplitudes with per-amplitude index arithmetic, and nothing
+//!   vectorizes across shots;
+//! - **interleaved `Complex64` lanes** (amplitude-major, but `(re, im)`
+//!   pairs) keep the right loop shape yet defeat the vectorizer: complex
+//!   multiply over interleaved pairs needs cross-lane shuffles, and the
+//!   measured batched path ran at parity with the scalar engine.
+//!
+//! Split planes turn every kernel's inner loop into straight-line `f64`
+//! lane arithmetic (each shot's real and imaginary parts computed from
+//! the same loads), which vectorizes on baseline x86-64. The full-block
+//! kernels in [`kern`] are additionally compiled a second time with
+//! AVX2 enabled ([`kern_avx2`]) and dispatched by one runtime CPUID
+//! check per batch — doubling the lane width from SSE2's two `f64`s to
+//! four where the hardware allows. Multiversioning happens at *kernel*
+//! granularity (one call per op per block), not per amplitude row:
+//! `#[target_feature]` functions cannot inline into baseline callers,
+//! so a per-row boundary would pay a call per 32-lane sweep. The
+//! dispatch is bit-safe: wider vectors evaluate the *same* scalar
+//! expression per lane, and rustc never contracts separate multiplies
+//! and adds into FMAs, so both paths produce identical bits.
+//! `BENCH_replay.json`'s `replay_batched_expectation_12q_256shots`
+//! entry records the measured advantage over the scalar engine on the
+//! same tape.
+//!
+//! # Divergence at channels
+//!
+//! Channels are the one place shots disagree about what happens next.
+//! Each resident shot keeps its own [`StdRng`] (seeded from the
+//! *identical* per-trajectory stream the scalar engine uses) and draws
+//! exactly where the scalar engine draws — one `f64` per channel per
+//! shot. The branch *picks* therefore match the scalar run bit for bit;
+//! application is then regrouped: shots that picked the same branch are
+//! swept together, shots that picked an identity(-skip) branch are
+//! masked out entirely, and general channels accumulate all per-shot
+//! branch weights in strided passes over the block before any shot
+//! draws.
+//!
+//! # Why this is bit-identical, not just equivalent
+//!
+//! Trajectories are independent: shot `s` owns its statevector and its
+//! RNG, and no op reads another shot's state. Reordering the loop nest
+//! from shot-major to op-major therefore cannot change any shot's
+//! result **as long as each shot's own floating-point operation
+//! sequence is preserved** — which every kernel here does by mirroring
+//! its scalar counterpart's arithmetic expression for expression: the
+//! same per-amplitude multiply sequence for diagonal runs
+//! ([`DiagOp::factor`] order), the same `m00 * a + m01 * b` dense pair
+//! update, the same `mul_add` accumulation chains for 2q quads and
+//! generic weight scans (including their exact `x - y + z` association),
+//! the same ascending-base accumulation order for weights, norms, and
+//! diagonal observables, and the same renormalization
+//! (`norm_sqr().sqrt()`, one reciprocal, one scale pass). Splitting a
+//! `Complex64` into plane-resident components changes where the two
+//! `f64`s live, not one bit of what is computed from them. Property
+//! tests in `crates/sim/tests/replay_batch_parity.rs` pin the whole
+//! surface against the scalar engine across block sizes, splits, and
+//! seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hgp_math::pauli::PauliSum;
+use hgp_math::{Complex64, Matrix};
+
+use crate::statevector::StateVector;
+
+use super::{
+    BranchApply, CompiledChannel, GeneralChannel, MixedChannel, ReplayOp, ReplayProgram, WeightScan,
+};
+
+/// Full-block kernel bodies: each sweeps one op over every resident
+/// shot of the arena. Bodies are `#[inline(always)]` so the
+/// [`kern_avx2`] wrappers re-compile the identical expressions under
+/// the wider ISA; every inner loop is the batched transliteration of
+/// the scalar kernel's per-amplitude `Complex64` expression (see the
+/// module docs for the exact correspondences being preserved).
+mod kern {
+    use hgp_math::Complex64;
+
+    use super::super::Row1q;
+    use super::rows2_mut;
+    use crate::kernels::DiagOp;
+
+    /// A fused diagonal run: per amplitude row, the factor sequence is
+    /// gathered once, then each factor multiplies every shot's lane in
+    /// sequence — per shot, the exact multiply order of
+    /// `apply_diag_run_exact` (factors in op order), with the
+    /// per-amplitude factor lookups amortized `S`-fold.
+    ///
+    /// `inv`, when present, is a deferred renormalization: each row is
+    /// scaled by the per-shot reciprocal while L1-hot, before the
+    /// factor sweeps — the same `a * inv` the scalar engine stored in
+    /// its own scale pass.
+    #[inline(always)]
+    pub fn diag_run(
+        re: &mut [f64],
+        im: &mut [f64],
+        s_n: usize,
+        ops: &[DiagOp],
+        factors: &mut Vec<Complex64>,
+        inv: Option<&[f64]>,
+    ) {
+        if let Some(inv) = inv {
+            assert!(inv.len() == s_n);
+        }
+        for ((b, row_re), row_im) in re
+            .chunks_exact_mut(s_n)
+            .enumerate()
+            .zip(im.chunks_exact_mut(s_n))
+        {
+            if let Some(inv) = inv {
+                for s in 0..s_n {
+                    row_re[s] *= inv[s];
+                    row_im[s] *= inv[s];
+                }
+            }
+            factors.clear();
+            factors.extend(ops.iter().map(|op| op.factor(b)));
+            for &f in factors.iter() {
+                for (vr, vi) in row_re.iter_mut().zip(row_im.iter_mut()) {
+                    let (r, i) = (*vr, *vi);
+                    *vr = r * f.re - i * f.im;
+                    *vi = r * f.im + i * f.re;
+                }
+            }
+        }
+    }
+
+    /// Dense 1q over every resident shot: the scalar kernel's pair
+    /// enumeration with the bit surgery hoisted out of the `S`-wide
+    /// inner loop. Per shot, the exact `m00 * a + m01 * b` update of
+    /// `apply_dense_1q`, written out over the planes. `m` is
+    /// `[m00, m01, m10, m11]`.
+    ///
+    /// `inv`, when present, is a deferred renormalization: the pair
+    /// inputs are scaled by the per-shot reciprocal as they are loaded
+    /// (the op overwrites every amplitude, so the scaled value is
+    /// consumed, never stored) — the same `a * inv` the scalar engine
+    /// stored in its own scale pass.
+    ///
+    /// Diagonal and anti-diagonal matrices (the shape of most Kraus
+    /// branches — thermal-relaxation `K0` is diagonal, Pauli jump
+    /// operators are one or the other) skip the half of the update that
+    /// multiplies by exact-zero entries, halving the pass's flops. The
+    /// skipped term `(c.re * v - c.im * w)` with `c == 0` is `±0.0` for
+    /// finite inputs, and dropping a `±0.0` addend can only change a
+    /// result's bits when the result is itself a zero — flipping its
+    /// sign. Those zero signs never reach an observable: branch weights,
+    /// norms, and measurement probabilities square components (`(-0.0)^2
+    /// == +0.0`), expectation and weight accumulators start at `+0.0`
+    /// (and `+0.0 + ±0.0 == +0.0`), branch-pick comparisons treat `±0.0`
+    /// as equal, and no path divides by or takes the sign of an
+    /// amplitude. The scalar engine's own `branch_weights_1q` pattern
+    /// rows rest on the same erasure argument.
+    #[inline(always)]
+    pub fn dense1q_all(
+        re: &mut [f64],
+        im: &mut [f64],
+        s_n: usize,
+        target: usize,
+        m: [Complex64; 4],
+        inv: Option<&[f64]>,
+    ) {
+        let [m00, m01, m10, m11] = m;
+        let bit = 1usize << target;
+        let low = bit - 1;
+        let dim = re.len() / s_n;
+        if let Some(inv) = inv {
+            assert!(inv.len() == s_n);
+        }
+        let zero = |c: Complex64| c.re == 0.0 && c.im == 0.0;
+        let diag = zero(m01) && zero(m10);
+        let anti = zero(m00) && zero(m11);
+        for g in 0..dim / 2 {
+            let i = ((g & !low) << 1) | (g & low);
+            let j = i | bit;
+            let (ri_re, rj_re) = rows2_mut(re, s_n, i, j);
+            let (ri_im, rj_im) = rows2_mut(im, s_n, i, j);
+            if diag {
+                match inv {
+                    None => {
+                        for s in 0..s_n {
+                            let (xr, xi) = (ri_re[s], ri_im[s]);
+                            let (yr, yi) = (rj_re[s], rj_im[s]);
+                            ri_re[s] = m00.re * xr - m00.im * xi;
+                            ri_im[s] = m00.re * xi + m00.im * xr;
+                            rj_re[s] = m11.re * yr - m11.im * yi;
+                            rj_im[s] = m11.re * yi + m11.im * yr;
+                        }
+                    }
+                    Some(inv) => {
+                        for s in 0..s_n {
+                            let (xr, xi) = (ri_re[s] * inv[s], ri_im[s] * inv[s]);
+                            let (yr, yi) = (rj_re[s] * inv[s], rj_im[s] * inv[s]);
+                            ri_re[s] = m00.re * xr - m00.im * xi;
+                            ri_im[s] = m00.re * xi + m00.im * xr;
+                            rj_re[s] = m11.re * yr - m11.im * yi;
+                            rj_im[s] = m11.re * yi + m11.im * yr;
+                        }
+                    }
+                }
+            } else if anti {
+                match inv {
+                    None => {
+                        for s in 0..s_n {
+                            let (xr, xi) = (ri_re[s], ri_im[s]);
+                            let (yr, yi) = (rj_re[s], rj_im[s]);
+                            ri_re[s] = m01.re * yr - m01.im * yi;
+                            ri_im[s] = m01.re * yi + m01.im * yr;
+                            rj_re[s] = m10.re * xr - m10.im * xi;
+                            rj_im[s] = m10.re * xi + m10.im * xr;
+                        }
+                    }
+                    Some(inv) => {
+                        for s in 0..s_n {
+                            let (xr, xi) = (ri_re[s] * inv[s], ri_im[s] * inv[s]);
+                            let (yr, yi) = (rj_re[s] * inv[s], rj_im[s] * inv[s]);
+                            ri_re[s] = m01.re * yr - m01.im * yi;
+                            ri_im[s] = m01.re * yi + m01.im * yr;
+                            rj_re[s] = m10.re * xr - m10.im * xi;
+                            rj_im[s] = m10.re * xi + m10.im * xr;
+                        }
+                    }
+                }
+            } else {
+                match inv {
+                    None => {
+                        for s in 0..s_n {
+                            let (xr, xi) = (ri_re[s], ri_im[s]);
+                            let (yr, yi) = (rj_re[s], rj_im[s]);
+                            ri_re[s] = (m00.re * xr - m00.im * xi) + (m01.re * yr - m01.im * yi);
+                            ri_im[s] = (m00.re * xi + m00.im * xr) + (m01.re * yi + m01.im * yr);
+                            rj_re[s] = (m10.re * xr - m10.im * xi) + (m11.re * yr - m11.im * yi);
+                            rj_im[s] = (m10.re * xi + m10.im * xr) + (m11.re * yi + m11.im * yr);
+                        }
+                    }
+                    Some(inv) => {
+                        for s in 0..s_n {
+                            let (xr, xi) = (ri_re[s] * inv[s], ri_im[s] * inv[s]);
+                            let (yr, yi) = (rj_re[s] * inv[s], rj_im[s] * inv[s]);
+                            ri_re[s] = (m00.re * xr - m00.im * xi) + (m01.re * yr - m01.im * yi);
+                            ri_im[s] = (m00.re * xi + m00.im * xr) + (m01.re * yi + m01.im * yr);
+                            rj_re[s] = (m10.re * xr - m10.im * xi) + (m11.re * yr - m11.im * yi);
+                            rj_im[s] = (m10.re * xi + m10.im * xr) + (m11.re * yi + m11.im * yr);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dense 2q over every resident shot: the scalar kernel's quad
+    /// enumeration (`apply_dense_2q`) with the index surgery hoisted.
+    /// The four rows are gathered into contiguous scratch, then each
+    /// output row runs the identical four-term `mul_add` accumulation
+    /// chain per shot (exact `(m.re * v.re - m.im * v.im) + acc`
+    /// association).
+    /// `inv`, when present, is a deferred renormalization: the quad
+    /// rows are scaled by the per-shot reciprocal during the gather
+    /// (the op overwrites every amplitude, so the scaled value is
+    /// consumed, never stored) — the same `a * inv` the scalar engine
+    /// stored in its own scale pass.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn dense2q_all(
+        re: &mut [f64],
+        im: &mut [f64],
+        s_n: usize,
+        t_hi: usize,
+        t_lo: usize,
+        mm: &[[Complex64; 4]; 4],
+        quad_re: &mut [f64],
+        quad_im: &mut [f64],
+        inv: Option<&[f64]>,
+    ) {
+        let bh = 1usize << t_hi;
+        let bl = 1usize << t_lo;
+        let (b_lo, b_hi) = (bh.min(bl), bh.max(bl));
+        let block = 2 * b_hi;
+        let quarter = block / 4;
+        let dim = re.len() / s_n;
+        if let Some(inv) = inv {
+            assert!(inv.len() == s_n);
+        }
+        for blk0 in (0..dim).step_by(block) {
+            for g in 0..quarter {
+                let low = g & (b_lo - 1);
+                let mid = (g ^ low) << 1;
+                let i0 = {
+                    let partial = mid | low;
+                    let lowpart = partial & (b_hi - 1);
+                    ((partial ^ lowpart) << 1) | lowpart
+                };
+                // Row indices in operator basis order |t_hi t_lo>.
+                let base = blk0 + i0;
+                let rows = [base, base | bl, base | bh, base | bh | bl];
+                match inv {
+                    None => {
+                        for (q, &idx) in rows.iter().enumerate() {
+                            quad_re[q * s_n..(q + 1) * s_n]
+                                .copy_from_slice(&re[idx * s_n..idx * s_n + s_n]);
+                            quad_im[q * s_n..(q + 1) * s_n]
+                                .copy_from_slice(&im[idx * s_n..idx * s_n + s_n]);
+                        }
+                    }
+                    Some(inv) => {
+                        for (q, &idx) in rows.iter().enumerate() {
+                            let src_re = &re[idx * s_n..idx * s_n + s_n];
+                            let src_im = &im[idx * s_n..idx * s_n + s_n];
+                            let dst_re = &mut quad_re[q * s_n..(q + 1) * s_n];
+                            let dst_im = &mut quad_im[q * s_n..(q + 1) * s_n];
+                            for s in 0..s_n {
+                                dst_re[s] = src_re[s] * inv[s];
+                                dst_im[s] = src_im[s] * inv[s];
+                            }
+                        }
+                    }
+                }
+                for (r, &idx) in rows.iter().enumerate() {
+                    let out_re = &mut re[idx * s_n..idx * s_n + s_n];
+                    let out_im = &mut im[idx * s_n..idx * s_n + s_n];
+                    let mr = mm[r];
+                    for s in 0..s_n {
+                        let mut ar = 0.0;
+                        let mut ai = 0.0;
+                        for (c, mc) in mr.iter().enumerate() {
+                            let (vr, vi) = (quad_re[c * s_n + s], quad_im[c * s_n + s]);
+                            ar += mc.re * vr - mc.im * vi;
+                            ai += mc.re * vi + mc.im * vr;
+                        }
+                        out_re[s] = ar;
+                        out_im[s] = ai;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Single-qubit branch weights for all shots and all Kraus
+    /// operators in one pass: the sparsity-specialized sweeps of
+    /// `branch_weight_1q` run amplitude-major, each shot accumulating
+    /// over the same pairs in the same ascending-base order (per pair:
+    /// bit-clear term, then bit-set term).
+    ///
+    /// The branch loop runs *inside* the pair loop, so the lo/hi rows
+    /// stay L1-resident across all Kraus operators instead of the state
+    /// being re-streamed once per operator. The swap is bit-exact:
+    /// weight rows accumulate independently, and each row still sees
+    /// its pairs in the same ascending order with the same per-pair
+    /// term sequence.
+    /// `inv`, when present, is a deferred renormalization: the lo/hi
+    /// rows are scaled in place (the scan does not overwrite the state,
+    /// so the scaled amplitudes must be stored for later ops) while
+    /// L1-hot, before the weight terms read them — the same `a * inv`
+    /// the scalar engine stored in its own scale pass.
+    #[inline(always)]
+    pub fn weights_1q_scan(
+        weights: &mut [f64],
+        re: &mut [f64],
+        im: &mut [f64],
+        s_n: usize,
+        target: usize,
+        rows: &[(Row1q, Row1q)],
+        inv: Option<&[f64]>,
+    ) {
+        let bit = 1usize << target;
+        let dim = re.len() / s_n;
+        weights[..rows.len() * s_n].fill(0.0);
+        if let Some(inv) = inv {
+            assert!(inv.len() == s_n);
+        }
+        for base in (0..dim).step_by(2 * bit) {
+            for off in 0..bit {
+                let lo = base + off;
+                let hi = base + bit + off;
+                let (lo_re, hi_re) = rows2_mut(re, s_n, lo, hi);
+                let (lo_im, hi_im) = rows2_mut(im, s_n, lo, hi);
+                if let Some(inv) = inv {
+                    for s in 0..s_n {
+                        lo_re[s] *= inv[s];
+                        lo_im[s] *= inv[s];
+                        hi_re[s] *= inv[s];
+                        hi_im[s] *= inv[s];
+                    }
+                }
+                let (lo_re, lo_im) = (&*lo_re, &*lo_im);
+                let (hi_re, hi_im) = (&*hi_re, &*hi_im);
+                for (k, &r) in rows.iter().enumerate() {
+                    let w = &mut weights[k * s_n..(k + 1) * s_n];
+                    match r {
+                        (Row1q::Zero, Row1q::Zero) => {}
+                        (Row1q::Lo(m0), Row1q::Hi(m1)) => {
+                            for (s, ws) in w.iter_mut().enumerate() {
+                                let tr = m0.re * lo_re[s] - m0.im * lo_im[s];
+                                let ti = m0.re * lo_im[s] + m0.im * lo_re[s];
+                                *ws += tr * tr + ti * ti;
+                                let ur = m1.re * hi_re[s] - m1.im * hi_im[s];
+                                let ui = m1.re * hi_im[s] + m1.im * hi_re[s];
+                                *ws += ur * ur + ui * ui;
+                            }
+                        }
+                        (Row1q::Hi(m), Row1q::Zero) | (Row1q::Zero, Row1q::Hi(m)) => {
+                            for (s, ws) in w.iter_mut().enumerate() {
+                                let tr = m.re * hi_re[s] - m.im * hi_im[s];
+                                let ti = m.re * hi_im[s] + m.im * hi_re[s];
+                                *ws += tr * tr + ti * ti;
+                            }
+                        }
+                        (Row1q::Lo(m), Row1q::Zero) | (Row1q::Zero, Row1q::Lo(m)) => {
+                            for (s, ws) in w.iter_mut().enumerate() {
+                                let tr = m.re * lo_re[s] - m.im * lo_im[s];
+                                let ti = m.re * lo_im[s] + m.im * lo_re[s];
+                                *ws += tr * tr + ti * ti;
+                            }
+                        }
+                        (r0, r1) => {
+                            // The reference per-row closure of
+                            // `branch_weight_1q`, over plane lanes
+                            // (`Both` keeps the literal `+ 0.0` of
+                            // `mul_add(a0, ZERO)`).
+                            let row = |r: Row1q, a0r: f64, a0i: f64, a1r: f64, a1i: f64| match r {
+                                Row1q::Zero => 0.0,
+                                Row1q::Lo(m) => {
+                                    let tr = m.re * a0r - m.im * a0i;
+                                    let ti = m.re * a0i + m.im * a0r;
+                                    tr * tr + ti * ti
+                                }
+                                Row1q::Hi(m) => {
+                                    let tr = m.re * a1r - m.im * a1i;
+                                    let ti = m.re * a1i + m.im * a1r;
+                                    tr * tr + ti * ti
+                                }
+                                Row1q::Both(l, h) => {
+                                    let tr = (l.re * a0r - l.im * a0i) + 0.0;
+                                    let ti = (l.re * a0i + l.im * a0r) + 0.0;
+                                    let ur = (h.re * a1r - h.im * a1i) + tr;
+                                    let ui = (h.re * a1i + h.im * a1r) + ti;
+                                    ur * ur + ui * ui
+                                }
+                            };
+                            for (s, ws) in w.iter_mut().enumerate() {
+                                let (a0r, a0i) = (lo_re[s], lo_im[s]);
+                                let (a1r, a1i) = (hi_re[s], hi_im[s]);
+                                *ws += row(r0, a0r, a0i, a1r, a1i);
+                                *ws += row(r1, a0r, a0i, a1r, a1i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `norms[s] += |a_b|^2` over the whole arena, rows ascending — the
+    /// ascending-index squared-norm accumulation of
+    /// `StateVector::renormalize` and `draw_outcome`, all shots at once.
+    #[inline(always)]
+    pub fn norm_acc_all(norms: &mut [f64], re: &[f64], im: &[f64], s_n: usize) {
+        for (row_re, row_im) in re.chunks_exact(s_n).zip(im.chunks_exact(s_n)) {
+            for (s, acc) in norms.iter_mut().enumerate() {
+                *acc += row_re[s] * row_re[s] + row_im[s] * row_im[s];
+            }
+        }
+    }
+
+    /// `a *= inv[s]` over the whole arena — the renormalization scale
+    /// pass with each shot's own precomputed reciprocal.
+    #[inline(always)]
+    pub fn scale_all(re: &mut [f64], im: &mut [f64], s_n: usize, inv: &[f64]) {
+        for (row_re, row_im) in re.chunks_exact_mut(s_n).zip(im.chunks_exact_mut(s_n)) {
+            for s in 0..s_n {
+                row_re[s] *= inv[s];
+                row_im[s] *= inv[s];
+            }
+        }
+    }
+
+    /// `out[s] += |a_b|^2 * diag[b]` over the whole arena, rows
+    /// ascending — the diagonal observable reduction of the scalar
+    /// engine, all shots at once.
+    #[inline(always)]
+    pub fn diag_expect_all(out: &mut [f64], re: &[f64], im: &[f64], s_n: usize, diag: &[f64]) {
+        for ((row_re, row_im), &d) in re
+            .chunks_exact(s_n)
+            .zip(im.chunks_exact(s_n))
+            .zip(diag.iter())
+        {
+            for (s, o) in out.iter_mut().enumerate() {
+                *o += (row_re[s] * row_re[s] + row_im[s] * row_im[s]) * d;
+            }
+        }
+    }
+}
+
+/// Generates a re-compile of the [`kern`] kernels under a wider ISA.
+/// Each wrapper inlines the identical `#[inline(always)]` body under the
+/// listed target features: same per-lane expressions, same results bit
+/// for bit (rustc emits no FMA contraction), just more `f64` lanes per
+/// vector op than the baseline build's SSE2 pair. Multiversioning sits
+/// at whole-kernel granularity — one dispatched call per op per block —
+/// because `#[target_feature]` functions cannot inline into baseline
+/// callers, so a finer split would pay a call per amplitude row.
+macro_rules! lane_module {
+    ($(#[$doc:meta])* $mod_name:ident, $features:literal) => {
+        $(#[$doc])*
+        #[cfg(target_arch = "x86_64")]
+        mod $mod_name {
+            use hgp_math::Complex64;
+
+            use super::super::Row1q;
+            use super::kern;
+            use crate::kernels::DiagOp;
+
+            /// # Safety
+            /// Caller must have verified the module's ISA at runtime.
+            #[target_feature(enable = $features)]
+            pub unsafe fn diag_run(
+                re: &mut [f64],
+                im: &mut [f64],
+                s_n: usize,
+                ops: &[DiagOp],
+                factors: &mut Vec<Complex64>,
+                inv: Option<&[f64]>,
+            ) {
+                kern::diag_run(re, im, s_n, ops, factors, inv);
+            }
+
+            /// # Safety
+            /// Caller must have verified the module's ISA at runtime.
+            #[target_feature(enable = $features)]
+            pub unsafe fn dense1q_all(
+                re: &mut [f64],
+                im: &mut [f64],
+                s_n: usize,
+                target: usize,
+                m: [Complex64; 4],
+                inv: Option<&[f64]>,
+            ) {
+                kern::dense1q_all(re, im, s_n, target, m, inv);
+            }
+
+            /// # Safety
+            /// Caller must have verified the module's ISA at runtime.
+            #[target_feature(enable = $features)]
+            #[allow(clippy::too_many_arguments)]
+            pub unsafe fn dense2q_all(
+                re: &mut [f64],
+                im: &mut [f64],
+                s_n: usize,
+                t_hi: usize,
+                t_lo: usize,
+                mm: &[[Complex64; 4]; 4],
+                quad_re: &mut [f64],
+                quad_im: &mut [f64],
+                inv: Option<&[f64]>,
+            ) {
+                kern::dense2q_all(re, im, s_n, t_hi, t_lo, mm, quad_re, quad_im, inv);
+            }
+
+            /// # Safety
+            /// Caller must have verified the module's ISA at runtime.
+            #[target_feature(enable = $features)]
+            #[allow(clippy::too_many_arguments)]
+            pub unsafe fn weights_1q_scan(
+                weights: &mut [f64],
+                re: &mut [f64],
+                im: &mut [f64],
+                s_n: usize,
+                target: usize,
+                rows: &[(Row1q, Row1q)],
+                inv: Option<&[f64]>,
+            ) {
+                kern::weights_1q_scan(weights, re, im, s_n, target, rows, inv);
+            }
+
+            /// # Safety
+            /// Caller must have verified the module's ISA at runtime.
+            #[target_feature(enable = $features)]
+            pub unsafe fn norm_acc_all(norms: &mut [f64], re: &[f64], im: &[f64], s_n: usize) {
+                kern::norm_acc_all(norms, re, im, s_n);
+            }
+
+            /// # Safety
+            /// Caller must have verified the module's ISA at runtime.
+            #[target_feature(enable = $features)]
+            pub unsafe fn scale_all(re: &mut [f64], im: &mut [f64], s_n: usize, inv: &[f64]) {
+                kern::scale_all(re, im, s_n, inv);
+            }
+
+            /// # Safety
+            /// Caller must have verified the module's ISA at runtime.
+            #[target_feature(enable = $features)]
+            pub unsafe fn diag_expect_all(
+                out: &mut [f64],
+                re: &[f64],
+                im: &[f64],
+                s_n: usize,
+                diag: &[f64],
+            ) {
+                kern::diag_expect_all(out, re, im, s_n, diag);
+            }
+        }
+    };
+}
+
+lane_module!(
+    /// [`kern`] under AVX2 codegen: four `f64` lanes per vector op.
+    kern_avx2,
+    "avx2"
+);
+lane_module!(
+    /// [`kern`] under AVX-512 codegen: eight `f64` lanes per vector op.
+    /// `vl`/`dq` let LLVM use the 512-bit register file for the mixed
+    /// 128/256-bit tails the sweeps produce at small shot counts.
+    kern_avx512,
+    "avx512f,avx512vl,avx512dq"
+);
+
+/// The widest kernel build the running CPU supports, decided by one
+/// CPUID probe when a [`ReplayBatch`] is built and cached for every
+/// dispatch after that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Lanes {
+    /// Eight `f64` lanes ([`kern_avx512`]).
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    /// Four `f64` lanes ([`kern_avx2`]).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// The crate's baseline build (SSE2 on x86-64).
+    Baseline,
+}
+
+/// Calls one [`kern`] kernel through the batch's cached ISA choice.
+macro_rules! kernel {
+    ($lanes:expr, $name:ident($($arg:expr),* $(,)?)) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            match $lanes {
+                // SAFETY: the wide variants are only constructed after
+                // their `is_x86_feature_detected!` probes passed.
+                Lanes::Avx512 => unsafe { kern_avx512::$name($($arg),*) },
+                Lanes::Avx2 => unsafe { kern_avx2::$name($($arg),*) },
+                Lanes::Baseline => kern::$name($($arg),*),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = $lanes;
+            kern::$name($($arg),*)
+        }
+    }};
+}
+
+/// Probes the running CPU and picks the kernel build.
+///
+/// The default choice is AVX2 when the CPU has it: on the server cores
+/// this workload targets, 512-bit ops trigger frequency licensing and
+/// issue on a single fused port, measuring consistently *slower* than
+/// the AVX2 build despite the doubled lane width. `HGP_REPLAY_LANES`
+/// overrides the choice (`avx512` / `avx2` / `baseline`) — every tier
+/// computes bit-identical results, so the knob only trades lane width;
+/// set `avx512` on cores with dual 512-bit ports. Unsupported or
+/// unknown requests fall back to the probed default.
+fn lane_isa() -> Lanes {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let want = std::env::var("HGP_REPLAY_LANES").unwrap_or_default();
+        if want == "baseline" {
+            return Lanes::Baseline;
+        }
+        if want == "avx512"
+            && std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+        {
+            return Lanes::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Lanes::Avx2;
+        }
+    }
+    Lanes::Baseline
+}
+
+/// Arena bytes one shot block targets. One amplitude-major sweep streams
+/// the whole arena, so the block should sit in cache while keeping the
+/// `S`-wide inner loops long enough to fill the vector lanes; the sweet
+/// spot measured on the 12-qubit serving workload is tens of shots.
+const BLOCK_ARENA_BYTES: usize = 1 << 21;
+
+/// The default shots-per-block of the batched path for an `n_qubits`
+/// program: as many shots as fit [`BLOCK_ARENA_BYTES`], clamped to
+/// `1..=64` (tiny states gain nothing past 64 lanes; wide states fall
+/// back to one shot per block, i.e. the scalar access pattern).
+pub fn default_block_size(n_qubits: usize) -> usize {
+    let per_shot = std::mem::size_of::<Complex64>() << n_qubits;
+    (BLOCK_ARENA_BYTES / per_shot).clamp(1, 64)
+}
+
+/// A structure-of-arrays block of `S` trajectory statevectors replayed
+/// in lockstep over one [`ReplayProgram`] tape. See the module docs for
+/// the layout and the bit-parity argument.
+///
+/// A batch is the per-worker arena of the batched engine entry points
+/// ([`super::ReplayEngine::expectations_batched`] /
+/// [`super::ReplayEngine::sample_counts_batched`]): allocated once per
+/// shot block, reused across the whole tape, no per-shot allocation.
+#[derive(Debug)]
+pub struct ReplayBatch {
+    n_qubits: usize,
+    /// Resident shots `S` (the SoA stride).
+    n_shots: usize,
+    /// Real plane: `Re(amps[b])` of shot `s` at `re[b * n_shots + s]`.
+    re: Vec<f64>,
+    /// Imaginary plane, same indexing.
+    im: Vec<f64>,
+    /// One RNG per resident shot, consumed in exactly the scalar
+    /// engine's draw order for that shot.
+    rngs: Vec<StdRng>,
+    /// General-channel weight accumulators, `weights[k * n_shots + s]` =
+    /// `||K_k psi_s||^2`.
+    weights: Vec<f64>,
+    /// Per-shot squared norms (renormalization, outcome draws).
+    norms: Vec<f64>,
+    /// Per-shot branch picks of the channel being applied.
+    picks: Vec<usize>,
+    /// Shot-index scratch for branch application groups.
+    group: Vec<usize>,
+    /// Diagonal factor scratch for fused runs.
+    factors: Vec<Complex64>,
+    /// Quad-row gather scratch for the dense 2q kernel (4 rows x S).
+    quad_re: Vec<f64>,
+    /// Imaginary half of the quad gather scratch.
+    quad_im: Vec<f64>,
+    /// Per-shot reciprocals of a deferred renormalization scale pass
+    /// (`1.0` for shots the pass does not touch). Valid while
+    /// `pending` is set; fused into the next full sweep instead of
+    /// paying a standalone read+write pass over the arena.
+    inv: Vec<f64>,
+    /// A deferred scale pass is outstanding in `inv`.
+    pending: bool,
+    /// Widest kernel build the CPU supports (CPUID-checked once per
+    /// batch, dispatched through [`kernel!`](macro) per op).
+    lanes: Lanes,
+    /// Per-shot fallback state: operators wider than two qubits (which
+    /// no recorded schedule in this workspace produces) and
+    /// non-diagonal observables extract one shot here and reuse the
+    /// scalar [`StateVector`] machinery.
+    psi: StateVector,
+}
+
+impl ReplayBatch {
+    /// A batch holding `n_shots` resident shots of `program`'s width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shots` is zero.
+    pub fn for_program(program: &ReplayProgram, n_shots: usize) -> Self {
+        assert!(n_shots > 0, "need at least one resident shot");
+        let n_qubits = program.n_qubits();
+        let dim = 1usize << n_qubits;
+        Self {
+            n_qubits,
+            n_shots,
+            re: vec![0.0; dim * n_shots],
+            im: vec![0.0; dim * n_shots],
+            rngs: Vec::with_capacity(n_shots),
+            weights: vec![0.0; program.max_branches * n_shots],
+            norms: vec![0.0; n_shots],
+            picks: vec![0; n_shots],
+            group: Vec::with_capacity(n_shots),
+            factors: Vec::new(),
+            quad_re: vec![0.0; 4 * n_shots],
+            quad_im: vec![0.0; 4 * n_shots],
+            inv: vec![1.0; n_shots],
+            pending: false,
+            lanes: lane_isa(),
+            psi: StateVector::zero_state(n_qubits),
+        }
+    }
+
+    /// Resident shot count `S`.
+    pub fn n_shots(&self) -> usize {
+        self.n_shots
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The RNG of resident shot `s`, positioned wherever the tape left
+    /// it — the scalar engine's post-run stream position for that shot.
+    pub fn rng_mut(&mut self, s: usize) -> &mut StdRng {
+        &mut self.rngs[s]
+    }
+
+    /// Replays `program` over all resident shots in lockstep, shot `s`
+    /// seeded from `seeds[s]` — bit-identical per shot to
+    /// [`ReplayProgram::run_into`] with `StdRng::seed_from_u64(seeds[s])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program width or seed count disagrees with the
+    /// batch.
+    pub fn run(&mut self, program: &ReplayProgram, seeds: &[u64]) {
+        assert_eq!(program.n_qubits(), self.n_qubits, "batch width");
+        assert_eq!(seeds.len(), self.n_shots, "one seed per resident shot");
+        self.rngs.clear();
+        self.rngs
+            .extend(seeds.iter().map(|&s| StdRng::seed_from_u64(s)));
+        self.reset_zero();
+        for op in &program.ops {
+            match op {
+                ReplayOp::DiagRun { start, len } => {
+                    let ops = &program.diag[*start..*start + *len];
+                    let lanes = self.lanes;
+                    let s_n = self.n_shots;
+                    let pending = std::mem::replace(&mut self.pending, false);
+                    let Self {
+                        re,
+                        im,
+                        factors,
+                        inv,
+                        ..
+                    } = self;
+                    let inv = pending.then_some(&inv[..]);
+                    kernel!(lanes, diag_run(re, im, s_n, ops, factors, inv));
+                }
+                ReplayOp::Apply { targets, matrix } => self.apply_dense_fused(matrix, targets),
+                ReplayOp::Channel(c) => match &program.channels[*c] {
+                    CompiledChannel::Mixed(mix) => self.apply_mixed(mix),
+                    CompiledChannel::General(gen) => self.apply_general(gen),
+                },
+            }
+        }
+        // The tape may end on a general channel whose scale pass is
+        // still deferred; readouts must see the renormalized state.
+        self.resolve_pending();
+    }
+
+    /// `|0...0>` in every resident shot.
+    fn reset_zero(&mut self) {
+        self.re.fill(0.0);
+        self.im.fill(0.0);
+        self.re[..self.n_shots].fill(1.0);
+        self.pending = false;
+    }
+
+    /// Pays an outstanding deferred scale pass as a standalone sweep —
+    /// the fallback for successor ops that cannot fuse it (mixed
+    /// channels, generic weight scans, embed fallbacks, end of tape).
+    fn resolve_pending(&mut self) {
+        if std::mem::replace(&mut self.pending, false) {
+            let s_n = self.n_shots;
+            kernel!(
+                self.lanes,
+                scale_all(&mut self.re, &mut self.im, s_n, &self.inv)
+            );
+        }
+    }
+
+    /// A top-of-tape dense operator over every resident shot, folding
+    /// any deferred scale pass into the sweep (1q/2q overwrite every
+    /// amplitude, so the scaled inputs are consumed in registers).
+    fn apply_dense_fused(&mut self, m: &Matrix, targets: &[usize]) {
+        match targets.len() {
+            1 | 2 => {
+                let lanes = self.lanes;
+                let s_n = self.n_shots;
+                let pending = std::mem::replace(&mut self.pending, false);
+                if targets.len() == 1 {
+                    debug_assert_eq!(m.rows(), 2);
+                    let mm = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
+                    let Self { re, im, inv, .. } = self;
+                    let inv = pending.then_some(&inv[..]);
+                    kernel!(lanes, dense1q_all(re, im, s_n, targets[0], mm, inv));
+                } else {
+                    debug_assert_eq!(m.rows(), 4);
+                    debug_assert_ne!(targets[0], targets[1]);
+                    let mm = quad_matrix(m);
+                    let Self {
+                        re,
+                        im,
+                        inv,
+                        quad_re,
+                        quad_im,
+                        ..
+                    } = self;
+                    let inv = pending.then_some(&inv[..]);
+                    kernel!(
+                        lanes,
+                        dense2q_all(
+                            re, im, s_n, targets[0], targets[1], &mm, quad_re, quad_im, inv
+                        )
+                    );
+                }
+            }
+            _ => {
+                self.resolve_pending();
+                let all: Vec<usize> = (0..self.n_shots).collect();
+                self.embed_fallback(m, targets, &all);
+            }
+        }
+    }
+
+    /// Applies a dense operator to every resident shot, dispatching on
+    /// arity exactly like [`StateVector::apply_operator`]. Only called
+    /// with no deferred scale outstanding (channel-internal branch
+    /// applies).
+    fn apply_operator_all(&mut self, m: &Matrix, targets: &[usize]) {
+        debug_assert!(!self.pending);
+        match targets.len() {
+            1 => {
+                debug_assert_eq!(m.rows(), 2);
+                let mm = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
+                kernel!(
+                    self.lanes,
+                    dense1q_all(
+                        &mut self.re,
+                        &mut self.im,
+                        self.n_shots,
+                        targets[0],
+                        mm,
+                        None
+                    )
+                );
+            }
+            2 => {
+                debug_assert_eq!(m.rows(), 4);
+                debug_assert_ne!(targets[0], targets[1]);
+                let mm = quad_matrix(m);
+                kernel!(
+                    self.lanes,
+                    dense2q_all(
+                        &mut self.re,
+                        &mut self.im,
+                        self.n_shots,
+                        targets[0],
+                        targets[1],
+                        &mm,
+                        &mut self.quad_re,
+                        &mut self.quad_im,
+                        None,
+                    )
+                );
+            }
+            _ => {
+                let all: Vec<usize> = (0..self.n_shots).collect();
+                self.embed_fallback(m, targets, &all);
+            }
+        }
+    }
+
+    /// Applies a dense operator to the listed shots, dispatching on
+    /// arity exactly like [`StateVector::apply_operator`].
+    fn apply_operator_group(&mut self, m: &Matrix, targets: &[usize], group: &[usize]) {
+        if group.len() == self.n_shots {
+            return self.apply_operator_all(m, targets);
+        }
+        match targets.len() {
+            1 => self.dense_1q_masked(targets[0], m, group),
+            2 => self.dense_2q_masked(targets[0], targets[1], m, group),
+            _ => self.embed_fallback(m, targets, group),
+        }
+    }
+
+    /// Dense 1q restricted to the listed shots (divergent channel
+    /// branches): per listed shot, the same pair update via direct
+    /// indexing.
+    fn dense_1q_masked(&mut self, target: usize, m: &Matrix, group: &[usize]) {
+        let s_n = self.n_shots;
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        let bit = 1usize << target;
+        let low = bit - 1;
+        let dim = self.re.len() / s_n;
+        for g in 0..dim / 2 {
+            let i = (((g & !low) << 1) | (g & low)) * s_n;
+            let j = i + bit * s_n;
+            for &s in group {
+                let (xr, xi) = (self.re[i + s], self.im[i + s]);
+                let (yr, yi) = (self.re[j + s], self.im[j + s]);
+                self.re[i + s] = (m00.re * xr - m00.im * xi) + (m01.re * yr - m01.im * yi);
+                self.im[i + s] = (m00.re * xi + m00.im * xr) + (m01.re * yi + m01.im * yr);
+                self.re[j + s] = (m10.re * xr - m10.im * xi) + (m11.re * yr - m11.im * yi);
+                self.im[j + s] = (m10.re * xi + m10.im * xr) + (m11.re * yi + m11.im * yr);
+            }
+        }
+    }
+
+    /// Dense 2q restricted to the listed shots: per listed shot, the
+    /// identical quad `mul_add` chains via direct indexing.
+    fn dense_2q_masked(&mut self, t_hi: usize, t_lo: usize, m: &Matrix, group: &[usize]) {
+        let s_n = self.n_shots;
+        let mm = quad_matrix(m);
+        let bh = 1usize << t_hi;
+        let bl = 1usize << t_lo;
+        let (b_lo, b_hi) = (bh.min(bl), bh.max(bl));
+        let block = 2 * b_hi;
+        let quarter = block / 4;
+        let dim = self.re.len() / s_n;
+        for blk0 in (0..dim).step_by(block) {
+            for g in 0..quarter {
+                let low = g & (b_lo - 1);
+                let mid = (g ^ low) << 1;
+                let i0 = {
+                    let partial = mid | low;
+                    let lowpart = partial & (b_hi - 1);
+                    ((partial ^ lowpart) << 1) | lowpart
+                };
+                let base = blk0 + i0;
+                let rows = [base, base | bl, base | bh, base | bh | bl];
+                for &s in group {
+                    let mut vr = [0.0; 4];
+                    let mut vi = [0.0; 4];
+                    for (q, &idx) in rows.iter().enumerate() {
+                        vr[q] = self.re[idx * s_n + s];
+                        vi[q] = self.im[idx * s_n + s];
+                    }
+                    for (r, &idx) in rows.iter().enumerate() {
+                        let mut ar = 0.0;
+                        let mut ai = 0.0;
+                        for (c, mc) in mm[r].iter().enumerate() {
+                            ar += mc.re * vr[c] - mc.im * vi[c];
+                            ai += mc.re * vi[c] + mc.im * vr[c];
+                        }
+                        self.re[idx * s_n + s] = ar;
+                        self.im[idx * s_n + s] = ai;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Operators wider than two qubits: extract each listed shot into
+    /// the scratch [`StateVector`] and reuse the scalar embed path —
+    /// trivially the same arithmetic, and cold by construction.
+    fn embed_fallback(&mut self, m: &Matrix, targets: &[usize], group: &[usize]) {
+        let s_n = self.n_shots;
+        let Self { re, im, psi, .. } = self;
+        let dim = re.len() / s_n;
+        for &s in group {
+            for (b, a) in psi.amps_mut().iter_mut().enumerate() {
+                *a = Complex64::new(re[b * s_n + s], im[b * s_n + s]);
+            }
+            psi.apply_operator(m, targets);
+            for b in 0..dim {
+                let a = psi.amplitudes()[b];
+                re[b * s_n + s] = a.re;
+                im[b * s_n + s] = a.im;
+            }
+        }
+    }
+
+    /// A mixed-unitary channel: per-shot pick from the cumulative table
+    /// (same comparison sequence as the scalar
+    /// [`CompiledChannel::apply`]), then one grouped sweep per picked
+    /// non-identity branch — identity picks never touch the arena.
+    fn apply_mixed(&mut self, mix: &MixedChannel) {
+        // Branch applies touch only their group's shots, so a deferred
+        // scale (which covers every shot) cannot ride along.
+        self.resolve_pending();
+        let s_n = self.n_shots;
+        for s in 0..s_n {
+            let r: f64 = self.rngs[s].gen();
+            let mut pick = mix.cum.len() - 1;
+            for (k, &c) in mix.cum.iter().enumerate() {
+                if r < c {
+                    pick = k;
+                    break;
+                }
+            }
+            self.picks[s] = pick;
+        }
+        let mut group = std::mem::take(&mut self.group);
+        for (k, branch) in mix.branches.iter().enumerate() {
+            let BranchApply::Apply(u) = branch else {
+                continue;
+            };
+            group.clear();
+            group.extend((0..s_n).filter(|&s| self.picks[s] == k));
+            if !group.is_empty() {
+                self.apply_operator_group(u, &mix.targets, &group);
+            }
+        }
+        self.group = group;
+    }
+
+    /// A general channel: every shot's branch weights accumulate in
+    /// strided passes over the block, then each shot draws and picks in
+    /// the scalar order, and the picked branches apply in shot groups
+    /// (K0 identity-skips masked out entirely) with grouped
+    /// renormalization.
+    fn apply_general(&mut self, gen: &GeneralChannel) {
+        let s_n = self.n_shots;
+        let n_k = gen.kraus.len();
+        match &gen.scan {
+            WeightScan::One { target, rows } => {
+                // The scan reads every amplitude exactly once, so a
+                // deferred scale pass from the previous channel rides
+                // along for free (rows scaled in place while L1-hot).
+                let lanes = self.lanes;
+                let pending = std::mem::replace(&mut self.pending, false);
+                let Self {
+                    weights,
+                    re,
+                    im,
+                    inv,
+                    ..
+                } = self;
+                let inv = pending.then_some(&inv[..]);
+                kernel!(
+                    lanes,
+                    weights_1q_scan(weights, re, im, s_n, *target, rows, inv)
+                );
+            }
+            WeightScan::Generic { all_mask, offs } => {
+                self.resolve_pending();
+                self.weights_generic(&gen.kraus, *all_mask, offs);
+            }
+        }
+        // Totals sum in operator order (the scalar `weights.iter().sum()`),
+        // one draw per shot, cumulative pick in the same order.
+        for s in 0..s_n {
+            let mut total = 0.0;
+            for k in 0..n_k {
+                total += self.weights[k * s_n + s];
+            }
+            assert!(total > 1e-12, "channel annihilated the state");
+            let r: f64 = self.rngs[s].gen::<f64>() * total;
+            let mut acc = 0.0;
+            let mut pick = n_k - 1;
+            for k in 0..n_k {
+                acc += self.weights[k * s_n + s];
+                if r < acc {
+                    pick = k;
+                    break;
+                }
+            }
+            self.picks[s] = pick;
+        }
+        let mut group = std::mem::take(&mut self.group);
+        for k in 0..n_k {
+            if k == 0 && gen.k0_identity {
+                continue;
+            }
+            group.clear();
+            group.extend((0..s_n).filter(|&s| self.picks[s] == k));
+            if !group.is_empty() {
+                self.apply_operator_group(&gen.kraus[k], &gen.targets, &group);
+                self.renormalize_group(&group);
+            }
+        }
+        self.group = group;
+    }
+
+    /// Multi-qubit branch weights for all shots, mirroring
+    /// [`super::branch_weight_generic`]'s MSB-first block scan per shot.
+    fn weights_generic(&mut self, kraus: &[Matrix], all_mask: usize, offs: &[usize]) {
+        let s_n = self.n_shots;
+        let (re, im) = (&self.re, &self.im);
+        let dim = re.len() / s_n;
+        for (k, op) in kraus.iter().enumerate() {
+            let w = &mut self.weights[k * s_n..(k + 1) * s_n];
+            w.fill(0.0);
+            for base in 0..dim {
+                if base & all_mask != 0 {
+                    continue;
+                }
+                for r in 0..offs.len() {
+                    for (s, ws) in w.iter_mut().enumerate() {
+                        let mut ar = 0.0;
+                        let mut ai = 0.0;
+                        for (c, &off) in offs.iter().enumerate() {
+                            let e = op[(r, c)];
+                            let idx = (base + off) * s_n + s;
+                            ar += e.re * re[idx] - e.im * im[idx];
+                            ai += e.re * im[idx] + e.im * re[idx];
+                        }
+                        *ws += ar * ar + ai * ai;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renormalizes the listed shots: per shot, the squared norm
+    /// accumulates over amplitudes in ascending order, then one scale
+    /// pass — exactly [`StateVector::renormalize`], except the scale
+    /// pass is *deferred*: the per-shot reciprocals are recorded in
+    /// `inv` (1.0 for untouched shots, and `a * 1.0 == a` bit for bit)
+    /// and fused into the next full sweep over the arena. Branch groups
+    /// within one channel are disjoint, so later groups' masked applies
+    /// and norm scans never read a shot with an outstanding reciprocal.
+    fn renormalize_group(&mut self, group: &[usize]) {
+        let s_n = self.n_shots;
+        let lanes = self.lanes;
+        let all = group.len() == s_n;
+        for &s in group {
+            self.norms[s] = 0.0;
+        }
+        if all {
+            kernel!(
+                lanes,
+                norm_acc_all(&mut self.norms, &self.re, &self.im, s_n)
+            );
+        } else {
+            for (row_re, row_im) in self.re.chunks_exact(s_n).zip(self.im.chunks_exact(s_n)) {
+                for &s in group {
+                    self.norms[s] += row_re[s] * row_re[s] + row_im[s] * row_im[s];
+                }
+            }
+        }
+        if !self.pending {
+            self.inv.fill(1.0);
+            self.pending = true;
+        }
+        for &s in group {
+            let norm = self.norms[s].sqrt();
+            assert!(norm > 1e-300, "cannot renormalize a zero state");
+            self.inv[s] = 1.0 / norm;
+        }
+    }
+
+    /// Per-shot expectation values of a diagonal observable from its
+    /// tabulated per-basis values: each shot sums
+    /// `amps[b].norm_sqr() * diag[b]` over ascending `b`, the scalar
+    /// engine's exact reduction.
+    pub fn diagonal_expectations(&self, diag: &[f64]) -> Vec<f64> {
+        let s_n = self.n_shots;
+        let mut out = vec![0.0; s_n];
+        kernel!(
+            self.lanes,
+            diag_expect_all(&mut out, &self.re, &self.im, s_n, diag)
+        );
+        out
+    }
+
+    /// Expectation value of one resident shot against an arbitrary
+    /// observable: the shot is extracted into the scratch state and
+    /// evaluated by [`StateVector::expectation`] — the scalar engine's
+    /// own non-diagonal path.
+    pub fn shot_expectation(&mut self, s: usize, observable: &PauliSum) -> f64 {
+        let s_n = self.n_shots;
+        let Self { re, im, psi, .. } = self;
+        for (b, a) in psi.amps_mut().iter_mut().enumerate() {
+            *a = Complex64::new(re[b * s_n + s], im[b * s_n + s]);
+        }
+        psi.expectation(observable)
+    }
+
+    /// One computational-basis outcome per resident shot, in shot
+    /// order — per shot, [`crate::trajectory::draw_outcome`]'s exact
+    /// arithmetic (norm-scaled draw, ascending cumulative walk) against
+    /// that shot's own RNG.
+    pub fn draw_outcomes(&mut self) -> Vec<usize> {
+        let s_n = self.n_shots;
+        let lanes = self.lanes;
+        self.norms.fill(0.0);
+        kernel!(
+            lanes,
+            norm_acc_all(&mut self.norms, &self.re, &self.im, s_n)
+        );
+        let Self {
+            re,
+            im,
+            norms,
+            rngs,
+            ..
+        } = self;
+        let dim = re.len() / s_n;
+        (0..s_n)
+            .map(|s| {
+                let target = rngs[s].gen::<f64>() * norms[s];
+                let mut acc = 0.0;
+                for b in 0..dim {
+                    let idx = b * s_n + s;
+                    acc += re[idx] * re[idx] + im[idx] * im[idx];
+                    if target < acc {
+                        return b;
+                    }
+                }
+                dim - 1
+            })
+            .collect()
+    }
+}
+
+/// The two rows of a pair as disjoint mutable `S`-slices of one plane.
+#[inline(always)]
+fn rows2_mut(plane: &mut [f64], s_n: usize, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+    debug_assert!(i < j);
+    let (head, tail) = plane.split_at_mut(j * s_n);
+    (&mut head[i * s_n..i * s_n + s_n], &mut tail[..s_n])
+}
+
+/// The 4x4 operator as a register-friendly array (same element values
+/// the scalar kernel indexes per quad).
+fn quad_matrix(m: &Matrix) -> [[Complex64; 4]; 4] {
+    let mut mm = [[Complex64::ZERO; 4]; 4];
+    for (r, row) in mm.iter_mut().enumerate() {
+        for (c, e) in row.iter_mut().enumerate() {
+            *e = m[(r, c)];
+        }
+    }
+    mm
+}

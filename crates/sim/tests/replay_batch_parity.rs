@@ -1,0 +1,240 @@
+//! Property suite pinning the batched SoA replay path to the scalar
+//! [`ReplayEngine`] loop, bit for bit: for random programs weighted
+//! toward the branch-divergent cases (general channels whose `K_0` is
+//! *not* an identity multiple, so resident shots of one block pick
+//! different Kraus branches and the lockstep sweeps must mask), random
+//! ensemble seeds, odd and non-power-of-two ensemble sizes, and block
+//! sizes that do not divide the ensemble (including single-shot
+//! blocks), every per-trajectory expectation and every sampled count
+//! must reproduce the scalar engine exactly — same seed stream, same
+//! branch picks, same floating-point bits.
+//!
+//! The scalar engine is itself pinned to the reference
+//! [`TrajectoryEngine`] by `replay_parity.rs`, so these tests
+//! transitively anchor the batched path to the original per-shot
+//! simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hgp_circuit::{Gate, Param};
+use hgp_math::pauli::{sigma_x, sigma_y, sigma_z, Pauli, PauliString, PauliSum};
+use hgp_math::{c64, Matrix};
+use hgp_sim::{ChannelOp, ReplayEngine, ReplayProgram, TrajectoryProgram};
+
+fn depolarizing_op(p: f64) -> ChannelOp {
+    let kraus = vec![
+        Matrix::identity(2).scale(c64((1.0 - 3.0 * p / 4.0).sqrt(), 0.0)),
+        sigma_x().scale(c64((p / 4.0).sqrt(), 0.0)),
+        sigma_y().scale(c64((p / 4.0).sqrt(), 0.0)),
+        sigma_z().scale(c64((p / 4.0).sqrt(), 0.0)),
+    ];
+    let unitaries = vec![Matrix::identity(2), sigma_x(), sigma_y(), sigma_z()];
+    let probs = vec![1.0 - 3.0 * p / 4.0, p / 4.0, p / 4.0, p / 4.0];
+    ChannelOp::mixed_unitary(kraus, probs, unitaries)
+}
+
+/// Thermal-relaxation-shaped channel: `K_0` is diagonal but *not* an
+/// identity multiple, so every shot pays the apply+renormalize path and
+/// branch weights genuinely differ across the ensemble.
+fn thermal_like_op(gamma: f64, p: f64) -> ChannelOp {
+    let k0 = Matrix::from_rows(&[
+        &[c64((1.0 - p).sqrt(), 0.0), c64(0.0, 0.0)],
+        &[c64(0.0, 0.0), c64(((1.0 - p) * (1.0 - gamma)).sqrt(), 0.0)],
+    ]);
+    let k1 = Matrix::from_rows(&[
+        &[c64(0.0, 0.0), c64(((1.0 - p) * gamma).sqrt(), 0.0)],
+        &[c64(0.0, 0.0), c64(0.0, 0.0)],
+    ]);
+    let k2 = Matrix::from_rows(&[
+        &[c64(p.sqrt(), 0.0), c64(0.0, 0.0)],
+        &[c64(0.0, 0.0), c64(-(p.sqrt()), 0.0)],
+    ]);
+    ChannelOp::general(vec![k0, k1, k2])
+}
+
+fn amplitude_damping_op(gamma: f64) -> ChannelOp {
+    let k0 = Matrix::from_rows(&[
+        &[c64(1.0, 0.0), c64(0.0, 0.0)],
+        &[c64(0.0, 0.0), c64((1.0 - gamma).sqrt(), 0.0)],
+    ]);
+    let k1 = Matrix::from_rows(&[
+        &[c64(0.0, 0.0), c64(gamma.sqrt(), 0.0)],
+        &[c64(0.0, 0.0), c64(0.0, 0.0)],
+    ]);
+    ChannelOp::general(vec![k0, k1])
+}
+
+/// A random program drawn from `shape_seed`, weighted so roughly half
+/// the ops are general channels with non-identity `K_0` at strong noise
+/// — the divergence-heavy regime where resident shots split across
+/// branch groups nearly every channel.
+fn divergent_program(n: usize, n_ops: usize, shape_seed: u64) -> TrajectoryProgram {
+    let mut rng = StdRng::seed_from_u64(shape_seed);
+    let mut program = TrajectoryProgram::new(n);
+    for _ in 0..n_ops {
+        let q = rng.gen_range(0usize..n);
+        let q2 = if n > 1 {
+            let mut other = rng.gen_range(0usize..n);
+            while other == q {
+                other = rng.gen_range(0usize..n);
+            }
+            other
+        } else {
+            q
+        };
+        let angle = rng.gen_range(-3.0f64..3.0);
+        match rng.gen_range(0u64..8) {
+            0 => {
+                program.push_gate(Gate::H, &[q]);
+            }
+            1 => {
+                program.push_gate(Gate::Rz(Param::bound(angle)), &[q]);
+            }
+            2 if n > 1 => {
+                program.push_gate(Gate::CX, &[q, q2]);
+            }
+            3 => {
+                program.push_unitary(Gate::Rx(Param::bound(angle)).matrix().unwrap(), &[q]);
+            }
+            4 => {
+                program.push_channel(depolarizing_op(rng.gen_range(0.2f64..0.8)), &[q]);
+            }
+            _ => {
+                // Strong decay/dephasing: branch weights spread far from
+                // the K0-dominant regime.
+                if rng.gen::<bool>() {
+                    program.push_channel(thermal_like_op(rng.gen_range(0.1f64..0.7), 0.2), &[q]);
+                } else {
+                    program.push_channel(amplitude_damping_op(rng.gen_range(0.1f64..0.8)), &[q]);
+                }
+            }
+        }
+    }
+    program
+}
+
+fn diag_observable(n: usize) -> PauliSum {
+    PauliSum::from_terms(vec![
+        PauliString::new(n, vec![(0, Pauli::Z)], 1.0),
+        PauliString::new(n, vec![(n - 1, Pauli::Z)], -0.5),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Divergence-heavy programs, arbitrary (odd, prime, non-dividing)
+    /// block splits: per-trajectory expectations and the ensemble
+    /// mean/error must match the scalar loop bitwise.
+    #[test]
+    fn batched_expectations_match_scalar_bitwise(
+        n in 1usize..5,
+        n_ops in 1usize..16,
+        shape_seed in 0u64..1_000_000,
+        ensemble_seed in 0u64..1_000_000,
+        trajectories in 1usize..48,
+        block in 1usize..64,
+    ) {
+        let program = divergent_program(n, n_ops, shape_seed);
+        let replay = ReplayProgram::compile(&program);
+        let obs = diag_observable(n);
+        let scalar = ReplayEngine::new(trajectories, ensemble_seed);
+        let batched = scalar.with_block_size(block);
+        let a = scalar.expectations(&replay, &obs);
+        let b = batched.expectations_batched(&replay, &obs);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let (m1, e1) = scalar.expectation_with_error(&replay, &obs);
+        let (m2, e2) = batched.expectation_with_error_batched(&replay, &obs);
+        prop_assert_eq!(m1.to_bits(), m2.to_bits());
+        prop_assert_eq!(e1.to_bits(), e2.to_bits());
+    }
+
+    /// Sampled counts — including a corruption hook that consumes the
+    /// per-shot RNG tail — must match for every block split.
+    #[test]
+    fn batched_counts_match_scalar_bitwise(
+        n in 1usize..5,
+        n_ops in 1usize..16,
+        shape_seed in 0u64..1_000_000,
+        ensemble_seed in 0u64..1_000_000,
+        shots in 1usize..80,
+        block in 1usize..48,
+    ) {
+        let program = divergent_program(n, n_ops, shape_seed);
+        let replay = ReplayProgram::compile(&program);
+        let scalar = ReplayEngine::new(shots, ensemble_seed);
+        let batched = scalar.with_block_size(block);
+        prop_assert_eq!(
+            scalar.sample_counts(&replay),
+            batched.sample_counts_batched(&replay)
+        );
+        let corrupt = |bits: usize, rng: &mut StdRng| {
+            if rng.gen::<f64>() < 0.2 { bits ^ 1 } else { bits }
+        };
+        prop_assert_eq!(
+            scalar.sample_counts_with(&replay, corrupt),
+            batched.sample_counts_with_batched(&replay, corrupt)
+        );
+    }
+
+    /// Non-diagonal observables take the per-shot extraction fallback —
+    /// the amplitudes handed to it must match the scalar state exactly
+    /// where it matters: the expectations stay bit-identical.
+    #[test]
+    fn batched_non_diagonal_observables_match_bitwise(
+        n in 2usize..4,
+        n_ops in 1usize..12,
+        shape_seed in 0u64..1_000_000,
+        ensemble_seed in 0u64..1_000_000,
+        block in 1usize..24,
+    ) {
+        let program = divergent_program(n, n_ops, shape_seed);
+        let replay = ReplayProgram::compile(&program);
+        let obs = PauliSum::from_terms(vec![
+            PauliString::new(n, vec![(0, Pauli::X)], 0.8),
+            PauliString::new(n, vec![(1, Pauli::Y), (0, Pauli::Z)], -0.3),
+        ]);
+        let scalar = ReplayEngine::new(17, ensemble_seed);
+        let a = scalar.expectations(&replay, &obs);
+        let b = scalar
+            .with_block_size(block)
+            .expectations_batched(&replay, &obs);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+/// Every block size from single-shot blocks up through one past the
+/// ensemble, on an odd ensemble size, against one fixed
+/// divergence-heavy program: the exhaustive small-scale version of the
+/// block-split property.
+#[test]
+fn every_block_split_of_an_odd_ensemble_matches() {
+    let n = 3;
+    let shots = 29;
+    let program = divergent_program(n, 14, 0xDECAF);
+    let replay = ReplayProgram::compile(&program);
+    let obs = diag_observable(n);
+    let scalar = ReplayEngine::new(shots, 7);
+    let reference = scalar.expectations(&replay, &obs);
+    let ref_counts = scalar.sample_counts(&replay);
+    for block in 1..=shots + 1 {
+        let batched = scalar.with_block_size(block);
+        let got = batched.expectations_batched(&replay, &obs);
+        assert_eq!(reference.len(), got.len());
+        for (x, y) in reference.iter().zip(got.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "block size {block}");
+        }
+        assert_eq!(
+            ref_counts,
+            batched.sample_counts_batched(&replay),
+            "block size {block}"
+        );
+    }
+}

@@ -26,6 +26,14 @@
 //! ```text
 //! cargo run --release --example replay_throughput
 //! ```
+//!
+//! With `--smoke`, the example instead runs a quick bit-parity gate:
+//! the batched SoA shot-block path against the scalar replay loop on
+//! the same hybrid shape, across block splits that cover single-shot
+//! blocks, non-dividing sizes, and blocks larger than the ensemble —
+//! expectations and sampled counts must match bit for bit. CI runs this
+//! after compiling the benches, so the acceptance contract is exercised
+//! on every push even though timing assertions are not.
 
 use hybrid_gate_pulse::core::compile::HybridShape;
 use hybrid_gate_pulse::core::models::{GateModelOptions, HybridModel, VqaModel};
@@ -34,9 +42,56 @@ use hybrid_gate_pulse::device::Backend;
 use hybrid_gate_pulse::graph::instances;
 use hybrid_gate_pulse::serve::{JobOutput, JobRequest, JobSpec, ServeConfig, Service};
 use hybrid_gate_pulse::sim::seed::stream_seed;
-use hybrid_gate_pulse::sim::TrajectoryEngine;
+use hybrid_gate_pulse::sim::{ReplayEngine, TrajectoryEngine};
+
+/// Batched-vs-scalar bit parity on the served hybrid shape: every listed
+/// block split must reproduce the scalar expectations and counts
+/// exactly.
+fn smoke() {
+    let backend = Backend::ibmq_toronto();
+    let graph = instances::task1_three_regular_6();
+    let layout = vec![1, 2, 3, 4, 5, 7];
+    let shape = HybridShape::new(graph.clone(), 1).with_options(GateModelOptions::optimized());
+    let observable = cost_hamiltonian(&graph);
+    let model = HybridModel::with_options(&backend, &graph, 1, layout, shape.options())
+        .expect("connected region");
+    let exec = model.compiled().executor(&backend);
+    let wire_obs = model.compiled().wire_observable(&observable);
+    let mut x = vec![0.35, 0.55];
+    x.extend(std::iter::repeat_n(0.0, 12));
+    let replay = model.compiled().bind_replay(&exec, &x);
+
+    // An odd, non-power-of-two ensemble, so most splits leave a ragged
+    // final block.
+    let shots = 37;
+    let engine = ReplayEngine::new(shots, 0xC0FFEE);
+    let expectations = engine.expectations(&replay, &wire_obs);
+    let counts = engine.sample_counts(&replay);
+    for block in [1usize, 3, 7, 16, 37, 64] {
+        let batched = engine.with_block_size(block);
+        let got = batched.expectations_batched(&replay, &wire_obs);
+        assert_eq!(expectations.len(), got.len());
+        for (s, (a, b)) in expectations.iter().zip(got.iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "shot {s} diverged at block size {block}"
+            );
+        }
+        assert_eq!(
+            counts,
+            batched.sample_counts_batched(&replay),
+            "counts diverged at block size {block}"
+        );
+    }
+    println!("smoke: batched replay bit-identical to scalar across block splits");
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let backend = Backend::ibmq_toronto();
     let graph = instances::task1_three_regular_6();
     let layout = vec![1, 2, 3, 4, 5, 7];

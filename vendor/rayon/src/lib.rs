@@ -67,6 +67,43 @@ fn map_indexed<U: Send, F: Fn(usize) -> U + Sync>(n: usize, f: F) -> Vec<U> {
     out.into_iter().flatten().collect()
 }
 
+/// Runs `f(state, i)` for every `i` in `0..n`, where each worker thread
+/// builds its own `state` with `init` once and reuses it across its
+/// contiguous index block (rayon's `map_init` contract: one state per
+/// split, shared by nothing else). Results come back in order.
+fn map_init_indexed<S, U, INIT, F>(n: usize, init: INIT, f: F) -> Vec<U>
+where
+    S: Send,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let block = n.div_ceil(workers);
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * block;
+            let hi = ((w + 1) * block).min(n);
+            let init = &init;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<U>>()
+            }));
+        }
+        for h in handles {
+            out.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
 /// Rayon-style traits and adapters; `use rayon::prelude::*` as usual.
 pub mod prelude {
     pub use crate::iter::{
@@ -75,7 +112,7 @@ pub mod prelude {
 }
 
 pub mod iter {
-    use super::{current_num_threads, map_indexed};
+    use super::{current_num_threads, map_indexed, map_init_indexed};
 
     /// Eager stand-in for rayon's lazy `ParallelIterator`.
     ///
@@ -105,6 +142,33 @@ pub mod iter {
                     .take()
                     .expect("parallel map cell taken twice");
                 f(item)
+            });
+            ParallelIterator { items: out }
+        }
+
+        /// Applies `f` to every element in parallel, preserving order,
+        /// threading a per-worker state built by `init` through each
+        /// worker's contiguous run of elements (rayon's `map_init`).
+        pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> ParallelIterator<U>
+        where
+            T: Sync,
+            S: Send,
+            U: Send,
+            INIT: Fn() -> S + Sync,
+            F: Fn(&mut S, T) -> U + Sync,
+        {
+            let cells: Vec<std::sync::Mutex<Option<T>>> = self
+                .items
+                .into_iter()
+                .map(|t| std::sync::Mutex::new(Some(t)))
+                .collect();
+            let out = map_init_indexed(cells.len(), init, |state, i| {
+                let item = cells[i]
+                    .lock()
+                    .expect("parallel map cell poisoned")
+                    .take()
+                    .expect("parallel map cell taken twice");
+                f(state, item)
             });
             ParallelIterator { items: out }
         }
@@ -293,6 +357,24 @@ mod tests {
         });
         let expect: f64 = (0..16).map(|i| 256.0 * (1.0 + i as f64)).sum();
         assert!((v.iter().sum::<f64>() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_preserves_order() {
+        let outs: Vec<(usize, usize)> = (0..1000usize)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |calls, i| {
+                    *calls += 1;
+                    (i, *calls)
+                },
+            )
+            .collect();
+        assert!(outs.iter().enumerate().all(|(k, (i, _))| *i == k));
+        // Workers own contiguous blocks of >= 2 items, so at least one
+        // state is reused.
+        assert!(outs.iter().any(|(_, c)| *c > 1));
     }
 
     #[test]
