@@ -39,6 +39,104 @@ impl std::fmt::Display for JobId {
     }
 }
 
+/// Scheduling class of a daemon submission.
+///
+/// The daemon's queue is **strict-priority with FIFO within a class**:
+/// a worker always takes the oldest `Interactive` job first, then the
+/// oldest `Batch` job, then the oldest `Background` job. The policy is
+/// deterministic given the admission order — and because a job's output
+/// is a pure function of `(compiled shape, params, seed)`, all fixed at
+/// admission, the *results* are bit-identical under any priority mix;
+/// priority only decides who waits.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Latency-sensitive probes (an optimizer waiting on its objective).
+    Interactive,
+    /// The default class: ordinary batch work.
+    #[default]
+    Batch,
+    /// Best-effort work that yields to everything else (sweeps,
+    /// recalibration).
+    Background,
+}
+
+impl Priority {
+    /// All classes, highest priority first — the order workers scan.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::Background];
+
+    /// Dense index of this class (0 = `Interactive`), used by the
+    /// per-priority metrics arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+            Priority::Background => 2,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::Interactive => write!(f, "interactive"),
+            Priority::Batch => write!(f, "batch"),
+            Priority::Background => write!(f, "background"),
+        }
+    }
+}
+
+/// Why the daemon refused a submission at admission.
+///
+/// Rejection happens **before** a job consumes an id/seed stream
+/// position — a rejected submission leaves no trace in the evaluation
+/// stream, so retrying it later (or never) cannot perturb any other
+/// job's seed. Contrast with [`JobError`]: an *admitted* job that fails
+/// validation or compilation still consumes its position and is
+/// answered through its result stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rejected {
+    /// The bounded submission queue cannot take the group. Back off and
+    /// resubmit; nothing was admitted (groups are all-or-nothing).
+    QueueFull {
+        /// Jobs queued when the submission arrived.
+        depth: usize,
+        /// The configured queue bound.
+        limit: usize,
+    },
+    /// A job asks for more sampled shots / trajectories than the
+    /// daemon's per-job admission bound — the serving-level analogue of
+    /// the wire format's width bounds.
+    TooLarge {
+        /// Shots the largest offending job requested.
+        shots: u64,
+        /// The configured per-job bound.
+        limit: u64,
+    },
+    /// The daemon is draining for shutdown and no longer admits work.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { depth, limit } => {
+                write!(f, "queue full: {depth} of {limit} slots occupied")
+            }
+            Rejected::TooLarge { shots, limit } => {
+                write!(
+                    f,
+                    "job too large: {shots} shots exceeds the per-job bound {limit}"
+                )
+            }
+            Rejected::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
 /// The program a job executes.
 ///
 /// Both families participate in the same structural-hash compiled cache

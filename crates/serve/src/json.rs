@@ -40,8 +40,10 @@ use hgp_math::pauli::{Pauli, PauliString, PauliSum};
 use hgp_sim::Counts;
 
 use crate::job::{
-    JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec, JobStage,
+    JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec, JobStage, Priority,
+    Rejected,
 };
+use crate::metrics::ServeMetrics;
 
 /// A JSON document.
 ///
@@ -492,7 +494,7 @@ pub trait JsonCodec: Sized {
     }
 }
 
-fn obj(members: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(members: Vec<(&str, Value)>) -> Value {
     Value::Obj(
         members
             .into_iter()
@@ -1184,6 +1186,115 @@ impl JsonCodec for JobResult {
             cache_hit: value.get("cache_hit")?.as_bool()?,
             elapsed_ns: value.get("elapsed_ns")?.as_u64()?,
             output,
+        })
+    }
+}
+
+impl JsonCodec for Priority {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        match value.as_str()? {
+            "interactive" => Ok(Priority::Interactive),
+            "batch" => Ok(Priority::Batch),
+            "background" => Ok(Priority::Background),
+            other => Err(format!("unknown priority {other:?}")),
+        }
+    }
+}
+
+impl JsonCodec for Rejected {
+    fn to_json(&self) -> Value {
+        match self {
+            Rejected::QueueFull { depth, limit } => obj(vec![
+                ("kind", Value::Str("queue_full".into())),
+                ("depth", Value::from_usize(*depth)),
+                ("limit", Value::from_usize(*limit)),
+            ]),
+            Rejected::TooLarge { shots, limit } => obj(vec![
+                ("kind", Value::Str("too_large".into())),
+                ("shots", Value::from_u64(*shots)),
+                ("limit", Value::from_u64(*limit)),
+            ]),
+            Rejected::ShuttingDown => obj(vec![("kind", Value::Str("shutting_down".into()))]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        match value.get("kind")?.as_str()? {
+            "queue_full" => Ok(Rejected::QueueFull {
+                depth: value.get("depth")?.as_usize()?,
+                limit: value.get("limit")?.as_usize()?,
+            }),
+            "too_large" => Ok(Rejected::TooLarge {
+                shots: value.get("shots")?.as_u64()?,
+                limit: value.get("limit")?.as_u64()?,
+            }),
+            "shutting_down" => Ok(Rejected::ShuttingDown),
+            other => Err(format!("unknown rejection kind {other:?}")),
+        }
+    }
+}
+
+fn u64_arr(values: &[u64]) -> Value {
+    Value::Arr(values.iter().map(|&v| Value::from_u64(v)).collect())
+}
+
+fn u64_arr3(value: &Value) -> Result<[u64; 3], String> {
+    let items = value.as_arr()?;
+    if items.len() != 3 {
+        return Err(format!(
+            "per-priority counters have 3 entries, got {}",
+            items.len()
+        ));
+    }
+    Ok([items[0].as_u64()?, items[1].as_u64()?, items[2].as_u64()?])
+}
+
+impl JsonCodec for ServeMetrics {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("jobs_completed", Value::from_u64(self.jobs_completed)),
+            ("jobs_failed", Value::from_u64(self.jobs_failed)),
+            ("batches", Value::from_u64(self.batches)),
+            ("shape_groups", Value::from_u64(self.shape_groups)),
+            ("cache_hits", Value::from_u64(self.cache_hits)),
+            ("cache_misses", Value::from_u64(self.cache_misses)),
+            ("validate_ns", Value::from_u64(self.validate_ns)),
+            ("compile_ns", Value::from_u64(self.compile_ns)),
+            ("bind_ns", Value::from_u64(self.bind_ns)),
+            ("exec_ns", Value::from_u64(self.exec_ns)),
+            ("wall_ns", Value::from_u64(self.wall_ns)),
+            ("queue_depth", Value::from_u64(self.queue_depth)),
+            ("queue_ns", Value::from_u64(self.queue_ns)),
+            ("admitted", u64_arr(&self.admitted)),
+            ("rejected_full", u64_arr(&self.rejected_full)),
+            ("rejected_large", u64_arr(&self.rejected_large)),
+            ("shots_executed", Value::from_u64(self.shots_executed)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        Ok(ServeMetrics {
+            jobs_completed: value.get("jobs_completed")?.as_u64()?,
+            jobs_failed: value.get("jobs_failed")?.as_u64()?,
+            batches: value.get("batches")?.as_u64()?,
+            shape_groups: value.get("shape_groups")?.as_u64()?,
+            cache_hits: value.get("cache_hits")?.as_u64()?,
+            cache_misses: value.get("cache_misses")?.as_u64()?,
+            validate_ns: value.get("validate_ns")?.as_u64()?,
+            compile_ns: value.get("compile_ns")?.as_u64()?,
+            bind_ns: value.get("bind_ns")?.as_u64()?,
+            exec_ns: value.get("exec_ns")?.as_u64()?,
+            wall_ns: value.get("wall_ns")?.as_u64()?,
+            queue_depth: value.get("queue_depth")?.as_u64()?,
+            queue_ns: value.get("queue_ns")?.as_u64()?,
+            admitted: u64_arr3(value.get("admitted")?)?,
+            rejected_full: u64_arr3(value.get("rejected_full")?)?,
+            rejected_large: u64_arr3(value.get("rejected_large")?)?,
+            shots_executed: value.get("shots_executed")?.as_u64()?,
         })
     }
 }

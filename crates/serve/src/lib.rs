@@ -23,9 +23,19 @@
 //!   ([`hgp_sim::seed`]) — any concurrent schedule is bit-identical to
 //!   sequential execution,
 //! - [`metrics`]: throughput/latency/cache accounting
-//!   ([`ServeMetrics`]),
+//!   ([`ServeMetrics`]) — batch wall time, per-stage latencies, and the
+//!   daemon's queue gauge / per-priority admission counters,
 //! - [`json`]: the canonical wire format ([`json::JsonCodec`]),
-//!   self-contained because the vendored serde facade is a no-op.
+//!   self-contained because the vendored serde facade is a no-op,
+//! - [`daemon`]: the long-lived serving [`Daemon`] — a persistent
+//!   worker pool behind a bounded, priority-classed submission queue
+//!   with streaming [`ResultStream`] delivery, admission control and
+//!   backpressure ([`Rejected`]), and a graceful draining shutdown;
+//!   shares the batch path's worker core, so the bit-identity contract
+//!   holds across both,
+//! - [`wire`]: the TCP front end — line-delimited JSON
+//!   [`WireRequest`] / [`WireResponse`] envelopes over a socket,
+//!   served by [`WireServer`] and spoken by [`WireClient`].
 //!
 //! # Example
 //!
@@ -59,12 +69,19 @@
 //! ```
 
 pub mod cache;
+pub mod daemon;
 pub mod job;
 pub mod json;
 pub mod metrics;
 pub mod service;
+pub mod wire;
 
 pub use cache::{CompiledArtifact, ProgramCache};
-pub use job::{JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec, JobStage};
+pub use daemon::{Daemon, DaemonConfig, ResultStream};
+pub use job::{
+    JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec, JobStage, Priority,
+    Rejected,
+};
 pub use metrics::ServeMetrics;
 pub use service::{ServeConfig, Service};
+pub use wire::{WireClient, WireRequest, WireResponse, WireServer};

@@ -40,8 +40,27 @@ pub struct ServeMetrics {
     pub bind_ns: u64,
     /// Summed per-job execution time across workers (binding excluded).
     pub exec_ns: u64,
-    /// Summed end-to-end batch wall time.
+    /// Summed end-to-end batch wall time. [`crate::Service::run_batch`]
+    /// accumulates per call; daemon snapshots report uptime here, so
+    /// the derived throughputs read as lifetime rates either way.
     pub wall_ns: u64,
+    /// Jobs waiting in the daemon's submission queue when this snapshot
+    /// was taken (a gauge, not a counter; always 0 on the batch path).
+    pub queue_depth: u64,
+    /// Time admitted jobs spent queued before a worker picked them up —
+    /// the stage upstream of `validate`/`compile`/`bind`/`exec` that
+    /// only the daemon has. Large `queue_ns` with small worker stages
+    /// means the pool, not the engine, is the bottleneck.
+    pub queue_ns: u64,
+    /// Daemon jobs admitted per priority class, indexed by
+    /// [`crate::Priority::index`] (interactive/batch/background).
+    pub admitted: [u64; 3],
+    /// Daemon jobs refused with [`crate::Rejected::QueueFull`], per
+    /// priority class.
+    pub rejected_full: [u64; 3],
+    /// Daemon jobs refused with [`crate::Rejected::TooLarge`], per
+    /// priority class.
+    pub rejected_large: [u64; 3],
     /// Stochastic trajectory shots finished by successful jobs (the
     /// four trajectory job kinds report their shot or trajectory count;
     /// other kinds contribute zero). This is the work unit the batched
@@ -102,6 +121,27 @@ impl ServeMetrics {
         }
     }
 
+    /// Total daemon admissions across priority classes.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted.iter().sum()
+    }
+
+    /// Total daemon rejections (queue-full plus too-large) across
+    /// priority classes.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_full.iter().sum::<u64>() + self.rejected_large.iter().sum::<u64>()
+    }
+
+    /// Mean time an admitted job waited in the daemon queue before a
+    /// worker picked it up, nanoseconds.
+    pub fn mean_queue_wait_ns(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.queue_ns as f64 / self.jobs_completed as f64
+        }
+    }
+
     /// Fraction of shape lookups served from the cache.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -118,9 +158,10 @@ impl fmt::Display for ServeMetrics {
         write!(
             f,
             "{} jobs ({} failed) in {} batches | {:.0} jobs/s | mean latency {:.1} us \
-             (bind {:.1} us) | cache {}/{} hits ({:.0}%) | stages: validate {:.2} ms, \
-             compile {:.2} ms, bind {:.2} ms, execute {:.2} ms | {} shots, {:.0} shots/s, \
-             {:.2} us/shot exec",
+             (bind {:.1} us) | cache {}/{} hits ({:.0}%) | stages: queue {:.2} ms, \
+             validate {:.2} ms, compile {:.2} ms, bind {:.2} ms, execute {:.2} ms | \
+             {} shots, {:.0} shots/s, {:.2} us/shot exec | queue depth {} | \
+             admitted i/b/g {}/{}/{} | rejected {} (full {}, too-large {})",
             self.jobs_completed,
             self.jobs_failed,
             self.batches,
@@ -130,6 +171,7 @@ impl fmt::Display for ServeMetrics {
             self.cache_hits,
             self.cache_hits + self.cache_misses,
             100.0 * self.cache_hit_rate(),
+            self.queue_ns as f64 / 1e6,
             self.validate_ns as f64 / 1e6,
             self.compile_ns as f64 / 1e6,
             self.bind_ns as f64 / 1e6,
@@ -137,6 +179,13 @@ impl fmt::Display for ServeMetrics {
             self.shots_executed,
             self.shots_per_sec(),
             self.mean_shot_exec_ns() / 1e3,
+            self.queue_depth,
+            self.admitted[0],
+            self.admitted[1],
+            self.admitted[2],
+            self.rejected_total(),
+            self.rejected_full.iter().sum::<u64>(),
+            self.rejected_large.iter().sum::<u64>(),
         )
     }
 }
@@ -160,6 +209,11 @@ mod tests {
             exec_ns: 150_000_000,
             wall_ns: 1_000_000_000,
             shots_executed: 25_000,
+            queue_depth: 4,
+            queue_ns: 200_000_000,
+            admitted: [10, 80, 10],
+            rejected_full: [0, 3, 1],
+            rejected_large: [1, 0, 0],
         };
         assert!((m.throughput_jobs_per_sec() - 100.0).abs() < 1e-9);
         // Mean latency covers both worker stages: bind + execute.
@@ -169,6 +223,10 @@ mod tests {
         assert!((m.shots_per_sec() - 25_000.0).abs() < 1e-9);
         // 150 ms of execution over 25k shots: 6 us per shot.
         assert!((m.mean_shot_exec_ns() - 6_000.0).abs() < 1e-9);
+        assert_eq!(m.admitted_total(), 100);
+        assert_eq!(m.rejected_total(), 5);
+        // 200 ms queued across 100 jobs: 2 ms mean queue wait.
+        assert!((m.mean_queue_wait_ns() - 2_000_000.0).abs() < 1e-9);
         assert!(!m.to_string().is_empty());
     }
 
@@ -181,5 +239,6 @@ mod tests {
         assert_eq!(m.cache_hit_rate(), 0.0);
         assert_eq!(m.shots_per_sec(), 0.0);
         assert_eq!(m.mean_shot_exec_ns(), 0.0);
+        assert_eq!(m.mean_queue_wait_ns(), 0.0);
     }
 }

@@ -133,17 +133,23 @@ impl ServeConfig {
 }
 
 /// A job admitted to the stream: id and seed fixed, awaiting dispatch.
-struct PreparedJob {
-    index: usize,
-    id: JobId,
-    seed: u64,
-    params: Vec<f64>,
-    spec: JobSpec,
+///
+/// This is the unit of the **shared worker core**: both the synchronous
+/// batch path ([`Service::run_batch`]) and the long-lived daemon
+/// ([`crate::daemon::Daemon`]) admit requests into `PreparedJob`s and
+/// execute them through [`execute_job`], so the determinism contract is
+/// written (and tested) exactly once.
+pub(crate) struct PreparedJob {
+    pub(crate) index: usize,
+    pub(crate) id: JobId,
+    pub(crate) seed: u64,
+    pub(crate) params: Vec<f64>,
+    pub(crate) spec: JobSpec,
 }
 
 impl PreparedJob {
     /// A result shell for a job that never reached a worker.
-    fn failed(&self, error: JobError) -> JobResult {
+    pub(crate) fn failed(&self, error: JobError) -> JobResult {
         JobResult {
             id: self.id,
             seed: self.seed,
@@ -216,76 +222,18 @@ impl<'a> Service<'a> {
     /// admission, before any execution; failures become validate-stage
     /// job errors, never panics.
     fn validate(request: &JobRequest) -> Result<(), JobError> {
-        if request.params.len() != request.program.n_params() {
-            return Err(JobError::validate(format!(
-                "expected {} parameter(s), got {}",
-                request.program.n_params(),
-                request.params.len()
-            )));
-        }
-        let is_hybrid_program = matches!(request.program, JobProgram::Hybrid(_));
-        if request.spec.is_hybrid() != is_hybrid_program {
-            return Err(JobError::validate(if is_hybrid_program {
-                "hybrid programs require a Hybrid* job spec"
-            } else {
-                "circuit programs cannot run under a Hybrid* job spec"
-            }));
-        }
-        let observable = match &request.spec {
-            JobSpec::Expectation { observable }
-            | JobSpec::TrajectoryExpectation { observable, .. }
-            | JobSpec::HybridExpectation { observable }
-            | JobSpec::HybridTrajectoryExpectation { observable, .. } => Some(observable),
-            _ => None,
-        };
-        if let Some(observable) = observable {
-            if observable.n_qubits() != request.program.n_qubits() {
-                return Err(JobError::validate(format!(
-                    "observable width {} must match the program width {}",
-                    observable.n_qubits(),
-                    request.program.n_qubits()
-                )));
-            }
-        }
-        match &request.spec {
-            JobSpec::Counts { shots: 0 } | JobSpec::HybridCounts { shots: 0 } => {
-                return Err(JobError::validate("sampling needs at least one shot"));
-            }
-            JobSpec::TrajectoryCounts { shots: 0 }
-            | JobSpec::HybridTrajectoryCounts { shots: 0 } => {
-                return Err(JobError::validate(
-                    "trajectory sampling needs at least one shot",
-                ));
-            }
-            JobSpec::TrajectoryExpectation {
-                trajectories: 0, ..
-            }
-            | JobSpec::HybridTrajectoryExpectation {
-                trajectories: 0, ..
-            } => {
-                return Err(JobError::validate(
-                    "trajectory estimation needs at least one trajectory",
-                ));
-            }
-            _ => {}
-        }
-        Ok(())
+        validate_request(request)
     }
 
     /// Compiles one shape group's program (cache miss path).
     fn compile_program(&mut self, program: &JobProgram) -> Result<CompiledArtifact, JobError> {
-        let compiler = CircuitCompiler::new(self.backend, self.config.layout.clone())
-            .with_options(self.config.compile_options);
         let t0 = Instant::now();
-        let artifact = match program {
-            JobProgram::Circuit(circuit) => compiler
-                .compile(circuit)
-                .map(|c| CompiledArtifact::Circuit(Arc::new(c))),
-            JobProgram::Hybrid(shape) => compiler
-                .compile_hybrid(shape)
-                .map(|p| CompiledArtifact::Hybrid(Arc::new(p))),
-        }
-        .map_err(JobError::compile)?;
+        let artifact = compile_artifact(
+            self.backend,
+            &self.config.layout,
+            self.config.compile_options,
+            program,
+        )?;
         self.metrics.compile_ns += t0.elapsed().as_nanos() as u64;
         Ok(artifact)
     }
@@ -517,6 +465,88 @@ impl<'a> Service<'a> {
     }
 }
 
+/// Validates one request against its own declared shape — parameter
+/// counts, observable widths, shot counts, spec/program family pairing.
+/// Shared by the batch path and the daemon so both admit exactly the
+/// same request set; failures become validate-stage job errors, never
+/// panics.
+pub(crate) fn validate_request(request: &JobRequest) -> Result<(), JobError> {
+    if request.params.len() != request.program.n_params() {
+        return Err(JobError::validate(format!(
+            "expected {} parameter(s), got {}",
+            request.program.n_params(),
+            request.params.len()
+        )));
+    }
+    let is_hybrid_program = matches!(request.program, JobProgram::Hybrid(_));
+    if request.spec.is_hybrid() != is_hybrid_program {
+        return Err(JobError::validate(if is_hybrid_program {
+            "hybrid programs require a Hybrid* job spec"
+        } else {
+            "circuit programs cannot run under a Hybrid* job spec"
+        }));
+    }
+    let observable = match &request.spec {
+        JobSpec::Expectation { observable }
+        | JobSpec::TrajectoryExpectation { observable, .. }
+        | JobSpec::HybridExpectation { observable }
+        | JobSpec::HybridTrajectoryExpectation { observable, .. } => Some(observable),
+        _ => None,
+    };
+    if let Some(observable) = observable {
+        if observable.n_qubits() != request.program.n_qubits() {
+            return Err(JobError::validate(format!(
+                "observable width {} must match the program width {}",
+                observable.n_qubits(),
+                request.program.n_qubits()
+            )));
+        }
+    }
+    match &request.spec {
+        JobSpec::Counts { shots: 0 } | JobSpec::HybridCounts { shots: 0 } => {
+            return Err(JobError::validate("sampling needs at least one shot"));
+        }
+        JobSpec::TrajectoryCounts { shots: 0 } | JobSpec::HybridTrajectoryCounts { shots: 0 } => {
+            return Err(JobError::validate(
+                "trajectory sampling needs at least one shot",
+            ));
+        }
+        JobSpec::TrajectoryExpectation {
+            trajectories: 0, ..
+        }
+        | JobSpec::HybridTrajectoryExpectation {
+            trajectories: 0, ..
+        } => {
+            return Err(JobError::validate(
+                "trajectory estimation needs at least one trajectory",
+            ));
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Compiles one program shape into its cached artifact form — the
+/// cache-miss path shared by [`Service`] and the daemon. All
+/// request-derived failures come back as compile-stage [`JobError`]s.
+pub(crate) fn compile_artifact(
+    backend: &Backend,
+    layout: &[usize],
+    options: GateModelOptions,
+    program: &JobProgram,
+) -> Result<CompiledArtifact, JobError> {
+    let compiler = CircuitCompiler::new(backend, layout.to_vec()).with_options(options);
+    match program {
+        JobProgram::Circuit(circuit) => compiler
+            .compile(circuit)
+            .map(|c| CompiledArtifact::Circuit(Arc::new(c))),
+        JobProgram::Hybrid(shape) => compiler
+            .compile_hybrid(shape)
+            .map(|p| CompiledArtifact::Hybrid(Arc::new(p))),
+    }
+    .map_err(JobError::compile)
+}
+
 /// Times the bind stage of a job, accumulating into `acc`.
 fn timed_bind<T>(acc: &mut u64, f: impl FnOnce() -> T) -> T {
     let t0 = Instant::now();
@@ -535,7 +565,7 @@ fn timed_bind<T>(acc: &mut u64, f: impl FnOnce() -> T) -> T {
 /// expectation kinds execute one trajectory per requested sample, so
 /// their trajectory count *is* their shot count. Non-trajectory kinds
 /// (statevector, density matrix, exact sampling) report zero.
-fn trajectory_shots(spec: &JobSpec) -> u64 {
+pub(crate) fn trajectory_shots(spec: &JobSpec) -> u64 {
     match spec {
         JobSpec::TrajectoryCounts { shots } | JobSpec::HybridTrajectoryCounts { shots } => {
             *shots as u64
@@ -546,7 +576,7 @@ fn trajectory_shots(spec: &JobSpec) -> u64 {
     }
 }
 
-fn execute_job(
+pub(crate) fn execute_job(
     backend: &Backend,
     compiled: &CompiledArtifact,
     cache_hit: bool,

@@ -1,0 +1,670 @@
+//! The daemon's TCP front end: line-delimited JSON envelopes.
+//!
+//! One connection, two interleaved directions. The client writes
+//! [`WireRequest`] envelopes, one JSON object per `\n`-terminated line;
+//! the server answers with [`WireResponse`] envelopes on the same
+//! framing, reusing the canonical [`crate::json`] codec for every
+//! payload (requests, results, metrics), so the socket format *is* the
+//! documented JSON format.
+//!
+//! # Protocol
+//!
+//! - `{"op":"ping"}` → `{"op":"pong"}`; `{"op":"metrics"}` → a
+//!   [`ServeMetrics`] snapshot.
+//! - `{"op":"submit",...}` / `{"op":"submit_group",...}` runs daemon
+//!   admission. The **acknowledgement comes first**: an `accepted`
+//!   envelope carrying the admitted [`JobId`]s (the submission's
+//!   id/seed-stream positions) or a `rejected` envelope carrying the
+//!   typed [`Rejected`] reason. After the ack, each job's `result`
+//!   envelope arrives **as it completes** — results of *different*
+//!   submissions on one connection may interleave; correlate by job id.
+//! - A malformed line gets an `error` envelope; the connection stays up.
+//!   Lines above [`MAX_LINE_BYTES`] close the connection (hostile-input
+//!   bound).
+//!
+//! [`WireClient`] speaks the client side, buffering interleaved result
+//! envelopes so `submit → ack` reads stay simple. The `serve_daemon`
+//! example drives a full mixed-priority session over a loopback socket.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::daemon::Daemon;
+use crate::job::{JobId, JobRequest, JobResult, Priority, Rejected};
+use crate::json::{obj, JsonCodec, Value};
+use crate::metrics::ServeMetrics;
+
+/// Hard per-line bound (8 MiB): a connection that streams an unframed
+/// or hostile payload is closed instead of buffering without limit.
+pub const MAX_LINE_BYTES: usize = 8 << 20;
+
+/// A client-to-server envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Submit one job under a priority class.
+    Submit {
+        /// The job.
+        request: JobRequest,
+        /// Its scheduling class.
+        priority: Priority,
+    },
+    /// Submit a job group atomically under one priority class.
+    SubmitGroup {
+        /// The jobs, admitted all-or-nothing.
+        requests: Vec<JobRequest>,
+        /// The group's scheduling class.
+        priority: Priority,
+    },
+    /// Request a [`ServeMetrics`] snapshot.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A server-to-client envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// A submission was admitted; the ids are its stream positions, in
+    /// submission order.
+    Accepted {
+        /// Admitted job ids.
+        ids: Vec<JobId>,
+    },
+    /// A submission was refused at admission; nothing was consumed.
+    Rejected {
+        /// The typed reason.
+        rejected: Rejected,
+    },
+    /// One completed job, delivered in completion order.
+    Result {
+        /// The job's result (output or typed error).
+        result: JobResult,
+    },
+    /// A metrics snapshot.
+    Metrics {
+        /// Daemon-lifetime counters; `wall_ns` is uptime.
+        metrics: ServeMetrics,
+    },
+    /// Answer to [`WireRequest::Ping`].
+    Pong,
+    /// A protocol-level failure (malformed line, unrepresentable
+    /// result); the connection stays open.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl JsonCodec for WireRequest {
+    fn to_json(&self) -> Value {
+        match self {
+            WireRequest::Submit { request, priority } => obj(vec![
+                ("op", Value::Str("submit".into())),
+                ("request", request.to_json()),
+                ("priority", priority.to_json()),
+            ]),
+            WireRequest::SubmitGroup { requests, priority } => obj(vec![
+                ("op", Value::Str("submit_group".into())),
+                (
+                    "requests",
+                    Value::Arr(requests.iter().map(JsonCodec::to_json).collect()),
+                ),
+                ("priority", priority.to_json()),
+            ]),
+            WireRequest::Metrics => obj(vec![("op", Value::Str("metrics".into()))]),
+            WireRequest::Ping => obj(vec![("op", Value::Str("ping".into()))]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        match value.get("op")?.as_str()? {
+            "submit" => Ok(WireRequest::Submit {
+                request: JobRequest::from_json(value.get("request")?)?,
+                priority: Priority::from_json(value.get("priority")?)?,
+            }),
+            "submit_group" => Ok(WireRequest::SubmitGroup {
+                requests: value
+                    .get("requests")?
+                    .as_arr()?
+                    .iter()
+                    .map(JobRequest::from_json)
+                    .collect::<Result<_, _>>()?,
+                priority: Priority::from_json(value.get("priority")?)?,
+            }),
+            "metrics" => Ok(WireRequest::Metrics),
+            "ping" => Ok(WireRequest::Ping),
+            other => Err(format!("unknown request op {other:?}")),
+        }
+    }
+}
+
+impl JsonCodec for WireResponse {
+    fn to_json(&self) -> Value {
+        match self {
+            WireResponse::Accepted { ids } => obj(vec![
+                ("op", Value::Str("accepted".into())),
+                (
+                    "ids",
+                    Value::Arr(ids.iter().map(JsonCodec::to_json).collect()),
+                ),
+            ]),
+            WireResponse::Rejected { rejected } => obj(vec![
+                ("op", Value::Str("rejected".into())),
+                ("rejected", rejected.to_json()),
+            ]),
+            WireResponse::Result { result } => obj(vec![
+                ("op", Value::Str("result".into())),
+                ("result", result.to_json()),
+            ]),
+            WireResponse::Metrics { metrics } => obj(vec![
+                ("op", Value::Str("metrics".into())),
+                ("metrics", metrics.to_json()),
+            ]),
+            WireResponse::Pong => obj(vec![("op", Value::Str("pong".into()))]),
+            WireResponse::Error { message } => obj(vec![
+                ("op", Value::Str("error".into())),
+                ("message", Value::Str(message.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        match value.get("op")?.as_str()? {
+            "accepted" => Ok(WireResponse::Accepted {
+                ids: value
+                    .get("ids")?
+                    .as_arr()?
+                    .iter()
+                    .map(JobId::from_json)
+                    .collect::<Result<_, _>>()?,
+            }),
+            "rejected" => Ok(WireResponse::Rejected {
+                rejected: Rejected::from_json(value.get("rejected")?)?,
+            }),
+            "result" => Ok(WireResponse::Result {
+                result: JobResult::from_json(value.get("result")?)?,
+            }),
+            "metrics" => Ok(WireResponse::Metrics {
+                metrics: ServeMetrics::from_json(value.get("metrics")?)?,
+            }),
+            "pong" => Ok(WireResponse::Pong),
+            "error" => Ok(WireResponse::Error {
+                message: value.get("message")?.as_str()?.to_string(),
+            }),
+            other => Err(format!("unknown response op {other:?}")),
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line, bounded at [`MAX_LINE_BYTES`].
+///
+/// Returns `Ok(None)` on a clean EOF at a line boundary. A line that
+/// exceeds the bound or input that ends mid-line is an error.
+fn read_capped_line<R: Read>(reader: &mut BufReader<R>) -> io::Result<Option<String>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ))
+            };
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(at) => (&buf[..at], true),
+            None => (buf, false),
+        };
+        if line.len() + chunk.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+        }
+        line.extend_from_slice(chunk);
+        let consumed = chunk.len() + usize::from(done);
+        reader.consume(consumed);
+        if done {
+            let text = String::from_utf8(line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            return Ok(Some(text));
+        }
+    }
+}
+
+/// Writes one envelope line under the connection's writer lock, so a
+/// streaming forwarder and the request handler never tear each other's
+/// lines. Returns `false` once the peer is gone.
+fn write_line(writer: &Mutex<TcpStream>, text: &str) -> bool {
+    let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
+    stream
+        .write_all(text.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .is_ok()
+}
+
+/// Encodes a response defensively: [`Value::from_f64`] panics on
+/// non-finite numbers (JSON cannot carry them), and a job is allowed to
+/// *produce* a NaN expectation from NaN parameters — that must become
+/// an `error` envelope, not a dead forwarder thread.
+fn encode_response(response: &WireResponse) -> Result<String, String> {
+    catch_unwind(AssertUnwindSafe(|| response.to_json_string())).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unrepresentable response".to_string())
+    })
+}
+
+/// The TCP front end of a [`Daemon`]: accepts connections and speaks
+/// the line-delimited envelope protocol. See the module docs.
+#[derive(Debug)]
+pub struct WireServer {
+    daemon: Arc<Daemon>,
+    listener_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    /// Live connection streams, for forced unblock at shutdown.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop over `daemon`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the address cannot be bound.
+    pub fn start(daemon: Arc<Daemon>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let listener_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let daemon = Arc::clone(&daemon);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Ok(registered) = stream.try_clone() {
+                        conns
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(registered);
+                    }
+                    let daemon = Arc::clone(&daemon);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(daemon, stream)
+                    }));
+                }
+                for handle in handlers {
+                    let _ = handle.join();
+                }
+            })
+        };
+        Ok(Self {
+            daemon,
+            listener_addr,
+            stop,
+            conns,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (the port to connect to when started on
+    /// port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener_addr
+    }
+
+    /// The daemon behind this front end.
+    pub fn daemon(&self) -> &Arc<Daemon> {
+        &self.daemon
+    }
+
+    /// Stops accepting, severs live connections, and joins the accept
+    /// loop (which joins the per-connection handlers). The daemon keeps
+    /// running — shut it down separately to drain its queue. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.listener_addr);
+        for conn in self
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection: parse a request line, run daemon admission,
+/// write the ack, and hand accepted streams to a forwarder thread that
+/// delivers `result` envelopes as jobs complete.
+fn handle_connection(daemon: Arc<Daemon>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let writer = Arc::new(Mutex::new(stream));
+    let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
+    // A clean EOF, an oversized line, or a severed socket all end the
+    // session; queued jobs still run, their results are discarded by
+    // the send-to-gone-receiver path.
+    while let Ok(Some(line)) = read_capped_line(&mut reader) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match WireRequest::from_json_str(&line) {
+            Ok(request) => request,
+            Err(message) => {
+                let response = WireResponse::Error { message };
+                if !write_line(&writer, &response.to_json_string()) {
+                    break;
+                }
+                continue;
+            }
+        };
+        let (requests, priority) = match request {
+            WireRequest::Ping => {
+                if !write_line(&writer, &WireResponse::Pong.to_json_string()) {
+                    break;
+                }
+                continue;
+            }
+            WireRequest::Metrics => {
+                let response = WireResponse::Metrics {
+                    metrics: daemon.metrics(),
+                };
+                if !write_line(&writer, &response.to_json_string()) {
+                    break;
+                }
+                continue;
+            }
+            WireRequest::Submit { request, priority } => (vec![request], priority),
+            WireRequest::SubmitGroup { requests, priority } => (requests, priority),
+        };
+        if requests.is_empty() {
+            let response = WireResponse::Error {
+                message: "cannot submit an empty group".to_string(),
+            };
+            if !write_line(&writer, &response.to_json_string()) {
+                break;
+            }
+            continue;
+        }
+        match daemon.submit_group(requests, priority) {
+            Err(rejected) => {
+                let response = WireResponse::Rejected { rejected };
+                if !write_line(&writer, &response.to_json_string()) {
+                    break;
+                }
+            }
+            Ok(stream) => {
+                // Ack first — the protocol promises the client its ids
+                // before any result of this submission.
+                let ack = WireResponse::Accepted {
+                    ids: stream.ids().to_vec(),
+                };
+                if !write_line(&writer, &ack.to_json_string()) {
+                    break;
+                }
+                let writer = Arc::clone(&writer);
+                forwarders.push(std::thread::spawn(move || {
+                    for result in stream {
+                        let id = result.id;
+                        let text = match encode_response(&WireResponse::Result { result }) {
+                            Ok(text) => text,
+                            Err(message) => WireResponse::Error {
+                                message: format!("result for {id} not representable: {message}"),
+                            }
+                            .to_json_string(),
+                        };
+                        if !write_line(&writer, &text) {
+                            // Peer gone: drain silently so the daemon's
+                            // workers never block on this stream.
+                            continue;
+                        }
+                    }
+                }));
+            }
+        }
+    }
+    for handle in forwarders {
+        let _ = handle.join();
+    }
+}
+
+/// A blocking client for the envelope protocol.
+///
+/// Because results stream in completion order and may interleave with
+/// later acks, the client buffers `result` envelopes internally: the
+/// submit helpers return as soon as *their* ack arrives, and
+/// [`WireClient::next_result`] serves buffered results first.
+#[derive(Debug)]
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    buffered: VecDeque<JobResult>,
+}
+
+impl WireClient {
+    /// Connects to a [`WireServer`].
+    ///
+    /// # Errors
+    ///
+    /// Errors if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(read_half),
+            writer: stream,
+            buffered: VecDeque::new(),
+        })
+    }
+
+    /// Sends one raw request envelope.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the socket write fails.
+    pub fn send(&mut self, request: &WireRequest) -> io::Result<()> {
+        self.writer.write_all(request.to_json_string().as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads the next response envelope off the socket (not the result
+    /// buffer).
+    ///
+    /// # Errors
+    ///
+    /// Errors on EOF, an oversized line, or a malformed envelope.
+    pub fn recv(&mut self) -> io::Result<WireResponse> {
+        let line = read_capped_line(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        WireResponse::from_json_str(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Reads until a non-`result` envelope arrives, buffering the
+    /// results that interleave.
+    fn recv_ack(&mut self) -> io::Result<WireResponse> {
+        loop {
+            match self.recv()? {
+                WireResponse::Result { result } => self.buffered.push_back(result),
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Submits one job; `Ok(Err(rejected))` is a daemon-level refusal,
+    /// the outer error a transport/protocol failure.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the transport fails or the server violates protocol.
+    pub fn submit(
+        &mut self,
+        request: JobRequest,
+        priority: Priority,
+    ) -> io::Result<Result<Vec<JobId>, Rejected>> {
+        self.send(&WireRequest::Submit { request, priority })?;
+        self.read_submit_ack()
+    }
+
+    /// Submits a job group atomically; see [`WireClient::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Errors if the transport fails or the server violates protocol.
+    pub fn submit_group(
+        &mut self,
+        requests: Vec<JobRequest>,
+        priority: Priority,
+    ) -> io::Result<Result<Vec<JobId>, Rejected>> {
+        self.send(&WireRequest::SubmitGroup { requests, priority })?;
+        self.read_submit_ack()
+    }
+
+    fn read_submit_ack(&mut self) -> io::Result<Result<Vec<JobId>, Rejected>> {
+        match self.recv_ack()? {
+            WireResponse::Accepted { ids } => Ok(Ok(ids)),
+            WireResponse::Rejected { rejected } => Ok(Err(rejected)),
+            WireResponse::Error { message } => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, message))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected submission ack, got {other:?}"),
+            )),
+        }
+    }
+
+    /// The next completed job: buffered results first, then the socket.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the transport fails or a non-`result` envelope arrives
+    /// while results are owed.
+    pub fn next_result(&mut self) -> io::Result<JobResult> {
+        if let Some(result) = self.buffered.pop_front() {
+            return Ok(result);
+        }
+        match self.recv()? {
+            WireResponse::Result { result } => Ok(result),
+            WireResponse::Error { message } => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, message))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected result, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Collects `n` results and sorts them into id order.
+    ///
+    /// # Errors
+    ///
+    /// Errors if any [`WireClient::next_result`] read fails.
+    pub fn collect_results(&mut self, n: usize) -> io::Result<Vec<JobResult>> {
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            results.push(self.next_result()?);
+        }
+        results.sort_by_key(|r| r.id);
+        Ok(results)
+    }
+
+    /// Fetches a metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the transport fails or the server violates protocol.
+    pub fn metrics(&mut self) -> io::Result<ServeMetrics> {
+        self.send(&WireRequest::Metrics)?;
+        match self.recv_ack()? {
+            WireResponse::Metrics { metrics } => Ok(metrics),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected metrics, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Round-trips a ping.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the transport fails or the server violates protocol.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send(&WireRequest::Ping)?;
+        match self.recv_ack()? {
+            WireResponse::Pong => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected pong, got {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capped_line_reader_enforces_the_bound() {
+        let text = "short line\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        assert_eq!(
+            read_capped_line(&mut reader).unwrap().as_deref(),
+            Some("short line")
+        );
+        assert_eq!(read_capped_line(&mut reader).unwrap(), None);
+
+        let mut eof_mid_line = BufReader::new("no newline".as_bytes());
+        assert!(read_capped_line(&mut eof_mid_line).is_err());
+
+        let huge = vec![b'x'; MAX_LINE_BYTES + 1];
+        let mut oversized = BufReader::new(&huge[..]);
+        assert!(read_capped_line(&mut oversized).is_err());
+    }
+
+    #[test]
+    fn envelope_errors_name_the_unknown_op() {
+        let err = WireRequest::from_json_str(r#"{"op":"frobnicate"}"#).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        let err = WireResponse::from_json_str(r#"{"op":"frobnicate"}"#).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+    }
+}

@@ -13,7 +13,10 @@ use hgp_core::models::GateModelOptions;
 use hgp_graph::Graph;
 use hgp_math::pauli::{Pauli, PauliString, PauliSum};
 use hgp_serve::json::JsonCodec;
-use hgp_serve::{JobError, JobId, JobOutput, JobRequest, JobResult, JobSpec, JobStage};
+use hgp_serve::{
+    JobError, JobId, JobOutput, JobRequest, JobResult, JobSpec, JobStage, Priority, Rejected,
+    ServeMetrics, WireRequest, WireResponse,
+};
 use hgp_sim::Counts;
 
 /// A random (possibly parametrized) circuit drawn from the full gate
@@ -233,6 +236,97 @@ fn random_output(rng: &mut StdRng) -> JobOutput {
     }
 }
 
+fn random_result(rng: &mut StdRng) -> JobResult {
+    JobResult {
+        id: JobId(rng.gen()),
+        seed: rng.gen(),
+        cache_hit: rng.gen_bool(0.5),
+        elapsed_ns: rng.gen(),
+        output: random_outcome(rng),
+    }
+}
+
+fn random_priority(rng: &mut StdRng) -> Priority {
+    Priority::ALL[rng.gen_range(0usize..3)]
+}
+
+fn random_rejected(rng: &mut StdRng) -> Rejected {
+    match rng.gen_range(0u32..3) {
+        0 => Rejected::QueueFull {
+            depth: rng.gen_range(0usize..1 << 20),
+            limit: rng.gen_range(1usize..1 << 20),
+        },
+        1 => Rejected::TooLarge {
+            // Full u64 range: counters must not round through f64.
+            shots: rng.gen(),
+            limit: rng.gen(),
+        },
+        _ => Rejected::ShuttingDown,
+    }
+}
+
+fn random_metrics(rng: &mut StdRng) -> ServeMetrics {
+    ServeMetrics {
+        jobs_completed: rng.gen(),
+        jobs_failed: rng.gen(),
+        batches: rng.gen(),
+        shape_groups: rng.gen(),
+        cache_hits: rng.gen(),
+        cache_misses: rng.gen(),
+        validate_ns: rng.gen(),
+        compile_ns: rng.gen(),
+        bind_ns: rng.gen(),
+        exec_ns: rng.gen(),
+        wall_ns: rng.gen(),
+        queue_depth: rng.gen(),
+        queue_ns: rng.gen(),
+        admitted: [rng.gen(), rng.gen(), rng.gen()],
+        rejected_full: [rng.gen(), rng.gen(), rng.gen()],
+        rejected_large: [rng.gen(), rng.gen(), rng.gen()],
+        shots_executed: rng.gen(),
+    }
+}
+
+fn random_wire_request(rng: &mut StdRng) -> WireRequest {
+    match rng.gen_range(0u32..4) {
+        0 => WireRequest::Submit {
+            request: random_request(rng),
+            priority: random_priority(rng),
+        },
+        1 => WireRequest::SubmitGroup {
+            requests: (0..rng.gen_range(1usize..4))
+                .map(|_| random_request(rng))
+                .collect(),
+            priority: random_priority(rng),
+        },
+        2 => WireRequest::Metrics,
+        _ => WireRequest::Ping,
+    }
+}
+
+fn random_wire_response(rng: &mut StdRng) -> WireResponse {
+    match rng.gen_range(0u32..6) {
+        0 => WireResponse::Accepted {
+            ids: (0..rng.gen_range(0usize..5))
+                .map(|_| JobId(rng.gen()))
+                .collect(),
+        },
+        1 => WireResponse::Rejected {
+            rejected: random_rejected(rng),
+        },
+        2 => WireResponse::Result {
+            result: random_result(rng),
+        },
+        3 => WireResponse::Metrics {
+            metrics: random_metrics(rng),
+        },
+        4 => WireResponse::Pong,
+        _ => WireResponse::Error {
+            message: format!("wire failure #{} with \"quotes\"", rng.gen::<u32>()),
+        },
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -291,5 +385,35 @@ proptest! {
         let width = rng.gen_range(1usize..6);
         let obs = random_observable(&mut rng, width);
         prop_assert_eq!(PauliSum::from_json_str(&obs.to_json_string()).unwrap(), obs);
+    }
+
+    #[test]
+    fn wire_request_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let envelope = random_wire_request(&mut rng);
+        prop_assert_eq!(
+            WireRequest::from_json_str(&envelope.to_json_string()).unwrap(),
+            envelope
+        );
+    }
+
+    #[test]
+    fn wire_response_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let envelope = random_wire_response(&mut rng);
+        prop_assert_eq!(
+            WireResponse::from_json_str(&envelope.to_json_string()).unwrap(),
+            envelope
+        );
+    }
+
+    #[test]
+    fn metrics_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let metrics = random_metrics(&mut rng);
+        prop_assert_eq!(
+            ServeMetrics::from_json_str(&metrics.to_json_string()).unwrap(),
+            metrics
+        );
     }
 }
