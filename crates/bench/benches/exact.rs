@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the exact-path superoperator replay
+//! subsystem.
+//!
+//! These back the acceptance bar recorded in `BENCH_exact.json`:
+//!
+//! - **per-dispatch exact expectation: replay vs the reference walk** —
+//!   a 10-qubit noisy QAOA cost expectation computed (a) through the
+//!   serving hot path, `CompiledCircuit::bind_exact` (template
+//!   substitution into the precompiled superoperator tape) +
+//!   [`Executor::run_exact_replay`], and (b) through the interpreted
+//!   reference walk it replaces, `bind` + [`Executor::run`] (schedule
+//!   walk re-deriving matrices and re-resolving channels per op, with
+//!   per-Kraus density-matrix clones). Parity is pinned by
+//!   `crates/sim/tests/exact_replay_parity.rs` and the template tests
+//!   in `crates/core`; the replay path must be **>= 3x** faster per
+//!   dispatch,
+//! - **template bind vs the full schedule walk** — producing an
+//!   executable exact tape from a parameter binding:
+//!   `CompiledCircuit::bind_exact` vs bind + ASAP walk + tape compile
+//!   (`Executor::exact_replay_program`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hgp_core::compile::CircuitCompiler;
+use hgp_core::qaoa::{cost_hamiltonian, qaoa_circuit};
+use hgp_device::Backend;
+use hgp_graph::generators;
+use hgp_sim::SimBackend;
+
+/// A 10-qubit path in `ibmq_guadalupe`'s heavy-hex coupling map (the
+/// prefix of the 12q region the replay benches use).
+const LAYOUT_10Q: [usize; 10] = [0, 1, 2, 3, 5, 8, 11, 14, 13, 12];
+
+const PARAMS: [f64; 2] = [0.35, 0.25];
+
+/// One served exact dispatch on the replay path: template-bind the
+/// angles into the precompiled tape, replay it over the scratch arena,
+/// contract the cost observable.
+fn bench_exact_replay_dispatch(c: &mut Criterion) {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = generators::random_regular(10, 3, 7);
+    let compiled = CircuitCompiler::new(&backend, LAYOUT_10Q.to_vec())
+        .compile(&qaoa_circuit(&graph, 1))
+        .expect("10q shape compiles");
+    let exec = compiled.executor(&backend);
+    let obs = compiled.wire_observable(&cost_hamiltonian(&graph));
+    hgp_bench::emit_bench_meta("meta:exact", 0);
+    let mut slow = Criterion::default().sample_size(10);
+    slow.bench_function("exact_replay_expectation_10q", |b| {
+        b.iter(|| {
+            let tape = compiled.bind_exact(&exec, black_box(&PARAMS));
+            let rho = exec.run_exact_replay(&tape);
+            SimBackend::expectation(&rho, &obs)
+        })
+    });
+    let _ = c;
+}
+
+/// The same dispatch on the interpreted reference walk the tape
+/// replaces (results pinned within 1e-12 elementwise).
+fn bench_exact_walk_dispatch(c: &mut Criterion) {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = generators::random_regular(10, 3, 7);
+    let compiled = CircuitCompiler::new(&backend, LAYOUT_10Q.to_vec())
+        .compile(&qaoa_circuit(&graph, 1))
+        .expect("10q shape compiles");
+    let exec = compiled.executor(&backend);
+    let obs = compiled.wire_observable(&cost_hamiltonian(&graph));
+    let mut slow = Criterion::default().sample_size(10);
+    slow.bench_function("exact_walk_expectation_10q", |b| {
+        b.iter(|| {
+            let rho = exec.run(&compiled.bind(black_box(&PARAMS)));
+            SimBackend::expectation(&rho, &obs)
+        })
+    });
+    let _ = c;
+}
+
+/// Producing an executable exact tape per dispatch: template
+/// substitution vs the full bind + schedule walk + tape compile it
+/// replaces.
+fn bench_exact_bind_paths(c: &mut Criterion) {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = generators::random_regular(10, 3, 7);
+    let compiled = CircuitCompiler::new(&backend, LAYOUT_10Q.to_vec())
+        .compile(&qaoa_circuit(&graph, 1))
+        .expect("10q shape compiles");
+    let exec = compiled.executor(&backend);
+    c.bench_function("exact_template_bind_10q", |b| {
+        b.iter(|| compiled.bind_exact(&exec, black_box(&PARAMS)))
+    });
+    c.bench_function("exact_schedule_walk_10q", |b| {
+        b.iter(|| exec.exact_replay_program(&compiled.bind(black_box(&PARAMS))))
+    });
+}
+
+criterion_group!(
+    exact,
+    bench_exact_replay_dispatch,
+    bench_exact_walk_dispatch,
+    bench_exact_bind_paths
+);
+criterion_main!(exact);

@@ -88,7 +88,7 @@ use hgp_sim::Counts;
 use hgp_transpile::sabre::choose_initial_layout;
 use hgp_transpile::Layout;
 
-use hgp_sim::ReplayProgram;
+use hgp_sim::{ExactReplayProgram, ReplayProgram};
 
 use crate::executor::Executor;
 use crate::models::{
@@ -98,7 +98,7 @@ use crate::models::{
 use crate::program::{BlockKind, Program};
 use crate::qaoa::append_hamiltonian_layer;
 use crate::template::{
-    parametric_gate_specs, ParamScope, SlotValue, TemplateSlot, TrajectoryTemplate,
+    parametric_gate_specs, ExactTemplate, ParamScope, SlotValue, TemplateSlot, TrajectoryTemplate,
 };
 
 /// Compiles logical circuits into a fixed physical region, once per
@@ -201,6 +201,7 @@ impl<'a> CircuitCompiler<'a> {
             noise,
             backend: self.backend.clone(),
             template: OnceLock::new(),
+            exact_template: OnceLock::new(),
         })
     }
 
@@ -292,6 +293,7 @@ impl<'a> CircuitCompiler<'a> {
             noise,
             backend: self.backend.clone(),
             template: OnceLock::new(),
+            exact_template: OnceLock::new(),
         })
     }
 }
@@ -325,6 +327,10 @@ pub struct CompiledCircuit {
     /// only exact/sampled jobs never pay the recording, then substituted
     /// per dispatch by [`CompiledCircuit::bind_replay`].
     template: OnceLock<TrajectoryTemplate>,
+    /// The exact-path twin: the same shape-constant schedule compiled
+    /// into a superoperator tape, recorded lazily on the first exact
+    /// bind and substituted by [`CompiledCircuit::bind_exact`].
+    exact_template: OnceLock<ExactTemplate>,
 }
 
 impl CompiledCircuit {
@@ -409,12 +415,49 @@ impl CompiledCircuit {
             return exec.replay_program(&self.bind(params));
         }
         let template = self.template.get_or_init(|| {
-            let reference =
-                Program::from_circuit(&self.circuit.bind(&vec![0.0; self.circuit.n_params()]))
-                    .expect("bound circuit converts");
-            let (specs, _ops) =
-                parametric_gate_specs(&self.noise, &self.circuit, ParamScope::Full, 0);
+            let (reference, specs) = self.template_parts();
             TrajectoryTemplate::record(exec, &reference, specs)
+        });
+        template.bind_with(|spec| spec.eval(exec, params))
+    }
+
+    /// The recording inputs both template flavors share: the shape
+    /// bound at the reference point, and its parametric-op specs.
+    fn template_parts(&self) -> (Program, Vec<(usize, TemplateSlot)>) {
+        let reference =
+            Program::from_circuit(&self.circuit.bind(&vec![0.0; self.circuit.n_params()]))
+                .expect("bound circuit converts");
+        let (specs, _ops) = parametric_gate_specs(&self.noise, &self.circuit, ParamScope::Full, 0);
+        (reference, specs)
+    }
+
+    /// The shape-constant exact schedule template, if an exact bind has
+    /// recorded it yet (recording is lazy).
+    pub fn exact_template(&self) -> Option<&ExactTemplate> {
+        self.exact_template.get()
+    }
+
+    /// Binds a parameter vector straight into an exact-path
+    /// superoperator tape — the density-matrix analogue of
+    /// [`CompiledCircuit::bind_replay`]: no per-dispatch schedule walk,
+    /// no channel re-resolution, only the parametric entries recomputed.
+    ///
+    /// Parity against `exec.exact_replay_program(&self.bind(params))` —
+    /// which is also the fallback when `exec` deviates from the
+    /// template's physics — follows the exact-tape contract:
+    /// bit-identical tape, hence bit-identical replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.n_params()`.
+    pub fn bind_exact(&self, exec: &Executor, params: &[f64]) -> ExactReplayProgram {
+        assert_eq!(params.len(), self.n_params(), "parameter count");
+        if !self.template_compatible(exec) {
+            return exec.exact_replay_program(&self.bind(params));
+        }
+        let template = self.exact_template.get_or_init(|| {
+            let (reference, specs) = self.template_parts();
+            ExactTemplate::record(exec, &reference, specs)
         });
         template.bind_with(|spec| spec.eval(exec, params))
     }
@@ -721,6 +764,10 @@ pub struct CompiledProgram {
     /// so [`CompiledProgram::with_mixer_duration`] resets it and the
     /// next bind re-records).
     template: OnceLock<TrajectoryTemplate>,
+    /// The exact-path twin: the same duration-dependent schedule as a
+    /// superoperator tape, recorded lazily on the first exact bind and
+    /// reset alongside the trajectory template.
+    exact_template: OnceLock<ExactTemplate>,
 }
 
 impl CompiledProgram {
@@ -783,16 +830,17 @@ impl CompiledProgram {
         self.mixer_area = self.mixer_waveform.area();
         self.key = self.shape.structural_key();
         // The recorded schedule is duration-dependent (pulse-block
-        // spans, idle windows, channel exposures): reset it so the next
-        // trajectory bind re-records at the new duration.
+        // spans, idle windows, channel exposures): reset both template
+        // flavors so the next bind re-records at the new duration.
         self.template = OnceLock::new();
+        self.exact_template = OnceLock::new();
         self
     }
 
-    /// Records the shape-constant schedule at a reference binding and
-    /// resolves the parametric slots: each layer circuit's free `gamma`
-    /// gates plus every mixer pulse block.
-    fn build_template(&self, exec: &Executor) -> TrajectoryTemplate {
+    /// The recording inputs both template flavors share: the shape
+    /// bound at a reference point, plus the parametric slots — each
+    /// layer circuit's free `gamma` gates and every mixer pulse block.
+    fn template_parts(&self) -> (Program, Vec<(usize, TemplateSlot)>) {
         let reference = self.bind(&vec![0.0; self.n_params()]);
         let per_layer = self.shape.params_per_layer();
         let mut specs = Vec::new();
@@ -817,6 +865,13 @@ impl CompiledProgram {
                 op_base += 1;
             }
         }
+        (reference, specs)
+    }
+
+    /// Records the shape-constant schedule at a reference binding and
+    /// resolves the parametric slots.
+    fn build_template(&self, exec: &Executor) -> TrajectoryTemplate {
+        let (reference, specs) = self.template_parts();
         TrajectoryTemplate::record(exec, &reference, specs)
     }
 
@@ -860,6 +915,42 @@ impl CompiledProgram {
             return exec.replay_program(&self.bind(params));
         }
         let template = self.template.get_or_init(|| self.build_template(exec));
+        template.bind_with(|spec| match spec {
+            TemplateSlot::Mixer { layer, logical } => {
+                SlotValue::Unitary(self.mixer_unitary(*layer, *logical, params).1)
+            }
+            gate_slot => gate_slot.eval(exec, params),
+        })
+    }
+
+    /// The shape-constant exact schedule template, if an exact bind has
+    /// recorded it yet (recording is lazy; duration re-keying resets it
+    /// like the trajectory template).
+    pub fn exact_template(&self) -> Option<&ExactTemplate> {
+        self.exact_template.get()
+    }
+
+    /// Binds a parameter vector straight into an exact-path
+    /// superoperator tape — the density-matrix analogue of
+    /// [`CompiledProgram::bind_replay`], substituting bound-`gamma`
+    /// diagonals and re-integrated mixer pulse propagators into the
+    /// recorded tape without re-walking the schedule or re-resolving
+    /// any channel. Falls back to
+    /// `exec.exact_replay_program(&self.bind(params))` when `exec`
+    /// deviates from the template's physics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.n_params()`.
+    pub fn bind_exact(&self, exec: &Executor, params: &[f64]) -> ExactReplayProgram {
+        assert_eq!(params.len(), self.n_params(), "parameter count");
+        if !self.template_compatible(exec) {
+            return exec.exact_replay_program(&self.bind(params));
+        }
+        let template = self.exact_template.get_or_init(|| {
+            let (reference, specs) = self.template_parts();
+            ExactTemplate::record(exec, &reference, specs)
+        });
         template.bind_with(|spec| match spec {
             TemplateSlot::Mixer { layer, logical } => {
                 SlotValue::Unitary(self.mixer_unitary(*layer, *logical, params).1)
@@ -1281,6 +1372,113 @@ mod tests {
         assert!(shorter.replay_template().is_none());
         check(&shorter, "re-keyed");
         assert!(shorter.replay_template().is_some(), "re-recorded");
+    }
+
+    /// Elementwise ≤ 1e-12 against the reference density walk, plus the
+    /// trace invariant — the exact-tape parity contract.
+    fn assert_exact_close(
+        rho: &hgp_sim::DensityMatrix,
+        reference: &hgp_sim::DensityMatrix,
+        tag: &str,
+    ) {
+        let dim = reference.dim();
+        for i in 0..dim {
+            for j in 0..dim {
+                assert!(
+                    (rho.get(i, j) - reference.get(i, j)).norm() <= 1e-12,
+                    "{tag}: mismatch at ({i},{j})"
+                );
+            }
+        }
+        assert!((rho.trace() - 1.0).abs() < 1e-12, "{tag}: trace");
+    }
+
+    #[test]
+    fn circuit_bind_exact_is_bit_identical_to_the_full_walk_tape() {
+        // The exact template substitutes the same parametric slots the
+        // trajectory template does, into the superoperator tape: the
+        // result must replay bit-identically to re-walking and
+        // compiling per dispatch, and sit within 1e-12 of the reference
+        // ExactSink density walk (the multi-Kraus channels reassociate).
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let compiler = CircuitCompiler::new(&backend, vec![1, 2, 3, 4, 5, 7]);
+        let compiled = compiler.compile(&qaoa_circuit(&graph, 2)).unwrap();
+        // Recording is lazy: compile alone pays nothing.
+        assert!(compiled.exact_template().is_none());
+        let exec = compiled.executor(&backend);
+        for params in [
+            [0.35, 0.25, -0.8, 1.1],
+            [0.0, 0.0, 0.0, 0.0],
+            [1.9, -2.4, 0.3, 0.7],
+        ] {
+            let by_template = exec.run_exact_replay(&compiled.bind_exact(&exec, &params));
+            let by_walk =
+                exec.run_exact_replay(&exec.exact_replay_program(&compiled.bind(&params)));
+            assert_eq!(by_template, by_walk, "template vs walk, {params:?}");
+            assert_exact_close(
+                &by_template,
+                &exec.run(&compiled.bind(&params)),
+                "vs reference",
+            );
+        }
+        assert!(compiled.exact_template().expect("recorded").n_slots() > 0);
+        // The trajectory template is untouched by exact binds.
+        assert!(compiled.replay_template().is_none());
+
+        // Deviant executors (DD, ZNE-scaled noise, another backend) must
+        // not ride the template: bind_exact takes the full walk and
+        // stays bit-identical to that executor's own tape.
+        let other_backend = Backend::ibmq_guadalupe();
+        let params = [0.35, 0.25, -0.8, 1.1];
+        for deviant in [
+            compiled.executor(&backend).with_dynamical_decoupling(),
+            Executor::with_noise_model(
+                &backend,
+                compiled.region().to_vec(),
+                Arc::new(compiled.noise_model().scaled(2.0)),
+            ),
+            compiled.executor(&other_backend),
+        ] {
+            let by_bind = deviant.run_exact_replay(&compiled.bind_exact(&deviant, &params));
+            let by_walk =
+                deviant.run_exact_replay(&deviant.exact_replay_program(&compiled.bind(&params)));
+            assert_eq!(by_bind, by_walk, "deviant executor fallback");
+        }
+    }
+
+    #[test]
+    fn hybrid_bind_exact_is_bit_identical_and_survives_invalidation() {
+        let backend = Backend::ibmq_toronto();
+        let graph = instances::task1_three_regular_6();
+        let shape = HybridShape::new(graph.clone(), 2).with_options(GateModelOptions::optimized());
+        let compiled = CircuitCompiler::new(&backend, vec![1, 2, 3, 4, 5, 7])
+            .compile_hybrid(&shape)
+            .unwrap();
+        assert!(compiled.exact_template().is_none(), "recording is lazy");
+        let exec = compiled.executor(&backend);
+        let mut params = vec![0.0; compiled.n_params()];
+        for (i, p) in params.iter_mut().enumerate() {
+            *p = 0.03 * (i as f64 + 1.0) - 0.4;
+        }
+        let check = |compiled: &CompiledProgram, tag: &str| {
+            let by_template = exec.run_exact_replay(&compiled.bind_exact(&exec, &params));
+            let by_walk =
+                exec.run_exact_replay(&exec.exact_replay_program(&compiled.bind(&params)));
+            assert_eq!(by_template, by_walk, "{tag}");
+            assert_exact_close(&by_template, &exec.run(&compiled.bind(&params)), tag);
+        };
+        check(&compiled, "fresh");
+        // The first bind recorded the template: every layer binds its
+        // gamma gates and n mixer blocks.
+        let template = compiled.exact_template().expect("recorded on first bind");
+        assert!(template.n_slots() >= 2 * compiled.n_qubits());
+        // Re-keying the duration resets the (duration-dependent)
+        // template; the next bind re-records at the new duration.
+        let shorter = compiled.clone().with_mixer_duration(128);
+        assert!(shorter.exact_template().is_none());
+        check(&shorter, "re-keyed");
+        assert!(shorter.exact_template().is_some(), "re-recorded");
     }
 
     #[test]

@@ -44,7 +44,10 @@ use hgp_noise::sink::{ExactSink, RecordSink, ScheduleSink};
 use hgp_noise::{NoiseModel, ReadoutModel};
 use hgp_pulse::propagator::{drive_propagator, virtual_z};
 use hgp_pulse::Waveform;
-use hgp_sim::{Counts, DensityMatrix, ReplayEngine, ReplayProgram, SimBackend, TrajectoryProgram};
+use hgp_sim::{
+    Counts, DensityMatrix, ExactReplayEngine, ExactReplayProgram, ReplayEngine, ReplayProgram,
+    SimBackend, TrajectoryProgram,
+};
 
 use crate::program::{BlockKind, Program, ProgramOp};
 
@@ -191,6 +194,22 @@ impl<'a> Executor<'a> {
     /// recording).
     pub fn replay_program(&self, program: &Program) -> ReplayProgram {
         ReplayProgram::compile(&self.trajectory_program(program))
+    }
+
+    /// Records the noisy schedule and compiles it into an exact-path
+    /// superoperator tape ([`ExactReplayProgram`]) — the density-matrix
+    /// analog of [`Executor::replay_program`]. Compiled shapes bind
+    /// their cached exact template instead of re-walking per dispatch.
+    pub fn exact_replay_program(&self, program: &Program) -> ExactReplayProgram {
+        ExactReplayProgram::compile(&self.trajectory_program(program))
+    }
+
+    /// Replays an exact tape from `|0...0><0...0|`, producing the same
+    /// mixed state [`Executor::run`] walks to (bit-identical on
+    /// diagonal runs and unitary applications, ≤ 1e-12 elementwise for
+    /// resolved multi-Kraus channels — see `hgp_sim::replay::exact`).
+    pub fn run_exact_replay(&self, tape: &ExactReplayProgram) -> DensityMatrix {
+        ExactReplayEngine::evolve(tape)
     }
 
     /// Walks the ASAP schedule into an arbitrary sink — the entry point

@@ -34,7 +34,7 @@ use hgp_math::Matrix;
 use hgp_noise::sink::{RecordSink, ScheduleSink};
 use hgp_noise::{NoiseChannel, NoiseModel};
 use hgp_sim::kernels::{diagonal_2q, DiagOp};
-use hgp_sim::{ReplayProgram, ReplaySlot, TrajectoryProgram};
+use hgp_sim::{ExactReplayProgram, ReplayProgram, ReplaySlot, TrajectoryProgram};
 
 use crate::executor::Executor;
 use crate::program::Program;
@@ -219,6 +219,43 @@ impl ScheduleSink for TemplateRecordSink {
     }
 }
 
+/// Walks `reference` through `exec`'s schedule into a recorded program,
+/// returning it alongside the program-op → trajectory-op position map.
+/// Both template flavors (trajectory and exact) compile from this one
+/// walk, so they cannot drift from each other or from the reference
+/// paths, which use the same walker.
+fn record_positions(
+    exec: &Executor,
+    reference: &Program,
+) -> (TrajectoryProgram, Vec<Option<usize>>) {
+    let mut sink = TemplateRecordSink::new(reference.n_qubits(), reference.ops().len());
+    exec.walk_with_sink(reference, &mut sink);
+    (sink.record.0, sink.positions)
+}
+
+/// Resolves each spec'd program op to the tape slot its trajectory op
+/// compiled into.
+///
+/// # Panics
+///
+/// Panics if a spec'd program op emitted no applied entry — the walker
+/// emits exactly one per program op, so this indicates a walker/template
+/// mismatch, not bad user input.
+fn resolve_slots(
+    positions: &[Option<usize>],
+    traj_slots: &[ReplaySlot],
+    specs: Vec<(usize, TemplateSlot)>,
+) -> Vec<(ReplaySlot, TemplateSlot)> {
+    specs
+        .into_iter()
+        .map(|(op_idx, spec)| {
+            let traj_idx =
+                positions[op_idx].expect("every program op emits exactly one applied entry");
+            (traj_slots[traj_idx], spec)
+        })
+        .collect()
+}
+
 /// The compile-time artifact: the shape-constant schedule as a replay
 /// tape, plus the substitution plan for its parametric entries. See the
 /// module docs.
@@ -232,28 +269,14 @@ impl TrajectoryTemplate {
     /// Records `reference` (the shape bound at an arbitrary reference
     /// point) through `exec`'s schedule walk and resolves each spec'd
     /// program op to its tape slot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a spec'd program op emitted no applied entry — the
-    /// walker emits exactly one per program op, so this indicates a
-    /// walker/template mismatch, not bad user input.
     pub(crate) fn record(
         exec: &Executor,
         reference: &Program,
         specs: Vec<(usize, TemplateSlot)>,
     ) -> Self {
-        let mut sink = TemplateRecordSink::new(reference.n_qubits(), reference.ops().len());
-        exec.walk_with_sink(reference, &mut sink);
-        let (replay, traj_slots) = ReplayProgram::compile_with_slots(&sink.record.0);
-        let slots = specs
-            .into_iter()
-            .map(|(op_idx, spec)| {
-                let traj_idx = sink.positions[op_idx]
-                    .expect("every program op emits exactly one applied entry");
-                (traj_slots[traj_idx], spec)
-            })
-            .collect();
+        let (recorded, positions) = record_positions(exec, reference);
+        let (replay, traj_slots) = ReplayProgram::compile_with_slots(&recorded);
+        let slots = resolve_slots(&positions, &traj_slots, specs);
         Self { replay, slots }
     }
 
@@ -274,6 +297,60 @@ impl TrajectoryTemplate {
         &self,
         mut eval: impl FnMut(&TemplateSlot) -> SlotValue,
     ) -> ReplayProgram {
+        let mut replay = self.replay.clone();
+        for (slot, spec) in &self.slots {
+            match eval(spec) {
+                SlotValue::Diag(d) => replay.substitute_diag(*slot, d),
+                SlotValue::Unitary(m) => replay.substitute_unitary(*slot, &m),
+            }
+        }
+        replay
+    }
+}
+
+/// The exact-path analog of [`TrajectoryTemplate`]: the shape-constant
+/// schedule compiled into an [`ExactReplayProgram`] superoperator tape
+/// (fused diagonal runs, resolved dense conjugations, resolved
+/// channels), plus the same substitution plan. Recorded lazily on the
+/// first exact bind, through the same walk the trajectory template and
+/// the reference paths use.
+#[derive(Debug, Clone)]
+pub struct ExactTemplate {
+    replay: ExactReplayProgram,
+    slots: Vec<(ReplaySlot, TemplateSlot)>,
+}
+
+impl ExactTemplate {
+    /// Records `reference` through `exec`'s schedule walk and compiles
+    /// the exact tape with its substitution map.
+    pub(crate) fn record(
+        exec: &Executor,
+        reference: &Program,
+        specs: Vec<(usize, TemplateSlot)>,
+    ) -> Self {
+        let (recorded, positions) = record_positions(exec, reference);
+        let (replay, traj_slots) = ExactReplayProgram::compile_with_slots(&recorded);
+        let slots = resolve_slots(&positions, &traj_slots, specs);
+        Self { replay, slots }
+    }
+
+    /// Number of parametric slots a dispatch substitutes.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Tape length of the shape-constant schedule.
+    pub fn n_ops(&self) -> usize {
+        self.replay.n_ops()
+    }
+
+    /// Clones the shape-constant tape (resolved channels are shared,
+    /// not copied) and substitutes every parametric slot through `eval`
+    /// — the whole per-dispatch cost of the exact path.
+    pub(crate) fn bind_with(
+        &self,
+        mut eval: impl FnMut(&TemplateSlot) -> SlotValue,
+    ) -> ExactReplayProgram {
         let mut replay = self.replay.clone();
         for (slot, spec) in &self.slots {
             match eval(spec) {

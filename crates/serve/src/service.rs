@@ -60,7 +60,7 @@ use hgp_core::models::GateModelOptions;
 use hgp_device::Backend;
 use hgp_math::pauli::PauliSum;
 use hgp_sim::seed::stream_seed;
-use hgp_sim::{DensityMatrix, SimBackend, StateVector};
+use hgp_sim::{SimBackend, StateVector};
 
 use crate::cache::{CompiledArtifact, ProgramCache};
 use crate::job::{JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec};
@@ -615,6 +615,15 @@ pub(crate) fn execute_job(
 /// per-dispatch schedule walk — and the replay engine runs the shots
 /// with zero per-shot allocation, bit-identical to the reference
 /// trajectory engine.
+///
+/// The five exact kinds (`DensityMatrix`/`Counts`/`Expectation` and
+/// their hybrid twins) ride the analogous exact-path template:
+/// `bind_exact` substitutes into the precompiled superoperator tape and
+/// `run_exact_replay` evolves the density matrix with resolved channels
+/// — no schedule walk, no Kraus re-embedding, no per-Kraus clones —
+/// pinned against the reference density walk (bit-identical on
+/// order-preserving ops, ≤ 1e-12 elementwise on resolved multi-Kraus
+/// channels; see `hgp_sim::replay::exact`).
 fn execute_spec(
     backend: &Backend,
     compiled: &CompiledArtifact,
@@ -631,23 +640,25 @@ fn execute_spec(
                 })
             }
             JobSpec::DensityMatrix => {
-                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
-                let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
+                let exec = compiled.executor(backend);
+                let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
+                let rho = exec.run_exact_replay(&tape);
                 Ok(JobOutput::DensityMatrix {
                     probabilities: compiled.decode_probabilities(&rho.probabilities()),
                     purity: rho.purity(),
                 })
             }
             JobSpec::Counts { shots } => {
-                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
-                let counts = compiled
-                    .executor(backend)
-                    .sample(&program, *shots, job.seed);
+                let exec = compiled.executor(backend);
+                let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
+                let rho = exec.run_exact_replay(&tape);
+                let counts = exec.sample_state(&rho, *shots, job.seed);
                 Ok(JobOutput::Counts(compiled.decode_counts(&counts)))
             }
             JobSpec::Expectation { observable } => {
-                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
-                let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
+                let exec = compiled.executor(backend);
+                let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
+                let rho = exec.run_exact_replay(&tape);
                 Ok(JobOutput::Expectation {
                     value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
                 })
@@ -683,15 +694,16 @@ fn execute_spec(
         },
         (CompiledArtifact::Hybrid(compiled), spec) => match spec {
             JobSpec::HybridCounts { shots } => {
-                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
-                let counts = compiled
-                    .executor(backend)
-                    .sample(&program, *shots, job.seed);
+                let exec = compiled.executor(backend);
+                let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
+                let rho = exec.run_exact_replay(&tape);
+                let counts = exec.sample_state(&rho, *shots, job.seed);
                 Ok(JobOutput::Counts(compiled.decode_counts(&counts)))
             }
             JobSpec::HybridExpectation { observable } => {
-                let program = timed_bind(bind_ns, || compiled.bind(&job.params));
-                let rho: DensityMatrix = compiled.executor(backend).run_on(&program);
+                let exec = compiled.executor(backend);
+                let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
+                let rho = exec.run_exact_replay(&tape);
                 Ok(JobOutput::Expectation {
                     value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
                 })

@@ -50,7 +50,10 @@ fn hybrid_point(shape: &HybridShape, i: usize) -> Vec<f64> {
 }
 
 /// The sequential reference: build each program through the HybridModel
-/// and hand-drive the executor with the seeds the service derives.
+/// and hand-drive the exact replay path — walk-compiled tape, replay,
+/// sample — with the seeds the service derives. The serve side binds
+/// via the exact template, which is pinned bit-identical to this
+/// walk-compiled composition by the `hgp_core` template tests.
 fn sequential_hybrid_counts(
     backend: &Backend,
     shape: &HybridShape,
@@ -68,7 +71,8 @@ fn sequential_hybrid_counts(
         .enumerate()
         .map(|(i, params)| {
             let program = model.build(params);
-            let counts = exec.sample(&program, shots, stream_seed(base_seed, i as u64));
+            let rho = exec.run_exact_replay(&exec.exact_replay_program(&program));
+            let counts = exec.sample_state(&rho, shots, stream_seed(base_seed, i as u64));
             model.interpret_counts(&counts)
         })
         .collect()
@@ -149,7 +153,11 @@ proptest! {
         let reference: Vec<f64> = points
             .iter()
             .map(|x| {
-                let rho: hgp_sim::DensityMatrix = exec.run_on(&model.build(x));
+                // Hand-drive the exact replay path served jobs take:
+                // walk-compile the tape per point. The serve side binds
+                // via the exact template instead, pinned bit-identical
+                // to this composition by the hgp_core template tests.
+                let rho = exec.run_exact_replay(&exec.exact_replay_program(&model.build(x)));
                 hgp_sim::SimBackend::expectation(&rho, &wire_obs)
             })
             .collect();

@@ -23,8 +23,12 @@ fn qaoa_points(n: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
-/// The sequential reference: compile + bind + run each job by hand with
-/// the same seeds the service derives.
+/// The sequential reference: compile + bind + replay each job by hand
+/// with the same seeds the service derives. Exact jobs serve off the
+/// precompiled superoperator tape, so the reference walks that same
+/// path: walk-compile the tape per point (pinned bit-identical to the
+/// template bind the service uses by the `hgp_core` template tests),
+/// replay it, and sample the resulting state.
 fn sequential_counts(
     backend: &Backend,
     layout: Vec<usize>,
@@ -40,8 +44,9 @@ fn sequential_counts(
         .iter()
         .enumerate()
         .map(|(i, params)| {
-            let program = compiled.bind(params);
-            let counts = exec.sample(&program, shots, stream_seed(base_seed, i as u64));
+            let tape = exec.exact_replay_program(&compiled.bind(params));
+            let rho = exec.run_exact_replay(&tape);
+            let counts = exec.sample_state(&rho, shots, stream_seed(base_seed, i as u64));
             compiled.decode_counts(&counts)
         })
         .collect()
@@ -288,6 +293,44 @@ fn cache_dedupes_shape_work_across_and_within_batches() {
     assert_eq!(service.cache().len(), 2);
     assert_eq!(service.metrics().jobs_completed, 10);
     assert!(service.metrics().throughput_jobs_per_sec() > 0.0);
+}
+
+#[test]
+fn exact_jobs_record_template_bind_time_in_the_metrics_split() {
+    // Exact job kinds bind the per-dispatch angles into the precompiled
+    // superoperator tape before replaying it; that bind is timed
+    // separately from execution, so serving exact jobs must leave a
+    // nonzero `bind_ns` (and `exec_ns`) in the metrics split.
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task1_three_regular_6();
+    let circuit = qaoa_circuit(&graph, 1);
+    let observable = cost_hamiltonian(&graph);
+    let mut service = Service::new(
+        &backend,
+        ServeConfig::new(vec![0, 1, 2, 3, 4, 5]).with_workers(2),
+    );
+    let results = service.run_batch(vec![
+        JobRequest::new(circuit.clone(), vec![0.35, 0.25], JobSpec::DensityMatrix),
+        JobRequest::new(
+            circuit.clone(),
+            vec![0.15, 0.40],
+            JobSpec::Counts { shots: 256 },
+        ),
+        JobRequest::new(
+            circuit,
+            vec![0.25, 0.10],
+            JobSpec::Expectation { observable },
+        ),
+    ]);
+    assert!(results.iter().all(|r| r.error().is_none()));
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_completed, 3);
+    assert!(
+        metrics.bind_ns > 0,
+        "exact-path serving must time the template bind (bind_ns = {})",
+        metrics.bind_ns
+    );
+    assert!(metrics.exec_ns > 0, "replay time is accounted as exec_ns");
 }
 
 #[test]

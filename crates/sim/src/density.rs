@@ -100,6 +100,19 @@ impl DensityMatrix {
         self.data[i * self.dim + j]
     }
 
+    /// Mutable raw row-major entries — the exact replay tape's kernels
+    /// ([`crate::replay::exact`]) sweep the storage directly.
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Resets to `|0...0><0...0|` without reallocating.
+    pub(crate) fn reset_zero(&mut self) {
+        self.data.fill(Complex64::ZERO);
+        self.data[0] = Complex64::ONE;
+    }
+
     /// Converts to a dense [`Matrix`] (for tests and small-system checks).
     pub fn to_matrix(&self) -> Matrix {
         Matrix::from_vec(self.dim, self.dim, self.data.clone())
@@ -190,6 +203,35 @@ impl DensityMatrix {
     ///
     /// Panics if `kraus` is empty or operator dimensions mismatch.
     pub fn apply_kraus(&mut self, kraus: &[Matrix], targets: &[usize]) {
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
+        if let [k] = kraus {
+            // Single-Kraus (unitary-like) channel: the sum has one term,
+            // so apply it in place — no clone, no accumulator.
+            self.apply_left(k, targets);
+            self.apply_right_dagger(k, targets);
+            return;
+        }
+        let mut acc = vec![Complex64::ZERO; self.data.len()];
+        let original = self.data.clone();
+        for k in kraus {
+            self.data.copy_from_slice(&original);
+            self.apply_left(k, targets);
+            self.apply_right_dagger(k, targets);
+            for (a, &d) in acc.iter_mut().zip(self.data.iter()) {
+                *a += d;
+            }
+        }
+        self.data = acc;
+    }
+
+    /// [`DensityMatrix::apply_kraus`] without the single-Kraus fast
+    /// path: clone + per-operator accumulate unconditionally. Kept as
+    /// the parity reference (the fast path must agree exactly, modulo
+    /// the sign of zero the `0 + z` accumulation normalizes).
+    pub fn apply_kraus_reference(&mut self, kraus: &[Matrix], targets: &[usize]) {
         assert!(
             !kraus.is_empty(),
             "channel needs at least one Kraus operator"
@@ -288,24 +330,37 @@ impl DensityMatrix {
         }
     }
 
-    /// Measurement probabilities in the computational basis (the diagonal).
+    /// Measurement probabilities in the computational basis (the
+    /// diagonal): one strided sweep at `dim + 1`, no index decode.
     pub fn probabilities(&self) -> Vec<f64> {
+        self.data
+            .iter()
+            .step_by(self.dim + 1)
+            .map(|z| z.re.max(0.0))
+            .collect()
+    }
+
+    /// Index-decoded [`DensityMatrix::probabilities`], kept as the
+    /// bit-parity reference for the strided sweep.
+    pub fn probabilities_reference(&self) -> Vec<f64> {
         (0..self.dim)
             .map(|i| self.data[i * self.dim + i].re.max(0.0))
             .collect()
     }
 
-    /// Expectation of a diagonal (Z-only) observable.
+    /// Expectation of a diagonal (Z-only) observable: the same strided
+    /// diagonal sweep, without materializing the probability vector.
     ///
     /// # Panics
     ///
     /// Panics if the observable contains X/Y factors or widths mismatch.
     pub fn expectation_diagonal(&self, observable: &PauliSum) -> f64 {
         assert_eq!(observable.n_qubits(), self.n_qubits, "width mismatch");
-        self.probabilities()
+        self.data
             .iter()
+            .step_by(self.dim + 1)
             .enumerate()
-            .map(|(b, &p)| p * observable.eval_diagonal(b))
+            .map(|(b, z)| z.re.max(0.0) * observable.eval_diagonal(b))
             .sum()
     }
 
@@ -320,8 +375,26 @@ impl DensityMatrix {
         }
     }
 
-    /// Expectation of a general Hermitian observable `Tr(rho O)`.
+    /// Expectation of a general Hermitian observable `Tr(rho O)`: row
+    /// `i` of `rho` pairs with column `i` of `O`, walked at stride
+    /// `dim` over the raw storage — same accumulation order as the
+    /// index-decoded reference, hence bit-identical.
     pub fn expectation(&self, observable: &Matrix) -> f64 {
+        assert_eq!(observable.rows(), self.dim, "dimension mismatch");
+        let dim = self.dim;
+        let obs = observable.as_slice();
+        let mut acc = Complex64::ZERO;
+        for (i, row) in self.data.chunks_exact(dim).enumerate() {
+            for (&r, &o) in row.iter().zip(obs[i..].iter().step_by(dim)) {
+                acc += r * o;
+            }
+        }
+        acc.re
+    }
+
+    /// Index-decoded [`DensityMatrix::expectation`], kept as the
+    /// bit-parity reference for the strided sweep.
+    pub fn expectation_reference(&self, observable: &Matrix) -> f64 {
         assert_eq!(observable.rows(), self.dim, "dimension mismatch");
         let mut acc = Complex64::ZERO;
         for i in 0..self.dim {
@@ -627,6 +700,93 @@ mod tests {
         let reduced = rho.partial_trace(&[2, 0]);
         assert!((reduced.trace() - 1.0).abs() < 1e-12);
         assert_eq!(reduced.n_qubits(), 2);
+    }
+
+    /// A mildly messy noisy state for the fast-path parity pins below.
+    fn noisy_state() -> DensityMatrix {
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).rx(2, 0.9).rzz(1, 2, 0.4).rz(0, -0.7);
+        let mut rho = DensityMatrix::zero_state(3);
+        rho.apply_circuit(&qc).unwrap();
+        let z = hgp_math::pauli::sigma_z();
+        let kraus = vec![
+            Matrix::identity(2).scale(c64((0.8f64).sqrt(), 0.0)),
+            z.scale(c64((0.2f64).sqrt(), 0.0)),
+        ];
+        rho.apply_kraus(&kraus, &[1]);
+        rho
+    }
+
+    #[test]
+    fn single_kraus_fast_path_matches_reference() {
+        let cx = Gate::CX.matrix().unwrap();
+        let rx = Gate::Rx(hgp_circuit::Param::bound(0.35)).matrix().unwrap();
+        for (kraus, targets) in [(vec![cx], vec![0, 1]), (vec![rx], vec![2])] {
+            let mut fast = noisy_state();
+            let mut slow = noisy_state();
+            fast.apply_kraus(&kraus, &targets);
+            slow.apply_kraus_reference(&kraus, &targets);
+            // Value-exact: the reference's `0 + z` accumulation only
+            // normalizes the sign of zero, which `==` ignores.
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn multi_kraus_path_is_unchanged_by_the_fast_path() {
+        let z = hgp_math::pauli::sigma_z();
+        let kraus = vec![
+            Matrix::identity(2).scale(c64((0.7f64).sqrt(), 0.0)),
+            z.scale(c64((0.3f64).sqrt(), 0.0)),
+        ];
+        let mut fast = noisy_state();
+        let mut slow = noisy_state();
+        fast.apply_kraus(&kraus, &[0]);
+        slow.apply_kraus_reference(&kraus, &[0]);
+        for (a, b) in fast.probabilities().iter().zip(slow.probabilities()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn strided_probabilities_match_reference_bitwise() {
+        let rho = noisy_state();
+        let fast = rho.probabilities();
+        let slow = rho.probabilities_reference();
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn strided_expectation_matches_reference_bitwise() {
+        use hgp_math::pauli::{Pauli, PauliString, PauliSum};
+        let rho = noisy_state();
+        let obs = PauliSum::from_terms(vec![
+            PauliString::new(3, vec![(0, Pauli::X)], 0.8),
+            PauliString::new(3, vec![(1, Pauli::Y), (2, Pauli::Z)], -0.3),
+        ])
+        .matrix();
+        assert_eq!(
+            rho.expectation(&obs).to_bits(),
+            rho.expectation_reference(&obs).to_bits()
+        );
+        // The diagonal sweep is pinned through expectation_pauli.
+        let zz = PauliSum::from_terms(vec![PauliString::new(
+            3,
+            vec![(0, Pauli::Z), (1, Pauli::Z)],
+            1.0,
+        )]);
+        assert_eq!(
+            rho.expectation_pauli(&zz).to_bits(),
+            rho.probabilities_reference()
+                .iter()
+                .enumerate()
+                .map(|(b, &p)| p * zz.eval_diagonal(b))
+                .sum::<f64>()
+                .to_bits()
+        );
     }
 
     #[test]

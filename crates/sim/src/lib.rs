@@ -28,6 +28,12 @@
 //! reference implementation. Ensembles run through the batched-shot mode
 //! by default ([`ReplayBatch`]: cache-sized SoA shot blocks swept
 //! op-major, bit-identical to the scalar loop for every block size).
+//! The exact density path has the analogous layer ([`replay::exact`]):
+//! recorded programs compile into an [`ExactReplayProgram`]
+//! superoperator tape — fused diagonal-run sweeps, resolved dense
+//! conjugations, channels collapsed into superoperators or blockwise
+//! Kraus passes — replayed by [`ExactReplayEngine`] with the
+//! `apply_exact` walk kept as the pinned reference.
 //!
 //! Measurement statistics come out as [`Counts`] — multisets of observed
 //! bitstrings — which downstream crates feed to error mitigation and cost
@@ -59,6 +65,9 @@ pub mod trajectory;
 pub use backend::SimBackend;
 pub use counts::Counts;
 pub use density::DensityMatrix;
-pub use replay::{ReplayBatch, ReplayEngine, ReplayProgram, ReplayScratch, ReplaySlot};
+pub use replay::{
+    ExactReplayEngine, ExactReplayProgram, ExactScratch, ReplayBatch, ReplayEngine, ReplayProgram,
+    ReplayScratch, ReplaySlot,
+};
 pub use statevector::StateVector;
 pub use trajectory::{ChannelOp, TrajectoryEngine, TrajectoryOp, TrajectoryProgram};

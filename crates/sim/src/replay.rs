@@ -40,6 +40,17 @@
 //! this across random programs; the serve-layer suites pin it end to
 //! end.
 //!
+//! # Exact-path mode
+//!
+//! The same compile-once idea applies to the exact density-matrix walk:
+//! the [`exact`] submodule compiles a recorded program into an
+//! [`ExactReplayProgram`] superoperator tape (fused elementwise
+//! diagonal-run sweeps, resolved dense conjugations, channels collapsed
+//! into superoperators or blockwise Kraus passes) that
+//! [`ExactReplayEngine`] replays without per-dispatch interpretation —
+//! pinned against the `apply_exact` walk, which stays the reference.
+//! See the [`exact`] module docs for the parity contract.
+//!
 //! # Batched-shot mode
 //!
 //! The scalar per-shot loop above still decodes the whole tape once per
@@ -93,8 +104,10 @@ use crate::statevector::StateVector;
 use crate::trajectory::{draw_outcome, mix64, ChannelOp, TrajectoryOp, TrajectoryProgram};
 
 pub mod batch;
+pub mod exact;
 
 pub use batch::ReplayBatch;
+pub use exact::{ExactReplayEngine, ExactReplayProgram, ExactScratch};
 
 /// One instruction of a compiled replay tape.
 #[derive(Debug, Clone)]
