@@ -1,0 +1,185 @@
+//! Workspace discovery, pass orchestration, and allowlist suppression.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::report::{Finding, Report, Rule, Suppressed};
+use crate::rules;
+use crate::scan::FileScan;
+
+/// One workspace member crate (or the root package).
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Directory name under `crates/`; `"root"` for the root package.
+    pub name: String,
+    /// Indices into [`Workspace::files`] of this crate's sources.
+    pub files: Vec<usize>,
+    /// Index of the crate root (`src/lib.rs`), when present.
+    pub lib_rs: Option<usize>,
+}
+
+/// Every scanned file plus the crate structure.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All scanned files, in deterministic (sorted-path) order.
+    pub files: Vec<FileScan>,
+    /// Member crates.
+    pub crates: Vec<CrateInfo>,
+}
+
+/// Checks the workspace rooted at `root` under configuration `cfg`.
+///
+/// Scope: the `src/` trees of the root package and of every crate under
+/// `crates/` — the code that ships. `tests/`, `benches/`, `examples/`,
+/// and the vendored facade crates under `vendor/` are out of scope
+/// (inline `#[cfg(test)]` modules are skipped token-wise instead).
+pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let ws = load_workspace(root)?;
+    Ok(run(&ws, cfg))
+}
+
+/// Loads and scans every in-scope file.
+pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut ws = Workspace::default();
+    // The root package.
+    if root.join("src").is_dir() {
+        load_crate(root, "src", "root", &mut ws)?;
+    }
+    // Member crates, in sorted order so reports are deterministic —
+    // this linter is subject to its own contract.
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<String> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        for name in names {
+            let src_rel = format!("crates/{name}/src");
+            if root.join(&src_rel).is_dir() {
+                load_crate(root, &src_rel, &name, &mut ws)?;
+            }
+        }
+    }
+    Ok(ws)
+}
+
+fn load_crate(root: &Path, src_rel: &str, crate_name: &str, ws: &mut Workspace) -> io::Result<()> {
+    let mut paths = Vec::new();
+    collect_rs_files(&root.join(src_rel), &mut paths)?;
+    paths.sort();
+    let mut info = CrateInfo {
+        name: crate_name.to_string(),
+        files: Vec::new(),
+        lib_rs: None,
+    };
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        let idx = ws.files.len();
+        ws.files
+            .push(FileScan::new(rel.clone(), crate_name.to_string(), &source));
+        info.files.push(idx);
+        if rel == format!("{src_rel}/lib.rs") {
+            info.lib_rs = Some(idx);
+        }
+    }
+    ws.crates.push(info);
+    Ok(())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the passes and applies allowlist suppression.
+pub fn run(ws: &Workspace, cfg: &Config) -> Report {
+    let raw = rules::run_all(ws, cfg);
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+
+    // Per-file used-flags for the allow entries.
+    let mut used: Vec<Vec<bool>> = ws
+        .files
+        .iter()
+        .map(|f| vec![false; f.allows.len()])
+        .collect();
+
+    for f in raw {
+        let mut matched = None;
+        if f.rule != Rule::Allow {
+            if let Some((fi, file)) = ws
+                .files
+                .iter()
+                .enumerate()
+                .find(|(_, file)| file.path == f.file)
+            {
+                for (ai, allow) in file.allows.iter().enumerate() {
+                    if allow.rule == f.rule && f.line >= allow.line && f.line <= allow.target_line {
+                        matched = Some((fi, ai, allow.justification.clone()));
+                        break;
+                    }
+                }
+            }
+        }
+        match matched {
+            Some((fi, ai, justification)) => {
+                used[fi][ai] = true;
+                suppressed.push(Suppressed {
+                    finding: f,
+                    justification,
+                });
+            }
+            None => findings.push(f),
+        }
+    }
+
+    // Allowlist hygiene: malformed entries and entries that suppress
+    // nothing are findings themselves — a stale suppression is a hole
+    // in the gate.
+    for (fi, file) in ws.files.iter().enumerate() {
+        findings.extend(file.allow_errors.iter().cloned());
+        for (ai, allow) in file.allows.iter().enumerate() {
+            if !used[fi][ai] {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: allow.line,
+                    rule: Rule::Allow,
+                    message: format!(
+                        "allowlist entry for {} suppresses nothing on line {}; remove the \
+                         stale entry",
+                        allow.rule, allow.target_line
+                    ),
+                });
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    suppressed.sort_by(|a, b| {
+        (a.finding.file.as_str(), a.finding.line).cmp(&(b.finding.file.as_str(), b.finding.line))
+    });
+
+    Report {
+        findings,
+        suppressed,
+        files_scanned: ws.files.len(),
+    }
+}

@@ -1,0 +1,494 @@
+//! A hand-rolled Rust lexer, just deep enough for token-stream linting.
+//!
+//! The rule passes need exactly four guarantees from the lexer:
+//!
+//! 1. identifiers and keywords come out as [`TokenKind::Ident`] tokens
+//!    with their source line,
+//! 2. comments come out as *tokens* (not stripped), because the
+//!    allowlist syntax and `// SAFETY:` discipline live in comments,
+//! 3. nothing inside a string, raw string, char literal, or comment is
+//!    ever mistaken for code (a `"thread_rng"` message string must not
+//!    trip rule D2),
+//! 4. lifetimes (`'a`) are distinguished from char literals (`'a'`),
+//!    so generic code does not desynchronize the scan.
+//!
+//! Everything else — numeric precision, operator gluing (`::` is two
+//! `:` puncts), keyword classification — is intentionally left to the
+//! passes, which match on token *sequences*.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `fn`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`), *without* its trailing content.
+    Lifetime,
+    /// A numeric literal (including suffixed and float forms).
+    Number,
+    /// A string literal of any flavor: `"..."`, `r#"..."#`, `b"..."`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'a'`.
+    Char,
+    /// A single punctuation character (`#`, `:`, `{`, `$`, ...).
+    Punct,
+    /// A `//` comment, doc comments (`///`, `//!`) included.
+    LineComment,
+    /// A `/* ... */` comment (nesting honored), `/** ... */` included.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The source text. For comments this includes the delimiters; for
+    /// multi-line tokens the line is the *starting* line.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream, comments included.
+///
+/// The lexer never fails: malformed input (unterminated strings, stray
+/// quotes) degrades to best-effort tokens, which is the right behavior
+/// for a linter that must not crash on the code it is flagging.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = self.text_from(start);
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                'r' if matches!(self.peek(1), Some('"' | '#')) => self.raw_or_ident(),
+                'b' if matches!(self.peek(1), Some('"' | '\'' | 'r')) => self.byte_literal(),
+                '\'' => self.lifetime_or_char(),
+                '"' => self.cooked_string(),
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    self.push(TokenKind::Punct, start, self.line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some('\n'), _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => break,
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// At an `r` followed by `"` or `#`: a raw string `r"..."` /
+    /// `r#"..."#`, a raw identifier `r#ident`, or a plain identifier.
+    fn raw_or_ident(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(1 + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(1 + hashes) {
+            Some('"') => self.raw_string_body(1, hashes),
+            Some(c) if hashes == 1 && is_ident_start(c) => {
+                // Raw identifier `r#match`: skip the `r#`, lex the rest.
+                let start = self.pos;
+                self.pos += 2;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Ident, start, self.line);
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// At a `b` followed by `"`, `'`, or `r`: byte-string, byte-char,
+    /// raw byte-string, or a plain identifier starting with `b`.
+    fn byte_literal(&mut self) {
+        match self.peek(1) {
+            Some('"') => {
+                self.pos += 1;
+                self.cooked_string();
+            }
+            Some('\'') => {
+                self.pos += 1;
+                // A byte char `b'x'` can never be a lifetime.
+                self.char_literal();
+            }
+            Some('r') => {
+                let mut hashes = 0usize;
+                while self.peek(2 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some('"') {
+                    self.raw_string_body(2, hashes);
+                } else {
+                    self.ident();
+                }
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// Consumes a raw string whose opening quote sits `prefix + hashes`
+    /// chars ahead (after `r`/`br` and `hashes` `#`s).
+    fn raw_string_body(&mut self, prefix: usize, hashes: usize) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += prefix + hashes + 1; // past the opening quote
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        self.pos += 1;
+                        continue 'scan;
+                    }
+                }
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Consumes a `"..."` string with escapes; multi-line allowed.
+    fn cooked_string(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// At a `'`: a lifetime (`'a`, `'static`) or a char literal
+    /// (`'a'`, `'\n'`, `'+'`). The discriminator: one ident-start char
+    /// followed by a closing quote is a char literal; an ident run not
+    /// closed by a quote is a lifetime.
+    fn lifetime_or_char(&mut self) {
+        match self.peek(1) {
+            Some(c) if is_ident_start(c) && self.peek(2) != Some('\'') => {
+                let start = self.pos;
+                self.pos += 2;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Lifetime, start, self.line);
+            }
+            Some(_) => self.char_literal(),
+            None => {
+                let start = self.pos;
+                self.pos += 1;
+                self.push(TokenKind::Punct, start, self.line);
+            }
+        }
+    }
+
+    /// Consumes a char literal from its opening `'`, escapes included.
+    fn char_literal(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        if self.peek(0) == Some('\\') {
+            self.pos += 2; // backslash + escape head (n, u, x, ', \, ...)
+        } else {
+            self.pos += 1;
+        }
+        // Consume through the closing quote (covers `\u{1F600}`, `\x41`).
+        while let Some(c) = self.peek(0) {
+            self.pos += 1;
+            if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokenKind::Char, start, self.line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, self.line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            // A `.` continues the number only before a digit, so a
+            // method call on a literal (`1.0f64.mul_add(...)`) ends it.
+            let continues = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::Number, start, self.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // A rule ident inside a raw string must not become a token.
+        let toks = kinds(r###"let x = r#"thread_rng { unsafe }"# ;"###);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Str, r###"r#"thread_rng { unsafe }"#"###.into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_more_hashes_and_embedded_quotes() {
+        let src = r####"r##"a "# b"## + r"plain""####;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, r####"r##"a "# b"##"####);
+        assert_eq!(toks[1], (TokenKind::Punct, "+".into()));
+        assert_eq!(toks[2], (TokenKind::Str, r#"r"plain""#.into()));
+    }
+
+    #[test]
+    fn raw_byte_strings_and_byte_chars() {
+        let toks = kinds(r###"br#"HashMap"# b"bytes" b'x' banana"###);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2].0, TokenKind::Char);
+        assert_eq!(toks[3], (TokenKind::Ident, "banana".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("r#match r#unsafe");
+        assert_eq!(toks[0].0, TokenKind::Ident);
+        assert_eq!(toks[1].0, TokenKind::Ident);
+    }
+
+    #[test]
+    fn nested_block_comments_stay_one_token() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still comment */".into()
+                ),
+                (TokenKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comment_tracks_lines_for_following_tokens() {
+        let src = "/* one\ntwo\nthree */ x";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let s = 'static; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, vec!["'z'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let a = '\''; let b = '\\'; let c = '\u{1F600}'; let d = '\n';");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, vec![r"'\''", r"'\\'", r"'\u{1F600}'", r"'\n'"]);
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_leak_tokens() {
+        let toks = kinds(r#"let s = "a \" unsafe \" b"; done"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unsafe")));
+        assert!(!idents(r#"let s = "a \" unsafe \" b"; done"#).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_doc_forms() {
+        let toks = kinds("x // SAFETY: fine\n/// # Safety\ny");
+        assert_eq!(toks[1], (TokenKind::LineComment, "// SAFETY: fine".into()));
+        assert_eq!(toks[2], (TokenKind::LineComment, "/// # Safety".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("1.5 0x1F 2e-12 0..5 1_000u64");
+        assert_eq!(toks[0], (TokenKind::Number, "1.5".into()));
+        assert_eq!(toks[1], (TokenKind::Number, "0x1F".into()));
+        // `2e-12` splits — fine for linting purposes.
+        assert_eq!(toks[2].1, "2e");
+        let range: Vec<_> = toks[5..8].iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(range, vec!["0", ".", "."]);
+        assert_eq!(toks.last().unwrap().1, "1_000u64");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_strings() {
+        let src = "a\n\"two\nline\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+}

@@ -1,0 +1,68 @@
+#![forbid(unsafe_code)]
+
+//! `hgp_analysis` — the workspace's determinism-and-unsafe-hygiene lint
+//! pass.
+//!
+//! Every engine in this workspace stakes its value on one invariant:
+//! any worker count, batch split, lane tier, or arrival order produces
+//! results **bit-identical** to a sequential scalar reference. That
+//! invariant is easy to break silently — an unordered map iteration
+//! that reaches a result, an entropy-seeded RNG, a wall-clock branch,
+//! a stray fused multiply-add in a parity-pinned kernel, an ad-hoc
+//! worker thread — and cheap to check mechanically at the source level.
+//! This crate is that check: a hand-rolled Rust lexer
+//! ([`lexer`]) feeding per-file token-stream rule passes ([`rules`])
+//! over the workspace's `src/` trees ([`engine`]), with an explicit
+//! in-source allowlist for the justified exceptions ([`scan`]).
+//!
+//! # Rules
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | `D1` | no `HashMap`/`HashSet` in result-producing crates |
+//! | `D2` | no entropy seeding; visible `stream_seed`/`mix64` provenance |
+//! | `D3` | no `Instant`/`SystemTime` outside timing-exempt modules |
+//! | `D4` | no `mul_add` in bit-parity-pinned modules unless annotated |
+//! | `D5` | `thread::spawn` only in the serving front end |
+//! | `U1` | every `unsafe` preceded by a `// SAFETY:` comment |
+//! | `U2` | `#[target_feature]` kernels only via the dispatch macro |
+//! | `L1` | crate headers: `forbid(unsafe_code)` / `deny(unsafe_op_in_unsafe_fn)` |
+//!
+//! # Allowlist syntax
+//!
+//! A justified exception is annotated at the site it silences:
+//!
+//! ```text
+//! // hgp-analysis: allow(d4) -- reference mul_add chain pinned by replay_parity proptests
+//! acc = op[(r, c)].mul_add(v, acc);
+//! ```
+//!
+//! The entry suppresses findings of that rule on its own line (trailing
+//! form) or on the next code line below it. The justification is
+//! mandatory; malformed, unjustified, or *unused* entries are findings
+//! themselves, so suppressions cannot rot.
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p hgp_analysis -- check          # lint the workspace, exit 1 on findings
+//! cargo run -p hgp_analysis -- check -v       # also print honored suppressions
+//! cargo run -p hgp_analysis -- rules          # list the rules
+//! ```
+//!
+//! The tool is dependency-free and never executes the code it lints;
+//! it reads, lexes, and pattern-matches token streams. Scope is the
+//! shipped code: `src/` trees of the root package and every crate
+//! under `crates/` (inline `#[cfg(test)]` modules excluded), while
+//! `tests/`, `benches/`, `examples/`, and `vendor/` stay out of scope.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+pub use engine::{check_workspace, Workspace};
+pub use report::{Finding, Report, Rule};

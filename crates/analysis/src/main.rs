@@ -1,0 +1,72 @@
+#![forbid(unsafe_code)]
+
+//! CLI entry point: `hgp_analysis check [--root DIR] [-v]` / `rules`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hgp_analysis::{check_workspace, Config, Rule};
+
+const USAGE: &str = "\
+usage: hgp_analysis <command>
+
+commands:
+  check [--root DIR] [-v|--verbose]   lint the workspace (default root: .)
+                                      exit 0 when clean, 1 on findings
+  rules                               list the rules and their ids
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for rule in Rule::ALL {
+                println!("{}: {}", rule.id(), rule.describe());
+            }
+            println!("allow: {}", Rule::Allow.describe());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "-v" | "--verbose" => verbose = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match check_workspace(&root, &Config::default()) {
+        Ok(report) => {
+            print!("{}", report.render(verbose));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("hgp-analysis: io error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Findings, suppressions, and the check report.
+
+use std::fmt;
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No unordered `HashMap`/`HashSet` in result-producing crates.
+    D1,
+    /// RNG discipline: no entropy seeding; visible seed provenance.
+    D2,
+    /// No wall-clock reads outside the timing-exempt modules.
+    D3,
+    /// No `mul_add`/FMA in bit-parity-pinned modules unless annotated.
+    D4,
+    /// `thread::spawn` only in the serving front-end modules.
+    D5,
+    /// Every `unsafe` must be preceded by a `// SAFETY:` comment.
+    U1,
+    /// `#[target_feature]` fns only callable through a dispatch macro.
+    U2,
+    /// Crate headers: `forbid(unsafe_code)` / `deny(unsafe_op_in_unsafe_fn)`.
+    L1,
+    /// Allowlist hygiene: malformed, unjustified, or unused entries.
+    Allow,
+}
+
+impl Rule {
+    /// All checkable rules, in report order (excludes [`Rule::Allow`],
+    /// which only ever fires on allowlist hygiene).
+    pub const ALL: [Rule; 8] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::D5,
+        Rule::U1,
+        Rule::U2,
+        Rule::L1,
+    ];
+
+    /// The stable id used in reports and allowlist entries.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+            Rule::U1 => "U1",
+            Rule::U2 => "U2",
+            Rule::L1 => "L1",
+            Rule::Allow => "allow",
+        }
+    }
+
+    /// One-line description, shown by `hgp_analysis rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => "no unordered HashMap/HashSet in result-producing crates (use BTreeMap/BTreeSet)",
+            Rule::D2 => "RNG discipline: no entropy seeding; seeds derive visibly from seed::stream_seed/mix64",
+            Rule::D3 => "no wall-clock (Instant/SystemTime) outside the timing-exempt modules",
+            Rule::D4 => "no mul_add/FMA in bit-parity-pinned modules unless annotated",
+            Rule::D5 => "thread::spawn only in the serving front-end modules (rayon pool elsewhere)",
+            Rule::U1 => "every `unsafe` is preceded by a // SAFETY: justification",
+            Rule::U2 => "#[target_feature] kernels are only reached through the dispatch macro",
+            Rule::L1 => "crate headers: #![forbid(unsafe_code)] / #![deny(unsafe_op_in_unsafe_fn)]",
+            Rule::Allow => "allowlist hygiene: entries parse, carry a justification, and suppress something",
+        }
+    }
+
+    /// Parses a rule id, case-insensitively (`d1`, `D1`, ...).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.to_ascii_lowercase().as_str() {
+            "d1" => Some(Rule::D1),
+            "d2" => Some(Rule::D2),
+            "d3" => Some(Rule::D3),
+            "d4" => Some(Rule::D4),
+            "d5" => Some(Rule::D5),
+            "u1" => Some(Rule::U1),
+            "u2" => Some(Rule::U2),
+            "l1" => Some(Rule::L1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A finding silenced by an in-source allowlist entry.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The finding that would otherwise have been reported.
+    pub finding: Finding,
+    /// The allowlist entry's written justification.
+    pub justification: String,
+}
+
+/// The result of one workspace check.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by justified allowlist entries.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The machine-readable report: one `file:line: RULE: message` line
+    /// per finding, then a summary line.
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        if verbose {
+            for s in &self.suppressed {
+                out.push_str(&format!(
+                    "{}:{}: note({}): suppressed -- {}\n",
+                    s.finding.file, s.finding.line, s.finding.rule, s.justification
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "hgp-analysis: {} finding{}, {} suppression{} honored, {} file{} checked\n",
+            self.findings.len(),
+            plural(self.findings.len()),
+            self.suppressed.len(),
+            plural(self.suppressed.len()),
+            self.files_scanned,
+            plural(self.files_scanned),
+        ));
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}

@@ -1,0 +1,501 @@
+//! The rule passes. Each pass walks the shared [`FileScan`] token
+//! tables and emits raw [`Finding`]s; the engine applies allowlist
+//! suppression afterwards, so passes never need to know about it.
+
+use crate::config::Config;
+use crate::engine::Workspace;
+use crate::lexer::TokenKind;
+use crate::report::{Finding, Rule};
+use crate::scan::FileScan;
+
+/// Runs every pass over the workspace.
+pub fn run_all(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        d1_unordered_maps(file, cfg, &mut out);
+        d2_rng_discipline(file, cfg, &mut out);
+        d3_wall_clock(file, cfg, &mut out);
+        d4_fma(file, cfg, &mut out);
+        d5_thread_spawn(file, cfg, &mut out);
+        u1_safety_comments(file, &mut out);
+    }
+    u2_target_feature_dispatch(ws, cfg, &mut out);
+    l1_crate_headers(ws, &mut out);
+    out
+}
+
+fn finding(file: &FileScan, line: u32, rule: Rule, message: String) -> Finding {
+    Finding {
+        file: file.path.clone(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// **D1** — unordered `HashMap`/`HashSet` in result-producing crates.
+/// Their iteration order varies per process (randomized hashing) and
+/// per insertion history; any path from iteration order to a result,
+/// count vector, or metrics line breaks bit-reproducibility.
+fn d1_unordered_maps(file: &FileScan, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.result_crates.contains(&file.crate_name) {
+        return;
+    }
+    for (_, tok) in file.code_tokens() {
+        if tok.kind == TokenKind::Ident && (tok.text == "HashMap" || tok.text == "HashSet") {
+            out.push(finding(
+                file,
+                tok.line,
+                Rule::D1,
+                format!(
+                    "`{}` in result-producing crate `{}`: iteration order is nondeterministic; \
+                     use BTreeMap/BTreeSet, or annotate why ordering never reaches results",
+                    tok.text, file.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// **D2** — RNG discipline. Entropy-seeded RNGs are banned everywhere;
+/// RNG construction in result-producing crates must visibly consume a
+/// blessed derivation (`seed::stream_seed` / `seed::mix64`) or carry an
+/// annotated provenance justification.
+fn d2_rng_discipline(file: &FileScan, cfg: &Config, out: &mut Vec<Finding>) {
+    for (ci, tok) in file.code_tokens() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if cfg.entropy_idents.contains(&tok.text) {
+            out.push(finding(
+                file,
+                tok.line,
+                Rule::D2,
+                format!(
+                    "entropy-seeded RNG (`{}`): results would differ per run; derive seeds \
+                     through hgp_sim::seed::stream_seed/mix64 instead",
+                    tok.text
+                ),
+            ));
+            continue;
+        }
+        if cfg.result_crates.contains(&file.crate_name)
+            && (tok.text == "seed_from_u64" || tok.text == "from_seed")
+            && file.code_tok(ci + 1).is_some_and(|t| t.is_punct('('))
+        {
+            let ok = call_args_contain(file, ci + 1, &cfg.seed_fns);
+            if !ok {
+                out.push(finding(
+                    file,
+                    tok.line,
+                    Rule::D2,
+                    format!(
+                        "RNG constructed via `{}` without visible stream_seed/mix64 derivation; \
+                         route the seed through hgp_sim::seed or annotate its provenance",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether the call whose `(` sits at code position `open` mentions any
+/// of `names` inside its argument span.
+fn call_args_contain(file: &FileScan, open: usize, names: &[String]) -> bool {
+    let mut depth = 0i32;
+    let mut i = open;
+    while let Some(tok) = file.code_tok(i) {
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_bytes()[0] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        } else if tok.kind == TokenKind::Ident && names.contains(&tok.text) {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// **D3** — wall-clock reads outside the timing-exempt modules. A
+/// simulation or compilation path that branches on elapsed time cannot
+/// replay bit-identically; timing belongs to metrics, benches, and the
+/// serving front end's stage clocks.
+fn d3_wall_clock(file: &FileScan, cfg: &Config, out: &mut Vec<Finding>) {
+    if Config::path_in(&file.path, &cfg.wallclock_exempt) {
+        return;
+    }
+    for (_, tok) in file.code_tokens() {
+        if tok.kind == TokenKind::Ident && (tok.text == "Instant" || tok.text == "SystemTime") {
+            out.push(finding(
+                file,
+                tok.line,
+                Rule::D3,
+                format!(
+                    "wall-clock type `{}` outside the timing-exempt modules; results and \
+                     control flow must not depend on elapsed time",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// **D4** — `mul_add` in bit-parity-pinned modules. A fused multiply-add
+/// rounds once where separate ops round twice, so introducing (or
+/// removing) one silently breaks a bit-parity pin. The intentional
+/// reference chains are annotated; anything new must be too.
+fn d4_fma(file: &FileScan, cfg: &Config, out: &mut Vec<Finding>) {
+    if !Config::path_in(&file.path, &cfg.pinned_paths) {
+        return;
+    }
+    for (_, tok) in file.code_tokens() {
+        if tok.is_ident("mul_add") {
+            out.push(finding(
+                file,
+                tok.line,
+                Rule::D4,
+                "`mul_add` in a bit-parity-pinned module: fused rounding differs from \
+                 separate ops; annotate it as part of a pinned reference chain or remove it"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// **D5** — raw `thread::spawn` outside the serving front end. Worker
+/// threads with ad-hoc work distribution reintroduce schedule-dependent
+/// behavior; compute code must use the shared rayon pool's
+/// deterministic block partitioning.
+fn d5_thread_spawn(file: &FileScan, cfg: &Config, out: &mut Vec<Finding>) {
+    if Config::path_in(&file.path, &cfg.spawn_allowed) {
+        return;
+    }
+    for (ci, tok) in file.code_tokens() {
+        if tok.kind == TokenKind::Ident && (tok.text == "spawn" || tok.text == "Builder") {
+            let qualified_by_thread = ci >= 3
+                && file.code_tok(ci - 1).is_some_and(|t| t.is_punct(':'))
+                && file.code_tok(ci - 2).is_some_and(|t| t.is_punct(':'))
+                && file.code_tok(ci - 3).is_some_and(|t| t.is_ident("thread"));
+            if qualified_by_thread {
+                out.push(finding(
+                    file,
+                    tok.line,
+                    Rule::D5,
+                    format!(
+                        "`thread::{}` outside the serving front end; compute paths must ride \
+                         the shared rayon pool (deterministic block partitioning)",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// **U1** — every `unsafe` (block, fn, impl, trait) must be preceded by
+/// a `// SAFETY:` comment arguing why its obligations hold.
+fn u1_safety_comments(file: &FileScan, out: &mut Vec<Finding>) {
+    for (_, tok) in file.code_tokens() {
+        if tok.is_ident("unsafe") && !file.safety_covers(tok.line) {
+            out.push(finding(
+                file,
+                tok.line,
+                Rule::U1,
+                "`unsafe` without a preceding `// SAFETY:` comment; state the bounds, \
+                 alignment, or feature-availability argument that makes it sound"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// A code-token span inside one file.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    file: usize,
+    start: usize,
+    end: usize,
+}
+
+impl Span {
+    fn contains(&self, file: usize, ci: usize) -> bool {
+        self.file == file && ci >= self.start && ci <= self.end
+    }
+}
+
+/// **U2** — `#[target_feature]` kernels are only reachable through the
+/// CPUID-dispatch macros. Collects (a) names of fns declared under
+/// `#[target_feature]`, including declarations inside `macro_rules!`
+/// templates, and (b) the module names those templates are instantiated
+/// as (`lane_module!(kern_avx2, "avx2")` ⇒ `kern_avx2`). Any reference
+/// to a lane module, or unqualified call of a kernel name, outside a
+/// dispatch macro's definition or invocation is a finding — calling a
+/// `#[target_feature]` fn on a CPU without the feature is immediate UB,
+/// so the CPUID probe must be unbypassable.
+fn u2_target_feature_dispatch(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    let mut tf_names: Vec<String> = Vec::new();
+    let mut lane_modules: Vec<String> = Vec::new();
+    let mut exempt_spans: Vec<Span> = Vec::new();
+    let mut template_macros: Vec<String> = Vec::new();
+
+    // Pass A: declarations, macro definitions, exempt spans.
+    for (fi, file) in ws.files.iter().enumerate() {
+        let n = file.code.len();
+        let mut ci = 0usize;
+        while ci < n {
+            let tok = file.code_tok(ci).expect("in range");
+            // #[target_feature(...)] ... fn <name>
+            if tok.is_punct('#')
+                && file.code_tok(ci + 1).is_some_and(|t| t.is_punct('['))
+                && file
+                    .code_tok(ci + 2)
+                    .is_some_and(|t| t.is_ident("target_feature"))
+            {
+                let mut j = ci + 3;
+                let limit = (ci + 40).min(n);
+                while j < limit {
+                    if file.code_tok(j).is_some_and(|t| t.is_ident("fn")) {
+                        if let Some(name) = file.code_tok(j + 1) {
+                            if name.kind == TokenKind::Ident && !tf_names.contains(&name.text) {
+                                tf_names.push(name.text.clone());
+                            }
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            // macro_rules! <name> { ... }
+            if tok.is_ident("macro_rules") && file.code_tok(ci + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                if let Some(name_tok) = file.code_tok(ci + 2) {
+                    if name_tok.kind == TokenKind::Ident {
+                        let name = name_tok.text.clone();
+                        let (start, end) = delimited_span(file, ci + 3);
+                        let has_tf = (start..=end.min(n.saturating_sub(1))).any(|k| {
+                            file.code_tok(k)
+                                .is_some_and(|t| t.is_ident("target_feature"))
+                        });
+                        if has_tf && !template_macros.contains(&name) {
+                            template_macros.push(name.clone());
+                        }
+                        if cfg.dispatch_macros.contains(&name) {
+                            exempt_spans.push(Span {
+                                file: fi,
+                                start: ci,
+                                end,
+                            });
+                        }
+                        ci = end + 1;
+                        continue;
+                    }
+                }
+            }
+            ci += 1;
+        }
+    }
+
+    // Pass B: template and dispatch macro *invocations*.
+    for (fi, file) in ws.files.iter().enumerate() {
+        let n = file.code.len();
+        let mut ci = 0usize;
+        while ci < n {
+            let tok = file.code_tok(ci).expect("in range");
+            if tok.kind == TokenKind::Ident
+                && file.code_tok(ci + 1).is_some_and(|t| t.is_punct('!'))
+                && !file
+                    .code_tok(ci.wrapping_sub(1))
+                    .is_some_and(|t| t.is_punct('!'))
+            {
+                let is_template = template_macros.contains(&tok.text);
+                let is_dispatch = cfg.dispatch_macros.contains(&tok.text);
+                if is_template || is_dispatch {
+                    let (start, end) = delimited_span(file, ci + 2);
+                    if is_template {
+                        // First ident inside the invocation names the
+                        // instantiated lane module.
+                        for k in start + 1..end {
+                            if let Some(t) = file.code_tok(k) {
+                                if t.kind == TokenKind::Ident {
+                                    if !lane_modules.contains(&t.text) {
+                                        lane_modules.push(t.text.clone());
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if is_dispatch {
+                        exempt_spans.push(Span {
+                            file: fi,
+                            start: ci,
+                            end,
+                        });
+                    }
+                    ci = end + 1;
+                    continue;
+                }
+            }
+            ci += 1;
+        }
+    }
+
+    if tf_names.is_empty() && lane_modules.is_empty() {
+        return;
+    }
+
+    // Pass C: flag stray references.
+    for (fi, file) in ws.files.iter().enumerate() {
+        for ci in 0..file.code.len() {
+            let tok = file.code_tok(ci).expect("in range");
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let exempt = exempt_spans.iter().any(|s| s.contains(fi, ci));
+            if exempt {
+                continue;
+            }
+            let next_is = |c: char| file.code_tok(ci + 1).is_some_and(|t| t.is_punct(c));
+            if lane_modules.contains(&tok.text) && next_is(':') {
+                out.push(finding(
+                    file,
+                    tok.line,
+                    Rule::U2,
+                    format!(
+                        "reference to lane-multiversioned module `{}` outside the dispatch \
+                         macro; `#[target_feature]` kernels must be reached through the \
+                         CPUID-probed dispatch only",
+                        tok.text
+                    ),
+                ));
+                continue;
+            }
+            if tf_names.contains(&tok.text) && next_is('(') {
+                let prev_is_fn = ci >= 1 && file.code_tok(ci - 1).is_some_and(|t| t.is_ident("fn"));
+                let qualified = ci >= 1 && file.code_tok(ci - 1).is_some_and(|t| t.is_punct(':'));
+                if !prev_is_fn && !qualified {
+                    out.push(finding(
+                        file,
+                        tok.line,
+                        Rule::U2,
+                        format!(
+                            "direct call of `#[target_feature]` kernel `{}` outside the \
+                             dispatch macro; calling it without the CPUID probe is UB on \
+                             CPUs lacking the feature",
+                            tok.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The code-token span of a delimited group starting at `open` (which
+/// must be `(`, `[`, or `{`); returns `(open, close)` positions.
+fn delimited_span(file: &FileScan, open: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    let mut i = open;
+    while let Some(tok) = file.code_tok(i) {
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_bytes()[0] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return (open, i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (open, file.code.len().saturating_sub(1))
+}
+
+/// **L1** — crate headers. A crate containing `unsafe` must carry
+/// `#![deny(unsafe_op_in_unsafe_fn)]` (so every unsafe operation sits in
+/// an explicit, U1-auditable block); every other crate must carry
+/// `#![forbid(unsafe_code)]` so new `unsafe` cannot appear without a
+/// reviewed header change.
+fn l1_crate_headers(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        let Some(lib_idx) = krate.lib_rs else {
+            continue;
+        };
+        let lib = &ws.files[lib_idx];
+        let has_unsafe = krate.files.iter().any(|&fi| {
+            ws.files[fi]
+                .code_tokens()
+                .any(|(_, t)| t.is_ident("unsafe"))
+        });
+        let headers = inner_lint_attrs(lib);
+        if has_unsafe {
+            let ok = headers.iter().any(|(level, lint)| {
+                (level == "deny" || level == "forbid") && lint == "unsafe_op_in_unsafe_fn"
+            });
+            if !ok {
+                out.push(finding(
+                    lib,
+                    1,
+                    Rule::L1,
+                    format!(
+                        "crate `{}` contains unsafe code but its root lacks \
+                         `#![deny(unsafe_op_in_unsafe_fn)]`",
+                        krate.name
+                    ),
+                ));
+            }
+        } else {
+            let ok = headers
+                .iter()
+                .any(|(level, lint)| level == "forbid" && lint == "unsafe_code");
+            if !ok {
+                out.push(finding(
+                    lib,
+                    1,
+                    Rule::L1,
+                    format!(
+                        "unsafe-free crate `{}` must pin that property with \
+                         `#![forbid(unsafe_code)]` at the crate root",
+                        krate.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Extracts `#![level(lint)]` inner attributes from a crate root.
+fn inner_lint_attrs(file: &FileScan) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for ci in 0..file.code.len() {
+        let at = |k: usize| file.code_tok(ci + k);
+        if at(0).is_some_and(|t| t.is_punct('#'))
+            && at(1).is_some_and(|t| t.is_punct('!'))
+            && at(2).is_some_and(|t| t.is_punct('['))
+        {
+            if let (Some(level), Some(open), Some(lint), Some(close)) = (at(3), at(4), at(5), at(6))
+            {
+                if level.kind == TokenKind::Ident
+                    && open.is_punct('(')
+                    && lint.kind == TokenKind::Ident
+                    && close.is_punct(')')
+                {
+                    out.push((level.text.clone(), lint.text.clone()));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,414 @@
+//! Per-file scan state: lexed tokens plus the derived tables the rule
+//! passes share — line classification, `#[cfg(test)]` region marking,
+//! `SAFETY` comment locations, and parsed allowlist entries.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::report::{Finding, Rule};
+
+/// The allowlist marker looked for inside comments.
+pub const ALLOW_MARKER: &str = "hgp-analysis:";
+
+/// One parsed `// hgp-analysis: allow(<rule>) -- <justification>` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Line of the comment itself.
+    pub line: u32,
+    /// The code line the entry targets (the next line bearing
+    /// non-attribute code; the comment's own line when trailing).
+    pub target_line: u32,
+    /// The suppressed rule.
+    pub rule: Rule,
+    /// The written justification (non-empty by construction).
+    pub justification: String,
+}
+
+/// Classification of one source line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LineInfo {
+    /// The line carries at least one non-comment token.
+    pub has_code: bool,
+    /// The line's first non-comment token is `#` (an attribute line).
+    pub attr_start: bool,
+    /// A comment on this line carries a `SAFETY` justification.
+    pub safety: bool,
+}
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// The owning crate's directory name under `crates/` (the root
+    /// package scans as `"root"`).
+    pub crate_name: String,
+    /// Every token, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Parallel to `tokens`: inside a `#[test]`/`#[cfg(test)]` region.
+    pub in_test: Vec<bool>,
+    /// 1-based line table (`lines[0]` is a dummy).
+    pub lines: Vec<LineInfo>,
+    /// Parsed allowlist entries.
+    pub allows: Vec<AllowEntry>,
+    /// Malformed allowlist entries found during parsing.
+    pub allow_errors: Vec<Finding>,
+}
+
+impl FileScan {
+    /// Lexes and analyzes one file.
+    pub fn new(path: String, crate_name: String, source: &str) -> FileScan {
+        let tokens = lex(source);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let n_lines = source.lines().count().max(1);
+        let mut lines = vec![LineInfo::default(); n_lines + 2];
+
+        for &i in &code {
+            let l = tokens[i].line as usize;
+            if l < lines.len() {
+                if !lines[l].has_code {
+                    lines[l].attr_start = tokens[i].is_punct('#');
+                }
+                lines[l].has_code = true;
+            }
+        }
+        for t in tokens.iter().filter(|t| t.is_comment()) {
+            let l = t.line as usize;
+            if l < lines.len() && (t.text.contains("SAFETY") || t.text.contains("# Safety")) {
+                lines[l].safety = true;
+            }
+        }
+
+        let in_test = mark_test_regions(&tokens, &code);
+        let mut scan = FileScan {
+            path,
+            crate_name,
+            tokens,
+            code,
+            in_test,
+            lines,
+            allows: Vec::new(),
+            allow_errors: Vec::new(),
+        };
+        scan.parse_allows();
+        scan
+    }
+
+    /// Iterates non-test code tokens as `(position-in-code, token)`.
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.code
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ti)| !self.in_test[ti])
+            .map(|(ci, &ti)| (ci, &self.tokens[ti]))
+    }
+
+    /// The `i`-th code token, if any (test regions included).
+    pub fn code_tok(&self, i: usize) -> Option<&Token> {
+        self.code.get(i).map(|&ti| &self.tokens[ti])
+    }
+
+    /// Whether a walk upward from `line` (exclusive) over comment,
+    /// blank, and attribute lines reaches a `SAFETY` comment — or the
+    /// line itself carries one.
+    pub fn safety_covers(&self, line: u32) -> bool {
+        let line = line as usize;
+        if self.lines.get(line).is_some_and(|l| l.safety) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let info = &self.lines[l];
+            if info.safety {
+                return true;
+            }
+            if info.has_code && !info.attr_start {
+                return false;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// Parses allowlist entries out of every *plain* comment; records
+    /// malformed entries as [`Rule::Allow`] findings. Doc comments are
+    /// exempt so documentation can quote the syntax without creating a
+    /// live (and then stale) suppression.
+    fn parse_allows(&mut self) {
+        let max_line = self.lines.len() as u32 - 1;
+        for t in self.tokens.iter().filter(|t| t.is_comment()) {
+            if is_doc_comment(&t.text) {
+                continue;
+            }
+            let Some(pos) = t.text.find(ALLOW_MARKER) else {
+                continue;
+            };
+            let body = t.text[pos + ALLOW_MARKER.len()..].trim();
+            match parse_allow_body(body) {
+                Ok((rule, justification)) => {
+                    let target_line = target_code_line(&self.lines, t.line, max_line);
+                    self.allows.push(AllowEntry {
+                        line: t.line,
+                        target_line,
+                        rule,
+                        justification,
+                    });
+                }
+                Err(why) => self.allow_errors.push(Finding {
+                    file: self.path.clone(),
+                    line: t.line,
+                    rule: Rule::Allow,
+                    message: why,
+                }),
+            }
+        }
+    }
+}
+
+/// Whether a comment is a doc comment (`///`, `//!`, `/**`, `/*!`).
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
+/// Parses `allow(<rule>) -- <justification>`.
+fn parse_allow_body(body: &str) -> Result<(Rule, String), String> {
+    let Some(rest) = body.strip_prefix("allow(") else {
+        return Err(format!(
+            "malformed allowlist entry: expected `{ALLOW_MARKER} allow(<rule>) -- <justification>`"
+        ));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("malformed allowlist entry: missing `)` after rule id".into());
+    };
+    let rule_id = rest[..close].trim();
+    let Some(rule) = Rule::parse(rule_id) else {
+        return Err(format!("unknown rule `{rule_id}` in allowlist entry"));
+    };
+    let tail = rest[close + 1..].trim();
+    let Some(justification) = tail.strip_prefix("--") else {
+        return Err("allowlist entry missing ` -- <justification>`".into());
+    };
+    let justification = justification.trim();
+    if justification.is_empty() {
+        return Err("allowlist entry has an empty justification".into());
+    }
+    Ok((rule, justification.to_string()))
+}
+
+/// The code line an allow comment on `line` targets: the line itself
+/// when it carries code (trailing comment), otherwise the next line
+/// holding non-attribute code.
+fn target_code_line(lines: &[LineInfo], line: u32, max_line: u32) -> u32 {
+    let l = line as usize;
+    if lines.get(l).is_some_and(|i| i.has_code) {
+        return line;
+    }
+    let mut d = l + 1;
+    while d <= max_line as usize {
+        let info = &lines[d];
+        if info.has_code && !info.attr_start {
+            return d as u32;
+        }
+        d += 1;
+    }
+    line
+}
+
+/// Marks tokens inside `#[test]` / `#[cfg(test)]` items (functions and
+/// inline `mod tests { ... }` blocks). The determinism rules police
+/// result-producing code; fixed-seed test scaffolding is out of scope.
+fn mark_test_regions(tokens: &[Token], code: &[usize]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if !is_test_attr_at(tokens, code, ci) {
+            ci += 1;
+            continue;
+        }
+        let attr_start_tok = code[ci];
+        // Consume this attribute and any further attributes/doc lines.
+        let mut j = skip_attr(tokens, code, ci);
+        while is_attr_at(tokens, code, j) {
+            j = skip_attr(tokens, code, j);
+        }
+        // Skip to the item's end: the first `;` at depth 0, or the
+        // matching `}` of its first depth-0 `{`.
+        let mut depth = 0i32;
+        let mut end_ci = j;
+        while end_ci < code.len() {
+            let t = &tokens[code[end_ci]];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_bytes()[0] {
+                    b'{' | b'(' | b'[' => depth += 1,
+                    b'}' | b')' | b']' => {
+                        depth -= 1;
+                        if depth == 0 && t.text.as_bytes()[0] == b'}' {
+                            break;
+                        }
+                    }
+                    b';' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            end_ci += 1;
+        }
+        let end_tok = code.get(end_ci).copied().unwrap_or(tokens.len() - 1);
+        for slot in in_test.iter_mut().take(end_tok + 1).skip(attr_start_tok) {
+            *slot = true;
+        }
+        ci = end_ci + 1;
+    }
+    in_test
+}
+
+/// Whether code position `ci` starts an attribute (`#` `[`).
+fn is_attr_at(tokens: &[Token], code: &[usize], ci: usize) -> bool {
+    code.get(ci).is_some_and(|&t| tokens[t].is_punct('#'))
+        && code.get(ci + 1).is_some_and(|&t| tokens[t].is_punct('['))
+}
+
+/// Whether code position `ci` starts a test attribute: `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, ...))]` — but not `#[cfg(not(test))]`.
+fn is_test_attr_at(tokens: &[Token], code: &[usize], ci: usize) -> bool {
+    if !is_attr_at(tokens, code, ci) {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    for &ti in &code[ci + 1..] {
+        let t = &tokens[ti];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'[' | b'(' => depth += 1,
+                b']' | b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident {
+            match t.text.as_str() {
+                "test" => saw_test = true,
+                "not" => saw_not = true,
+                _ => {}
+            }
+        }
+    }
+    saw_test && !saw_not
+}
+
+/// Position just past the attribute starting at code position `ci`.
+fn skip_attr(tokens: &[Token], code: &[usize], ci: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = ci + 1;
+    while j < code.len() {
+        let t = &tokens[code[j]];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'[' | b'(' => depth += 1,
+                b']' | b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileScan {
+        FileScan::new("crates/x/src/lib.rs".into(), "x".into(), src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let s = scan(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { unsafe {} }\n}\nfn live2() {}\n",
+        );
+        let unsafe_tok = s
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unsafe"))
+            .expect("has unsafe");
+        assert!(s.in_test[unsafe_tok]);
+        let live2 = s.tokens.iter().position(|t| t.is_ident("live2")).unwrap();
+        assert!(!s.in_test[live2]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let s = scan("#[cfg(not(test))]\nfn live() { let x = 1; }\n");
+        let x = s.tokens.iter().position(|t| t.is_ident("x")).unwrap();
+        assert!(!s.in_test[x]);
+    }
+
+    #[test]
+    fn allow_entry_parses_with_target() {
+        let s = scan(
+            "fn f() {\n    // hgp-analysis: allow(d4) -- pinned reference chain\n    let y = a.mul_add(b, c);\n}\n",
+        );
+        assert_eq!(s.allows.len(), 1);
+        let a = &s.allows[0];
+        assert_eq!(a.rule, Rule::D4);
+        assert_eq!(a.line, 2);
+        assert_eq!(a.target_line, 3);
+        assert_eq!(a.justification, "pinned reference chain");
+        assert!(s.allow_errors.is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let s = scan("let y = a.mul_add(b, c); // hgp-analysis: allow(d4) -- chain\n");
+        assert_eq!(s.allows[0].target_line, 1);
+    }
+
+    #[test]
+    fn allow_skips_attributes_to_reach_code() {
+        let s = scan(
+            "// hgp-analysis: allow(d3) -- timer for logs only\n#[inline]\nfn f() -> Instant { Instant::now() }\n",
+        );
+        assert_eq!(s.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn malformed_allows_are_findings() {
+        let cases = [
+            "// hgp-analysis: allow(d9) -- no such rule\n",
+            "// hgp-analysis: allow(d1)\n",
+            "// hgp-analysis: allow(d1) -- \n",
+            "// hgp-analysis: disallow(d1) -- what\n",
+        ];
+        for src in cases {
+            let s = scan(src);
+            assert_eq!(s.allows.len(), 0, "{src}");
+            assert_eq!(s.allow_errors.len(), 1, "{src}");
+            assert_eq!(s.allow_errors[0].rule, Rule::Allow);
+        }
+    }
+
+    #[test]
+    fn safety_walkup_spans_comments_and_attributes() {
+        let s = scan(
+            "// SAFETY: lanes verified by CPUID probe.\n#[target_feature(enable = \"avx2\")]\npub unsafe fn k() {}\n",
+        );
+        assert!(s.safety_covers(3));
+        let s2 = scan("fn gap() {}\npub unsafe fn k() {}\n");
+        assert!(!s2.safety_covers(2));
+    }
+}

@@ -1,0 +1,138 @@
+//! Fixture-based positive/negative tests for every rule, plus the
+//! dogfood check: the real workspace must be clean under the default
+//! configuration.
+//!
+//! Each fixture under `tests/fixtures/` is a miniature workspace root
+//! (`crates/<name>/src/...`) whose crate and file names mirror the real
+//! policy paths, so the default [`Config`] applies to fixtures and to
+//! the repository identically.
+
+use std::path::{Path, PathBuf};
+
+use hgp_analysis::{check_workspace, Config, Report, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn report(name: &str) -> Report {
+    check_workspace(&fixture(name), &Config::default())
+        .unwrap_or_else(|e| panic!("fixture `{name}` failed to load: {e}"))
+}
+
+/// The failing fixture must produce at least one finding, every finding
+/// must carry the expected rule, and the passing fixture must be clean.
+fn assert_rule_pair(rule: Rule, fail: &str, pass: &str) {
+    let failing = report(fail);
+    assert!(
+        !failing.findings.is_empty(),
+        "fixture `{fail}` should produce findings"
+    );
+    for f in &failing.findings {
+        assert_eq!(
+            f.rule, rule,
+            "fixture `{fail}` produced an off-rule finding: {f}"
+        );
+    }
+    let passing = report(pass);
+    assert!(
+        passing.is_clean(),
+        "fixture `{pass}` should be clean, got:\n{}",
+        passing.render(false)
+    );
+}
+
+#[test]
+fn d1_unordered_maps() {
+    assert_rule_pair(Rule::D1, "d1_fail", "d1_pass");
+}
+
+#[test]
+fn d2_rng_discipline() {
+    assert_rule_pair(Rule::D2, "d2_fail", "d2_pass");
+    // The failing fixture holds both D2 shapes: entropy seeding and a
+    // seed with no visible blessed derivation.
+    let failing = report("d2_fail");
+    assert_eq!(failing.findings.len(), 2, "entropy + opaque provenance");
+}
+
+#[test]
+fn d3_wall_clock() {
+    assert_rule_pair(Rule::D3, "d3_fail", "d3_pass");
+}
+
+#[test]
+fn d4_fma() {
+    assert_rule_pair(Rule::D4, "d4_fail", "d4_pass");
+    // The passing fixture pins its chain with an allow entry — the
+    // suppression must be honored (counted), not silently dropped.
+    let passing = report("d4_pass");
+    assert_eq!(passing.suppressed.len(), 1);
+    assert_eq!(passing.suppressed[0].finding.rule, Rule::D4);
+    assert!(passing.suppressed[0].justification.contains("pinned"));
+}
+
+#[test]
+fn d5_thread_spawn() {
+    assert_rule_pair(Rule::D5, "d5_fail", "d5_pass");
+}
+
+#[test]
+fn u1_safety_comments() {
+    assert_rule_pair(Rule::U1, "u1_fail", "u1_pass");
+}
+
+#[test]
+fn u2_target_feature_dispatch() {
+    assert_rule_pair(Rule::U2, "u2_fail", "u2_pass");
+}
+
+#[test]
+fn l1_crate_headers() {
+    assert_rule_pair(Rule::L1, "l1_fail", "l1_pass");
+}
+
+#[test]
+fn unused_allow_is_a_finding() {
+    let r = report("allow_unused");
+    assert_eq!(r.findings.len(), 1, "got:\n{}", r.render(false));
+    assert_eq!(r.findings[0].rule, Rule::Allow);
+    assert!(r.findings[0].message.contains("suppresses nothing"));
+}
+
+#[test]
+fn unjustified_allow_is_malformed_and_suppresses_nothing() {
+    let r = report("allow_nojust");
+    let rules: Vec<Rule> = r.findings.iter().map(|f| f.rule).collect();
+    // The malformed entry is itself a finding, and the D1 violation it
+    // sat next to stays live.
+    assert!(rules.contains(&Rule::Allow), "got:\n{}", r.render(false));
+    assert!(rules.contains(&Rule::D1), "got:\n{}", r.render(false));
+}
+
+/// The dogfood gate: the repository this crate ships in must be clean
+/// under the default configuration, with every suppression justified.
+#[test]
+fn repository_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let r = check_workspace(&root, &Config::default()).expect("scan workspace");
+    assert!(
+        r.is_clean(),
+        "workspace has lint findings:\n{}",
+        r.render(false)
+    );
+    assert!(r.files_scanned > 50, "scan scope collapsed unexpectedly");
+    for s in &r.suppressed {
+        assert!(
+            !s.justification.is_empty(),
+            "unjustified suppression at {}:{}",
+            s.finding.file,
+            s.finding.line
+        );
+    }
+}

@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+//! Allow hygiene: an entry with no justification is malformed and
+//! suppresses nothing.
+
+use std::collections::BTreeMap;
+
+pub struct Index {
+    // hgp-analysis: allow(d1)
+    pub by_name: std::collections::HashMap<String, u64>,
+    pub ordered: BTreeMap<u64, String>,
+}

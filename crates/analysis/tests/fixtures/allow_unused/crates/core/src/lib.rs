@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+//! Allow hygiene: a stale entry that suppresses nothing.
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u64]) -> BTreeMap<u64, u64> {
+    // hgp-analysis: allow(d1) -- stale: this map is already ordered.
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

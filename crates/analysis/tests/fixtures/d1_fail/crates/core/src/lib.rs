@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! D1 fail: an unordered map in a result-producing crate.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! D1 pass: ordered map, deterministic iteration.
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

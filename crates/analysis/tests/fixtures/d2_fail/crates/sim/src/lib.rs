@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+//! D2 fail: entropy seeding and opaque seed provenance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn sample_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn sample_opaque(job: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(job * 31 + 7);
+    rng.gen()
+}

@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! D2 pass: seeds visibly routed through the blessed derivation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::seed::{mix64, stream_seed};
+
+pub fn sample(base: u64, stream: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(stream_seed(mix64(base), stream));
+    rng.gen()
+}

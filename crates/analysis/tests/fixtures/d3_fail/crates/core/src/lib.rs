@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+//! D3 fail: wall-clock read on a result path.
+
+use std::time::Instant;
+
+pub fn run_until_bored(budget_ms: u128) -> u64 {
+    let t0 = Instant::now();
+    let mut n = 0;
+    while t0.elapsed().as_millis() < budget_ms {
+        n += 1;
+    }
+    n
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! D3 pass: timing confined to the exempt metrics module.
+
+pub mod metrics;

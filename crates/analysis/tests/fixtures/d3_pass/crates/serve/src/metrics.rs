@@ -1,0 +1,7 @@
+//! Stage clocks live here by policy.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

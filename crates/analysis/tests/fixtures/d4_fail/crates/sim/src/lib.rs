@@ -1,0 +1,10 @@
+#![forbid(unsafe_code)]
+//! D4 fail: an unannotated FMA in a bit-parity-pinned module.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}

@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+//! D4 pass: the pinned reference chain, annotated as such.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        // hgp-analysis: allow(d4) -- this chain IS the pinned reference.
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}

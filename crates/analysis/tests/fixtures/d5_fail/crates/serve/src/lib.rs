@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! D5 fail: a raw worker thread outside the serving front end files.
+
+pub fn compute_in_background(xs: Vec<u64>) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || xs.iter().sum())
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! D5 pass: threads only in the daemon module.
+
+pub mod daemon;

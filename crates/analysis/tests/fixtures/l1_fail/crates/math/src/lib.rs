@@ -1,0 +1,5 @@
+//! L1 fail: no unsafe anywhere, but the property is not pinned.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

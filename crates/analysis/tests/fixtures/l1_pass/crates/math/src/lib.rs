@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! L1 pass: the unsafe-free property is pinned at the root.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

@@ -1,0 +1,7 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+//! U1 fail: an unsafe block with no SAFETY argument.
+
+pub fn first(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    unsafe { *xs.as_ptr() }
+}

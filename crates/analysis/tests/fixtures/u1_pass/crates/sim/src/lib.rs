@@ -1,0 +1,9 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+//! U1 pass: the unsafe block argues its obligations.
+
+pub fn first(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds; `as_ptr` is aligned by construction.
+    unsafe { *xs.as_ptr() }
+}

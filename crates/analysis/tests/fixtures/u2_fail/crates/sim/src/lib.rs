@@ -1,0 +1,14 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+//! U2 fail: a `#[target_feature]` kernel called outside the dispatch.
+
+/// # Safety
+/// The running CPU must provide avx2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn kern_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+pub fn caller(xs: &[f64]) -> f64 {
+    // SAFETY: none — this is exactly the bypass U2 exists to catch.
+    unsafe { kern_sum(xs) }
+}

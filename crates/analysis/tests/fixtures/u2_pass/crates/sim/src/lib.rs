@@ -1,0 +1,25 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+//! U2 pass: the kernel is reached only through the dispatch macro.
+
+/// # Safety
+/// The running CPU must provide avx2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn kern_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+macro_rules! kernel {
+    ($name:ident($($arg:expr),*)) => {{
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the probe on the line above confirmed the
+            // feature, which is the kernel's only precondition.
+            unsafe { $name($($arg),*) }
+        } else {
+            $($arg.iter().sum())*
+        }
+    }};
+}
+
+pub fn caller(xs: &[f64]) -> f64 {
+    kernel!(kern_sum(xs))
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Experiment harness shared utilities.
 //!
 //! Each paper table/figure has a binary under `src/bin/` (see DESIGN.md's

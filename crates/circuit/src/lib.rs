@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Gate-level quantum circuit intermediate representation.
 //!
 //! This crate defines the gate-level abstraction layer of the hybrid

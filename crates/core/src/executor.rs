@@ -427,6 +427,8 @@ impl<'a> Executor<'a> {
                 *p /= sum;
             }
         }
+        // hgp-analysis: allow(d2) -- `seed` is a caller-supplied leaf seed; every
+        // executor call site derives it through `hgp_sim::seed::stream_seed`.
         let mut rng = StdRng::seed_from_u64(seed);
         Counts::sample_from_probabilities(&probs, shots, rho.n_qubits(), &mut rng)
     }

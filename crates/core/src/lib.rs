@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The hybrid gate-pulse model for variational quantum algorithms.
 //!
 //! This crate implements the paper's contribution on top of the

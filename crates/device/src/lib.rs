@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Superconducting backend models.
 //!
 //! The paper evaluates on four IBM machines (`ibm_auckland`,

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Graphs and Max-Cut instances for QAOA benchmarking.
 //!
 //! Provides the undirected weighted [`Graph`] type, random-graph

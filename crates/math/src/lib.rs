@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Dense complex linear algebra for quantum simulation.
 //!
 //! This crate is the numerical foundation of the hybrid gate-pulse

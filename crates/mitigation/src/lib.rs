@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Error suppression for measurement results (the paper's "Step III").
 //!
 //! Two techniques make up the evaluated protocol:

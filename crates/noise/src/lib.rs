@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The typed noise IR and calibration-derived noisy execution.
 //!
 //! Hardware noise enters the hybrid gate-pulse experiments in three ways,

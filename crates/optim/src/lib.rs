@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Derivative-free optimizers for variational quantum training.
 //!
 //! The paper trains QAOA with COBYLA (`maxiter = 50`); this crate

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Pulse-level IR and simulation.
 //!
 //! This crate is the "OpenPulse substitute" of the workspace: everything

@@ -10,7 +10,7 @@
 //! [`Arc`]s so in-flight batches keep their program alive even if the
 //! entry is evicted mid-run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use hgp_core::compile::{CompiledCircuit, CompiledProgram};
@@ -50,13 +50,16 @@ impl From<Arc<CompiledProgram>> for CompiledArtifact {
 ///
 /// Recency is tracked with a logical clock bumped on every access;
 /// eviction scans for the minimum — `O(len)` per eviction, which is
-/// irrelevant at the capacities a serving host uses (tens to hundreds of
-/// shapes) and keeps the structure a plain `HashMap`.
+/// irrelevant at the capacities a serving host uses (tens to hundreds
+/// of shapes). The map is a `BTreeMap` for determinism hygiene (rule
+/// D1): eviction ties cannot occur (clock values are unique), but a
+/// key-ordered scan makes the choice visibly independent of hasher
+/// state rather than accidentally so.
 #[derive(Debug)]
 pub struct ProgramCache {
     capacity: usize,
     clock: u64,
-    entries: HashMap<u64, (CompiledArtifact, u64)>,
+    entries: BTreeMap<u64, (CompiledArtifact, u64)>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -73,7 +76,7 @@ impl ProgramCache {
         Self {
             capacity,
             clock: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             hits: 0,
             misses: 0,
             evictions: 0,

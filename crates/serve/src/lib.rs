@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `hgp_serve` — the batched job-execution service over the hybrid
 //! gate-pulse engine.
 //!

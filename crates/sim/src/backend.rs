@@ -106,6 +106,8 @@ pub trait SimBackend: Send + Sized {
                 *p /= sum;
             }
         }
+        // hgp-analysis: allow(d2) -- `seed` is the trait method's caller-supplied
+        // leaf seed; provenance (`stream_seed`) is the caller's obligation.
         let mut rng = StdRng::seed_from_u64(seed);
         Counts::sample_from_probabilities(&probs, shots, self.n_qubits(), &mut rng)
     }

@@ -283,6 +283,8 @@ impl DensityMatrix {
                 for (r, &ri) in rows_idx.iter().enumerate() {
                     let mut acc = Complex64::ZERO;
                     for (c, &v) in vin.iter().enumerate() {
+                        // hgp-analysis: allow(d4) -- this fused chain IS the
+                        // pinned reference arithmetic the parity tests fix.
                         acc = op[(r, c)].mul_add(v, acc);
                     }
                     self.data[ri * dim + col] = acc;
@@ -322,6 +324,8 @@ impl DensityMatrix {
                 for (cp, &ci) in cols_idx.iter().enumerate() {
                     let mut acc = Complex64::ZERO;
                     for (c, &v) in vin.iter().enumerate() {
+                        // hgp-analysis: allow(d4) -- this fused chain IS the
+                        // pinned reference arithmetic the parity tests fix.
                         acc = op[(cp, c)].conj().mul_add(v, acc);
                     }
                     self.data[row * dim + ci] = acc;

@@ -345,6 +345,8 @@ pub fn apply_dense_2q(amps: &mut [Complex64], t_hi: usize, t_lo: usize, op: &Mat
                 for (r, o) in out.iter_mut().enumerate() {
                     let mut acc = Complex64::ZERO;
                     for (c, &vc) in v.iter().enumerate() {
+                        // hgp-analysis: allow(d4) -- this fused chain IS the
+                        // pinned reference arithmetic the parity tests fix.
                         acc = op[(r, c)].mul_add(vc, acc);
                     }
                     *o = acc;
@@ -418,6 +420,8 @@ pub mod reference {
                 for (r, &out_i) in idx.iter().enumerate() {
                     let mut acc = Complex64::ZERO;
                     for (ccol, &v) in vin.iter().enumerate() {
+                        // hgp-analysis: allow(d4) -- this fused chain IS the
+                        // pinned reference arithmetic the parity tests fix.
                         acc = op[(r, ccol)].mul_add(v, acc);
                     }
                     amps[out_i] = acc;

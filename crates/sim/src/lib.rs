@@ -1,3 +1,5 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+
 //! Statevector and density-matrix quantum simulators behind the unified
 //! [`SimBackend`] execution engine.
 //!

@@ -536,7 +536,14 @@ macro_rules! lane_module {
             use crate::kernels::DiagOp;
 
             /// # Safety
-            /// Caller must have verified the module's ISA at runtime.
+            ///
+            /// The running CPU must provide this module's target
+            /// features — the *only* precondition. The body is the safe
+            /// [`kern::diag_run`] recompiled under wider codegen: every
+            /// slice access keeps its bounds check and `f64` slices
+            /// carry no ISA-dependent alignment requirement, so the
+            /// sole UB hazard is executing the wider instructions on a
+            /// CPU that lacks them.
             #[target_feature(enable = $features)]
             pub unsafe fn diag_run(
                 re: &mut [f64],
@@ -550,7 +557,12 @@ macro_rules! lane_module {
             }
 
             /// # Safety
-            /// Caller must have verified the module's ISA at runtime.
+            ///
+            /// The running CPU must provide this module's target
+            /// features — the *only* precondition. The body is the safe
+            /// [`kern::dense1q_all`] recompiled under wider codegen:
+            /// bounds checks remain, no alignment obligations arise,
+            /// so unavailable instructions are the sole UB hazard.
             #[target_feature(enable = $features)]
             pub unsafe fn dense1q_all(
                 re: &mut [f64],
@@ -564,7 +576,12 @@ macro_rules! lane_module {
             }
 
             /// # Safety
-            /// Caller must have verified the module's ISA at runtime.
+            ///
+            /// The running CPU must provide this module's target
+            /// features — the *only* precondition. The body is the safe
+            /// [`kern::dense2q_all`] recompiled under wider codegen:
+            /// bounds checks remain, no alignment obligations arise,
+            /// so unavailable instructions are the sole UB hazard.
             #[target_feature(enable = $features)]
             #[allow(clippy::too_many_arguments)]
             pub unsafe fn dense2q_all(
@@ -582,7 +599,12 @@ macro_rules! lane_module {
             }
 
             /// # Safety
-            /// Caller must have verified the module's ISA at runtime.
+            ///
+            /// The running CPU must provide this module's target
+            /// features — the *only* precondition. The body is the safe
+            /// [`kern::weights_1q_scan`] recompiled under wider codegen:
+            /// bounds checks remain, no alignment obligations arise,
+            /// so unavailable instructions are the sole UB hazard.
             #[target_feature(enable = $features)]
             #[allow(clippy::too_many_arguments)]
             pub unsafe fn weights_1q_scan(
@@ -598,21 +620,36 @@ macro_rules! lane_module {
             }
 
             /// # Safety
-            /// Caller must have verified the module's ISA at runtime.
+            ///
+            /// The running CPU must provide this module's target
+            /// features — the *only* precondition. The body is the safe
+            /// [`kern::norm_acc_all`] recompiled under wider codegen:
+            /// bounds checks remain, no alignment obligations arise,
+            /// so unavailable instructions are the sole UB hazard.
             #[target_feature(enable = $features)]
             pub unsafe fn norm_acc_all(norms: &mut [f64], re: &[f64], im: &[f64], s_n: usize) {
                 kern::norm_acc_all(norms, re, im, s_n);
             }
 
             /// # Safety
-            /// Caller must have verified the module's ISA at runtime.
+            ///
+            /// The running CPU must provide this module's target
+            /// features — the *only* precondition. The body is the safe
+            /// [`kern::scale_all`] recompiled under wider codegen:
+            /// bounds checks remain, no alignment obligations arise,
+            /// so unavailable instructions are the sole UB hazard.
             #[target_feature(enable = $features)]
             pub unsafe fn scale_all(re: &mut [f64], im: &mut [f64], s_n: usize, inv: &[f64]) {
                 kern::scale_all(re, im, s_n, inv);
             }
 
             /// # Safety
-            /// Caller must have verified the module's ISA at runtime.
+            ///
+            /// The running CPU must provide this module's target
+            /// features — the *only* precondition. The body is the safe
+            /// [`kern::diag_expect_all`] recompiled under wider codegen:
+            /// bounds checks remain, no alignment obligations arise,
+            /// so unavailable instructions are the sole UB hazard.
             #[target_feature(enable = $features)]
             pub unsafe fn diag_expect_all(
                 out: &mut [f64],
@@ -661,10 +698,22 @@ macro_rules! kernel {
         #[cfg(target_arch = "x86_64")]
         {
             match $lanes {
-                // SAFETY: the wide variants are only constructed after
-                // their `is_x86_feature_detected!` probes passed.
-                Lanes::Avx512 => unsafe { kern_avx512::$name($($arg),*) },
-                Lanes::Avx2 => unsafe { kern_avx2::$name($($arg),*) },
+                Lanes::Avx512 => {
+                    // SAFETY: `Lanes::Avx512` is only ever constructed by
+                    // `lane_isa` after `is_x86_feature_detected!` confirmed
+                    // avx512f, avx512vl, and avx512dq on this CPU — the
+                    // wrapper's sole precondition (its body is the safe
+                    // `kern` kernel; see the `lane_module!` contracts).
+                    unsafe { kern_avx512::$name($($arg),*) }
+                }
+                Lanes::Avx2 => {
+                    // SAFETY: `Lanes::Avx2` is only ever constructed by
+                    // `lane_isa` after `is_x86_feature_detected!` confirmed
+                    // avx2 on this CPU — the wrapper's sole precondition
+                    // (its body is the safe `kern` kernel; see the
+                    // `lane_module!` contracts).
+                    unsafe { kern_avx2::$name($($arg),*) }
+                }
                 Lanes::Baseline => kern::$name($($arg),*),
             }
         }
@@ -832,8 +881,10 @@ impl ReplayBatch {
         assert_eq!(program.n_qubits(), self.n_qubits, "batch width");
         assert_eq!(seeds.len(), self.n_shots, "one seed per resident shot");
         self.rngs.clear();
-        self.rngs
-            .extend(seeds.iter().map(|&s| StdRng::seed_from_u64(s)));
+        // hgp-analysis: allow(d2) -- `seeds` are caller-supplied leaf seeds; the
+        // replay engine derives them per shot via `stream_seed(mix64(base), i)`.
+        let rngs = seeds.iter().map(|&s| StdRng::seed_from_u64(s));
+        self.rngs.extend(rngs);
         self.reset_zero();
         for op in &program.ops {
             match op {

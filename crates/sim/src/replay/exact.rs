@@ -195,6 +195,8 @@ impl DenseOp {
                 for (r, &off) in self.offs.iter().enumerate() {
                     let mut acc = Complex64::ZERO;
                     for (c, &v) in vin.iter().enumerate() {
+                        // hgp-analysis: allow(d4) -- this fused chain IS the
+                        // pinned reference arithmetic the parity tests fix.
                         acc = m[(r, c)].mul_add(v, acc);
                     }
                     chunk[(base + off - row0) * dim + col] = acc;
@@ -214,6 +216,8 @@ impl DenseOp {
                 for (cp, &off) in self.offs.iter().enumerate() {
                     let mut acc = Complex64::ZERO;
                     for (c, &v) in vin.iter().enumerate() {
+                        // hgp-analysis: allow(d4) -- this fused chain IS the
+                        // pinned reference arithmetic the parity tests fix.
                         acc = m[(cp, c)].conj().mul_add(v, acc);
                     }
                     row[base + off] = acc;
@@ -244,7 +248,10 @@ impl DenseOp {
             for col in 0..dim {
                 let v0 = chunk[lo + col];
                 let v1 = chunk[hi + col];
+                // hgp-analysis: allow(d4) -- this fused chain IS the pinned
+                // reference arithmetic the parity tests fix.
                 chunk[lo + col] = m01.mul_add(v1, m00.mul_add(v0, Complex64::ZERO));
+                // hgp-analysis: allow(d4) -- same pinned reference chain.
                 chunk[hi + col] = m11.mul_add(v1, m10.mul_add(v0, Complex64::ZERO));
             }
         }
@@ -258,7 +265,10 @@ impl DenseOp {
                 }
                 let v0 = row[base];
                 let v1 = row[base + bit];
+                // hgp-analysis: allow(d4) -- this fused chain IS the pinned
+                // reference arithmetic the parity tests fix.
                 row[base] = c01.mul_add(v1, c00.mul_add(v0, Complex64::ZERO));
+                // hgp-analysis: allow(d4) -- same pinned reference chain.
                 row[base + bit] = c11.mul_add(v1, c10.mul_add(v0, Complex64::ZERO));
             }
         }
@@ -378,6 +388,8 @@ impl SuperOp {
                 for (o, slot) in out.iter_mut().enumerate().take(entries) {
                     let mut acc = Complex64::ZERO;
                     for t in self.starts[o] as usize..self.starts[o + 1] as usize {
+                        // hgp-analysis: allow(d4) -- this fused chain IS the
+                        // pinned reference arithmetic the parity tests fix.
                         acc = self.coef[t].mul_add(v[self.idx[t] as usize], acc);
                     }
                     *slot = acc;
@@ -445,6 +457,9 @@ impl KrausBlocks {
                         for c in 0..block {
                             let mut s = Complex64::ZERO;
                             for r in 0..block {
+                                // hgp-analysis: allow(d4) -- this fused chain IS
+                                // the pinned reference arithmetic the parity
+                                // tests fix.
                                 s = k[(a, r)].mul_add(b[r * block + c], s);
                             }
                             kb[a * block + c] = s;
@@ -455,6 +470,9 @@ impl KrausBlocks {
                         for bp in 0..block {
                             let mut s = acc[a * block + bp];
                             for c in 0..block {
+                                // hgp-analysis: allow(d4) -- this fused chain IS
+                                // the pinned reference arithmetic the parity
+                                // tests fix.
                                 s = k[(bp, c)].conj().mul_add(kb[a * block + c], s);
                             }
                             acc[a * block + bp] = s;

@@ -45,6 +45,26 @@ pub fn stream_seed(base: u64, stream: u64) -> u64 {
     base.wrapping_add(stream)
 }
 
+/// The SplitMix64 finalizer: a bijective avalanche mixer separating
+/// nearby ensemble bases into unrelated seed streams.
+///
+/// Trajectory ensembles root their per-shot seed streams at
+/// `mix64(base)` rather than `base`: ensembles rooted at nearby bases
+/// (consecutive serve job ids, say) would otherwise share almost all
+/// of their trajectory seeds — `base + i` and `(base + 1) + (i - 1)`
+/// collide — and their aggregated statistics would be spuriously
+/// identical. Both trajectory engines ([`crate::TrajectoryEngine`] and
+/// [`crate::ReplayEngine`]) derive their streams through this exact
+/// function, which is what keeps them interchangeable mid-stream.
+#[inline]
+#[must_use]
+pub fn mix64(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -249,6 +249,8 @@ impl StateVector {
             for r in 0..block {
                 let mut acc = Complex64::ZERO;
                 for (c, &ci) in idx.iter().enumerate() {
+                    // hgp-analysis: allow(d4) -- this fused chain IS the pinned
+                    // reference arithmetic the parity tests fix.
                     acc = op[(r, c)].mul_add(self.amps[ci], acc);
                 }
                 total += acc.norm_sqr();

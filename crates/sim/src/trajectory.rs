@@ -64,7 +64,7 @@ use hgp_math::{Complex64, Matrix};
 
 use crate::backend::SimBackend;
 use crate::counts::Counts;
-use crate::seed::stream_seed;
+use crate::seed::{mix64, stream_seed};
 use crate::statevector::StateVector;
 
 /// `true` when `m` is exactly the identity (bitwise `1.0`/`0.0`
@@ -442,6 +442,8 @@ impl TrajectoryProgram {
 
     /// Runs one seeded trajectory from `|0...0>`.
     pub fn run_trajectory(&self, seed: u64) -> StateVector {
+        // hgp-analysis: allow(d2) -- `seed` is a caller-supplied leaf seed; the
+        // ensemble engines derive theirs via `stream_seed(mix64(base), i)`.
         let mut rng = StdRng::seed_from_u64(seed);
         self.run_with_rng(&mut rng)
     }
@@ -572,6 +574,8 @@ impl TrajectoryEngine {
         let outcomes: Vec<usize> = (0..self.n_trajectories)
             .into_par_iter()
             .map(|i| {
+                // hgp-analysis: allow(d2) -- `trajectory_seed` is
+                // `stream_seed(mix64(base), i)`: pure in (base, i).
                 let mut rng = StdRng::seed_from_u64(self.trajectory_seed(i));
                 let psi = program.run_with_rng(&mut rng);
                 let bits = draw_outcome(&psi, &mut rng);
@@ -584,16 +588,6 @@ impl TrajectoryEngine {
         }
         counts
     }
-}
-
-/// The SplitMix64 finalizer: a bijective avalanche mixer separating
-/// nearby ensemble bases into unrelated seed streams. Shared with the
-/// replay engine, whose seed stream must be bit-compatible.
-pub(crate) fn mix64(z: u64) -> u64 {
-    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Draws one basis state from `|psi|^2` (renormalized against the tiny

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Gate-level compilation passes (the paper's "Step II").
 //!
 //! The hybrid gate-pulse workflow applies gate-level optimization to the

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # hybrid-gate-pulse
 //!
 //! A from-scratch Rust reproduction of **"Hybrid Gate-Pulse Model for
