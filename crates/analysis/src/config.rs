@@ -42,6 +42,16 @@ pub struct Config {
     /// every occurrence must be annotated as part of a pinned chain.
     pub pinned_paths: Vec<String>,
 
+    /// The replay kernel modules (**D6**): the hot inner loops whose
+    /// per-op work must be identical whether or not profiling is
+    /// enabled. Rule D3 already bans `Instant`/`SystemTime` here; D6
+    /// goes further and bans *any* timing-shaped call (`now`,
+    /// `elapsed`, `duration_since`, even through an abstract clock
+    /// handle), because the blessed pattern is to route measurement
+    /// through `hgp_obs::timed` at the call boundary, keeping the
+    /// kernels themselves free of time entirely.
+    pub replay_kernel_paths: Vec<String>,
+
     /// Modules allowed to spawn OS threads (**D5**). Everything else
     /// rides the shared rayon pool, whose deterministic block
     /// partitioning is what the replay determinism proofs assume.
@@ -63,6 +73,10 @@ impl Default for Config {
             wallclock_exempt: s(&[
                 // The bench crate exists to measure wall time.
                 "crates/bench/",
+                // The observability crate owns the single `Instant`
+                // read (`hgp_obs::timed`) that every profiling hook
+                // funnels through; results never flow through it.
+                "crates/obs/",
                 // The serving front end's stage clocks (queue wait,
                 // validate/compile/bind/execute splits) feed ServeMetrics;
                 // results never depend on them.
@@ -75,6 +89,11 @@ impl Default for Config {
             // bit-parity pin against a reference implementation
             // (kernels/replay/batch/exact parity proptests).
             pinned_paths: s(&["crates/sim/src/"]),
+            replay_kernel_paths: s(&[
+                "crates/sim/src/kernels.rs",
+                "crates/sim/src/replay.rs",
+                "crates/sim/src/replay/",
+            ]),
             spawn_allowed: s(&[
                 "crates/serve/src/daemon.rs",
                 "crates/serve/src/service.rs",

@@ -15,6 +15,8 @@ pub enum Rule {
     D4,
     /// `thread::spawn` only in the serving front-end modules.
     D5,
+    /// No timing calls of any shape inside the pinned replay kernels.
+    D6,
     /// Every `unsafe` must be preceded by a `// SAFETY:` comment.
     U1,
     /// `#[target_feature]` fns only callable through a dispatch macro.
@@ -28,12 +30,13 @@ pub enum Rule {
 impl Rule {
     /// All checkable rules, in report order (excludes [`Rule::Allow`],
     /// which only ever fires on allowlist hygiene).
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
         Rule::D4,
         Rule::D5,
+        Rule::D6,
         Rule::U1,
         Rule::U2,
         Rule::L1,
@@ -47,6 +50,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::D6 => "D6",
             Rule::U1 => "U1",
             Rule::U2 => "U2",
             Rule::L1 => "L1",
@@ -62,6 +66,7 @@ impl Rule {
             Rule::D3 => "no wall-clock (Instant/SystemTime) outside the timing-exempt modules",
             Rule::D4 => "no mul_add/FMA in bit-parity-pinned modules unless annotated",
             Rule::D5 => "thread::spawn only in the serving front-end modules (rayon pool elsewhere)",
+            Rule::D6 => "no timing calls (now/elapsed/duration_since, any clock) inside the pinned replay kernels",
             Rule::U1 => "every `unsafe` is preceded by a // SAFETY: justification",
             Rule::U2 => "#[target_feature] kernels are only reached through the dispatch macro",
             Rule::L1 => "crate headers: #![forbid(unsafe_code)] / #![deny(unsafe_op_in_unsafe_fn)]",
@@ -77,6 +82,7 @@ impl Rule {
             "d3" => Some(Rule::D3),
             "d4" => Some(Rule::D4),
             "d5" => Some(Rule::D5),
+            "d6" => Some(Rule::D6),
             "u1" => Some(Rule::U1),
             "u2" => Some(Rule::U2),
             "l1" => Some(Rule::L1),

@@ -17,6 +17,7 @@ pub fn run_all(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
         d3_wall_clock(file, cfg, &mut out);
         d4_fma(file, cfg, &mut out);
         d5_thread_spawn(file, cfg, &mut out);
+        d6_kernel_timing(file, cfg, &mut out);
         u1_safety_comments(file, &mut out);
     }
     u2_target_feature_dispatch(ws, cfg, &mut out);
@@ -197,6 +198,34 @@ fn d5_thread_spawn(file: &FileScan, cfg: &Config, out: &mut Vec<Finding>) {
                     ),
                 ));
             }
+        }
+    }
+}
+
+/// **D6** — timing calls inside the pinned replay kernel modules. D3
+/// catches the std wall-clock *types*; this pass catches the *shape* of
+/// a timing call — `now`, `elapsed`, `duration_since`, on any receiver,
+/// including an injected clock abstraction. The replay kernels must do
+/// identical per-op work with profiling on or off (the bit-parity tests
+/// assert it), so measurement belongs to `hgp_obs::timed` wrapping the
+/// kernel from outside, never to the kernel body.
+fn d6_kernel_timing(file: &FileScan, cfg: &Config, out: &mut Vec<Finding>) {
+    if !Config::path_in(&file.path, &cfg.replay_kernel_paths) {
+        return;
+    }
+    const TIMING_IDENTS: [&str; 5] = ["Instant", "SystemTime", "elapsed", "now", "duration_since"];
+    for (_, tok) in file.code_tokens() {
+        if tok.kind == TokenKind::Ident && TIMING_IDENTS.contains(&tok.text.as_str()) {
+            out.push(finding(
+                file,
+                tok.line,
+                Rule::D6,
+                format!(
+                    "timing call `{}` inside a pinned replay kernel module; kernels must be \
+                     time-free — wrap the kernel in `hgp_obs::timed` at the call boundary instead",
+                    tok.text
+                ),
+            ));
         }
     }
 }

@@ -80,6 +80,16 @@ fn d5_thread_spawn() {
 }
 
 #[test]
+fn d6_timing_in_kernels() {
+    assert_rule_pair(Rule::D6, "d6_fail", "d6_pass");
+    // Every finding in the failing fixture is D6 alone: the abstract
+    // clock carries no `Instant`/`SystemTime` token, so D3 stays quiet
+    // while the call *shape* (`now`) still trips the kernel rule.
+    let failing = report("d6_fail");
+    assert_eq!(failing.findings.len(), 3, "trait decl + two call sites");
+}
+
+#[test]
 fn u1_safety_comments() {
     assert_rule_pair(Rule::U1, "u1_fail", "u1_pass");
 }

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! D6 fail: a replay kernel timing itself through an abstract clock.
+
+pub mod replay;

@@ -1,0 +1,16 @@
+//! A replay kernel that smuggles timing in through a clock handle,
+//! dodging D3 (no `Instant`/`SystemTime` token in sight) but not D6.
+
+pub trait Clock {
+    type Stamp;
+    fn now(&self) -> Self::Stamp;
+}
+
+pub fn apply_diag_run<C: Clock>(clock: &C, amps: &mut [f64], phases: &[f64]) -> C::Stamp {
+    let start = clock.now();
+    for (a, p) in amps.iter_mut().zip(phases) {
+        *a *= p.cos();
+    }
+    let _ = start;
+    clock.now()
+}

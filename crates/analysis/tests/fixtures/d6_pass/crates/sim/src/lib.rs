@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+//! D6 pass: the replay kernel is time-free; measurement wraps it from
+//! outside via `hgp_obs::timed` at the call boundary.
+
+pub mod replay;

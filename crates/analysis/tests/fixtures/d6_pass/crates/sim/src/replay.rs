@@ -1,0 +1,8 @@
+//! A time-free replay kernel: identical per-op work whether or not the
+//! caller is profiling, because the caller times the whole call.
+
+pub fn apply_diag_run(amps: &mut [f64], phases: &[f64]) {
+    for (a, p) in amps.iter_mut().zip(phases) {
+        *a *= p.cos();
+    }
+}

@@ -45,8 +45,8 @@ use hgp_noise::{NoiseModel, ReadoutModel};
 use hgp_pulse::propagator::{drive_propagator, virtual_z};
 use hgp_pulse::Waveform;
 use hgp_sim::{
-    Counts, DensityMatrix, ExactReplayEngine, ExactReplayProgram, ReplayEngine, ReplayProgram,
-    SimBackend, TrajectoryProgram,
+    Counts, DensityMatrix, ExactReplayEngine, ExactReplayProgram, NoProfile, ProfileSink,
+    ReplayEngine, ReplayProgram, SimBackend, TrajectoryProgram,
 };
 
 use crate::program::{BlockKind, Program, ProgramOp};
@@ -209,7 +209,21 @@ impl<'a> Executor<'a> {
     /// diagonal runs and unitary applications, ≤ 1e-12 elementwise for
     /// resolved multi-Kraus channels — see `hgp_sim::replay::exact`).
     pub fn run_exact_replay(&self, tape: &ExactReplayProgram) -> DensityMatrix {
-        ExactReplayEngine::evolve(tape)
+        self.run_exact_replay_profiled(tape, &NoProfile)
+    }
+
+    /// [`Executor::run_exact_replay`] with an opt-in
+    /// [`hgp_sim::ProfileSink`] attributing per-op-kind wall time (see
+    /// `hgp_sim::replay::exact`); the evolved state is bit-identical
+    /// for any sink.
+    pub fn run_exact_replay_profiled<P: ProfileSink>(
+        &self,
+        tape: &ExactReplayProgram,
+        sink: &P,
+    ) -> DensityMatrix {
+        let mut engine = ExactReplayEngine::for_program(tape);
+        engine.run_profiled(tape, sink);
+        engine.into_state()
     }
 
     /// Walks the ASAP schedule into an arbitrary sink — the entry point
@@ -460,8 +474,29 @@ impl<'a> Executor<'a> {
     ///
     /// Panics if `shots` is zero.
     pub fn sample_replay(&self, replay: &ReplayProgram, shots: usize, seed: u64) -> Counts {
-        ReplayEngine::new(shots, seed)
-            .sample_counts_with_batched(replay, |bits, rng| self.readout.corrupt_bits(bits, rng))
+        self.sample_replay_profiled(replay, shots, seed, &NoProfile)
+    }
+
+    /// [`Executor::sample_replay`] with an opt-in
+    /// [`hgp_sim::ProfileSink`] attributing per-op-kind wall time
+    /// inside the batched replay; counts are bit-identical for any
+    /// sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots` is zero.
+    pub fn sample_replay_profiled<P: ProfileSink>(
+        &self,
+        replay: &ReplayProgram,
+        shots: usize,
+        seed: u64,
+        sink: &P,
+    ) -> Counts {
+        ReplayEngine::new(shots, seed).sample_counts_with_batched_profiled(
+            replay,
+            |bits, rng| self.readout.corrupt_bits(bits, rng),
+            sink,
+        )
     }
 
     /// Estimates a noisy expectation value from `n_trajectories`
@@ -503,7 +538,26 @@ impl<'a> Executor<'a> {
         n_trajectories: usize,
         seed: u64,
     ) -> (f64, f64) {
-        ReplayEngine::new(n_trajectories, seed).expectation_with_error_batched(replay, observable)
+        self.expectation_replay_profiled(replay, observable, n_trajectories, seed, &NoProfile)
+    }
+
+    /// [`Executor::expectation_replay`] with an opt-in
+    /// [`hgp_sim::ProfileSink`] (see
+    /// [`Executor::sample_replay_profiled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trajectories` is zero.
+    pub fn expectation_replay_profiled<P: ProfileSink>(
+        &self,
+        replay: &ReplayProgram,
+        observable: &hgp_math::pauli::PauliSum,
+        n_trajectories: usize,
+        seed: u64,
+        sink: &P,
+    ) -> (f64, f64) {
+        ReplayEngine::new(n_trajectories, seed)
+            .expectation_with_error_batched_profiled(replay, observable, sink)
     }
 }
 

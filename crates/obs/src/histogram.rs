@@ -1,0 +1,234 @@
+//! Fixed-size log2 histograms for latency accounting.
+//!
+//! A [`Histogram`] has 64 buckets: bucket 0 holds exactly the value 0,
+//! and bucket `i >= 1` holds values `v` with `floor(log2(v)) == i - 1`,
+//! i.e. the half-open power-of-two range `[2^(i-1), 2^i)`. Values at or
+//! above `2^62` saturate into the last bucket. The bucketing path is
+//! pure integer arithmetic (a `leading_zeros` and a min), so recording
+//! is deterministic and [`Histogram::merge`] is exact: sharding a value
+//! stream across workers and merging the shards produces the identical
+//! histogram to recording them all in one, in any order.
+
+/// Number of buckets in every [`Histogram`].
+pub const BUCKETS: usize = 64;
+
+/// A fixed 64-bucket log2 histogram of `u64` samples (typically
+/// nanoseconds).
+///
+/// Tracks per-bucket counts plus the saturating total `sum` and
+/// `count`, which the Prometheus renderer exposes as `_sum`/`_count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index `value` falls into: 0 for 0, else
+    /// `min(63, floor(log2(value)) + 1)`. Integer-only.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            let floor_log2 = 63 - value.leading_zeros() as usize;
+            (floor_log2 + 1).min(BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `index`: 0 for bucket 0,
+    /// `2^index - 1` for interior buckets, `u64::MAX` for the last.
+    /// This is the value [`Histogram::quantile`] reports for a rank
+    /// landing in that bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    #[inline]
+    pub fn bucket_bound(index: usize) -> u64 {
+        assert!(index < BUCKETS, "bucket index out of range");
+        if index == BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Merges `other` into `self`. Exact: equivalent to having recorded
+    /// `other`'s samples here (bucket-wise; `sum` saturates).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The per-bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile sample
+    /// (0 if the histogram is empty). `q` is clamped to `[0, 1]`; the
+    /// rank is `ceil(q * count)` clamped to at least 1, and the walk
+    /// over cumulative bucket counts is integer-only, so the result is
+    /// an upper bound on the true quantile, exact up to bucket width
+    /// (~2x at this resolution).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil without going through a float product's edge cases at
+        // huge counts is not needed here: count fits f64's 2^53 integer
+        // range for any realistic sample volume.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(BUCKETS - 1)
+    }
+
+    /// Median upper bound. See [`Histogram::quantile`].
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile upper bound. See [`Histogram::quantile`].
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile upper bound. See [`Histogram::quantile`].
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Rebuilds a histogram from raw parts — the wire-codec entry
+    /// point. No consistency between `counts`, `count`, and `sum` is
+    /// enforced; callers deserializing untrusted input get exactly what
+    /// was sent.
+    pub fn from_parts(counts: [u64; BUCKETS], count: u64, sum: u64) -> Self {
+        Histogram { counts, count, sum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index((1 << 62) - 1), 62);
+        assert_eq!(Histogram::bucket_index(1 << 62), 63);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_ranges() {
+        for i in 0..BUCKETS {
+            let hi = Histogram::bucket_bound(i);
+            assert_eq!(Histogram::bucket_index(hi), i, "upper bound of {i}");
+            if i + 1 < BUCKETS {
+                assert_eq!(Histogram::bucket_index(hi + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        for v in [0u64, 1, 1, 7, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 101_109);
+        // Rank 4 of 7 lands in the bucket holding 7: [4, 8).
+        assert_eq!(h.p50(), 7);
+        // The max sample's bucket bound covers p99/p999.
+        assert_eq!(
+            h.p99(),
+            Histogram::bucket_bound(Histogram::bucket_index(100_000))
+        );
+        assert!(h.p999() >= h.p99());
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let values = [0u64, 3, 9, 9, 1 << 40, u64::MAX, 17];
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn from_parts_round_trips_accessors() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.record(0);
+        let rebuilt = Histogram::from_parts(*h.counts(), h.count(), h.sum());
+        assert_eq!(rebuilt, h);
+    }
+}

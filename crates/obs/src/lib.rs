@@ -1,0 +1,39 @@
+#![forbid(unsafe_code)]
+
+//! # hgp_obs — observability primitives for the serving stack
+//!
+//! Dependency-free building blocks the daemon, wire front end, and
+//! replay engines use to expose what they are doing without perturbing
+//! what they compute:
+//!
+//! - [`Histogram`]: fixed 64-bucket log2 latency histograms. Bucketing
+//!   is pure integer arithmetic (no floats), so recording the same
+//!   values in any order or sharding always produces the same
+//!   histogram — merge is exact, not approximate.
+//! - [`profile`]: opt-in per-op-kind profiling for the replay engines.
+//!   The [`profile::ProfileSink`] trait is monomorphized away: with
+//!   [`profile::NoProfile`] the hooks compile to nothing, so the
+//!   bit-parity-pinned hot paths are untouched when profiling is off.
+//!   [`profile::OpProfile`] accumulates call counts and nanoseconds per
+//!   [`profile::ReplayOpKind`] in relaxed atomics, so one sink can be
+//!   shared across a worker pool with no merge step.
+//! - [`trace`]: per-job span timelines ([`trace::JobTrace`]) collected
+//!   into a bounded [`trace::FlightRecorder`] ring buffer — the last N
+//!   completed jobs stay queryable after the fact (O(1) insert, so it
+//!   can live under the serving locks).
+//! - [`promtext`]: a Prometheus-style text renderer for counters,
+//!   gauges, and histograms, used by the `metrics_snapshot` wire op.
+//!
+//! This crate knows nothing about jobs, circuits, or sockets: the
+//! serving layer maps its own types onto these primitives (see
+//! `hgp_serve::metrics` and `hgp_serve::daemon`).
+
+pub mod histogram;
+pub mod profile;
+pub mod promtext;
+pub mod trace;
+
+pub use histogram::Histogram;
+pub use profile::{timed, NoProfile, OpProfile, OpProfileSnapshot, ProfileSink, ReplayOpKind};
+pub use promtext::PromText;
+pub use trace::{FlightRecorder, JobTrace, Span, SpanKind};

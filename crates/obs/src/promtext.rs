@@ -1,0 +1,197 @@
+//! A Prometheus-style text-format renderer.
+//!
+//! Renders counters, gauges, and [`Histogram`]s into the classic
+//! `text/plain; version=0.0.4` exposition format: `# HELP`/`# TYPE`
+//! headers per metric family, optional `{label="value"}` sets, and
+//! cumulative `_bucket{le="..."}` series plus `_sum`/`_count` for
+//! histograms. Output is fully deterministic: families appear in the
+//! order they were first emitted and labels in the order given.
+//!
+//! ```
+//! use hgp_obs::{Histogram, PromText};
+//!
+//! let mut h = Histogram::new();
+//! h.record(900);
+//! let mut out = PromText::new();
+//! out.counter("hgp_jobs_completed", "Jobs completed.", 3);
+//! out.histogram("hgp_exec_ns", "Execution latency (ns).", &[], &h);
+//! let text = out.finish();
+//! assert!(text.contains("# TYPE hgp_jobs_completed counter"));
+//! assert!(text.contains("hgp_exec_ns_bucket{le=\"1023\"} 1"));
+//! assert!(text.contains("hgp_exec_ns_count 1"));
+//! ```
+
+use crate::histogram::{Histogram, BUCKETS};
+
+/// An incremental text-format builder. See the module docs.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    last_family: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    fn header(&mut self, family: &str, help: &str, kind: &str) {
+        if self.last_family != family {
+            self.out.push_str("# HELP ");
+            self.out.push_str(family);
+            self.out.push(' ');
+            self.out.push_str(help);
+            self.out.push_str("\n# TYPE ");
+            self.out.push_str(family);
+            self.out.push(' ');
+            self.out.push_str(kind);
+            self.out.push('\n');
+            self.last_family = family.to_string();
+        }
+    }
+
+    fn labels(out: &mut String, labels: &[(&str, &str)]) {
+        if labels.is_empty() {
+            return;
+        }
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    _ => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+
+    fn sample(&mut self, family: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(family);
+        Self::labels(&mut self.out, labels);
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Emits one `counter` sample. The family header is written the
+    /// first time the family name appears; repeated calls with
+    /// different labels extend the same family.
+    pub fn counter_with(&mut self, family: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(family, help, "counter");
+        self.sample(family, labels, &value.to_string());
+    }
+
+    /// [`PromText::counter_with`] without labels.
+    pub fn counter(&mut self, family: &str, help: &str, value: u64) {
+        self.counter_with(family, help, &[], value);
+    }
+
+    /// Emits one `gauge` sample.
+    pub fn gauge_with(&mut self, family: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(family, help, "gauge");
+        self.sample(family, labels, &format!("{value}"));
+    }
+
+    /// [`PromText::gauge_with`] without labels.
+    pub fn gauge(&mut self, family: &str, help: &str, value: f64) {
+        self.gauge_with(family, help, &[], value);
+    }
+
+    /// Emits a [`Histogram`] as cumulative `_bucket{le="..."}` series
+    /// (empty buckets are skipped, except the mandatory `+Inf`),
+    /// followed by `_sum` and `_count`. Extra `labels` are prepended to
+    /// each bucket's `le` label.
+    pub fn histogram(&mut self, family: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.header(family, help, "histogram");
+        let bucket_family = format!("{family}_bucket");
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            let c = h.counts()[i];
+            cumulative += c;
+            if c == 0 {
+                continue;
+            }
+            if i == BUCKETS - 1 {
+                // Folded into the +Inf bucket below.
+                continue;
+            }
+            let le = Histogram::bucket_bound(i).to_string();
+            let mut all = labels.to_vec();
+            all.push(("le", &le));
+            self.sample(&bucket_family, &all, &cumulative.to_string());
+        }
+        let mut inf = labels.to_vec();
+        inf.push(("le", "+Inf"));
+        self.sample(&bucket_family, &inf, &h.count().to_string());
+        self.sample(&format!("{family}_sum"), labels, &h.sum().to_string());
+        self.sample(&format!("{family}_count"), labels, &h.count().to_string());
+    }
+
+    /// The rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_families() {
+        let mut p = PromText::new();
+        p.counter_with(
+            "hgp_admitted",
+            "Admitted jobs.",
+            &[("priority", "interactive")],
+            4,
+        );
+        p.counter_with(
+            "hgp_admitted",
+            "Admitted jobs.",
+            &[("priority", "batch")],
+            9,
+        );
+        p.gauge("hgp_queue_depth", "Queued jobs.", 2.0);
+        let text = p.finish();
+        // One header per family, two samples for the labeled counter.
+        assert_eq!(text.matches("# TYPE hgp_admitted counter").count(), 1);
+        assert!(text.contains("hgp_admitted{priority=\"interactive\"} 4"));
+        assert!(text.contains("hgp_admitted{priority=\"batch\"} 9"));
+        assert!(text.contains("hgp_queue_depth 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = Histogram::new();
+        h.record(1); // bucket 1, le 1
+        h.record(3); // bucket 2, le 3
+        h.record(3);
+        let mut p = PromText::new();
+        p.histogram("hgp_lat", "Latency.", &[], &h);
+        let text = p.finish();
+        assert!(text.contains("hgp_lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("hgp_lat_bucket{le=\"3\"} 3"));
+        assert!(text.contains("hgp_lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("hgp_lat_sum 7"));
+        assert!(text.contains("hgp_lat_count 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.counter_with("hgp_x", "X.", &[("k", "a\"b\\c\nd")], 1);
+        let text = p.finish();
+        assert!(text.contains("hgp_x{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Per-job span timelines and the flight recorder.
+//!
+//! A [`JobTrace`] is the ordered list of lifecycle [`Span`]s one job
+//! passed through — when it arrived, when it was validated and
+//! admitted, when compile/bind/execute finished, and when the result
+//! was delivered — with nanosecond timestamps on a single monotonic
+//! origin (the daemon's start instant). Completed traces land in a
+//! [`FlightRecorder`]: a bounded ring buffer of the last N jobs,
+//! O(1) per insert so it can live under the serving metrics lock, and
+//! queryable after the fact (the `trace_tail` wire op) to answer "why
+//! was *this* job slow" without any external tracing infrastructure.
+
+use std::collections::VecDeque;
+
+/// A job lifecycle stage, in canonical chain order.
+///
+/// The daemon records stages in the order they actually complete:
+/// `Enqueued` (request arrived) → `Validated` (structural checks done)
+/// → `Admitted` (id assigned, queued) → `Compiled` (artifact ready,
+/// hit or miss) → `Bound` (params substituted) → `Executed` →
+/// `Delivered` (result handed to the stream). Jobs that fail
+/// validation carry a truncated chain ending at `Delivered`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Request arrived at the submission boundary.
+    Enqueued,
+    /// Structural validation finished.
+    Validated,
+    /// Job id assigned and the job entered the priority queue.
+    Admitted,
+    /// Compiled artifact resolved (cache hit or fresh compile).
+    Compiled,
+    /// Parameters bound into the compiled template.
+    Bound,
+    /// Execution finished.
+    Executed,
+    /// Result delivered to the caller's stream.
+    Delivered,
+}
+
+impl SpanKind {
+    /// Number of kinds.
+    pub const COUNT: usize = 7;
+
+    /// All kinds, in canonical chain order.
+    pub const ALL: [SpanKind; SpanKind::COUNT] = [
+        SpanKind::Enqueued,
+        SpanKind::Validated,
+        SpanKind::Admitted,
+        SpanKind::Compiled,
+        SpanKind::Bound,
+        SpanKind::Executed,
+        SpanKind::Delivered,
+    ];
+
+    /// Stable snake_case name (wire field / label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Enqueued => "enqueued",
+            SpanKind::Validated => "validated",
+            SpanKind::Admitted => "admitted",
+            SpanKind::Compiled => "compiled",
+            SpanKind::Bound => "bound",
+            SpanKind::Executed => "executed",
+            SpanKind::Delivered => "delivered",
+        }
+    }
+
+    /// Inverse of [`SpanKind::name`].
+    pub fn parse(s: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// One completed stage: which, and when (nanoseconds since the trace
+/// origin — the daemon's start instant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The stage that completed.
+    pub kind: SpanKind,
+    /// Completion time, ns since the recorder's origin.
+    pub at_ns: u64,
+}
+
+/// The recorded timeline of one job.
+///
+/// `job_kind` and `priority` are dense indices owned by the serving
+/// layer (job-spec kind and priority class); this crate treats them as
+/// opaque labels so it stays dependency-free.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobTrace {
+    /// The job id.
+    pub job: u64,
+    /// Serving-layer job-kind index (see `hgp_serve` `JobSpec`).
+    pub job_kind: u32,
+    /// Serving-layer priority index (0 = most urgent).
+    pub priority: u32,
+    /// Trajectory shots this job executed (0 for exact jobs).
+    pub shots: u64,
+    /// Whether compile was served from the artifact cache.
+    pub cache_hit: bool,
+    /// Whether the job produced a result (false: failed, e.g. at
+    /// validation, with a truncated span chain).
+    pub ok: bool,
+    /// Completed stages, in completion order.
+    pub spans: Vec<Span>,
+}
+
+impl JobTrace {
+    /// The timestamp of the first span of `kind`, if recorded.
+    pub fn at(&self, kind: SpanKind) -> Option<u64> {
+        self.spans.iter().find(|s| s.kind == kind).map(|s| s.at_ns)
+    }
+
+    /// Whether every [`SpanKind`] is present exactly once with
+    /// non-decreasing timestamps in recorded order — the shape every
+    /// successfully served job must have.
+    pub fn is_complete_chain(&self) -> bool {
+        if self.spans.len() != SpanKind::COUNT {
+            return false;
+        }
+        let mut seen = [false; SpanKind::COUNT];
+        let mut last = 0u64;
+        for span in &self.spans {
+            let i = span.kind as usize;
+            if seen[i] || span.at_ns < last {
+                return false;
+            }
+            seen[i] = true;
+            last = span.at_ns;
+        }
+        true
+    }
+}
+
+/// A bounded ring buffer of the most recent [`JobTrace`]s.
+///
+/// Capacity 0 disables recording entirely (inserts are dropped and
+/// counted). Insertion is O(1): one `pop_front` + `push_back` on a
+/// pre-bounded `VecDeque`, cheap enough to sit under the daemon's
+/// metrics lock.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: VecDeque<JobTrace>,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` traces (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            recorded: 0,
+        }
+    }
+
+    /// Whether traces are being kept at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Traces currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no traces are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total traces ever offered via [`FlightRecorder::record`],
+    /// including those since evicted or dropped by a zero capacity.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Inserts a completed trace, evicting the oldest when full. O(1).
+    pub fn record(&mut self, trace: JobTrace) {
+        self.recorded += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(trace);
+    }
+
+    /// The most recent `n` traces, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<JobTrace> {
+        let take = n.min(self.buf.len());
+        self.buf
+            .iter()
+            .skip(self.buf.len() - take)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(job: u64) -> JobTrace {
+        let spans = SpanKind::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Span {
+                kind,
+                at_ns: 10 * (i as u64 + 1),
+            })
+            .collect();
+        JobTrace {
+            job,
+            job_kind: 2,
+            priority: 1,
+            shots: 64,
+            cache_hit: true,
+            ok: true,
+            spans,
+        }
+    }
+
+    #[test]
+    fn span_kind_names_round_trip() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SpanKind::parse("queued"), None);
+    }
+
+    #[test]
+    fn complete_chain_detection() {
+        let t = trace(1);
+        assert!(t.is_complete_chain());
+        assert_eq!(t.at(SpanKind::Enqueued), Some(10));
+        assert_eq!(t.at(SpanKind::Delivered), Some(70));
+
+        let mut missing = trace(2);
+        missing.spans.pop();
+        assert!(!missing.is_complete_chain());
+
+        let mut backwards = trace(3);
+        backwards.spans[3].at_ns = 1;
+        assert!(!backwards.is_complete_chain());
+
+        let mut duplicated = trace(4);
+        duplicated.spans[0].kind = SpanKind::Validated;
+        assert!(!duplicated.is_complete_chain());
+    }
+
+    #[test]
+    fn recorder_keeps_the_last_n() {
+        let mut rec = FlightRecorder::new(3);
+        assert!(rec.is_enabled());
+        for i in 0..5 {
+            rec.record(trace(i));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.recorded(), 5);
+        let tail = rec.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].job, 3);
+        assert_eq!(tail[1].job, 4);
+        assert_eq!(rec.tail(100).len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut rec = FlightRecorder::new(0);
+        assert!(!rec.is_enabled());
+        rec.record(trace(1));
+        assert!(rec.is_empty());
+        assert_eq!(rec.recorded(), 1);
+        assert!(rec.tail(10).is_empty());
+    }
+}

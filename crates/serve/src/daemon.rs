@@ -61,6 +61,7 @@ use hgp_circuit::Circuit;
 use hgp_core::compile::HybridShape;
 use hgp_device::Backend;
 use hgp_math::pauli::PauliSum;
+use hgp_obs::{FlightRecorder, JobTrace, NoProfile, OpProfile, OpProfileSnapshot, Span, SpanKind};
 use hgp_sim::seed::stream_seed;
 
 use crate::cache::ProgramCache;
@@ -86,16 +87,27 @@ pub struct DaemonConfig {
     /// Per-job admission bound on sampled shots / trajectories;
     /// larger requests are answered [`Rejected::TooLarge`].
     pub max_job_shots: u64,
+    /// Per-job [`JobTrace`]s kept in the flight recorder — the last N
+    /// jobs, oldest evicted first. Zero disables tracing entirely
+    /// (no spans are built, no recorder lock is taken).
+    pub trace_capacity: usize,
+    /// Whether workers accumulate per-op-kind engine profiles
+    /// ([`OpProfile`]). Off by default: the engines then run with the
+    /// compiled-out [`NoProfile`] sink, paying nothing.
+    pub profile: bool,
 }
 
 impl DaemonConfig {
     /// Defaults: [`ServeConfig::new`] service parameters, a
-    /// 1024-deep queue, and a 2^20 per-job shot bound.
+    /// 1024-deep queue, a 2^20 per-job shot bound, a 256-job flight
+    /// recorder, and engine profiling off.
     pub fn new(layout: Vec<usize>) -> Self {
         Self {
             service: ServeConfig::new(layout),
             max_queue_depth: 1024,
             max_job_shots: 1 << 20,
+            trace_capacity: 256,
+            profile: false,
         }
     }
 
@@ -138,6 +150,18 @@ impl DaemonConfig {
         self.max_job_shots = shots;
         self
     }
+
+    /// Overrides the flight-recorder capacity; zero disables tracing.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables per-op-kind engine profiling.
+    pub fn with_profiling(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
+        self
+    }
 }
 
 /// A job sitting in the queue: admitted (id/seed fixed), waiting for a
@@ -146,7 +170,12 @@ struct QueuedJob {
     job: PreparedJob,
     program: JobProgram,
     key: u64,
+    priority: Priority,
     enqueued: Instant,
+    /// The partial trace (enqueued/validated/admitted spans); workers
+    /// complete and deliver it to the flight recorder. `None` when
+    /// tracing is disabled.
+    trace: Option<JobTrace>,
     tx: mpsc::Sender<JobResult>,
 }
 
@@ -187,7 +216,18 @@ struct Shared {
     /// Queue-depth gauge mirrored out of the queue lock so metrics
     /// snapshots never contend with admission.
     queue_depth: AtomicU64,
+    /// The last-N-jobs trace ring; capacity 0 when tracing is off.
+    recorder: Mutex<FlightRecorder>,
+    /// Per-op-kind engine profile all workers share; `None` means the
+    /// engines run with the compiled-out [`NoProfile`] sink.
+    profile: Option<OpProfile>,
     started: Instant,
+}
+
+/// Nanoseconds since the daemon started — the clock all trace spans
+/// share. Monotonic, so span chains are non-decreasing by construction.
+fn now_ns(shared: &Shared) -> u64 {
+    shared.started.elapsed().as_nanos() as u64
 }
 
 /// Locks a mutex, recovering from poisoning.
@@ -338,6 +378,8 @@ impl Daemon {
         assert!(config.max_queue_depth > 0, "queue depth must be positive");
         let cache = ProgramCache::new(config.service.cache_capacity);
         let workers = config.service.workers;
+        let recorder = FlightRecorder::new(config.trace_capacity);
+        let profile = config.profile.then(OpProfile::new);
         let shared = Arc::new(Shared {
             backend,
             config,
@@ -351,6 +393,8 @@ impl Daemon {
             cache: Mutex::new(cache),
             metrics: Mutex::new(ServeMetrics::default()),
             queue_depth: AtomicU64::new(0),
+            recorder: Mutex::new(recorder),
+            profile,
             started: Instant::now(),
         });
         let handles = (0..workers)
@@ -383,6 +427,23 @@ impl Daemon {
         snapshot.wall_ns = self.shared.started.elapsed().as_nanos() as u64;
         snapshot.queue_depth = self.shared.queue_depth.load(Ordering::Relaxed);
         snapshot
+    }
+
+    /// The last `n` completed job traces from the flight recorder,
+    /// oldest first. Empty when tracing is disabled
+    /// ([`DaemonConfig::trace_capacity`] of zero).
+    pub fn trace_tail(&self, n: usize) -> Vec<JobTrace> {
+        lock(&self.shared.recorder).tail(n)
+    }
+
+    /// The cumulative per-op-kind engine profile. All-zero (default)
+    /// when profiling is disabled ([`DaemonConfig::profile`] false).
+    pub fn profile_snapshot(&self) -> OpProfileSnapshot {
+        self.shared
+            .profile
+            .as_ref()
+            .map(OpProfile::snapshot)
+            .unwrap_or_default()
     }
 
     /// Submits one job; a group of one — see [`Daemon::submit_group`].
@@ -443,11 +504,21 @@ impl Daemon {
         }
         // Validation is pure in the request, so it can run before the
         // queue lock; failures still consume stream positions below.
-        let t_validate = Instant::now();
-        let validations: Vec<Result<(), JobError>> =
-            requests.iter().map(validate_request).collect();
-        let validate_ns = t_validate.elapsed().as_nanos() as u64;
-        let n_valid = validations.iter().filter(|v| v.is_ok()).count();
+        // Timed per job so the validate histogram sees one sample per
+        // request, not one per group.
+        let enqueued_ns = now_ns(&self.shared);
+        let validations: Vec<(Result<(), JobError>, u64)> = requests
+            .iter()
+            .map(|request| {
+                let t0 = Instant::now();
+                let validation = validate_request(request);
+                (validation, t0.elapsed().as_nanos() as u64)
+            })
+            .collect();
+        let validate_ns: u64 = validations.iter().map(|(_, ns)| ns).sum();
+        let validate_samples: Vec<u64> = validations.iter().map(|(_, ns)| *ns).collect();
+        let n_valid = validations.iter().filter(|(v, _)| v.is_ok()).count();
+        let tracing = self.shared.config.trace_capacity > 0;
 
         let (tx, rx) = mpsc::channel();
         let mut ids = Vec::with_capacity(requests.len());
@@ -468,7 +539,8 @@ impl Daemon {
                     limit: config.max_queue_depth,
                 });
             }
-            for (index, (request, validation)) in requests.into_iter().zip(validations).enumerate()
+            for (index, (request, (validation, validate_job_ns))) in
+                requests.into_iter().zip(validations).enumerate()
             {
                 let id = JobId(queue.next_job);
                 queue.next_job += 1;
@@ -476,6 +548,24 @@ impl Daemon {
                     .seed
                     .unwrap_or_else(|| stream_seed(config.service.base_seed, id.0));
                 ids.push(id);
+                let trace = tracing.then(|| JobTrace {
+                    job: id.0,
+                    job_kind: request.spec.kind_index() as u32,
+                    priority: priority.index() as u32,
+                    shots: requested_shots(&request.spec),
+                    cache_hit: false,
+                    ok: false,
+                    spans: vec![
+                        Span {
+                            kind: SpanKind::Enqueued,
+                            at_ns: enqueued_ns,
+                        },
+                        Span {
+                            kind: SpanKind::Validated,
+                            at_ns: enqueued_ns + validate_job_ns,
+                        },
+                    ],
+                });
                 let job = PreparedJob {
                     index,
                     id,
@@ -487,15 +577,33 @@ impl Daemon {
                     Err(error) => {
                         // Answered immediately through the stream; the
                         // position is consumed, the queue never sees it.
+                        // Its trace is a truncated chain: rejected at
+                        // validation, delivered, never scheduled.
                         let _ = tx.send(job.failed(error));
+                        if let Some(mut trace) = trace {
+                            trace.spans.push(Span {
+                                kind: SpanKind::Delivered,
+                                at_ns: now_ns(&self.shared),
+                            });
+                            lock(&self.shared.recorder).record(trace);
+                        }
                     }
                     Ok(()) => {
                         let key = request.program.structural_key();
+                        let trace = trace.map(|mut trace| {
+                            trace.spans.push(Span {
+                                kind: SpanKind::Admitted,
+                                at_ns: now_ns(&self.shared),
+                            });
+                            trace
+                        });
                         queue.classes[priority.index()].push_back(QueuedJob {
                             job,
                             program: request.program,
                             key,
+                            priority,
                             enqueued: Instant::now(),
+                            trace,
                             tx: tx.clone(),
                         });
                         queue.depth += 1;
@@ -511,6 +619,9 @@ impl Daemon {
             let mut metrics = lock(&self.shared.metrics);
             metrics.admitted[priority.index()] += ids.len() as u64;
             metrics.validate_ns += validate_ns;
+            for ns in validate_samples {
+                metrics.validate_hist.record(ns);
+            }
             metrics.batches += 1;
             // Immediately-failed validations never reach a worker, so
             // account for them here.
@@ -694,17 +805,47 @@ fn worker_loop(shared: &Shared) {
         };
 
         let shots = trajectory_shots(&queued.job.spec);
+        let kind = queued.job.spec.kind_index();
+        let priority = queued.priority;
+        let mut trace = queued.trace;
+        if let Some(trace) = &mut trace {
+            trace.cache_hit = cache_hit;
+            trace.spans.push(Span {
+                kind: SpanKind::Compiled,
+                at_ns: now_ns(shared),
+            });
+        }
+        // Bind/execute boundaries are reconstructed from the worker
+        // core's timings: the bind span closes `bind_ns` into the
+        // execution window, the executed span closes the whole window.
+        let exec_start_ns = now_ns(shared);
         let (result, bind_ns) = match artifact {
-            Ok(artifact) => execute_job(&shared.backend, &artifact, cache_hit, queued.job),
+            Ok(artifact) => match &shared.profile {
+                Some(profile) => {
+                    execute_job(&shared.backend, &artifact, cache_hit, queued.job, profile)
+                }
+                None => execute_job(
+                    &shared.backend,
+                    &artifact,
+                    cache_hit,
+                    queued.job,
+                    &NoProfile,
+                ),
+            },
             Err(error) => (queued.job.failed(error), 0),
         };
+        let exec_ns = result.elapsed_ns.saturating_sub(bind_ns);
 
         {
             let mut metrics = lock(&shared.metrics);
             metrics.queue_ns += queue_ns;
             metrics.compile_ns += compile_ns;
             metrics.bind_ns += bind_ns;
-            metrics.exec_ns += result.elapsed_ns.saturating_sub(bind_ns);
+            metrics.exec_ns += exec_ns;
+            if !cache_hit {
+                metrics.compile_hist.record(compile_ns);
+            }
+            metrics.record_job_stages(Some(queue_ns), bind_ns, exec_ns, priority, kind);
             metrics.jobs_completed += 1;
             if result.output.is_err() {
                 metrics.jobs_failed += 1;
@@ -716,6 +857,29 @@ fn worker_loop(shared: &Shared) {
             metrics.cache_misses = cache.misses();
         }
 
+        if let Some(trace) = &mut trace {
+            trace.ok = result.output.is_ok();
+            trace.spans.push(Span {
+                kind: SpanKind::Bound,
+                at_ns: exec_start_ns + bind_ns,
+            });
+            trace.spans.push(Span {
+                kind: SpanKind::Executed,
+                at_ns: exec_start_ns + result.elapsed_ns,
+            });
+        }
+
+        // The trace enters the recorder *before* the result reaches the
+        // stream: a client that has seen a job's result is guaranteed to
+        // find its trace in the flight recorder. The delivered span is
+        // therefore stamped as the result is handed off.
+        if let Some(mut trace) = trace {
+            trace.spans.push(Span {
+                kind: SpanKind::Delivered,
+                at_ns: now_ns(shared),
+            });
+            lock(&shared.recorder).record(trace);
+        }
         // The receiver may be long gone (client disconnected, stream
         // dropped); that discards this result and nothing else.
         let _ = queued.tx.send(result);

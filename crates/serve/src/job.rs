@@ -263,6 +263,48 @@ pub enum JobSpec {
 }
 
 impl JobSpec {
+    /// Number of job kinds ([`JobSpec`] variants) — the dimension of
+    /// the per-kind metrics arrays.
+    pub const KIND_COUNT: usize = 10;
+
+    /// Stable snake_case names per kind, indexed by
+    /// [`JobSpec::kind_index`]; used as Prometheus label values and
+    /// trace annotations.
+    pub const KIND_NAMES: [&'static str; JobSpec::KIND_COUNT] = [
+        "state_vector",
+        "density_matrix",
+        "counts",
+        "expectation",
+        "trajectory_counts",
+        "trajectory_expectation",
+        "hybrid_counts",
+        "hybrid_expectation",
+        "hybrid_trajectory_counts",
+        "hybrid_trajectory_expectation",
+    ];
+
+    /// Dense index of this spec's kind (variant), used by the per-kind
+    /// metrics histograms and job traces.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            JobSpec::StateVector => 0,
+            JobSpec::DensityMatrix => 1,
+            JobSpec::Counts { .. } => 2,
+            JobSpec::Expectation { .. } => 3,
+            JobSpec::TrajectoryCounts { .. } => 4,
+            JobSpec::TrajectoryExpectation { .. } => 5,
+            JobSpec::HybridCounts { .. } => 6,
+            JobSpec::HybridExpectation { .. } => 7,
+            JobSpec::HybridTrajectoryCounts { .. } => 8,
+            JobSpec::HybridTrajectoryExpectation { .. } => 9,
+        }
+    }
+
+    /// The stable name of this spec's kind.
+    pub fn kind_name(&self) -> &'static str {
+        JobSpec::KIND_NAMES[self.kind_index()]
+    }
+
     /// Whether this spec executes a hybrid gate-pulse program (and thus
     /// requires a [`JobProgram::Hybrid`] payload).
     pub fn is_hybrid(&self) -> bool {

@@ -37,6 +37,7 @@ use hgp_core::compile::HybridShape;
 use hgp_core::models::GateModelOptions;
 use hgp_graph::Graph;
 use hgp_math::pauli::{Pauli, PauliString, PauliSum};
+use hgp_obs::{Histogram, JobTrace, OpProfileSnapshot, Span, SpanKind};
 use hgp_sim::Counts;
 
 use crate::job::{
@@ -1242,15 +1243,146 @@ fn u64_arr(values: &[u64]) -> Value {
     Value::Arr(values.iter().map(|&v| Value::from_u64(v)).collect())
 }
 
-fn u64_arr3(value: &Value) -> Result<[u64; 3], String> {
+fn u64_arr_n<const N: usize>(value: &Value) -> Result<[u64; N], String> {
     let items = value.as_arr()?;
-    if items.len() != 3 {
-        return Err(format!(
-            "per-priority counters have 3 entries, got {}",
-            items.len()
-        ));
+    if items.len() != N {
+        return Err(format!("expected {N} entries, got {}", items.len()));
     }
-    Ok([items[0].as_u64()?, items[1].as_u64()?, items[2].as_u64()?])
+    let mut out = [0u64; N];
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = item.as_u64()?;
+    }
+    Ok(out)
+}
+
+fn u64_arr3(value: &Value) -> Result<[u64; 3], String> {
+    u64_arr_n::<3>(value)
+}
+
+impl JsonCodec for Histogram {
+    fn to_json(&self) -> Value {
+        // Sparse encoding: only occupied buckets travel. A dense 64-slot
+        // array would dominate every metrics snapshot with zeros.
+        let buckets: Vec<Value> = self
+            .counts()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(i, &c)| Value::Arr(vec![Value::from_usize(i), Value::from_u64(c)]))
+            .collect();
+        obj(vec![
+            ("buckets", Value::Arr(buckets)),
+            ("count", Value::from_u64(self.count())),
+            ("sum", Value::from_u64(self.sum())),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let mut counts = [0u64; hgp_obs::histogram::BUCKETS];
+        for pair in value.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return Err("histogram buckets are [index, count] pairs".into());
+            }
+            let i = pair[0].as_usize()?;
+            *counts
+                .get_mut(i)
+                .ok_or_else(|| format!("histogram bucket index {i} out of range"))? =
+                pair[1].as_u64()?;
+        }
+        Ok(Histogram::from_parts(
+            counts,
+            value.get("count")?.as_u64()?,
+            value.get("sum")?.as_u64()?,
+        ))
+    }
+}
+
+impl JsonCodec for OpProfileSnapshot {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("calls", u64_arr(&self.calls)),
+            ("ns", u64_arr(&self.ns)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        Ok(OpProfileSnapshot {
+            calls: u64_arr_n(value.get("calls")?)?,
+            ns: u64_arr_n(value.get("ns")?)?,
+        })
+    }
+}
+
+impl JsonCodec for Span {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("kind", Value::Str(self.kind.name().into())),
+            ("at_ns", Value::from_u64(self.at_ns)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let kind = value.get("kind")?.as_str()?;
+        Ok(Span {
+            kind: SpanKind::parse(kind).ok_or_else(|| format!("unknown span kind {kind:?}"))?,
+            at_ns: value.get("at_ns")?.as_u64()?,
+        })
+    }
+}
+
+impl JsonCodec for JobTrace {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("job", Value::from_u64(self.job)),
+            ("job_kind", Value::from_u64(u64::from(self.job_kind))),
+            ("priority", Value::from_u64(u64::from(self.priority))),
+            ("shots", Value::from_u64(self.shots)),
+            ("cache_hit", Value::Bool(self.cache_hit)),
+            ("ok", Value::Bool(self.ok)),
+            (
+                "spans",
+                Value::Arr(self.spans.iter().map(JsonCodec::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let spans = value
+            .get("spans")?
+            .as_arr()?
+            .iter()
+            .map(Span::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let narrow = |v: u64, what: &str| -> Result<u32, String> {
+            u32::try_from(v).map_err(|_| format!("{what} {v} exceeds u32"))
+        };
+        Ok(JobTrace {
+            job: value.get("job")?.as_u64()?,
+            job_kind: narrow(value.get("job_kind")?.as_u64()?, "job_kind")?,
+            priority: narrow(value.get("priority")?.as_u64()?, "priority")?,
+            shots: value.get("shots")?.as_u64()?,
+            cache_hit: value.get("cache_hit")?.as_bool()?,
+            ok: value.get("ok")?.as_bool()?,
+            spans,
+        })
+    }
+}
+
+fn hist_arr(values: &[Histogram]) -> Value {
+    Value::Arr(values.iter().map(JsonCodec::to_json).collect())
+}
+
+fn hist_arr_n<const N: usize>(value: &Value) -> Result<[Histogram; N], String> {
+    let items = value.as_arr()?;
+    if items.len() != N {
+        return Err(format!("expected {N} histograms, got {}", items.len()));
+    }
+    let mut out: [Histogram; N] = std::array::from_fn(|_| Histogram::default());
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = Histogram::from_json(item)?;
+    }
+    Ok(out)
 }
 
 impl JsonCodec for ServeMetrics {
@@ -1273,6 +1405,13 @@ impl JsonCodec for ServeMetrics {
             ("rejected_full", u64_arr(&self.rejected_full)),
             ("rejected_large", u64_arr(&self.rejected_large)),
             ("shots_executed", Value::from_u64(self.shots_executed)),
+            ("queue_hist", self.queue_hist.to_json()),
+            ("validate_hist", self.validate_hist.to_json()),
+            ("compile_hist", self.compile_hist.to_json()),
+            ("bind_hist", self.bind_hist.to_json()),
+            ("exec_hist", self.exec_hist.to_json()),
+            ("priority_hist", hist_arr(&self.priority_hist)),
+            ("kind_hist", hist_arr(&self.kind_hist)),
         ])
     }
 
@@ -1295,6 +1434,13 @@ impl JsonCodec for ServeMetrics {
             rejected_full: u64_arr3(value.get("rejected_full")?)?,
             rejected_large: u64_arr3(value.get("rejected_large")?)?,
             shots_executed: value.get("shots_executed")?.as_u64()?,
+            queue_hist: Histogram::from_json(value.get("queue_hist")?)?,
+            validate_hist: Histogram::from_json(value.get("validate_hist")?)?,
+            compile_hist: Histogram::from_json(value.get("compile_hist")?)?,
+            bind_hist: Histogram::from_json(value.get("bind_hist")?)?,
+            exec_hist: Histogram::from_json(value.get("exec_hist")?)?,
+            priority_hist: hist_arr_n(value.get("priority_hist")?)?,
+            kind_hist: hist_arr_n(value.get("kind_hist")?)?,
         })
     }
 }

@@ -80,6 +80,7 @@ pub mod wire;
 
 pub use cache::{CompiledArtifact, ProgramCache};
 pub use daemon::{Daemon, DaemonConfig, ResultStream};
+pub use hgp_obs::{FlightRecorder, Histogram, JobTrace, OpProfileSnapshot, Span, SpanKind};
 pub use job::{
     JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec, JobStage, Priority,
     Rejected,

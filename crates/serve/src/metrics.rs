@@ -2,6 +2,11 @@
 
 use std::fmt;
 
+use hgp_obs::profile::{OpProfileSnapshot, ReplayOpKind};
+use hgp_obs::{Histogram, PromText};
+
+use crate::job::{JobSpec, Priority};
+
 /// Cumulative counters over a service's lifetime.
 ///
 /// `wall_ns` accumulates end-to-end [`crate::Service::run_batch`] time
@@ -67,6 +72,26 @@ pub struct ServeMetrics {
     /// replay engine optimizes, so shots/second — not jobs/second — is
     /// the number to watch when tuning trajectory serving.
     pub shots_executed: u64,
+    /// Per-job queue-wait latency histogram (daemon only; the batch
+    /// path has no queue). Same samples `queue_ns` sums.
+    pub queue_hist: Histogram,
+    /// Per-job validation latency histogram.
+    pub validate_hist: Histogram,
+    /// Per-shape compile latency histogram (one sample per cache miss,
+    /// like `compile_ns`).
+    pub compile_hist: Histogram,
+    /// Per-job parameter-binding latency histogram.
+    pub bind_hist: Histogram,
+    /// Per-job execution latency histogram. The `_hist` fields are what
+    /// tell a tail stall apart from a uniformly slow stage — the means
+    /// above cannot.
+    pub exec_hist: Histogram,
+    /// Per-priority-class worker latency (bind + execute) histograms,
+    /// indexed by [`crate::Priority::index`]; daemon only.
+    pub priority_hist: [Histogram; 3],
+    /// Per-job-kind execution latency histograms, indexed by
+    /// [`crate::JobSpec::kind_index`].
+    pub kind_hist: [Histogram; JobSpec::KIND_COUNT],
 }
 
 impl ServeMetrics {
@@ -99,6 +124,12 @@ impl ServeMetrics {
 
     /// Trajectory shot throughput over the service's lifetime,
     /// shots/second.
+    ///
+    /// `wall_ns == 0` is guarded explicitly and yields `0.0`: a
+    /// fresh service (or a daemon snapshot taken before the uptime
+    /// clock has advanced a nanosecond) has no rate yet, and the guard
+    /// keeps `shots_executed > 0` with zero wall from producing an
+    /// infinite rate.
     pub fn shots_per_sec(&self) -> f64 {
         if self.wall_ns == 0 {
             0.0
@@ -132,8 +163,16 @@ impl ServeMetrics {
         self.rejected_full.iter().sum::<u64>() + self.rejected_large.iter().sum::<u64>()
     }
 
-    /// Mean time an admitted job waited in the daemon queue before a
-    /// worker picked it up, nanoseconds.
+    /// Mean time a job waited in the daemon queue before a worker
+    /// picked it up, nanoseconds.
+    ///
+    /// This mean is per **completed** job, not per admitted job:
+    /// `queue_ns` only accumulates when a worker dequeues a job, so
+    /// jobs still sitting in the queue contribute to neither the
+    /// numerator nor the denominator. Under heavy backlog the true
+    /// admitted-job wait is therefore higher than this figure —
+    /// `queue_depth` is the companion gauge that exposes the backlog
+    /// itself.
     pub fn mean_queue_wait_ns(&self) -> f64 {
         if self.jobs_completed == 0 {
             0.0
@@ -151,6 +190,149 @@ impl ServeMetrics {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Records one completed job's worker-stage samples into the stage,
+    /// priority, and kind histograms (and a compile sample when the job
+    /// paid a cache miss). `queue_ns` is `None` on the batch path,
+    /// which has no queue stage.
+    pub fn record_job_stages(
+        &mut self,
+        queue_ns: Option<u64>,
+        bind_ns: u64,
+        exec_ns: u64,
+        priority: Priority,
+        kind_index: usize,
+    ) {
+        if let Some(q) = queue_ns {
+            self.queue_hist.record(q);
+        }
+        self.bind_hist.record(bind_ns);
+        self.exec_hist.record(exec_ns);
+        self.priority_hist[priority.index()].record(bind_ns + exec_ns);
+        self.kind_hist[kind_index].record(exec_ns);
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// the counters above as `counter`/`gauge` families and every
+    /// histogram as cumulative `_bucket`/`_sum`/`_count` series, with
+    /// priority classes, job kinds, and replay op kinds as labels. Pass
+    /// the daemon's engine-profile snapshot to append the per-op-kind
+    /// replay breakdown (`hgp_replay_op_ns`/`hgp_replay_op_calls`).
+    pub fn render_promtext(&self, profile: Option<&OpProfileSnapshot>) -> String {
+        let mut p = PromText::new();
+        p.counter("hgp_jobs_completed", "Jobs finished.", self.jobs_completed);
+        p.counter(
+            "hgp_jobs_failed",
+            "Jobs answered with a typed error.",
+            self.jobs_failed,
+        );
+        p.counter("hgp_batches", "run_batch calls served.", self.batches);
+        p.counter(
+            "hgp_shape_groups",
+            "Shape groups dispatched.",
+            self.shape_groups,
+        );
+        p.counter(
+            "hgp_cache_hits",
+            "Compiled-program cache hits.",
+            self.cache_hits,
+        );
+        p.counter(
+            "hgp_cache_misses",
+            "Compiled-program cache misses.",
+            self.cache_misses,
+        );
+        p.counter(
+            "hgp_shots_executed",
+            "Trajectory shots finished by successful jobs.",
+            self.shots_executed,
+        );
+        p.counter(
+            "hgp_wall_ns",
+            "Batch wall time (batch path) or uptime (daemon), ns.",
+            self.wall_ns,
+        );
+        p.gauge(
+            "hgp_queue_depth",
+            "Jobs waiting in the submission queue.",
+            self.queue_depth as f64,
+        );
+        for pr in Priority::ALL {
+            let labels = [("priority", pr.to_string())];
+            let labels: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            p.counter_with(
+                "hgp_admitted",
+                "Daemon admissions per priority class.",
+                &labels,
+                self.admitted[pr.index()],
+            );
+            p.counter_with(
+                "hgp_rejected_full",
+                "Queue-full rejections per priority class.",
+                &labels,
+                self.rejected_full[pr.index()],
+            );
+            p.counter_with(
+                "hgp_rejected_large",
+                "Too-large rejections per priority class.",
+                &labels,
+                self.rejected_large[pr.index()],
+            );
+        }
+        let stages: [(&str, &Histogram); 5] = [
+            ("queue", &self.queue_hist),
+            ("validate", &self.validate_hist),
+            ("compile", &self.compile_hist),
+            ("bind", &self.bind_hist),
+            ("exec", &self.exec_hist),
+        ];
+        for (stage, hist) in stages {
+            p.histogram(
+                "hgp_stage_ns",
+                "Per-stage latency (ns).",
+                &[("stage", stage)],
+                hist,
+            );
+        }
+        for pr in Priority::ALL {
+            let name = pr.to_string();
+            p.histogram(
+                "hgp_priority_job_ns",
+                "Worker latency (bind + exec) per priority class (ns).",
+                &[("priority", name.as_str())],
+                &self.priority_hist[pr.index()],
+            );
+        }
+        for (i, name) in JobSpec::KIND_NAMES.iter().enumerate() {
+            p.histogram(
+                "hgp_kind_exec_ns",
+                "Execution latency per job kind (ns).",
+                &[("kind", name)],
+                &self.kind_hist[i],
+            );
+        }
+        if let Some(snap) = profile {
+            for kind in ReplayOpKind::ALL {
+                let labels = [("op", kind.name())];
+                p.counter_with(
+                    "hgp_replay_op_calls",
+                    "Profiled replay tape ops per kind.",
+                    &labels,
+                    snap.calls[kind.index()],
+                );
+            }
+            for kind in ReplayOpKind::ALL {
+                let labels = [("op", kind.name())];
+                p.counter_with(
+                    "hgp_replay_op_ns",
+                    "Profiled replay wall time per op kind (ns).",
+                    &labels,
+                    snap.ns[kind.index()],
+                );
+            }
+        }
+        p.finish()
+    }
 }
 
 impl fmt::Display for ServeMetrics {
@@ -160,6 +342,7 @@ impl fmt::Display for ServeMetrics {
             "{} jobs ({} failed) in {} batches | {:.0} jobs/s | mean latency {:.1} us \
              (bind {:.1} us) | cache {}/{} hits ({:.0}%) | stages: queue {:.2} ms, \
              validate {:.2} ms, compile {:.2} ms, bind {:.2} ms, execute {:.2} ms | \
+             exec p50/p99 {:.1}/{:.1} us | \
              {} shots, {:.0} shots/s, {:.2} us/shot exec | queue depth {} | \
              admitted i/b/g {}/{}/{} | rejected {} (full {}, too-large {})",
             self.jobs_completed,
@@ -176,6 +359,8 @@ impl fmt::Display for ServeMetrics {
             self.compile_ns as f64 / 1e6,
             self.bind_ns as f64 / 1e6,
             self.exec_ns as f64 / 1e6,
+            self.exec_hist.p50() as f64 / 1e3,
+            self.exec_hist.p99() as f64 / 1e3,
             self.shots_executed,
             self.shots_per_sec(),
             self.mean_shot_exec_ns() / 1e3,
@@ -214,6 +399,7 @@ mod tests {
             admitted: [10, 80, 10],
             rejected_full: [0, 3, 1],
             rejected_large: [1, 0, 0],
+            ..ServeMetrics::default()
         };
         assert!((m.throughput_jobs_per_sec() - 100.0).abs() < 1e-9);
         // Mean latency covers both worker stages: bind + execute.
@@ -240,5 +426,75 @@ mod tests {
         assert_eq!(m.shots_per_sec(), 0.0);
         assert_eq!(m.mean_shot_exec_ns(), 0.0);
         assert_eq!(m.mean_queue_wait_ns(), 0.0);
+    }
+
+    #[test]
+    fn shots_per_sec_guards_zero_wall_explicitly() {
+        // Executed shots with no wall time yet (a snapshot taken
+        // before the clock advanced) must read as "no rate", not inf.
+        let m = ServeMetrics {
+            shots_executed: 10_000,
+            wall_ns: 0,
+            ..ServeMetrics::default()
+        };
+        assert_eq!(m.shots_per_sec(), 0.0);
+        assert!(m.shots_per_sec().is_finite());
+    }
+
+    #[test]
+    fn queue_wait_mean_is_per_completed_job() {
+        // Five jobs admitted, two completed: the denominator is the
+        // completed count — jobs still queued don't dilute the mean.
+        let m = ServeMetrics {
+            jobs_completed: 2,
+            admitted: [5, 0, 0],
+            queue_ns: 4_000_000,
+            queue_depth: 3,
+            ..ServeMetrics::default()
+        };
+        assert!((m.mean_queue_wait_ns() - 2_000_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_recording_feeds_all_histograms() {
+        let mut m = ServeMetrics::default();
+        m.validate_hist.record(500);
+        m.compile_hist.record(80_000);
+        m.record_job_stages(Some(1_000), 2_000, 30_000, Priority::Interactive, 4);
+        m.record_job_stages(None, 1_000, 10_000, Priority::Batch, 2);
+        assert_eq!(m.queue_hist.count(), 1);
+        assert_eq!(m.bind_hist.count(), 2);
+        assert_eq!(m.exec_hist.count(), 2);
+        assert_eq!(m.priority_hist[0].count(), 1);
+        assert_eq!(m.priority_hist[1].count(), 1);
+        assert_eq!(m.priority_hist[2].count(), 0);
+        assert_eq!(m.kind_hist[4].count(), 1);
+        assert_eq!(m.kind_hist[2].count(), 1);
+        assert_eq!(m.priority_hist[0].sum(), 32_000);
+    }
+
+    #[test]
+    fn promtext_rendering_covers_counters_and_histograms() {
+        let mut m = ServeMetrics {
+            jobs_completed: 3,
+            shots_executed: 768,
+            admitted: [1, 2, 0],
+            ..ServeMetrics::default()
+        };
+        m.record_job_stages(Some(900), 2_000, 30_000, Priority::Batch, 4);
+        let text = m.render_promtext(None);
+        assert!(text.contains("# TYPE hgp_jobs_completed counter"));
+        assert!(text.contains("hgp_admitted{priority=\"batch\"} 2"));
+        assert!(text.contains("# TYPE hgp_stage_ns histogram"));
+        assert!(text.contains("hgp_stage_ns_count{stage=\"exec\"} 1"));
+        assert!(text.contains("hgp_kind_exec_ns_sum{kind=\"trajectory_counts\"} 30000"));
+        assert!(!text.contains("hgp_replay_op_ns"));
+
+        let mut snap = OpProfileSnapshot::default();
+        snap.calls[ReplayOpKind::DiagRun.index()] = 7;
+        snap.ns[ReplayOpKind::DiagRun.index()] = 12345;
+        let with_profile = m.render_promtext(Some(&snap));
+        assert!(with_profile.contains("hgp_replay_op_calls{op=\"diag_run\"} 7"));
+        assert!(with_profile.contains("hgp_replay_op_ns{op=\"diag_run\"} 12345"));
     }
 }

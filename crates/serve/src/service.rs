@@ -60,10 +60,12 @@ use hgp_core::models::GateModelOptions;
 use hgp_device::Backend;
 use hgp_math::pauli::PauliSum;
 use hgp_sim::seed::stream_seed;
-use hgp_sim::{SimBackend, StateVector};
+use hgp_sim::{NoProfile, ProfileSink, SimBackend, StateVector};
 
 use crate::cache::{CompiledArtifact, ProgramCache};
-use crate::job::{JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec};
+use crate::job::{
+    JobError, JobId, JobOutput, JobProgram, JobRequest, JobResult, JobSpec, Priority,
+};
 use crate::metrics::ServeMetrics;
 
 /// Service configuration.
@@ -234,7 +236,9 @@ impl<'a> Service<'a> {
             self.config.compile_options,
             program,
         )?;
-        self.metrics.compile_ns += t0.elapsed().as_nanos() as u64;
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.metrics.compile_ns += dt;
+        self.metrics.compile_hist.record(dt);
         Ok(artifact)
     }
 
@@ -271,7 +275,9 @@ impl<'a> Service<'a> {
             };
             let t_validate = Instant::now();
             let validation = Self::validate(request);
-            self.metrics.validate_ns += t_validate.elapsed().as_nanos() as u64;
+            let dt = t_validate.elapsed().as_nanos() as u64;
+            self.metrics.validate_ns += dt;
+            self.metrics.validate_hist.record(dt);
             if let Err(error) = validation {
                 rejected.push((index, job.failed(error)));
                 continue;
@@ -329,7 +335,7 @@ impl<'a> Service<'a> {
         }
         drop(unit_tx);
         let unit_rx = Arc::new(Mutex::new(unit_rx));
-        let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult, u64, u64)>();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult, u64, u64, usize)>();
         let backend = self.backend;
         let workers = self.config.workers.min(n_jobs).max(1);
         std::thread::scope(|scope| {
@@ -343,10 +349,11 @@ impl<'a> Service<'a> {
                     for job in unit.jobs {
                         let index = job.index;
                         let shots = trajectory_shots(&job.spec);
+                        let kind = job.spec.kind_index();
                         let (result, bind_ns) =
-                            execute_job(backend, &unit.compiled, unit.cache_hit, job);
+                            execute_job(backend, &unit.compiled, unit.cache_hit, job, &NoProfile);
                         result_tx
-                            .send((index, result, bind_ns, shots))
+                            .send((index, result, bind_ns, shots, kind))
                             .expect("collector alive");
                     }
                 });
@@ -358,9 +365,15 @@ impl<'a> Service<'a> {
             for (index, result) in rejected {
                 slots[index] = Some(result);
             }
-            for (index, result, bind_ns, shots) in result_rx {
+            for (index, result, bind_ns, shots, kind) in result_rx {
+                let exec_ns = result.elapsed_ns.saturating_sub(bind_ns);
                 self.metrics.bind_ns += bind_ns;
-                self.metrics.exec_ns += result.elapsed_ns.saturating_sub(bind_ns);
+                self.metrics.exec_ns += exec_ns;
+                // The synchronous batch path has no priority classes;
+                // everything lands in the default batch bucket. The
+                // daemon records real priorities and queue waits.
+                self.metrics
+                    .record_job_stages(None, bind_ns, exec_ns, Priority::Batch, kind);
                 if result.output.is_ok() {
                     self.metrics.shots_executed += shots;
                 }
@@ -576,16 +589,17 @@ pub(crate) fn trajectory_shots(spec: &JobSpec) -> u64 {
     }
 }
 
-pub(crate) fn execute_job(
+pub(crate) fn execute_job<P: ProfileSink>(
     backend: &Backend,
     compiled: &CompiledArtifact,
     cache_hit: bool,
     job: PreparedJob,
+    sink: &P,
 ) -> (JobResult, u64) {
     let t0 = Instant::now();
     let mut bind_ns = 0u64;
     let output = catch_unwind(AssertUnwindSafe(|| {
-        execute_spec(backend, compiled, &job, &mut bind_ns)
+        execute_spec(backend, compiled, &job, &mut bind_ns, sink)
     }))
     .unwrap_or_else(|payload| {
         let message = payload
@@ -624,11 +638,12 @@ pub(crate) fn execute_job(
 /// pinned against the reference density walk (bit-identical on
 /// order-preserving ops, ≤ 1e-12 elementwise on resolved multi-Kraus
 /// channels; see `hgp_sim::replay::exact`).
-fn execute_spec(
+fn execute_spec<P: ProfileSink>(
     backend: &Backend,
     compiled: &CompiledArtifact,
     job: &PreparedJob,
     bind_ns: &mut u64,
+    sink: &P,
 ) -> Result<JobOutput, JobError> {
     match (compiled, &job.spec) {
         (CompiledArtifact::Circuit(compiled), spec) if !spec.is_hybrid() => match spec {
@@ -642,7 +657,7 @@ fn execute_spec(
             JobSpec::DensityMatrix => {
                 let exec = compiled.executor(backend);
                 let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
-                let rho = exec.run_exact_replay(&tape);
+                let rho = exec.run_exact_replay_profiled(&tape, sink);
                 Ok(JobOutput::DensityMatrix {
                     probabilities: compiled.decode_probabilities(&rho.probabilities()),
                     purity: rho.purity(),
@@ -651,14 +666,14 @@ fn execute_spec(
             JobSpec::Counts { shots } => {
                 let exec = compiled.executor(backend);
                 let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
-                let rho = exec.run_exact_replay(&tape);
+                let rho = exec.run_exact_replay_profiled(&tape, sink);
                 let counts = exec.sample_state(&rho, *shots, job.seed);
                 Ok(JobOutput::Counts(compiled.decode_counts(&counts)))
             }
             JobSpec::Expectation { observable } => {
                 let exec = compiled.executor(backend);
                 let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
-                let rho = exec.run_exact_replay(&tape);
+                let rho = exec.run_exact_replay_profiled(&tape, sink);
                 Ok(JobOutput::Expectation {
                     value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
                 })
@@ -669,7 +684,7 @@ fn execute_spec(
                 // randomness from stream position (job seed, i).
                 let exec = compiled.executor(backend);
                 let replay = timed_bind(bind_ns, || compiled.bind_replay(&exec, &job.params));
-                let counts = exec.sample_replay(&replay, *shots, job.seed);
+                let counts = exec.sample_replay_profiled(&replay, *shots, job.seed, sink);
                 Ok(JobOutput::TrajectoryCounts(compiled.decode_counts(&counts)))
             }
             JobSpec::TrajectoryExpectation {
@@ -678,11 +693,12 @@ fn execute_spec(
             } => {
                 let exec = compiled.executor(backend);
                 let replay = timed_bind(bind_ns, || compiled.bind_replay(&exec, &job.params));
-                let (value, std_error) = exec.expectation_replay(
+                let (value, std_error) = exec.expectation_replay_profiled(
                     &replay,
                     &compiled.wire_observable(observable),
                     *trajectories,
                     job.seed,
+                    sink,
                 );
                 Ok(JobOutput::TrajectoryExpectation {
                     value,
@@ -696,14 +712,14 @@ fn execute_spec(
             JobSpec::HybridCounts { shots } => {
                 let exec = compiled.executor(backend);
                 let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
-                let rho = exec.run_exact_replay(&tape);
+                let rho = exec.run_exact_replay_profiled(&tape, sink);
                 let counts = exec.sample_state(&rho, *shots, job.seed);
                 Ok(JobOutput::Counts(compiled.decode_counts(&counts)))
             }
             JobSpec::HybridExpectation { observable } => {
                 let exec = compiled.executor(backend);
                 let tape = timed_bind(bind_ns, || compiled.bind_exact(&exec, &job.params));
-                let rho = exec.run_exact_replay(&tape);
+                let rho = exec.run_exact_replay_profiled(&tape, sink);
                 Ok(JobOutput::Expectation {
                     value: SimBackend::expectation(&rho, &compiled.wire_observable(observable)),
                 })
@@ -711,7 +727,7 @@ fn execute_spec(
             JobSpec::HybridTrajectoryCounts { shots } => {
                 let exec = compiled.executor(backend);
                 let replay = timed_bind(bind_ns, || compiled.bind_replay(&exec, &job.params));
-                let counts = exec.sample_replay(&replay, *shots, job.seed);
+                let counts = exec.sample_replay_profiled(&replay, *shots, job.seed, sink);
                 Ok(JobOutput::TrajectoryCounts(compiled.decode_counts(&counts)))
             }
             JobSpec::HybridTrajectoryExpectation {
@@ -720,11 +736,12 @@ fn execute_spec(
             } => {
                 let exec = compiled.executor(backend);
                 let replay = timed_bind(bind_ns, || compiled.bind_replay(&exec, &job.params));
-                let (value, std_error) = exec.expectation_replay(
+                let (value, std_error) = exec.expectation_replay_profiled(
                     &replay,
                     &compiled.wire_observable(observable),
                     *trajectories,
                     job.seed,
+                    sink,
                 );
                 Ok(JobOutput::TrajectoryExpectation {
                     value,

@@ -11,6 +11,9 @@
 //!
 //! - `{"op":"ping"}` → `{"op":"pong"}`; `{"op":"metrics"}` → a
 //!   [`ServeMetrics`] snapshot.
+//! - `{"op":"metrics_snapshot"}` → metrics **plus** the per-op-kind
+//!   engine profile; `{"op":"trace_tail","limit":N}` → the flight
+//!   recorder's last N per-job span traces, oldest first.
 //! - `{"op":"submit",...}` / `{"op":"submit_group",...}` runs daemon
 //!   admission. The **acknowledgement comes first**: an `accepted`
 //!   envelope carrying the admitted [`JobId`]s (the submission's
@@ -33,6 +36,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+use hgp_obs::{JobTrace, OpProfileSnapshot};
 
 use crate::daemon::Daemon;
 use crate::job::{JobId, JobRequest, JobResult, Priority, Rejected};
@@ -62,6 +67,17 @@ pub enum WireRequest {
     },
     /// Request a [`ServeMetrics`] snapshot.
     Metrics,
+    /// Request the observability snapshot: [`ServeMetrics`] plus the
+    /// cumulative per-op-kind engine profile
+    /// ([`hgp_obs::OpProfileSnapshot`], all-zero when profiling is
+    /// disabled).
+    MetricsSnapshot,
+    /// Request the last `limit` traces from the daemon's flight
+    /// recorder, oldest first.
+    TraceTail {
+        /// Maximum traces to return.
+        limit: usize,
+    },
     /// Liveness probe.
     Ping,
 }
@@ -90,6 +106,19 @@ pub enum WireResponse {
         /// Daemon-lifetime counters; `wall_ns` is uptime.
         metrics: ServeMetrics,
     },
+    /// Answer to [`WireRequest::MetricsSnapshot`].
+    MetricsSnapshot {
+        /// Daemon-lifetime counters and histograms.
+        metrics: ServeMetrics,
+        /// Cumulative per-op-kind engine profile; all-zero when the
+        /// daemon runs unprofiled.
+        profile: OpProfileSnapshot,
+    },
+    /// Answer to [`WireRequest::TraceTail`].
+    TraceTail {
+        /// The recorder's last traces, oldest first.
+        traces: Vec<JobTrace>,
+    },
     /// Answer to [`WireRequest::Ping`].
     Pong,
     /// A protocol-level failure (malformed line, unrepresentable
@@ -117,6 +146,13 @@ impl JsonCodec for WireRequest {
                 ("priority", priority.to_json()),
             ]),
             WireRequest::Metrics => obj(vec![("op", Value::Str("metrics".into()))]),
+            WireRequest::MetricsSnapshot => {
+                obj(vec![("op", Value::Str("metrics_snapshot".into()))])
+            }
+            WireRequest::TraceTail { limit } => obj(vec![
+                ("op", Value::Str("trace_tail".into())),
+                ("limit", Value::from_usize(*limit)),
+            ]),
             WireRequest::Ping => obj(vec![("op", Value::Str("ping".into()))]),
         }
     }
@@ -137,6 +173,10 @@ impl JsonCodec for WireRequest {
                 priority: Priority::from_json(value.get("priority")?)?,
             }),
             "metrics" => Ok(WireRequest::Metrics),
+            "metrics_snapshot" => Ok(WireRequest::MetricsSnapshot),
+            "trace_tail" => Ok(WireRequest::TraceTail {
+                limit: value.get("limit")?.as_usize()?,
+            }),
             "ping" => Ok(WireRequest::Ping),
             other => Err(format!("unknown request op {other:?}")),
         }
@@ -165,6 +205,18 @@ impl JsonCodec for WireResponse {
                 ("op", Value::Str("metrics".into())),
                 ("metrics", metrics.to_json()),
             ]),
+            WireResponse::MetricsSnapshot { metrics, profile } => obj(vec![
+                ("op", Value::Str("metrics_snapshot".into())),
+                ("metrics", metrics.to_json()),
+                ("profile", profile.to_json()),
+            ]),
+            WireResponse::TraceTail { traces } => obj(vec![
+                ("op", Value::Str("trace_tail".into())),
+                (
+                    "traces",
+                    Value::Arr(traces.iter().map(JsonCodec::to_json).collect()),
+                ),
+            ]),
             WireResponse::Pong => obj(vec![("op", Value::Str("pong".into()))]),
             WireResponse::Error { message } => obj(vec![
                 ("op", Value::Str("error".into())),
@@ -191,6 +243,18 @@ impl JsonCodec for WireResponse {
             }),
             "metrics" => Ok(WireResponse::Metrics {
                 metrics: ServeMetrics::from_json(value.get("metrics")?)?,
+            }),
+            "metrics_snapshot" => Ok(WireResponse::MetricsSnapshot {
+                metrics: ServeMetrics::from_json(value.get("metrics")?)?,
+                profile: OpProfileSnapshot::from_json(value.get("profile")?)?,
+            }),
+            "trace_tail" => Ok(WireResponse::TraceTail {
+                traces: value
+                    .get("traces")?
+                    .as_arr()?
+                    .iter()
+                    .map(JobTrace::from_json)
+                    .collect::<Result<_, _>>()?,
             }),
             "pong" => Ok(WireResponse::Pong),
             "error" => Ok(WireResponse::Error {
@@ -408,6 +472,25 @@ fn handle_connection(daemon: Arc<Daemon>, stream: TcpStream) {
                 }
                 continue;
             }
+            WireRequest::MetricsSnapshot => {
+                let response = WireResponse::MetricsSnapshot {
+                    metrics: daemon.metrics(),
+                    profile: daemon.profile_snapshot(),
+                };
+                if !write_line(&writer, &response.to_json_string()) {
+                    break;
+                }
+                continue;
+            }
+            WireRequest::TraceTail { limit } => {
+                let response = WireResponse::TraceTail {
+                    traces: daemon.trace_tail(limit),
+                };
+                if !write_line(&writer, &response.to_json_string()) {
+                    break;
+                }
+                continue;
+            }
             WireRequest::Submit { request, priority } => (vec![request], priority),
             WireRequest::SubmitGroup { requests, priority } => (requests, priority),
         };
@@ -617,6 +700,40 @@ impl WireClient {
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected metrics, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the observability snapshot: metrics plus the per-op-kind
+    /// engine profile.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the transport fails or the server violates protocol.
+    pub fn metrics_snapshot(&mut self) -> io::Result<(ServeMetrics, OpProfileSnapshot)> {
+        self.send(&WireRequest::MetricsSnapshot)?;
+        match self.recv_ack()? {
+            WireResponse::MetricsSnapshot { metrics, profile } => Ok((metrics, profile)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected metrics snapshot, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the last `limit` job traces from the daemon's flight
+    /// recorder, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the transport fails or the server violates protocol.
+    pub fn trace_tail(&mut self, limit: usize) -> io::Result<Vec<JobTrace>> {
+        self.send(&WireRequest::TraceTail { limit })?;
+        match self.recv_ack()? {
+            WireResponse::TraceTail { traces } => Ok(traces),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected trace tail, got {other:?}"),
             )),
         }
     }

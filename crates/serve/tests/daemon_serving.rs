@@ -172,6 +172,69 @@ proptest! {
     }
 }
 
+/// Observability must be a pure observer: with the flight recorder and
+/// per-op-kind engine profiling both on, the daemon's results stay
+/// bit-identical to the untraced sequential reference, every
+/// worker-executed job leaves a complete span chain in the recorder,
+/// and the validation failure leaves a truncated one.
+#[test]
+fn tracing_and_profiling_leave_results_bit_identical() {
+    let backend = Backend::ibmq_guadalupe();
+    let graph = instances::task1_three_regular_6();
+    let requests = mixed_requests(&graph);
+
+    let mut service = Service::new(&backend, service_config(7));
+    let reference = service.run_batch(requests.clone());
+
+    let daemon = Daemon::start(
+        backend,
+        daemon_config(3, 7)
+            .with_trace_capacity(64)
+            .with_profiling(true),
+    );
+    let results = daemon.run_batch(requests.clone()).expect("admitted");
+    let traces = daemon.trace_tail(64);
+    let profile = daemon.profile_snapshot();
+    daemon.shutdown();
+
+    assert_eq!(fingerprint(&results), fingerprint(&reference));
+
+    // One trace per admitted job, validation failures included. Jobs
+    // that reached a worker carry the complete seven-span chain;
+    // validation failures carry the truncated enqueued → validated →
+    // delivered chain and are marked not-ok.
+    assert_eq!(traces.len(), requests.len());
+    let validate_failures = reference
+        .iter()
+        .filter(|r| matches!(&r.output, Err(e) if e.stage == hgp_serve::JobStage::Validate))
+        .count();
+    assert!(
+        validate_failures > 0,
+        "the pool includes validation failures"
+    );
+    let complete = traces.iter().filter(|t| t.is_complete_chain()).count();
+    assert_eq!(complete, requests.len() - validate_failures);
+    for truncated in traces.iter().filter(|t| !t.is_complete_chain()) {
+        assert!(!truncated.ok, "incomplete chains are the rejected jobs");
+        assert_eq!(truncated.spans.len(), 3);
+    }
+    // The replay and exact engines executed under the shared profile.
+    assert!(profile.total_calls() > 0);
+    assert!(profile.total_ns() > 0);
+
+    // Trace capacity zero disables recording (and unprofiled daemons
+    // report the all-zero snapshot) without touching the results.
+    let daemon = Daemon::start(
+        Backend::ibmq_guadalupe(),
+        daemon_config(2, 7).with_trace_capacity(0),
+    );
+    let untraced = daemon.run_batch(requests).expect("admitted");
+    assert!(daemon.trace_tail(64).is_empty());
+    assert_eq!(daemon.profile_snapshot().total_calls(), 0);
+    daemon.shutdown();
+    assert_eq!(fingerprint(&untraced), fingerprint(&reference));
+}
+
 #[test]
 fn rejections_consume_no_stream_positions() {
     let backend = Backend::ibmq_guadalupe();

@@ -14,8 +14,8 @@ use hgp_graph::Graph;
 use hgp_math::pauli::{Pauli, PauliString, PauliSum};
 use hgp_serve::json::JsonCodec;
 use hgp_serve::{
-    JobError, JobId, JobOutput, JobRequest, JobResult, JobSpec, JobStage, Priority, Rejected,
-    ServeMetrics, WireRequest, WireResponse,
+    Histogram, JobError, JobId, JobOutput, JobRequest, JobResult, JobSpec, JobStage, JobTrace,
+    OpProfileSnapshot, Priority, Rejected, ServeMetrics, Span, SpanKind, WireRequest, WireResponse,
 };
 use hgp_sim::Counts;
 
@@ -265,6 +265,51 @@ fn random_rejected(rng: &mut StdRng) -> Rejected {
     }
 }
 
+/// Samples spanning every magnitude, so bucketing covers the first and
+/// last buckets as well as the interior.
+fn random_histogram(rng: &mut StdRng) -> Histogram {
+    let mut hist = Histogram::new();
+    for _ in 0..rng.gen_range(0usize..24) {
+        let shift = rng.gen_range(0u32..64);
+        hist.record(rng.gen::<u64>() >> shift);
+    }
+    hist
+}
+
+fn random_profile(rng: &mut StdRng) -> OpProfileSnapshot {
+    let mut snap = OpProfileSnapshot::default();
+    for i in 0..snap.calls.len() {
+        snap.calls[i] = rng.gen();
+        snap.ns[i] = rng.gen();
+    }
+    snap
+}
+
+/// A trace with a non-decreasing span prefix of the full lifecycle —
+/// matching what the daemon records for completed and
+/// validation-rejected jobs alike.
+fn random_trace(rng: &mut StdRng) -> JobTrace {
+    let mut at = rng.gen_range(0u64..1 << 40);
+    let n_spans = rng.gen_range(1usize..=SpanKind::COUNT);
+    let spans = SpanKind::ALL
+        .iter()
+        .take(n_spans)
+        .map(|&kind| {
+            at += rng.gen_range(0u64..1 << 30);
+            Span { kind, at_ns: at }
+        })
+        .collect();
+    JobTrace {
+        job: rng.gen(),
+        job_kind: rng.gen_range(0u32..10),
+        priority: rng.gen_range(0u32..3),
+        shots: rng.gen(),
+        cache_hit: rng.gen_bool(0.5),
+        ok: rng.gen_bool(0.5),
+        spans,
+    }
+}
+
 fn random_metrics(rng: &mut StdRng) -> ServeMetrics {
     ServeMetrics {
         jobs_completed: rng.gen(),
@@ -284,11 +329,18 @@ fn random_metrics(rng: &mut StdRng) -> ServeMetrics {
         rejected_full: [rng.gen(), rng.gen(), rng.gen()],
         rejected_large: [rng.gen(), rng.gen(), rng.gen()],
         shots_executed: rng.gen(),
+        queue_hist: random_histogram(rng),
+        validate_hist: random_histogram(rng),
+        compile_hist: random_histogram(rng),
+        bind_hist: random_histogram(rng),
+        exec_hist: random_histogram(rng),
+        priority_hist: std::array::from_fn(|_| random_histogram(rng)),
+        kind_hist: std::array::from_fn(|_| random_histogram(rng)),
     }
 }
 
 fn random_wire_request(rng: &mut StdRng) -> WireRequest {
-    match rng.gen_range(0u32..4) {
+    match rng.gen_range(0u32..6) {
         0 => WireRequest::Submit {
             request: random_request(rng),
             priority: random_priority(rng),
@@ -300,12 +352,16 @@ fn random_wire_request(rng: &mut StdRng) -> WireRequest {
             priority: random_priority(rng),
         },
         2 => WireRequest::Metrics,
+        3 => WireRequest::MetricsSnapshot,
+        4 => WireRequest::TraceTail {
+            limit: rng.gen_range(0usize..1 << 20),
+        },
         _ => WireRequest::Ping,
     }
 }
 
 fn random_wire_response(rng: &mut StdRng) -> WireResponse {
-    match rng.gen_range(0u32..6) {
+    match rng.gen_range(0u32..8) {
         0 => WireResponse::Accepted {
             ids: (0..rng.gen_range(0usize..5))
                 .map(|_| JobId(rng.gen()))
@@ -320,7 +376,16 @@ fn random_wire_response(rng: &mut StdRng) -> WireResponse {
         3 => WireResponse::Metrics {
             metrics: random_metrics(rng),
         },
-        4 => WireResponse::Pong,
+        4 => WireResponse::MetricsSnapshot {
+            metrics: random_metrics(rng),
+            profile: random_profile(rng),
+        },
+        5 => WireResponse::TraceTail {
+            traces: (0..rng.gen_range(0usize..4))
+                .map(|_| random_trace(rng))
+                .collect(),
+        },
+        6 => WireResponse::Pong,
         _ => WireResponse::Error {
             message: format!("wire failure #{} with \"quotes\"", rng.gen::<u32>()),
         },
@@ -415,5 +480,68 @@ proptest! {
             ServeMetrics::from_json_str(&metrics.to_json_string()).unwrap(),
             metrics
         );
+    }
+
+    #[test]
+    fn histogram_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hist = random_histogram(&mut rng);
+        prop_assert_eq!(Histogram::from_json_str(&hist.to_json_string()).unwrap(), hist);
+    }
+
+    #[test]
+    fn job_trace_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = random_trace(&mut rng);
+        prop_assert_eq!(JobTrace::from_json_str(&trace.to_json_string()).unwrap(), trace);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact_and_associative(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_histogram(&mut rng);
+        let b = random_histogram(&mut rng);
+        let c = random_histogram(&mut rng);
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // Commutativity, and merge preserves count exactly.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), a.count() + b.count());
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone(seed in 0u64..u64::MAX, q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hist = random_histogram(&mut rng);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(hist.quantile(lo) <= hist.quantile(hi));
+        prop_assert!(hist.p50() <= hist.p99());
+        prop_assert!(hist.p99() <= hist.p999());
+    }
+
+    #[test]
+    fn histogram_buckets_cover_every_value(value in 0u64..u64::MAX) {
+        // Every u64 lands in exactly one bucket, whose inclusive upper
+        // bound is >= the value (and the previous bucket's is below it).
+        let index = Histogram::bucket_index(value);
+        prop_assert!(Histogram::bucket_bound(index) >= value);
+        if index > 0 {
+            prop_assert!(Histogram::bucket_bound(index - 1) < value);
+        }
+        let mut hist = Histogram::new();
+        hist.record(value);
+        prop_assert_eq!(hist.counts()[index], 1);
+        prop_assert_eq!(hist.quantile(1.0), Histogram::bucket_bound(index));
     }
 }

@@ -67,6 +67,9 @@ pub mod trajectory;
 pub use backend::SimBackend;
 pub use counts::Counts;
 pub use density::DensityMatrix;
+// Profiling sinks for the replay engines (see `hgp_obs::profile`):
+// re-exported so engine callers name one crate for tape + sink.
+pub use hgp_obs::profile::{NoProfile, OpProfile, OpProfileSnapshot, ProfileSink, ReplayOpKind};
 pub use replay::{
     ExactReplayEngine, ExactReplayProgram, ExactScratch, ReplayBatch, ReplayEngine, ReplayProgram,
     ReplayScratch, ReplaySlot,

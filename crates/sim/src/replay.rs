@@ -96,6 +96,7 @@ use rayon::prelude::*;
 
 use hgp_math::pauli::PauliSum;
 use hgp_math::{Complex64, Matrix};
+use hgp_obs::profile::{timed, NoProfile, ProfileSink, ReplayOpKind};
 
 use crate::counts::Counts;
 use crate::kernels::{self, DiagOp};
@@ -313,9 +314,18 @@ impl CompiledChannel {
 
     /// Draws and applies one branch — the replay mirror of
     /// [`ChannelOp::apply_sampled`], consuming exactly one RNG draw.
-    fn apply<R: Rng + ?Sized>(&self, psi: &mut StateVector, weights: &mut Vec<f64>, rng: &mut R) {
+    /// The branch draw and Kraus application are charged to the channel
+    /// kind, the post-Kraus renormalize to [`ReplayOpKind::Renorm`];
+    /// `sink` only observes ([`NoProfile`] compiles it away).
+    fn apply_with<R: Rng + ?Sized, P: ProfileSink>(
+        &self,
+        psi: &mut StateVector,
+        weights: &mut Vec<f64>,
+        rng: &mut R,
+        sink: &P,
+    ) {
         match self {
-            CompiledChannel::Mixed(mix) => {
+            CompiledChannel::Mixed(mix) => timed(sink, ReplayOpKind::MixedChannel, || {
                 let r: f64 = rng.gen();
                 let mut pick = mix.cum.len() - 1;
                 for (k, &c) in mix.cum.iter().enumerate() {
@@ -327,41 +337,46 @@ impl CompiledChannel {
                 if let BranchApply::Apply(u) = &mix.branches[pick] {
                     psi.apply_operator(u, &mix.targets);
                 }
-            }
+            }),
             CompiledChannel::General(gen) => {
-                weights.clear();
-                match &gen.scan {
-                    WeightScan::One { target, rows } => {
-                        branch_weights_1q(psi.amplitudes(), *target, rows, weights);
-                    }
-                    WeightScan::Generic { all_mask, offs } => {
-                        for k in &gen.kraus {
-                            weights.push(branch_weight_generic(
-                                psi.amplitudes(),
-                                k,
-                                *all_mask,
-                                offs,
-                            ));
+                let applied = timed(sink, ReplayOpKind::GeneralChannel, || {
+                    weights.clear();
+                    match &gen.scan {
+                        WeightScan::One { target, rows } => {
+                            branch_weights_1q(psi.amplitudes(), *target, rows, weights);
+                        }
+                        WeightScan::Generic { all_mask, offs } => {
+                            for k in &gen.kraus {
+                                weights.push(branch_weight_generic(
+                                    psi.amplitudes(),
+                                    k,
+                                    *all_mask,
+                                    offs,
+                                ));
+                            }
                         }
                     }
-                }
-                let total: f64 = weights.iter().sum();
-                assert!(total > 1e-12, "channel annihilated the state");
-                let r: f64 = rng.gen::<f64>() * total;
-                let mut acc = 0.0;
-                let mut pick = weights.len() - 1;
-                for (k, &w) in weights.iter().enumerate() {
-                    acc += w;
-                    if r < acc {
-                        pick = k;
-                        break;
+                    let total: f64 = weights.iter().sum();
+                    assert!(total > 1e-12, "channel annihilated the state");
+                    let r: f64 = rng.gen::<f64>() * total;
+                    let mut acc = 0.0;
+                    let mut pick = weights.len() - 1;
+                    for (k, &w) in weights.iter().enumerate() {
+                        acc += w;
+                        if r < acc {
+                            pick = k;
+                            break;
+                        }
                     }
+                    if pick == 0 && gen.k0_identity {
+                        return false;
+                    }
+                    psi.apply_operator(&gen.kraus[pick], &gen.targets);
+                    true
+                });
+                if applied {
+                    timed(sink, ReplayOpKind::Renorm, || psi.renormalize());
                 }
-                if pick == 0 && gen.k0_identity {
-                    return;
-                }
-                psi.apply_operator(&gen.kraus[pick], &gen.targets);
-                psi.renormalize();
             }
         }
     }
@@ -628,17 +643,40 @@ impl ReplayProgram {
     /// Runs one trajectory into the scratch state (resetting it to
     /// `|0...0>` first). The hot loop: no allocation, no dispatch.
     pub fn run_into<R: Rng + ?Sized>(&self, scratch: &mut ReplayScratch, rng: &mut R) {
+        self.run_into_profiled(scratch, rng, &NoProfile);
+    }
+
+    /// [`ReplayProgram::run_into`] with an opt-in [`ProfileSink`]
+    /// attributing each op's wall time to its [`ReplayOpKind`]. With
+    /// [`NoProfile`] this monomorphizes to the unprofiled loop exactly
+    /// (no clock reads); with any sink the arithmetic and RNG stream
+    /// are untouched, so results stay bit-identical.
+    pub fn run_into_profiled<R: Rng + ?Sized, P: ProfileSink>(
+        &self,
+        scratch: &mut ReplayScratch,
+        rng: &mut R,
+        sink: &P,
+    ) {
         assert_eq!(scratch.psi.n_qubits(), self.n_qubits, "scratch width");
         scratch.psi.reset_zero();
         for op in &self.ops {
             match op {
-                ReplayOp::DiagRun { start, len } => kernels::apply_diag_run_exact(
-                    scratch.psi.amps_mut(),
-                    &self.diag[*start..*start + *len],
-                ),
-                ReplayOp::Apply { targets, matrix } => scratch.psi.apply_operator(matrix, targets),
+                ReplayOp::DiagRun { start, len } => timed(sink, ReplayOpKind::DiagRun, || {
+                    kernels::apply_diag_run_exact(
+                        scratch.psi.amps_mut(),
+                        &self.diag[*start..*start + *len],
+                    )
+                }),
+                ReplayOp::Apply { targets, matrix } => {
+                    let kind = if targets.len() == 1 {
+                        ReplayOpKind::Dense1q
+                    } else {
+                        ReplayOpKind::Dense2q
+                    };
+                    timed(sink, kind, || scratch.psi.apply_operator(matrix, targets))
+                }
                 ReplayOp::Channel(c) => {
-                    self.channels[*c].apply(&mut scratch.psi, &mut scratch.weights, rng)
+                    self.channels[*c].apply_with(&mut scratch.psi, &mut scratch.weights, rng, sink)
                 }
             }
         }
@@ -906,6 +944,19 @@ impl ReplayEngine {
     /// bit-identical to [`ReplayEngine::expectations`] (and therefore to
     /// the reference [`crate::TrajectoryEngine`]) for every block size.
     pub fn expectations_batched(&self, program: &ReplayProgram, observable: &PauliSum) -> Vec<f64> {
+        self.expectations_batched_profiled(program, observable, &NoProfile)
+    }
+
+    /// [`ReplayEngine::expectations_batched`] with an opt-in
+    /// [`ProfileSink`]. The sink is shared across the worker pool
+    /// (relaxed atomic accumulation), so per-op-kind totals cover the
+    /// whole ensemble; results stay bit-identical for any sink.
+    pub fn expectations_batched_profiled<P: ProfileSink>(
+        &self,
+        program: &ReplayProgram,
+        observable: &PauliSum,
+        sink: &P,
+    ) -> Vec<f64> {
         assert_eq!(
             observable.n_qubits(),
             program.n_qubits(),
@@ -920,7 +971,7 @@ impl ReplayEngine {
             let seeds: Vec<u64> = (0..shots.n_shots())
                 .map(|s| self.trajectory_seed(lo + s))
                 .collect();
-            shots.run(program, &seeds);
+            shots.run_profiled(program, &seeds, sink);
             match &table {
                 Some(diag) => shots.diagonal_expectations(diag),
                 None => (0..shots.n_shots())
@@ -944,7 +995,19 @@ impl ReplayEngine {
         program: &ReplayProgram,
         observable: &PauliSum,
     ) -> (f64, f64) {
-        let values = self.expectations_batched(program, observable);
+        self.expectation_with_error_batched_profiled(program, observable, &NoProfile)
+    }
+
+    /// [`ReplayEngine::expectation_with_error_batched`] with an opt-in
+    /// [`ProfileSink`] (see
+    /// [`ReplayEngine::expectations_batched_profiled`]).
+    pub fn expectation_with_error_batched_profiled<P: ProfileSink>(
+        &self,
+        program: &ReplayProgram,
+        observable: &PauliSum,
+        sink: &P,
+    ) -> (f64, f64) {
+        let values = self.expectations_batched_profiled(program, observable, sink);
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         if values.len() < 2 {
@@ -967,11 +1030,27 @@ impl ReplayEngine {
     where
         F: Fn(usize, &mut StdRng) -> usize + Sync,
     {
+        self.sample_counts_with_batched_profiled(program, corrupt, &NoProfile)
+    }
+
+    /// [`ReplayEngine::sample_counts_with_batched`] with an opt-in
+    /// [`ProfileSink`] (see
+    /// [`ReplayEngine::expectations_batched_profiled`]).
+    pub fn sample_counts_with_batched_profiled<F, P>(
+        &self,
+        program: &ReplayProgram,
+        corrupt: F,
+        sink: &P,
+    ) -> Counts
+    where
+        F: Fn(usize, &mut StdRng) -> usize + Sync,
+        P: ProfileSink,
+    {
         let outcomes: Vec<usize> = self.map_shot_blocks(program, |shots, lo| {
             let seeds: Vec<u64> = (0..shots.n_shots())
                 .map(|s| self.trajectory_seed(lo + s))
                 .collect();
-            shots.run(program, &seeds);
+            shots.run_profiled(program, &seeds, sink);
             let bits = shots.draw_outcomes();
             bits.into_iter()
                 .enumerate()

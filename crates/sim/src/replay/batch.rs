@@ -85,6 +85,7 @@ use rand::{Rng, SeedableRng};
 
 use hgp_math::pauli::PauliSum;
 use hgp_math::{Complex64, Matrix};
+use hgp_obs::profile::{timed, NoProfile, ProfileSink, ReplayOpKind};
 
 use crate::statevector::StateVector;
 
@@ -878,6 +879,23 @@ impl ReplayBatch {
     /// Panics if the program width or seed count disagrees with the
     /// batch.
     pub fn run(&mut self, program: &ReplayProgram, seeds: &[u64]) {
+        self.run_profiled(program, seeds, &NoProfile);
+    }
+
+    /// [`ReplayBatch::run`] with an opt-in [`ProfileSink`] attributing
+    /// each tape op's wall time to its [`ReplayOpKind`] (dense ops by
+    /// arity, channels by shape, the end-of-tape deferred scale pass to
+    /// [`ReplayOpKind::Renorm`]; a scale pass a channel resolves
+    /// mid-tape is charged to that channel). With [`NoProfile`] this
+    /// monomorphizes to the unprofiled loop exactly; with any sink the
+    /// kernels, fusion decisions, and RNG streams are untouched, so
+    /// every shot stays bit-identical.
+    pub fn run_profiled<P: ProfileSink>(
+        &mut self,
+        program: &ReplayProgram,
+        seeds: &[u64],
+        sink: &P,
+    ) {
         assert_eq!(program.n_qubits(), self.n_qubits, "batch width");
         assert_eq!(seeds.len(), self.n_shots, "one seed per resident shot");
         self.rngs.clear();
@@ -888,7 +906,7 @@ impl ReplayBatch {
         self.reset_zero();
         for op in &program.ops {
             match op {
-                ReplayOp::DiagRun { start, len } => {
+                ReplayOp::DiagRun { start, len } => timed(sink, ReplayOpKind::DiagRun, || {
                     let ops = &program.diag[*start..*start + *len];
                     let lanes = self.lanes;
                     let s_n = self.n_shots;
@@ -902,17 +920,30 @@ impl ReplayBatch {
                     } = self;
                     let inv = pending.then_some(&inv[..]);
                     kernel!(lanes, diag_run(re, im, s_n, ops, factors, inv));
+                }),
+                ReplayOp::Apply { targets, matrix } => {
+                    let kind = if targets.len() == 1 {
+                        ReplayOpKind::Dense1q
+                    } else {
+                        ReplayOpKind::Dense2q
+                    };
+                    timed(sink, kind, || self.apply_dense_fused(matrix, targets))
                 }
-                ReplayOp::Apply { targets, matrix } => self.apply_dense_fused(matrix, targets),
                 ReplayOp::Channel(c) => match &program.channels[*c] {
-                    CompiledChannel::Mixed(mix) => self.apply_mixed(mix),
-                    CompiledChannel::General(gen) => self.apply_general(gen),
+                    CompiledChannel::Mixed(mix) => {
+                        timed(sink, ReplayOpKind::MixedChannel, || self.apply_mixed(mix))
+                    }
+                    CompiledChannel::General(gen) => {
+                        timed(sink, ReplayOpKind::GeneralChannel, || {
+                            self.apply_general(gen)
+                        })
+                    }
                 },
             }
         }
         // The tape may end on a general channel whose scale pass is
         // still deferred; readouts must see the renormalized state.
-        self.resolve_pending();
+        timed(sink, ReplayOpKind::Renorm, || self.resolve_pending());
     }
 
     /// `|0...0>` in every resident shot.

@@ -85,6 +85,7 @@ use std::sync::Arc;
 use rayon::prelude::*;
 
 use hgp_math::{Complex64, Matrix};
+use hgp_obs::profile::{timed, NoProfile, ProfileSink, ReplayOpKind};
 
 use crate::density::DensityMatrix;
 use crate::kernels::{self, DiagOp};
@@ -530,6 +531,17 @@ impl ExactChannel {
             ExactChannel::Blocks(b) => b.apply(data, dim),
         }
     }
+
+    /// The profiling bucket this channel shape is attributed to: the
+    /// in-place single-Kraus path profiles like a mixed-unitary pick,
+    /// resolved superoperators and blockwise Kraus sums like a general
+    /// channel.
+    fn profile_kind(&self) -> ReplayOpKind {
+        match self {
+            ExactChannel::Unitary(_) => ReplayOpKind::MixedChannel,
+            ExactChannel::Super(_) | ExactChannel::Blocks(_) => ReplayOpKind::GeneralChannel,
+        }
+    }
 }
 
 /// One instruction of a compiled exact tape.
@@ -700,19 +712,44 @@ impl ExactReplayProgram {
     /// `|0...0><0...0|` first). The hot loop performs no per-op
     /// allocation beyond tiny per-chunk block buffers.
     pub fn run_into(&self, scratch: &mut ExactScratch) {
+        self.run_into_profiled(scratch, &NoProfile);
+    }
+
+    /// [`ExactReplayProgram::run_into`] with an opt-in [`ProfileSink`]
+    /// attributing each tape op's wall time to its [`ReplayOpKind`]
+    /// (dense conjugations by arity, channels via
+    /// `ExactChannel::profile_kind`; the exact path never
+    /// renormalizes). With [`NoProfile`] this monomorphizes to the
+    /// unprofiled loop exactly; any sink leaves the sweeps untouched,
+    /// so the evolved state stays bit-identical.
+    pub fn run_into_profiled<P: ProfileSink>(&self, scratch: &mut ExactScratch, sink: &P) {
         assert_eq!(scratch.rho.n_qubits(), self.n_qubits, "scratch width");
         scratch.rho.reset_zero();
         let dim = scratch.rho.dim();
         for op in &self.ops {
             match op {
-                ExactOp::DiagRun { start, len } => apply_diag_run(
-                    &self.diag[*start..*start + *len],
-                    &mut scratch.factors,
-                    scratch.rho.data_mut(),
-                    dim,
-                ),
-                ExactOp::Apply(dense) => dense.conjugate(scratch.rho.data_mut(), dim),
-                ExactOp::Channel(i) => self.channels[*i].apply(scratch.rho.data_mut(), dim),
+                ExactOp::DiagRun { start, len } => timed(sink, ReplayOpKind::DiagRun, || {
+                    apply_diag_run(
+                        &self.diag[*start..*start + *len],
+                        &mut scratch.factors,
+                        scratch.rho.data_mut(),
+                        dim,
+                    )
+                }),
+                ExactOp::Apply(dense) => {
+                    let kind = if dense.offs.len() == 2 {
+                        ReplayOpKind::Dense1q
+                    } else {
+                        ReplayOpKind::Dense2q
+                    };
+                    timed(sink, kind, || dense.conjugate(scratch.rho.data_mut(), dim))
+                }
+                ExactOp::Channel(i) => {
+                    let channel = &self.channels[*i];
+                    timed(sink, channel.profile_kind(), || {
+                        channel.apply(scratch.rho.data_mut(), dim)
+                    })
+                }
             }
         }
     }
@@ -802,6 +839,17 @@ impl ExactReplayEngine {
     /// state (borrowed from the arena).
     pub fn run(&mut self, program: &ExactReplayProgram) -> &DensityMatrix {
         program.run_into(&mut self.scratch);
+        self.scratch.state()
+    }
+
+    /// [`ExactReplayEngine::run`] with an opt-in [`ProfileSink`] (see
+    /// [`ExactReplayProgram::run_into_profiled`]).
+    pub fn run_profiled<P: ProfileSink>(
+        &mut self,
+        program: &ExactReplayProgram,
+        sink: &P,
+    ) -> &DensityMatrix {
+        program.run_into_profiled(&mut self.scratch, sink);
         self.scratch.state()
     }
 

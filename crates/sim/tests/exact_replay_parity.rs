@@ -263,3 +263,29 @@ fn kraus_block_heavy_program_stays_pinned() {
     assert!((rho.trace() - 1.0).abs() <= 1e-12);
     let _: Complex64 = rho.get(0, 0);
 }
+
+/// A live profiling sink only observes on the exact path too: every
+/// density-matrix entry stays bit-identical with profiling attached,
+/// and each tape op is attributed exactly once.
+#[test]
+fn profiled_exact_replay_is_bit_identical_and_attributed() {
+    use hgp_sim::OpProfile;
+    let program = random_program(3, 14, 0x0B5EC, true);
+    let tape = ExactReplayProgram::compile(&program);
+    let plain = ExactReplayEngine::evolve(&tape);
+    let sink = OpProfile::new();
+    let mut engine = ExactReplayEngine::for_program(&tape);
+    let profiled = engine.run_profiled(&tape, &sink);
+    let dim = plain.dim();
+    for i in 0..dim {
+        for j in 0..dim {
+            let a = plain.get(i, j);
+            let b = profiled.get(i, j);
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "rho[{i},{j}]");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "rho[{i},{j}]");
+        }
+    }
+    let snap = sink.snapshot();
+    assert_eq!(snap.total_calls(), tape.n_ops() as u64);
+    assert_eq!(snap.calls[hgp_sim::ReplayOpKind::Renorm.index()], 0);
+}

@@ -238,3 +238,44 @@ fn every_block_split_of_an_odd_ensemble_matches() {
         );
     }
 }
+
+/// A live profiling sink shared across the batched worker pool only
+/// observes: per-shot expectations and sampled counts stay
+/// bit-identical, and the whole ensemble's tape ops are attributed.
+#[test]
+fn profiled_batched_runs_are_bit_identical_and_attributed() {
+    use hgp_sim::OpProfile;
+    let n = 3;
+    let program = divergent_program(n, 14, 0xC0FFEE);
+    let replay = ReplayProgram::compile(&program);
+    let obs = diag_observable(n);
+    let engine = ReplayEngine::new(33, 11).with_block_size(8);
+    let sink = OpProfile::new();
+
+    let plain = engine.expectations_batched(&replay, &obs);
+    let profiled = engine.expectations_batched_profiled(&replay, &obs, &sink);
+    assert_eq!(plain.len(), profiled.len());
+    for (x, y) in plain.iter().zip(profiled.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    let corrupt = |bits: usize, rng: &mut StdRng| {
+        if rng.gen::<f64>() < 0.2 {
+            bits ^ 1
+        } else {
+            bits
+        }
+    };
+    assert_eq!(
+        engine.sample_counts_with_batched(&replay, corrupt),
+        engine.sample_counts_with_batched_profiled(&replay, corrupt, &sink)
+    );
+
+    let snap = sink.snapshot();
+    assert!(snap.total_calls() > 0, "ops were attributed");
+    let (mean_plain, err_plain) = engine.expectation_with_error_batched(&replay, &obs);
+    let (mean_prof, err_prof) =
+        engine.expectation_with_error_batched_profiled(&replay, &obs, &sink);
+    assert_eq!(mean_plain.to_bits(), mean_prof.to_bits());
+    assert_eq!(err_plain.to_bits(), err_prof.to_bits());
+}

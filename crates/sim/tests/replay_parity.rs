@@ -175,3 +175,39 @@ proptest! {
         }
     }
 }
+
+/// A live profiling sink only observes: the scalar replay loop's
+/// amplitudes and RNG stream must stay bit-identical with profiling
+/// attached, and every executed tape op must be attributed to a kind.
+#[test]
+fn profiled_scalar_replay_is_bit_identical_and_attributed() {
+    use hgp_sim::{OpProfile, ReplayScratch};
+    let program = random_program(3, 14, 0x0B5EC);
+    let replay = ReplayProgram::compile(&program);
+    let sink = OpProfile::new();
+    let mut plain = ReplayScratch::for_program(&replay);
+    let mut profiled = ReplayScratch::for_program(&replay);
+    for seed in 0..24u64 {
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        replay.run_into(&mut plain, &mut rng_a);
+        replay.run_into_profiled(&mut profiled, &mut rng_b, &sink);
+        for (a, b) in plain
+            .state()
+            .amplitudes()
+            .iter()
+            .zip(profiled.state().amplitudes().iter())
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "seed {seed}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "seed {seed}");
+        }
+        // The RNG stream position must agree too (same draw count).
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "seed {seed}");
+    }
+    // Every tape op is attributed once per run; renorm entries come on
+    // top, one per applied (non-identity) general-channel branch.
+    let snap = sink.snapshot();
+    let renorms = snap.calls[hgp_sim::ReplayOpKind::Renorm.index()];
+    assert_eq!(snap.total_calls(), 24 * replay.n_ops() as u64 + renorms);
+    assert!(snap.total_calls() > 0, "ops were attributed");
+}

@@ -38,6 +38,7 @@ pub use hgp_graph as graph;
 pub use hgp_math as math;
 pub use hgp_mitigation as mitigation;
 pub use hgp_noise as noise;
+pub use hgp_obs as obs;
 pub use hgp_optim as optim;
 pub use hgp_pulse as pulse;
 pub use hgp_serve as serve;
